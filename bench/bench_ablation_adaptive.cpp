@@ -1,0 +1,99 @@
+// Ablation of the future-work extensions (paper Section 5): does letting
+// blocks change their policy automatically — or run stochastic policies —
+// help at a fixed flip budget?
+//
+// Configurations:
+//   fixed ladder       the default ABS (geometric window ladder, static)
+//   adaptive ladder    blocks advance the ladder on report stagnation
+//   softmin blocks     every block runs the SA-flavoured window policy
+//   single window      all blocks share one mid-ladder l (no diversity)
+//
+//   ./bench/bench_ablation_adaptive [--flips 400000]
+#include <cinttypes>
+#include <cstdio>
+
+#include "abs/solver.hpp"
+#include "problems/maxcut.hpp"
+#include "problems/random.hpp"
+#include "search/policy.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+absq::Energy run_config(const absq::WeightMatrix& w, absq::AbsConfig config,
+                        std::uint64_t flips) {
+  absq::AbsSolver solver(w, config);
+  absq::StopCriteria stop;
+  stop.max_flips = flips;
+  stop.time_limit_seconds = 300.0;
+  return solver.run(stop).best_energy;
+}
+
+void run_family(const char* family, const absq::WeightMatrix& w,
+                std::uint64_t flips, std::uint64_t seed) {
+  std::printf("\n%s (%u bits), budget %" PRIu64 " flips\n", family, w.size(),
+              flips);
+  std::printf("%-18s %16s\n", "configuration", "best energy");
+  for (int i = 0; i < 36; ++i) std::putchar('-');
+  std::putchar('\n');
+
+  absq::AbsConfig base;
+  base.device.block_limit = 8;
+  base.seed = seed;
+
+  std::printf("%-18s %16" PRId64 "\n", "fixed ladder",
+              run_config(w, base, flips));
+
+  {
+    absq::AbsConfig config = base;
+    config.device.adaptive = true;
+    config.device.stagnation_limit = 4;
+    std::printf("%-18s %16" PRId64 "\n", "adaptive ladder",
+                run_config(w, config, flips));
+  }
+  {
+    absq::AbsConfig config = base;
+    absq::SoftminWindowPolicy prototype(16, 2000.0);
+    config.device.policy_prototype = &prototype;
+    std::printf("%-18s %16" PRId64 "\n", "softmin blocks",
+                run_config(w, config, flips));
+  }
+  {
+    absq::AbsConfig config = base;
+    config.device.window_schedule = {16};
+    std::printf("%-18s %16" PRId64 "\n", "single window",
+                run_config(w, config, flips));
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  absq::CliParser cli("Ablation — adaptive / stochastic block policies "
+                      "(paper future work)");
+  cli.add_flag("bits", std::int64_t{2048}, "random-instance size");
+  cli.add_flag("flips", std::int64_t{400000}, "flip budget per config");
+  cli.add_flag("seed", std::int64_t{41}, "seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto flips = static_cast<std::uint64_t>(cli.get_int("flips"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  run_family("synthetic random",
+             absq::random_qubo(
+                 static_cast<absq::BitIndex>(cli.get_int("bits")), seed),
+             flips, seed);
+
+  const auto& g27 = absq::gset_catalog()[3];  // ±1 random, a hard row
+  run_family("Max-Cut G27 stand-in",
+             absq::maxcut_to_qubo(absq::generate_gset_instance(g27, seed)),
+             flips, seed);
+
+  std::printf(
+      "\nReading: the ladder (fixed or adaptive) should dominate the\n"
+      "single-window configuration — that is the parallel-tempering value\n"
+      "of per-block temperatures the paper builds on; adaptive vs fixed\n"
+      "shows whether online switching earns its bookkeeping.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Ablation of the host GA + straight search (Section 2.2): what does the
+// GA buy over blocks that never receive bred targets, and how does the
+// whole framework compare to the classical baselines at an equal committed
+// flip budget?
+//
+// Configurations, all at the same flip budget on the same instance:
+//   ABS (full)        GA-bred targets + straight search (the paper)
+//   ABS (no GA)       devices run, but the host never sends targets —
+//                     blocks do pure windowed local search forever
+//   tabu baseline     1-flip tabu search
+//   SA baseline       classical simulated annealing (Algorithm 3 kernel)
+//   greedy restarts   steepest descent with random restarts
+//
+//   ./bench/bench_ablation_ga [--bits 2048] [--flips 400000]
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "abs/device.hpp"
+#include "abs/solver.hpp"
+#include "baselines/solvers.hpp"
+#include "problems/maxcut.hpp"
+#include "problems/random.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+/// ABS devices with the host GA disabled: never push a target, just step
+/// blocks until the budget is spent and take the best report.
+absq::Energy no_ga_best(const absq::WeightMatrix& w, std::uint64_t flips,
+                        std::uint64_t seed) {
+  absq::DeviceConfig config;
+  config.block_limit = 8;
+  config.seed = seed;
+  absq::Device device(w, config);
+  absq::Energy best = 0;
+  while (device.total_flips() < flips) {
+    device.step_all_blocks_once();
+    for (const auto& report : device.solutions().drain()) {
+      best = std::min(best, report.energy);
+    }
+  }
+  return best;
+}
+
+void run_family(const char* family, const absq::WeightMatrix& w,
+                std::uint64_t flips, std::uint64_t seed) {
+  std::printf("\n%s (%u bits), budget %" PRIu64 " flips\n", family, w.size(),
+              flips);
+  std::printf("%-18s %16s\n", "configuration", "best energy");
+  for (int i = 0; i < 36; ++i) std::putchar('-');
+  std::putchar('\n');
+
+  {
+    absq::AbsConfig config;
+    config.device.block_limit = 8;
+    config.seed = seed;
+    absq::AbsSolver solver(w, config);
+    absq::StopCriteria stop;
+    stop.max_flips = flips;
+    stop.time_limit_seconds = 300.0;
+    std::printf("%-18s %16" PRId64 "\n", "ABS (full)",
+                solver.run(stop).best_energy);
+  }
+  std::printf("%-18s %16" PRId64 "\n", "ABS (no GA)",
+              no_ga_best(w, flips, seed + 1));
+  std::printf("%-18s %16" PRId64 "\n", "tabu",
+              absq::tabu_search(w, flips, 16, seed + 2).best_energy);
+  std::printf("%-18s %16" PRId64 "\n", "SA",
+              absq::simulated_annealing(w, 1e6, 1.0, flips, seed + 3)
+                  .best_energy);
+  std::printf("%-18s %16" PRId64 "\n", "greedy restarts",
+              absq::greedy_descent(w, flips, seed + 4).best_energy);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  absq::CliParser cli("Ablation — GA + straight search vs no-GA and "
+                      "classical baselines");
+  cli.add_flag("bits", std::int64_t{2048}, "random-instance size");
+  cli.add_flag("flips", std::int64_t{400000}, "flip budget per config");
+  cli.add_flag("seed", std::int64_t{31}, "seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto flips = static_cast<std::uint64_t>(cli.get_int("flips"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  // Easy family: dense random.
+  run_family("synthetic random",
+             absq::random_qubo(
+                 static_cast<absq::BitIndex>(cli.get_int("bits")), seed),
+             flips, seed);
+
+  // Hard family: ±1 planar-style Max-Cut (the paper's slowest Table 1(a)
+  // row), where GA diversity matters more.
+  const auto& g39 = absq::gset_catalog()[5];
+  run_family("Max-Cut G39 stand-in",
+             absq::maxcut_to_qubo(absq::generate_gset_instance(g39, seed)),
+             flips, seed);
+
+  std::printf(
+      "\nExpected shape: on the easy dense family all incremental searches\n"
+      "land close together; on the hard ±1 family the full ABS beats its\n"
+      "no-GA ablation — the GA + straight-search loop is what injects\n"
+      "diversity once blocks plateau.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation of the Fig. 2 selection policy: the window length l is the
+// paper's temperature analogue (l = 1 ≈ random walk, l = n = steepest
+// descent). This bench sweeps l on one instance at a fixed flip budget and
+// reports solution quality, plus the mixed-ladder configuration the ABS
+// devices actually use (parallel-tempering flavour).
+//
+//   ./bench/bench_ablation_window [--bits 1024] [--flips 200000]
+#include <cinttypes>
+#include <cstdio>
+
+#include "abs/solver.hpp"
+#include "problems/random.hpp"
+#include "search/algorithms.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  absq::CliParser cli("Ablation — window length l of the selection policy");
+  cli.add_flag("bits", std::int64_t{1024}, "instance size");
+  cli.add_flag("flips", std::int64_t{200000}, "flip budget per point");
+  cli.add_flag("seed", std::int64_t{21}, "seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto n = static_cast<absq::BitIndex>(cli.get_int("bits"));
+  const auto flips = static_cast<std::uint64_t>(cli.get_int("flips"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const absq::WeightMatrix w = absq::random_qubo(n, seed);
+
+  std::printf("Window-length ablation on a %u-bit random instance, %" PRIu64
+              " flips per point\n",
+              n, flips);
+  std::printf("%-18s %16s\n", "policy", "best energy");
+  for (int i = 0; i < 36; ++i) std::putchar('-');
+  std::putchar('\n');
+
+  // Single-chain sweep: pure Algorithm 4 with one l each.
+  for (const absq::BitIndex l : {1u, 2u, 4u, 8u, 16u, 64u, 256u, n}) {
+    absq::Rng rng(seed + l);
+    absq::WindowMinDeltaPolicy policy(l);
+    absq::ProposedSearchOptions opts;
+    opts.steps = flips;
+    opts.policy = &policy;
+    const auto outcome = absq::proposed_local_search(
+        w, absq::BitVector::random(n, rng), opts, rng);
+    char label[32];
+    std::snprintf(label, sizeof(label), l == n ? "l = n (greedy)" : "l = %u",
+                  l);
+    std::printf("%-18s %16" PRId64 "\n", label, outcome.best_energy);
+    std::fflush(stdout);
+  }
+
+  // The ABS configuration: a ladder of l values across blocks + GA. Same
+  // total flip budget.
+  {
+    absq::AbsConfig config;
+    config.device.block_limit = 8;  // default geometric ladder 2..n/2
+    config.seed = seed;
+    absq::AbsSolver solver(w, config);
+    absq::StopCriteria stop;
+    stop.max_flips = flips;
+    stop.time_limit_seconds = 120.0;
+    const absq::AbsResult result = solver.run(stop);
+    std::printf("%-18s %16" PRId64 "\n", "ABS ladder + GA", result.best_energy);
+  }
+
+  std::printf(
+      "\nExpected shape: tiny l wastes flips on random moves, l = n gets\n"
+      "stuck in the first basin; intermediate l (the paper's operating\n"
+      "point) wins among single chains, and the mixed ladder with GA\n"
+      "matches or beats the best single l without tuning it.\n");
+  return 0;
+}

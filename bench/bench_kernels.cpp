@@ -1,0 +1,152 @@
+// Micro-benchmarks (google-benchmark) of the kernels everything else is
+// built from. The headline counter is solutions/s on the flip kernels —
+// each committed flip evaluates n neighbour solutions (Theorem 1), which
+// is where the paper's search-rate metric comes from.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "ga/operators.hpp"
+#include "ga/solution_pool.hpp"
+#include "problems/random.hpp"
+#include "qubo/delta_state.hpp"
+#include "qubo/energy.hpp"
+#include "search/straight.hpp"
+#include "sim/mailbox.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using absq::BitIndex;
+using absq::BitVector;
+using absq::DeltaState;
+using absq::Rng;
+using absq::WeightMatrix;
+
+const WeightMatrix& cached_matrix(BitIndex n) {
+  static std::map<BitIndex, WeightMatrix> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, absq::random_qubo(n, 1234 + n)).first;
+  }
+  return it->second;
+}
+
+void BM_FullEnergy(benchmark::State& state) {
+  const auto n = static_cast<BitIndex>(state.range(0));
+  const WeightMatrix& w = cached_matrix(n);
+  Rng rng(1);
+  const BitVector x = BitVector::random(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(absq::full_energy(w, x));
+  }
+  state.counters["solutions/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullEnergy)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_DeltaK(benchmark::State& state) {
+  const auto n = static_cast<BitIndex>(state.range(0));
+  const WeightMatrix& w = cached_matrix(n);
+  Rng rng(2);
+  const BitVector x = BitVector::random(n, rng);
+  BitIndex k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(absq::delta_k(w, x, k));
+    k = (k + 1) % n;
+  }
+}
+BENCHMARK(BM_DeltaK)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_Flip(benchmark::State& state) {
+  const auto n = static_cast<BitIndex>(state.range(0));
+  const WeightMatrix& w = cached_matrix(n);
+  DeltaState delta_state(w);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        delta_state.flip(static_cast<BitIndex>(rng.below(n))));
+  }
+  state.counters["solutions/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Flip)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_FlipTracked(benchmark::State& state) {
+  const auto n = static_cast<BitIndex>(state.range(0));
+  const WeightMatrix& w = cached_matrix(n);
+  DeltaState delta_state(w);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        delta_state.flip_tracked(static_cast<BitIndex>(rng.below(n))));
+  }
+  state.counters["solutions/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FlipTracked)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_StraightSearchLeg(benchmark::State& state) {
+  // One full straight-search walk between random endpoints (~n/2 flips).
+  const auto n = static_cast<BitIndex>(state.range(0));
+  const WeightMatrix& w = cached_matrix(n);
+  Rng rng(5);
+  DeltaState delta_state(w, BitVector::random(n, rng));
+  absq::BestTracker tracker;
+  for (auto _ : state) {
+    const BitVector target = BitVector::random(n, rng);
+    benchmark::DoNotOptimize(
+        absq::straight_search(delta_state, target, tracker));
+  }
+}
+BENCHMARK(BM_StraightSearchLeg)->Arg(256)->Arg(1024);
+
+void BM_PoolInsert(benchmark::State& state) {
+  absq::SolutionPool pool(static_cast<std::size_t>(state.range(0)));
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pool.insert(BitVector::random(512, rng), rng.range(-1000000, 0)));
+  }
+}
+BENCHMARK(BM_PoolInsert)->Arg(64)->Arg(1024);
+
+void BM_GenerateTarget(benchmark::State& state) {
+  absq::SolutionPool pool(128);
+  Rng rng(7);
+  pool.initialize_random(1024, rng);
+  const absq::GaConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(absq::generate_target(pool, config, rng));
+  }
+}
+BENCHMARK(BM_GenerateTarget);
+
+void BM_MailboxRoundTrip(benchmark::State& state) {
+  // The lock cost per block iteration the sim/mailbox.hpp comment cites.
+  absq::sim::SolutionBuffer buffer(1024);
+  Rng rng(8);
+  const BitVector bits = BitVector::random(1024, rng);
+  for (auto _ : state) {
+    buffer.push({bits, -1, 0, 0});
+    benchmark::DoNotOptimize(buffer.drain());
+  }
+}
+BENCHMARK(BM_MailboxRoundTrip);
+
+void BM_UniformCrossover(benchmark::State& state) {
+  Rng rng(9);
+  const BitVector a = BitVector::random(4096, rng);
+  const BitVector b = BitVector::random(4096, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(absq::uniform_crossover(a, b, rng));
+  }
+}
+BENCHMARK(BM_UniformCrossover);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Regenerates the paper's Section 2 analysis: the search efficiency
+// (matrix reads per evaluated solution, Definition 1) of the four
+// algorithm variants, measured from the instrumented kernels across
+// instance sizes.
+//
+// Expected columns (the ladder of Lemmas 1–3 and Theorem 1):
+//   Algorithm 1  grows ~quadratically in n
+//   Algorithm 2  grows ~linearly in n
+//   Algorithm 3  grows ~linearly in n but with a much smaller constant
+//                (only accepted moves pay the O(n) repair)
+//   Algorithm 4  stays at 1.0 regardless of n
+//
+//   ./bench/bench_search_efficiency [--steps 2000]
+#include <cstdio>
+
+#include "problems/random.hpp"
+#include "search/algorithms.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  absq::CliParser cli("Search efficiency of Algorithms 1–4 (Lemmas 1–3, "
+                      "Theorem 1)");
+  cli.add_flag("steps", std::int64_t{2000}, "search steps m per run");
+  cli.add_flag("seed", std::int64_t{9}, "seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto steps = static_cast<std::uint64_t>(cli.get_int("steps"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  std::printf("Search efficiency (matrix reads per evaluated solution), "
+              "m = %llu steps\n",
+              static_cast<unsigned long long>(steps));
+  std::printf("%6s | %14s %14s %14s %14s\n", "bits", "Alg.1 O(n^2)",
+              "Alg.2 O(n)", "Alg.3 O(n)*", "Alg.4 O(1)");
+  for (int i = 0; i < 70; ++i) std::putchar('-');
+  std::putchar('\n');
+
+  for (const absq::BitIndex n : {64u, 128u, 256u, 512u, 1024u}) {
+    const absq::WeightMatrix w = absq::random_qubo(n, seed + n);
+    absq::Rng rng(seed);
+    const absq::BitVector start = absq::BitVector::random(n, rng);
+
+    absq::LocalSearchOptions accept_opts;
+    accept_opts.steps = steps;
+    accept_opts.accept = absq::greedy_acceptor();
+
+    // Algorithm 1 is genuinely quadratic; cap its steps so the bench
+    // finishes, efficiency is per-solution and unaffected.
+    absq::LocalSearchOptions naive_opts = accept_opts;
+    naive_opts.steps = std::min<std::uint64_t>(steps, 200);
+
+    absq::Rng rng1(seed + 1);
+    const auto alg1 = absq::naive_local_search(w, start, naive_opts, rng1);
+    absq::Rng rng2(seed + 2);
+    const auto alg2 =
+        absq::single_delta_local_search(w, start, accept_opts, rng2);
+    absq::Rng rng3(seed + 3);
+    const auto alg3 =
+        absq::delta_vector_local_search(w, start, accept_opts, rng3);
+    absq::Rng rng4(seed + 4);
+    absq::WindowMinDeltaPolicy policy(16);
+    absq::ProposedSearchOptions proposed_opts;
+    proposed_opts.steps = steps;
+    proposed_opts.policy = &policy;
+    const auto alg4 = absq::proposed_local_search(w, start, proposed_opts,
+                                                  rng4);
+
+    std::printf("%6u | %14.1f %14.1f %14.2f %14.3f\n", n,
+                alg1.stats.efficiency(), alg2.stats.efficiency(),
+                alg3.stats.efficiency(), alg4.stats.efficiency());
+  }
+  std::printf(
+      "\n* Algorithm 3 evaluates one candidate per step but pays the O(n)\n"
+      "  repair only on accepted moves, so its measured efficiency is\n"
+      "  n × acceptance-rate + warm-up, i.e. O(n) with a small constant.\n"
+      "  Algorithm 4's column is the paper's Theorem 1: every policy-driven\n"
+      "  flip evaluates all n neighbours for n reads — exactly 1.0.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Reproduces Table 1(b): time-to-solution on TSPLIB-style TSP instances.
+//
+// Each catalog row gets a synthetic stand-in of the same city count; the
+// reference tour comes from exact Held–Karp (≤ 16 cities) or multi-restart
+// 2-opt, the target is the paper's margin over it, and the measured number
+// is the ABS time until a *valid tour* at or under the target length is
+// found.
+//
+//   ./bench/bench_table1b_tsp [--trials 3] [--cap 60] [--max-cities 52]
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "problems/tsp.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  absq::CliParser cli("Table 1(b) — TSP time-to-solution on TSPLIB-sized "
+                      "stand-ins");
+  cli.add_flag("trials", std::int64_t{3}, "TTS trials per row");
+  cli.add_flag("cap", 60.0, "per-trial wall-clock cap (s)");
+  cli.add_flag("max-cities", std::int64_t{52}, "skip larger instances");
+  cli.add_flag("seed", std::int64_t{1991}, "generator seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const int trials = static_cast<int>(cli.get_int("trials"));
+  const double cap = cli.get_double("cap");
+
+  std::printf("Table 1(b) — TSP from TSPLIB (synthetic stand-ins)\n");
+  std::printf("%-12s %6s %6s | %11s %8s | %9s %9s %-14s\n", "problem",
+              "cities", "bits", "paper len", "paper s", "ref len", "target",
+              "time (s)");
+  absq::bench::print_rule(92);
+
+  for (const auto& spec : absq::tsp_catalog()) {
+    if (spec.cities > static_cast<absq::BitIndex>(cli.get_int("max-cities"))) {
+      std::printf("%-12s skipped (over --max-cities)\n",
+                  spec.paper_name.c_str());
+      continue;
+    }
+    const absq::TspInstance tsp = absq::generate_tsp_instance(spec, seed);
+    const std::int64_t reference =
+        tsp.cities() <= 16 ? absq::exact_tsp_length(tsp)
+                           : absq::two_opt_tsp_length(tsp, 30, seed);
+    const auto target_length = static_cast<std::int64_t>(
+        (1.0 + spec.paper_target_margin) * static_cast<double>(reference));
+
+    const absq::TspQubo qubo = absq::tsp_to_qubo(tsp);
+    absq::AbsConfig config;
+    config.device.block_limit = 8;
+    config.seed = seed + 3;
+    config.ga.crossover_prob = 0.7;  // better on permutation structure
+    const absq::bench::TtsSummary tts = absq::bench::averaged_tts(
+        qubo.w, config, qubo.energy_for_length(target_length), cap, trials);
+
+    // When no trial reaches the target within the cap (expected for the
+    // larger rows: the paper's times assume ~10³× this host's throughput),
+    // report the best *valid tour* a cap-length run achieves instead.
+    std::string cell = absq::bench::tts_cell(tts);
+    if (tts.reached == 0) {
+      absq::AbsConfig probe_config = config;
+      probe_config.seed = seed + 99;
+      absq::AbsSolver probe(qubo.w, probe_config);
+      absq::StopCriteria probe_stop;
+      probe_stop.time_limit_seconds = cap;
+      const absq::AbsResult probe_result = probe.run(probe_stop);
+      if (const auto tour = absq::decode_tour(qubo, probe_result.best)) {
+        const std::int64_t length = tsp.tour_length(*tour);
+        char buffer[64];
+        std::snprintf(buffer, sizeof(buffer), "— (best %" PRId64 ", +%.0f%%)",
+                      length,
+                      100.0 * static_cast<double>(length - reference) /
+                          static_cast<double>(reference));
+        cell = buffer;
+      } else {
+        cell = "— (no valid tour)";
+      }
+    }
+
+    std::printf("%-12s %6u %6u | %11" PRId64 " %8.3g | %9" PRId64
+                " %9" PRId64 " %-14s\n",
+                spec.paper_name.c_str(), spec.cities, qubo.w.size(),
+                spec.paper_target, spec.paper_seconds, reference,
+                target_length, cell.c_str());
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nShape checks vs the paper: time-to-target grows steeply with city\n"
+      "count (TSP QUBOs are the hard family — valid tours are ≥ 4 flips\n"
+      "apart), and small instances reach the exact optimum.\n");
+  return 0;
+}

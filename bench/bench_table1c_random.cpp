@@ -1,0 +1,71 @@
+// Reproduces Table 1(c): time-to-solution on dense 16-bit synthetic random
+// instances.
+//
+// The paper establishes "best-known" energies by repeating searches until
+// convergence; this harness does the same with its solver ensemble, then
+// measures ABS time until the published fraction of that reference energy
+// is reached.
+//
+//   ./bench/bench_table1c_random [--trials 3] [--cap 60] [--max-bits 16384]
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "problems/random.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  absq::CliParser cli("Table 1(c) — synthetic random time-to-solution");
+  cli.add_flag("trials", std::int64_t{3}, "TTS trials per row");
+  cli.add_flag("cap", 60.0, "per-trial wall-clock cap (s)");
+  cli.add_flag("max-bits", std::int64_t{16384},
+               "skip larger instances (32768 needs 2 GiB + patience)");
+  cli.add_flag("seed", std::int64_t{16}, "instance seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const int trials = static_cast<int>(cli.get_int("trials"));
+  const double cap = cli.get_double("cap");
+
+  std::printf("Table 1(c) — synthetic random problems (16-bit weights)\n");
+  std::printf("%7s | %14s %8s | %15s %15s %-14s\n", "bits", "paper E",
+              "paper s", "ref E", "target E", "time (s)");
+  absq::bench::print_rule(86);
+
+  for (const auto& spec : absq::random_catalog()) {
+    if (spec.bits > static_cast<absq::BitIndex>(cli.get_int("max-bits"))) {
+      std::printf("%7u skipped (over --max-bits)\n", spec.bits);
+      continue;
+    }
+    const absq::WeightMatrix w = absq::random_qubo(spec.bits, seed);
+
+    // Reference: converge the ensemble; dense instances are easy, so a
+    // short budget suffices and grows with n.
+    const double ref_seconds = 1.0 + static_cast<double>(spec.bits) / 4096.0;
+    const absq::Energy ref = absq::bench::reference_energy(
+        w, ref_seconds, 20000, seed + spec.bits);
+    // Published fractions: 1.00 rows target the reference itself; 0.99 rows
+    // target 99% of it (energies are negative).
+    const auto target = static_cast<absq::Energy>(
+        spec.paper_target_fraction * static_cast<double>(ref));
+
+    absq::AbsConfig config;
+    config.device.block_limit = 8;
+    config.seed = seed + 101;
+    const absq::bench::TtsSummary tts =
+        absq::bench::averaged_tts(w, config, target, cap, trials);
+
+    std::printf("%7u | %14" PRId64 " %8.4g | %15" PRId64 " %15" PRId64
+                " %-14s\n",
+                spec.bits, spec.paper_target, spec.paper_seconds, ref, target,
+                absq::bench::tts_cell(tts).c_str());
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nShape checks vs the paper: dense random instances are the easy\n"
+      "family — good solutions appear quickly at every size, and the 99%%\n"
+      "targets of the large rows are reached faster than exact convergence\n"
+      "of mid-size rows (the paper shows the same inversion: 16k at 0.417 s\n"
+      "vs 4k at 1.04 s).\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Shared helpers for the table/figure reproduction harnesses.
+//
+// Each bench binary regenerates one table or figure of the paper: it
+// prints the paper's published numbers next to the numbers measured on
+// this substrate (CPU-simulated devices), so the *shape* comparison the
+// reproduction targets is visible in one place. EXPERIMENTS.md records a
+// reference run of every binary.
+#pragma once
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+#include <optional>
+#include <string>
+
+#include "abs/solver.hpp"
+#include "baselines/solvers.hpp"
+#include "qubo/weight_matrix.hpp"
+#include "util/stopwatch.hpp"
+
+namespace absq::bench {
+
+/// Computes a reference ("best-known" stand-in) energy for an instance by
+/// racing an ensemble of independent solvers, mirroring how the paper
+/// establishes targets for its synthetic instances ("repeating searches
+/// until convergence"). Deterministic per seed.
+inline Energy reference_energy(const WeightMatrix& w, double abs_seconds,
+                               std::uint64_t classical_steps,
+                               std::uint64_t seed) {
+  Energy best = 0;
+
+  {
+    AbsConfig config;
+    config.device.block_limit = 8;
+    config.seed = seed;
+    AbsSolver solver(w, config);
+    StopCriteria stop;
+    stop.time_limit_seconds = abs_seconds;
+    best = std::min(best, solver.run(stop).best_energy);
+  }
+  best = std::min(best,
+                  tabu_search(w, classical_steps, 16, seed + 1).best_energy);
+  best = std::min(best,
+                  greedy_descent(w, classical_steps, seed + 2).best_energy);
+  return best;
+}
+
+/// Self-consistent reference: the best energy of one pilot run of the
+/// measurement configuration itself (a distinct seed). Targets derived
+/// from it are reachable by construction — the analogue of the paper
+/// targeting best-known values that earlier solver runs established.
+inline Energy pilot_reference(const WeightMatrix& w, AbsConfig config,
+                              double seconds) {
+  config.seed = mix64(config.seed ^ 0xabcdef1234567ULL);
+  AbsSolver solver(w, config);
+  StopCriteria stop;
+  stop.time_limit_seconds = seconds;
+  return solver.run(stop).best_energy;
+}
+
+/// One time-to-solution measurement: fresh solver, run until `target` or
+/// the cap. Returns the wall-clock seconds when the target was reached.
+struct TtsResult {
+  bool reached = false;
+  double seconds = 0.0;
+  Energy achieved = 0;
+};
+
+inline TtsResult time_to_solution(const WeightMatrix& w,
+                                  const AbsConfig& config, Energy target,
+                                  double cap_seconds) {
+  AbsSolver solver(w, config);
+  StopCriteria stop;
+  stop.target_energy = target;
+  stop.time_limit_seconds = cap_seconds;
+  const AbsResult result = solver.run(stop);
+  TtsResult tts;
+  tts.reached = result.reached_target;
+  tts.achieved = result.best_energy;
+  // Attribute the time of the improvement that crossed the target, not the
+  // (poll-quantized) end of the run.
+  tts.seconds = result.seconds;
+  for (const auto& [t, e] : result.best_trace) {
+    if (e <= target) {
+      tts.seconds = t;
+      break;
+    }
+  }
+  return tts;
+}
+
+/// Averaged TTS over `trials` independent seeds.
+struct TtsSummary {
+  int reached = 0;
+  int trials = 0;
+  double mean_seconds = 0.0;  ///< over reaching trials only
+  Energy best_achieved = 0;
+};
+
+inline TtsSummary averaged_tts(const WeightMatrix& w, AbsConfig config,
+                               Energy target, double cap_seconds,
+                               int trials) {
+  TtsSummary summary;
+  summary.trials = trials;
+  summary.best_achieved = std::numeric_limits<Energy>::max();
+  double total = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    config.seed = mix64(config.seed + 0x9e3779b97f4a7c15ULL);
+    const TtsResult tts = time_to_solution(w, config, target, cap_seconds);
+    summary.best_achieved = std::min(summary.best_achieved, tts.achieved);
+    if (tts.reached) {
+      ++summary.reached;
+      total += tts.seconds;
+    }
+  }
+  summary.mean_seconds = summary.reached > 0
+                             ? total / static_cast<double>(summary.reached)
+                             : 0.0;
+  return summary;
+}
+
+/// "0.123" or "—" when no trial reached the target.
+inline std::string tts_cell(const TtsSummary& summary) {
+  if (summary.reached == 0) return "—";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", summary.mean_seconds);
+  std::string cell = buffer;
+  if (summary.reached < summary.trials) {
+    cell += " (" + std::to_string(summary.reached) + "/" +
+            std::to_string(summary.trials) + ")";
+  }
+  return cell;
+}
+
+inline void print_rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace absq::bench

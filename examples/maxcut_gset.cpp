@@ -1,0 +1,73 @@
+// Max-Cut demo: solve a G-set-style instance (generated stand-in or a real
+// G-set file) and print the best cut found over time.
+//
+//   ./examples/maxcut_gset                       # G1 stand-in, 3 s
+//   ./examples/maxcut_gset --instance G39        # harder ±1 planar family
+//   ./examples/maxcut_gset --file my_graph.gset  # real G-set format file
+//
+// Demonstrates the problems/maxcut pipeline: graph → Eq. (17) QUBO → ABS →
+// cut decoding, with the E(X) = −cut(X) identity checked on the way out.
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "abs/solver.hpp"
+#include "problems/maxcut.hpp"
+#include "qubo/energy.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  absq::CliParser cli("maxcut_gset — Max-Cut via ABS on G-set-style graphs");
+  cli.add_flag("instance", std::string("G1"),
+               "catalog instance to generate (G1 G6 G22 G27 G35 G39 G55 G70)");
+  cli.add_flag("file", std::string(""), "load a G-set format file instead");
+  cli.add_flag("seconds", 3.0, "wall-clock budget");
+  cli.add_flag("blocks", std::int64_t{8}, "search blocks per device");
+  cli.add_flag("seed", std::int64_t{2020}, "generator & solver seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  // Obtain the graph.
+  absq::WeightedGraph graph;
+  std::string label;
+  if (const std::string path = cli.get_string("file"); !path.empty()) {
+    graph = absq::read_gset_file(path);
+    label = path;
+  } else {
+    const std::string name = cli.get_string("instance");
+    const absq::GsetSpec* spec = nullptr;
+    for (const auto& row : absq::gset_catalog()) {
+      if (row.name == name) spec = &row;
+    }
+    ABSQ_CHECK(spec != nullptr, "unknown catalog instance '" << name << "'");
+    graph = absq::generate_gset_instance(
+        *spec, static_cast<std::uint64_t>(cli.get_int("seed")));
+    label = name + " stand-in";
+  }
+  std::printf("graph: %s — %u vertices, %zu edges\n", label.c_str(),
+              graph.vertex_count(), graph.edge_count());
+
+  // Convert (Eq. 17) and solve.
+  const absq::WeightMatrix w = absq::maxcut_to_qubo(graph);
+  absq::AbsConfig config;
+  config.device.block_limit =
+      static_cast<std::uint32_t>(cli.get_int("blocks"));
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  absq::AbsSolver solver(w, config);
+  absq::StopCriteria stop;
+  stop.time_limit_seconds = cli.get_double("seconds");
+  const absq::AbsResult result = solver.run(stop);
+
+  // Decode: cut weight == −energy, checked against the edge list.
+  const std::int64_t cut = absq::cut_weight(graph, result.best);
+  ABSQ_CHECK(cut == -result.best_energy, "energy/cut identity violated");
+  std::printf("best cut:    %" PRId64 "  (energy %" PRId64 ")\n", cut,
+              result.best_energy);
+  std::printf("search rate: %.3g solutions/s over %.2f s\n",
+              result.search_rate, result.seconds);
+  std::printf("improvement trace (s → cut):\n");
+  for (const auto& [t, e] : result.best_trace) {
+    std::printf("  %8.3f  %" PRId64 "\n", t, -e);
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// TSP demo: encode a traveling-salesman instance as a (c−1)²-bit QUBO,
+// solve it with ABS, and decode the best assignment back into a tour.
+//
+//   ./examples/tsp_tour                       # 12-city synthetic instance
+//   ./examples/tsp_tour --cities 29           # bayg29-sized stand-in
+//   ./examples/tsp_tour --file some.tsp       # TSPLIB file (EUC_2D/GEO/…)
+//
+// TSP is the paper's *hard* benchmark family: valid tours are Hamming
+// distance ≥ 4 apart, so plain bit-flip searches stall without the GA +
+// straight-search machinery this solver runs.
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "abs/solver.hpp"
+#include "problems/tsp.hpp"
+#include "qubo/energy.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  absq::CliParser cli("tsp_tour — TSP as QUBO via ABS");
+  cli.add_flag("cities", std::int64_t{12}, "synthetic instance size");
+  cli.add_flag("file", std::string(""), "TSPLIB .tsp file to load instead");
+  cli.add_flag("seconds", 5.0, "wall-clock budget");
+  cli.add_flag("seed", std::int64_t{7}, "generator & solver seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const absq::TspInstance tsp =
+      cli.get_string("file").empty()
+          ? absq::random_euclidean_tsp(
+                "synthetic",
+                static_cast<absq::BitIndex>(cli.get_int("cities")), 250, seed)
+          : absq::read_tsplib_file(cli.get_string("file"));
+  std::printf("instance: %s — %u cities, max distance %d\n",
+              tsp.name().c_str(), tsp.cities(), tsp.max_distance());
+
+  // Reference tour from the classical side, for context.
+  const std::int64_t reference =
+      tsp.cities() <= 16 ? absq::exact_tsp_length(tsp)
+                         : absq::two_opt_tsp_length(tsp, 20, seed);
+  std::printf("reference length (%s): %" PRId64 "\n",
+              tsp.cities() <= 16 ? "exact" : "2-opt", reference);
+
+  // Encode and solve. Note penalty A = 2·max_distance, the paper's choice.
+  const absq::TspQubo qubo = absq::tsp_to_qubo(tsp);
+  std::printf("QUBO: %u bits, penalty A = %" PRId64 "\n", qubo.w.size(),
+              qubo.penalty);
+
+  absq::AbsConfig config;
+  config.device.block_limit = 8;
+  config.seed = seed;
+  // Mutating 2% of bits rarely preserves tour validity; crossover of two
+  // valid-ish parents works better on permutation QUBOs.
+  config.ga.crossover_prob = 0.7;
+  absq::AbsSolver solver(qubo.w, config);
+  absq::StopCriteria stop;
+  stop.time_limit_seconds = cli.get_double("seconds");
+  stop.target_energy = qubo.energy_for_length(reference);
+  const absq::AbsResult result = solver.run(stop);
+
+  const auto tour = absq::decode_tour(qubo, result.best);
+  if (!tour.has_value()) {
+    std::printf("best assignment (energy %" PRId64
+                ") violates tour constraints — raise --seconds\n",
+                result.best_energy);
+    return 1;
+  }
+  const std::int64_t length = tsp.tour_length(*tour);
+  ABSQ_CHECK(qubo.energy_for_length(length) == result.best_energy,
+             "energy/length identity violated");
+  std::printf("found tour of length %" PRId64 " (%.1f%% over reference):\n ",
+              length,
+              100.0 * (static_cast<double>(length - reference) /
+                       static_cast<double>(reference)));
+  for (const auto city : *tour) std::printf(" %u", city);
+  std::printf("\nsearch rate: %.3g solutions/s\n", result.search_rate);
+  return 0;
+}

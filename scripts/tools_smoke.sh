@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the CLI tools, run by CTest (tools_smoke).
+# Exercises: generate → inspect → solve → save solution → verify, across
+# all four instance formats, plus failure-path exit codes.
+set -euo pipefail
+
+BIN="${1:?usage: tools_smoke.sh <build-dir>}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "tools_smoke: FAIL — $1" >&2; exit 1; }
+
+# --- native qubo format ----------------------------------------------------
+"$BIN/tools/absq_gen" random --bits 96 --seed 5 --out "$WORK/r.qubo"
+"$BIN/tools/absq_info" "$WORK/r.qubo" | grep -q "bits:          96" \
+  || fail "absq_info did not report the instance size"
+"$BIN/tools/absq_solve" "$WORK/r.qubo" --seconds 0.5 --out "$WORK/r.sol" \
+  | grep -q "best energy" || fail "absq_solve (qubo) produced no result"
+"$BIN/tools/absq_info" "$WORK/r.qubo" --verify "$WORK/r.sol" \
+  | grep -q "VERIFIED" || fail "solution verification failed"
+
+# Tampered solution must be detected (exit 2).
+sed 's/^solution \(.*\) -\?[0-9]*$/solution \1 123456/' "$WORK/r.sol" \
+  > "$WORK/bad.sol"
+if "$BIN/tools/absq_info" "$WORK/r.qubo" --verify "$WORK/bad.sol" \
+    > /dev/null 2>&1; then
+  fail "tampered solution passed verification"
+fi
+
+# --- gset / Max-Cut ---------------------------------------------------------
+"$BIN/tools/absq_gen" maxcut --vertices 60 --edges 300 --weights pm1 \
+  --seed 3 --out "$WORK/g.gset"
+"$BIN/tools/absq_solve" "$WORK/g.gset" --format gset --seconds 0.5 \
+  | grep -q "cut weight" || fail "absq_solve (gset) printed no cut"
+
+# --- TSP --------------------------------------------------------------------
+"$BIN/tools/absq_gen" tsp --cities 8 --seed 2 --out "$WORK/t.qubo"
+"$BIN/tools/absq_solve" "$WORK/t.qubo" --seconds 0.5 \
+  | grep -q "best energy" || fail "absq_solve (tsp qubo) failed"
+
+# --- DIMACS / 3-SAT ----------------------------------------------------------
+"$BIN/tools/absq_gen" sat --vars 12 --clauses 40 --seed 9 --out "$WORK/f.cnf"
+"$BIN/tools/absq_solve" "$WORK/f.cnf" --format dimacs --seconds 0.5 \
+  | grep -q "violated clauses" || fail "absq_solve (dimacs) printed no count"
+
+# --- failure paths -----------------------------------------------------------
+if "$BIN/tools/absq_solve" /nonexistent.qubo --seconds 0.1 \
+    > /dev/null 2>&1; then
+  fail "missing file did not fail"
+fi
+if "$BIN/tools/absq_gen" bogus --out "$WORK/x" > /dev/null 2>&1; then
+  fail "unknown family did not fail"
+fi
+# Unreachable target → exit 2.
+set +e
+"$BIN/tools/absq_solve" "$WORK/r.qubo" --seconds 0.2 \
+  --target -99999999999999 > /dev/null 2>&1
+code=$?
+set -e
+[[ "$code" == "2" ]] || fail "unreachable target exited $code, expected 2"
+
+echo "tools_smoke: OK"

@@ -1,0 +1,118 @@
+#include "abs/device.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace absq {
+namespace {
+
+/// Default parallel-tempering ladder: 2, 4, 8, ..., n/2.
+std::vector<BitIndex> default_window_schedule(BitIndex n) {
+  std::vector<BitIndex> ladder;
+  for (BitIndex l = 2; l <= n / 2; l *= 2) ladder.push_back(l);
+  if (ladder.empty()) ladder.push_back(1);
+  return ladder;
+}
+
+}  // namespace
+
+std::uint32_t Device::effective_block_count(const sim::Occupancy& occupancy,
+                                            const DeviceConfig& config) {
+  std::uint32_t count = occupancy.active_blocks;
+  if (config.block_limit != 0) count = std::min(count, config.block_limit);
+  ABSQ_CHECK(count >= 1, "device must host at least one block");
+  return count;
+}
+
+Device::Device(const WeightMatrix& w, const DeviceConfig& config)
+    : w_(&w),
+      config_(config),
+      occupancy_(sim::compute_occupancy(
+          config.spec, w.size(),
+          config.bits_per_thread != 0
+              ? config.bits_per_thread
+              : sim::default_bits_per_thread(config.spec, w.size()))),
+      targets_(config.target_capacity != 0
+                   ? config.target_capacity
+                   : effective_block_count(occupancy_, config)),
+      solutions_(config.solution_capacity != 0
+                     ? config.solution_capacity
+                     : effective_block_count(occupancy_, config)) {
+  const std::uint32_t block_count = effective_block_count(occupancy_, config);
+
+  const std::vector<BitIndex> ladder = config.window_schedule.empty()
+                                           ? default_window_schedule(w.size())
+                                           : config.window_schedule;
+  const std::uint64_t local_steps =
+      config.local_steps != 0 ? config.local_steps : w.size();
+
+  blocks_.reserve(block_count);
+  for (std::uint32_t b = 0; b < block_count; ++b) {
+    SearchBlock::Config block_config;
+    block_config.device_id = config.device_id;
+    block_config.block_id = b;
+    block_config.window = ladder[b % ladder.size()];
+    block_config.local_steps = local_steps;
+    block_config.seed =
+        mix64(config.seed ^ (0x9e3779b97f4a7c15ULL * (config.device_id + 1)));
+    block_config.policy_prototype = config.policy_prototype;
+    if (config.adaptive && config.policy_prototype == nullptr) {
+      block_config.adaptive_windows = ladder;
+      block_config.stagnation_limit = config.stagnation_limit;
+    }
+    blocks_.push_back(std::make_unique<SearchBlock>(w, block_config));
+  }
+}
+
+Device::~Device() { stop(); }
+
+void Device::start() {
+  if (running_) return;
+  stop_requested_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { run_loop(&stop_requested_); });
+  running_ = true;
+}
+
+void Device::stop() {
+  if (!running_) return;
+  stop_requested_.store(true, std::memory_order_relaxed);
+  thread_.join();
+  running_ = false;
+}
+
+void Device::step_all_blocks_once() {
+  ABSQ_CHECK(!running_, "synchronous stepping while the device thread runs");
+  for (auto& block : blocks_) {
+    const auto maybe_target = targets_.poll();
+    const std::uint64_t before = block->stats().flips;
+    // With no fresh target the block continues from where it is: a
+    // zero-distance straight search followed by the usual local search.
+    solutions_.push(
+        block->iterate(maybe_target ? *maybe_target : block->current()));
+    flips_.fetch_add(block->stats().flips - before, std::memory_order_relaxed);
+    iterations_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t Device::total_evaluated() const {
+  return total_flips() * w_->size();
+}
+
+void Device::run_loop(const std::atomic<bool>* stop_flag) {
+  // Round-robin block schedule; each visit is one full Step 2–5 iteration.
+  while (!stop_flag->load(std::memory_order_relaxed)) {
+    for (auto& block : blocks_) {
+      if (stop_flag->load(std::memory_order_relaxed)) return;
+      const auto maybe_target = targets_.poll();
+      const std::uint64_t before = block->stats().flips;
+      solutions_.push(
+          block->iterate(maybe_target ? *maybe_target : block->current()));
+      flips_.fetch_add(block->stats().flips - before,
+                       std::memory_order_relaxed);
+      iterations_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace absq

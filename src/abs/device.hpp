@@ -1,0 +1,124 @@
+// Device — one simulated GPU running many SearchBlocks (Section 3.2).
+//
+// The paper's GPU keeps `active_blocks` CUDA blocks resident (the Table 2
+// occupancy arithmetic) and lets each run its Step 2–5 loop asynchronously
+// against the global-memory mailboxes. Here the same block set is
+// time-sliced over a host thread: the device thread visits blocks round-
+// robin; a visited block polls the target buffer, runs one iteration
+// (straight search + fixed local search) and pushes its report. Nothing in
+// the host protocol can distinguish this schedule from truly concurrent
+// blocks — only wall-clock throughput differs, which is exactly the
+// substitution DESIGN.md documents.
+//
+// The device also supports a synchronous mode (step_all_blocks_once) used by
+// the deterministic tests and the throughput benches, which measure the
+// search kernel without scheduler noise.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "abs/search_block.hpp"
+#include "qubo/weight_matrix.hpp"
+#include "sim/device_spec.hpp"
+#include "sim/mailbox.hpp"
+
+namespace absq {
+
+struct DeviceConfig {
+  std::uint32_t device_id = 0;
+  sim::DeviceSpec spec;  ///< RTX 2080 Ti by default
+  /// Bits handled per simulated thread (p). 0 = smallest feasible p.
+  std::uint32_t bits_per_thread = 0;
+  /// Caps the resident block count below the occupancy-derived value
+  /// (CPU-affordability knob; 0 = no cap). The occupancy model still
+  /// reports the hardware value for Table 2.
+  std::uint32_t block_limit = 0;
+  /// Step 4b flip count. 0 = one sweep (n flips).
+  std::uint64_t local_steps = 0;
+  /// Window lengths (l) assigned to blocks round-robin. Empty = a geometric
+  /// ladder 2, 4, 8, ..., n/2 (the parallel-tempering default).
+  std::vector<BitIndex> window_schedule;
+  /// Optional custom Step 4b policy, cloned per block; must outlive the
+  /// device. Overrides window_schedule/adaptive.
+  const SelectionPolicy* policy_prototype = nullptr;
+  /// Adaptive mode (paper future work): blocks whose reports stagnate for
+  /// `stagnation_limit` iterations advance their window along the ladder.
+  bool adaptive = false;
+  std::uint32_t stagnation_limit = 4;
+  std::uint64_t seed = 1;
+  /// Mailbox capacities. 0 = one slot per resident block.
+  std::size_t target_capacity = 0;
+  std::size_t solution_capacity = 0;
+};
+
+class Device {
+ public:
+  Device(const WeightMatrix& w, const DeviceConfig& config);
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  /// Launches the device thread. Idempotent.
+  void start();
+
+  /// Signals the device thread to finish its current block visit, then
+  /// joins it. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// Host-facing mailboxes.
+  [[nodiscard]] sim::TargetBuffer& targets() { return targets_; }
+  [[nodiscard]] sim::SolutionBuffer& solutions() { return solutions_; }
+
+  /// Synchronous mode: every block performs exactly one iteration on the
+  /// calling thread. Must not be mixed with start().
+  void step_all_blocks_once();
+
+  [[nodiscard]] const sim::Occupancy& occupancy() const { return occupancy_; }
+  [[nodiscard]] std::uint32_t block_count() const {
+    return static_cast<std::uint32_t>(blocks_.size());
+  }
+  [[nodiscard]] const DeviceConfig& config() const { return config_; }
+
+  /// Flips committed by all blocks (each flip = n evaluated solutions).
+  [[nodiscard]] std::uint64_t total_flips() const {
+    return flips_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_evaluated() const;
+  [[nodiscard]] std::uint64_t total_iterations() const {
+    return iterations_.load(std::memory_order_relaxed);
+  }
+
+  /// Read-only access for inspection/tests; blocks are owned by the device.
+  [[nodiscard]] const SearchBlock& block(std::size_t i) const {
+    return *blocks_[i];
+  }
+
+ private:
+  static std::uint32_t effective_block_count(const sim::Occupancy& occupancy,
+                                             const DeviceConfig& config);
+
+  void run_loop(const std::atomic<bool>* stop_flag);
+
+  const WeightMatrix* w_;
+  DeviceConfig config_;
+  sim::Occupancy occupancy_;
+  std::vector<std::unique_ptr<SearchBlock>> blocks_;
+  sim::TargetBuffer targets_;
+  sim::SolutionBuffer solutions_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+  bool running_ = false;
+
+  std::atomic<std::uint64_t> flips_{0};
+  std::atomic<std::uint64_t> iterations_{0};
+};
+
+}  // namespace absq

@@ -1,0 +1,96 @@
+#include "abs/search_block.hpp"
+
+#include "search/straight.hpp"
+#include "util/check.hpp"
+
+namespace absq {
+
+BitIndex SearchBlock::staggered_offset() const {
+  // Stagger window offsets across blocks so co-scheduled blocks with equal
+  // l do not walk identical flip sequences.
+  return static_cast<BitIndex>((config_.block_id * 97) % w_->size());
+}
+
+SearchBlock::SearchBlock(const WeightMatrix& w, const Config& config)
+    : w_(&w),
+      config_(config),
+      state_(w),  // zero-vector start: E(0) = 0, Δ_i = W_ii (device Step 1)
+      rng_(Rng(config.seed).split(config.block_id)) {
+  ABSQ_CHECK(config.local_steps >= 1, "local_steps must be at least 1");
+  if (config_.policy_prototype != nullptr) {
+    policy_ = config_.policy_prototype->clone();
+    current_window_ = 0;  // unknown for custom policies
+  } else {
+    BitIndex window = config_.window;
+    if (!config_.adaptive_windows.empty()) {
+      ABSQ_CHECK(config_.stagnation_limit >= 1,
+                 "stagnation_limit must be at least 1");
+      // Start each block at its own ladder rung.
+      ladder_index_ = config_.block_id % config_.adaptive_windows.size();
+      window = config_.adaptive_windows[ladder_index_];
+    }
+    policy_ =
+        std::make_unique<WindowMinDeltaPolicy>(window, staggered_offset());
+    current_window_ = window;
+  }
+  stats_.ops += state_.size();  // diagonal reads of the Step 1 initialization
+  stats_.evaluated_solutions += state_.size() + 1;
+}
+
+void SearchBlock::adapt_on_stagnation(Energy reported_energy) {
+  if (config_.adaptive_windows.empty() ||
+      config_.policy_prototype != nullptr) {
+    return;
+  }
+  if (!any_report_ || reported_energy < best_reported_) {
+    best_reported_ = reported_energy;
+    any_report_ = true;
+    stagnant_iterations_ = 0;
+    return;
+  }
+  if (++stagnant_iterations_ < config_.stagnation_limit) return;
+
+  // Advance the ladder: a stuck cold block warms up (and vice versa).
+  stagnant_iterations_ = 0;
+  ++policy_switches_;
+  ladder_index_ = (ladder_index_ + 1) % config_.adaptive_windows.size();
+  current_window_ = config_.adaptive_windows[ladder_index_];
+  policy_ =
+      std::make_unique<WindowMinDeltaPolicy>(current_window_,
+                                             staggered_offset());
+}
+
+sim::ReportedSolution SearchBlock::iterate(const BitVector& target) {
+  ABSQ_CHECK(target.size() == state_.size(), "target size mismatch");
+
+  // Step 3: reset the incumbent so this iteration reports something new.
+  tracker_.reset();
+
+  // Step 4a: straight search C → T (flip count = Hamming distance).
+  stats_ += straight_search(state_, target, tracker_);
+
+  // Step 4b: fixed-length forced-flip local search from T.
+  for (std::uint64_t step = 0; step < config_.local_steps; ++step) {
+    const BitIndex k = policy_->select(state_, rng_);
+    const auto outcome = state_.flip_tracked(k);
+    ++stats_.flips;
+    ++stats_.accepted;
+    stats_.ops += state_.size();
+    stats_.evaluated_solutions += state_.size();
+    if (tracker_.offer(state_.bits(), outcome.energy)) ++stats_.improvements;
+    if (tracker_.offer_neighbor(state_.bits(), outcome.best_neighbor_bit,
+                                outcome.best_neighbor_energy)) {
+      ++stats_.improvements;
+    }
+  }
+  ++iterations_;
+
+  // Step 5: report the iteration's best. A zero-distance straight search
+  // with zero local steps cannot happen (local_steps >= 1), so the tracker
+  // is always valid here.
+  adapt_on_stagnation(tracker_.energy());
+  return sim::ReportedSolution{tracker_.best(), tracker_.energy(),
+                               config_.device_id, config_.block_id};
+}
+
+}  // namespace absq

@@ -1,0 +1,110 @@
+// SearchBlock — the CUDA-block analogue (Section 3.2, device Steps 2–5).
+//
+// One block owns one persistent Δ-maintained search state. Per iteration it
+//
+//   Step 2:  takes a target solution T bred by the host GA,
+//   Step 3:  resets its best-found incumbent (premature-convergence guard:
+//            already-reported solutions are not reported again),
+//   Step 4a: runs a straight search from its current solution C to T,
+//   Step 4b: runs the forced-flip local search for a fixed number of
+//            flips, ending at C′ — the start of the next iteration,
+//   Step 5:  reports the best solution found during Steps 4a+4b.
+//
+// Because C′ feeds the next straight search, the Δ state is never rebuilt:
+// the block achieves the O(1) search efficiency of Theorem 1 for its entire
+// lifetime.
+//
+// The Step 4b bit-selection is pluggable. By default each block runs the
+// paper's windowed min-Δ policy (Fig. 2) with its own window length l — the
+// temperature analogue, so a device runs a parallel-tempering-like ladder.
+// Two extensions from the paper's future-work section are built in:
+//   * an arbitrary SelectionPolicy prototype can be stamped onto blocks
+//     ("each CUDA block would perform different algorithms"), and
+//   * adaptive mode: a block whose reports stagnate for a configurable
+//     number of iterations advances its window length along a ladder
+//     ("... and possibly they are changed automatically").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "qubo/bit_vector.hpp"
+#include "qubo/delta_state.hpp"
+#include "qubo/weight_matrix.hpp"
+#include "search/policy.hpp"
+#include "search/stats.hpp"
+#include "search/tracker.hpp"
+#include "sim/mailbox.hpp"
+#include "util/rng.hpp"
+
+namespace absq {
+
+class SearchBlock {
+ public:
+  struct Config {
+    std::uint32_t device_id = 0;
+    std::uint32_t block_id = 0;
+    /// Window length l of the default selection policy (Fig. 2).
+    BitIndex window = 16;
+    /// Fixed flip count of the Step 4b local search.
+    std::uint64_t local_steps = 1024;
+    /// Seed for the RNG handed to the policy.
+    std::uint64_t seed = 1;
+    /// Optional custom policy; cloned per block when set (the default
+    /// windowed min-Δ policy is used otherwise). Not owned.
+    const SelectionPolicy* policy_prototype = nullptr;
+    /// Non-empty enables adaptive mode: on stagnation the block's window
+    /// advances through this ladder (ignored when policy_prototype set).
+    std::vector<BitIndex> adaptive_windows;
+    /// Iterations without a best-report improvement before adapting.
+    std::uint32_t stagnation_limit = 4;
+  };
+
+  /// The matrix is shared by all blocks and must outlive them.
+  SearchBlock(const WeightMatrix& w, const Config& config);
+
+  /// One full Step 2→5 iteration against `target`. Returns the report the
+  /// block would store into the solution buffer.
+  [[nodiscard]] sim::ReportedSolution iterate(const BitVector& target);
+
+  /// Current solution C (the start of the next straight search).
+  [[nodiscard]] const BitVector& current() const { return state_.bits(); }
+  [[nodiscard]] Energy current_energy() const { return state_.energy(); }
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Window length currently in use (== config().window unless adaptive
+  /// mode has switched it; 0 when a custom policy prototype is active).
+  [[nodiscard]] BitIndex current_window() const { return current_window_; }
+
+  /// Times adaptive mode advanced the ladder.
+  [[nodiscard]] std::uint64_t policy_switches() const {
+    return policy_switches_;
+  }
+
+  /// Lifetime totals across all iterations.
+  [[nodiscard]] const SearchStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t iterations() const { return iterations_; }
+
+ private:
+  [[nodiscard]] BitIndex staggered_offset() const;
+  void adapt_on_stagnation(Energy reported_energy);
+
+  const WeightMatrix* w_;
+  Config config_;
+  DeltaState state_;
+  BestTracker tracker_;
+  std::unique_ptr<SelectionPolicy> policy_;
+  BitIndex current_window_ = 0;
+  std::size_t ladder_index_ = 0;
+  Energy best_reported_ = 0;
+  bool any_report_ = false;
+  std::uint32_t stagnant_iterations_ = 0;
+  std::uint64_t policy_switches_ = 0;
+  Rng rng_;
+  SearchStats stats_;
+  std::uint64_t iterations_ = 0;
+};
+
+}  // namespace absq

@@ -1,0 +1,189 @@
+#include "abs/solver.hpp"
+
+#include <thread>
+
+#include "util/check.hpp"
+#include "util/stopwatch.hpp"
+
+namespace absq {
+
+AbsSolver::AbsSolver(const WeightMatrix& w, AbsConfig config)
+    : w_(&w),
+      config_(std::move(config)),
+      pool_(config_.pool_capacity),
+      rng_(config_.seed) {
+  ABSQ_CHECK(config_.num_devices >= 1, "need at least one device");
+  devices_.reserve(config_.num_devices);
+  for (std::uint32_t d = 0; d < config_.num_devices; ++d) {
+    DeviceConfig device_config = config_.device;
+    device_config.device_id = d;
+    device_config.seed = mix64(config_.seed ^ (d + 1));
+    devices_.push_back(std::make_unique<Device>(w, device_config));
+  }
+}
+
+AbsSolver::~AbsSolver() {
+  for (auto& device : devices_) device->stop();
+}
+
+std::uint64_t AbsSolver::flips_across_devices() const {
+  std::uint64_t total = 0;
+  for (const auto& device : devices_) total += device->total_flips();
+  return total;
+}
+
+AbsResult AbsSolver::run(const StopCriteria& stop) {
+  ABSQ_CHECK(stop.bounded(),
+             "at least one stop criterion must be set or the run never ends");
+
+  AbsResult result;
+  const std::uint64_t flips_at_start = flips_across_devices();
+
+  // Host Step 1: random pool, energies unknown; stock the target buffers
+  // with the random population so every block starts on GA-chosen ground.
+  pool_.initialize_random(w_->size(), rng_);
+  if (config_.warm_start != nullptr) {
+    for (std::size_t i = 0; i < config_.warm_start->size(); ++i) {
+      const auto& entry = config_.warm_start->entry(i);
+      ABSQ_CHECK(entry.bits.size() == w_->size(),
+                 "warm-start pool is for a different instance size");
+      (void)pool_.insert(entry.bits, entry.energy);
+    }
+  }
+  for (auto& device : devices_) {
+    // One target per resident block; blocks without a target continue from
+    // their current solution, so underfill is benign. With a warm start,
+    // its entries (sorted best-first in the pool) go out first.
+    for (std::uint32_t b = 0; b < device->block_count(); ++b) {
+      result.targets_generated += 1;
+      const std::size_t index =
+          config_.warm_start != nullptr && b < pool_.size()
+              ? b
+              : rng_.below(pool_.size());
+      device->targets().push(pool_.entry(index).bits);
+    }
+  }
+
+  Stopwatch watch;
+  for (auto& device : devices_) device->start();
+
+  std::vector<std::uint64_t> seen_counters(devices_.size(), 0);
+  double next_snapshot = config_.snapshot_interval_seconds;
+  double last_snapshot_time = 0.0;
+  std::uint64_t last_snapshot_flips = 0;
+  bool done = false;
+  while (!done) {
+    bool any_news = false;
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+      // Host Step 2: poll the global counter; drain only when it moved.
+      const std::uint64_t counter = devices_[d]->solutions().counter();
+      if (counter == seen_counters[d]) continue;
+      seen_counters[d] = counter;
+      any_news = true;
+
+      // Host Step 3: insert arrivals into the pool.
+      auto arrivals = devices_[d]->solutions().drain();
+      for (auto& report : arrivals) {
+        ++result.reports_received;
+        const Energy energy = report.energy;
+        if (pool_.insert(report.bits, energy)) {
+          ++result.reports_inserted;
+          if (result.best_trace.empty() ||
+              energy < result.best_trace.back().second) {
+            result.best_trace.emplace_back(watch.seconds(), energy);
+          }
+        }
+      }
+
+      // Host Step 4: breed as many fresh targets as solutions arrived.
+      for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        devices_[d]->targets().push(generate_target(pool_, config_.ga, rng_));
+        ++result.targets_generated;
+      }
+    }
+
+    // Periodic observation.
+    if (config_.snapshot_interval_seconds > 0.0) {
+      const double now = watch.seconds();
+      if (now >= next_snapshot) {
+        const std::uint64_t flips = flips_across_devices() - flips_at_start;
+        RunSnapshot snapshot;
+        snapshot.seconds = now;
+        snapshot.best_energy = pool_.best_energy();
+        snapshot.pool_evaluated = pool_.evaluated_count();
+        snapshot.total_flips = flips;
+        const double window = now - last_snapshot_time;
+        snapshot.window_rate =
+            window > 0.0 ? static_cast<double>(flips - last_snapshot_flips) *
+                               w_->size() / window
+                         : 0.0;
+        result.snapshots.push_back(snapshot);
+        last_snapshot_time = now;
+        last_snapshot_flips = flips;
+        next_snapshot = now + config_.snapshot_interval_seconds;
+      }
+    }
+
+    // Stop checks.
+    if (stop_requested_.exchange(false)) {
+      result.cancelled = true;
+      done = true;
+    }
+    if (stop.target_energy.has_value() &&
+        pool_.best_energy() <= *stop.target_energy) {
+      result.reached_target = true;
+      done = true;
+    }
+    if (stop.time_limit_seconds > 0.0 &&
+        watch.seconds() >= stop.time_limit_seconds) {
+      done = true;
+    }
+    if (stop.max_flips > 0 &&
+        flips_across_devices() - flips_at_start >= stop.max_flips) {
+      done = true;
+    }
+    if (!done && !any_news) {
+      // Nothing arrived: yield briefly instead of spinning on the counters
+      // (the cudaMemcpyAsync cadence of the paper's host).
+      std::this_thread::yield();
+    }
+  }
+
+  for (auto& device : devices_) device->stop();
+  result.seconds = watch.seconds();
+
+  // Final drain so reports in flight at stop time are not lost.
+  for (auto& device : devices_) {
+    for (auto& report : device->solutions().drain()) {
+      ++result.reports_received;
+      if (pool_.insert(report.bits, report.energy)) ++result.reports_inserted;
+    }
+    result.solutions_dropped += device->solutions().dropped();
+  }
+  if (stop.target_energy.has_value() &&
+      pool_.best_energy() <= *stop.target_energy) {
+    result.reached_target = true;
+  }
+
+  ABSQ_CHECK(pool_.evaluated_count() > 0,
+             "run ended before any device reported — raise the time limit");
+  for (const auto& device : devices_) {
+    DeviceSummary summary;
+    summary.device_id = device->config().device_id;
+    summary.flips = device->total_flips();
+    summary.iterations = device->total_iterations();
+    summary.reports = device->solutions().counter();
+    result.devices.push_back(summary);
+  }
+  result.best = pool_.best().bits;
+  result.best_energy = pool_.best().energy;
+  result.total_flips = flips_across_devices() - flips_at_start;
+  result.evaluated_solutions = result.total_flips * w_->size();
+  result.search_rate = result.seconds > 0.0
+                           ? static_cast<double>(result.evaluated_solutions) /
+                                 result.seconds
+                           : 0.0;
+  return result;
+}
+
+}  // namespace absq

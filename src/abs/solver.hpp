@@ -1,0 +1,149 @@
+// AbsSolver — the full Adaptive Bulk Search framework (Fig. 5).
+//
+// Host loop (Section 3.1):
+//   Step 1: initialize the solution pool with random bit vectors (energies
+//           unknown — the host never evaluates E) and stock every device's
+//           target buffer.
+//   Step 2: poll the devices' solution counters.
+//   Step 3: insert newly reported solutions into the sorted, duplicate-free
+//           pool.
+//   Step 4: breed and store as many new targets as solutions arrived, and
+//           go back to Step 2.
+//
+// Devices run concurrently and asynchronously (see Device); the only shared
+// state is the mailboxes. The solver stops on any of the configured
+// criteria and reports throughput in the paper's metric — evaluated
+// solutions per second, where every committed flip evaluates n neighbours.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "abs/device.hpp"
+#include "ga/operators.hpp"
+#include "ga/solution_pool.hpp"
+#include "qubo/bit_vector.hpp"
+#include "qubo/weight_matrix.hpp"
+
+namespace absq {
+
+/// When to stop a run. Criteria compose with OR; at least one of
+/// target_energy / time_limit_seconds / max_flips must be set.
+struct StopCriteria {
+  /// Stop once the pool's best energy is ≤ this (time-to-solution runs).
+  std::optional<Energy> target_energy;
+  /// Wall-clock budget in seconds (0 = unlimited).
+  double time_limit_seconds = 0.0;
+  /// Total committed flips across all devices (0 = unlimited).
+  std::uint64_t max_flips = 0;
+
+  [[nodiscard]] bool bounded() const {
+    return target_energy.has_value() || time_limit_seconds > 0.0 ||
+           max_flips > 0;
+  }
+};
+
+struct AbsConfig {
+  std::uint32_t num_devices = 1;
+  /// Per-device template; device_id is assigned by the solver.
+  DeviceConfig device;
+  /// m, the solution-pool capacity.
+  std::size_t pool_capacity = 128;
+  GaConfig ga;
+  std::uint64_t seed = 42;
+  /// Optional warm start (checkpoint resume): these entries are inserted
+  /// into the fresh pool at host Step 1 and preferred as initial targets.
+  /// Shared ownership keeps the config copyable across devices/runs.
+  std::shared_ptr<const SolutionPool> warm_start;
+  /// > 0 enables periodic RunSnapshot collection at roughly this cadence.
+  double snapshot_interval_seconds = 0.0;
+};
+
+/// Per-device accounting attached to every result.
+struct DeviceSummary {
+  std::uint32_t device_id = 0;
+  std::uint64_t flips = 0;
+  std::uint64_t iterations = 0;
+  std::uint64_t reports = 0;  ///< solutions pushed (mailbox counter)
+};
+
+/// One periodic observation of a running solve (see
+/// AbsConfig::snapshot_interval_seconds).
+struct RunSnapshot {
+  double seconds = 0.0;
+  Energy best_energy = 0;             ///< pool best (kUnevaluated if none)
+  std::size_t pool_evaluated = 0;
+  std::uint64_t total_flips = 0;
+  /// Evaluated solutions per second since the previous snapshot.
+  double window_rate = 0.0;
+};
+
+struct AbsResult {
+  BitVector best;
+  Energy best_energy = 0;
+  bool reached_target = false;
+  /// True when the run ended because request_stop() was called.
+  bool cancelled = false;
+
+  double seconds = 0.0;
+  std::uint64_t total_flips = 0;
+  std::uint64_t evaluated_solutions = 0;
+  /// Evaluated solutions per second — the paper's "search rate".
+  double search_rate = 0.0;
+
+  std::uint64_t reports_received = 0;
+  std::uint64_t reports_inserted = 0;
+  std::uint64_t targets_generated = 0;
+  std::uint64_t solutions_dropped = 0;
+
+  /// (wall-clock seconds, energy) at each improvement of the incumbent —
+  /// the raw series behind time-to-solution plots.
+  std::vector<std::pair<double, Energy>> best_trace;
+  /// Per-device breakdown (the Fig. 8 fairness data).
+  std::vector<DeviceSummary> devices;
+  /// Periodic observations, when enabled.
+  std::vector<RunSnapshot> snapshots;
+};
+
+class AbsSolver {
+ public:
+  AbsSolver(const WeightMatrix& w, AbsConfig config);
+  ~AbsSolver();
+
+  AbsSolver(const AbsSolver&) = delete;
+  AbsSolver& operator=(const AbsSolver&) = delete;
+
+  /// Runs until a stop criterion fires. Reusable: each call restarts from a
+  /// fresh pool but keeps the devices' accumulated search state (matching
+  /// the paper's long-lived blocks).
+  AbsResult run(const StopCriteria& stop);
+
+  /// Thread-safe external cancellation: the current (or next) run() ends
+  /// at its next host-loop poll with result.cancelled = true. The flag is
+  /// consumed by that run.
+  void request_stop() { stop_requested_.store(true); }
+
+  [[nodiscard]] const SolutionPool& pool() const { return pool_; }
+  [[nodiscard]] std::uint32_t num_devices() const {
+    return static_cast<std::uint32_t>(devices_.size());
+  }
+  [[nodiscard]] const Device& device(std::size_t i) const {
+    return *devices_[i];
+  }
+
+ private:
+  std::uint64_t flips_across_devices() const;
+
+  const WeightMatrix* w_;
+  AbsConfig config_;
+  SolutionPool pool_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  Rng rng_;
+  std::atomic<bool> stop_requested_{false};
+};
+
+}  // namespace absq

@@ -1,0 +1,115 @@
+#include "abs/sync_runner.hpp"
+
+#include "util/check.hpp"
+#include "util/stopwatch.hpp"
+
+namespace absq {
+
+SyncAbsRunner::SyncAbsRunner(const WeightMatrix& w, AbsConfig config)
+    : w_(&w),
+      config_(std::move(config)),
+      pool_(config_.pool_capacity),
+      rng_(config_.seed) {
+  ABSQ_CHECK(config_.num_devices >= 1, "need at least one device");
+  devices_.reserve(config_.num_devices);
+  for (std::uint32_t d = 0; d < config_.num_devices; ++d) {
+    DeviceConfig device_config = config_.device;
+    device_config.device_id = d;
+    device_config.seed = mix64(config_.seed ^ (d + 1));
+    devices_.push_back(std::make_unique<Device>(w, device_config));
+  }
+}
+
+void SyncAbsRunner::ensure_started() {
+  if (started_) return;
+  started_ = true;
+  pool_.initialize_random(w_->size(), rng_);
+  if (config_.warm_start != nullptr) {
+    for (std::size_t i = 0; i < config_.warm_start->size(); ++i) {
+      const auto& entry = config_.warm_start->entry(i);
+      ABSQ_CHECK(entry.bits.size() == w_->size(),
+                 "warm-start pool is for a different instance size");
+      (void)pool_.insert(entry.bits, entry.energy);
+    }
+  }
+  for (auto& device : devices_) {
+    for (std::uint32_t b = 0; b < device->block_count(); ++b) {
+      const std::size_t index =
+          config_.warm_start != nullptr && b < pool_.size()
+              ? b
+              : rng_.below(pool_.size());
+      device->targets().push(pool_.entry(index).bits);
+      ++targets_generated_;
+    }
+  }
+}
+
+void SyncAbsRunner::one_round(AbsResult& result) {
+  for (auto& device : devices_) {
+    device->step_all_blocks_once();
+    auto arrivals = device->solutions().drain();
+    for (auto& report : arrivals) {
+      ++reports_received_;
+      if (pool_.insert(report.bits, report.energy)) {
+        ++reports_inserted_;
+        if (result.best_trace.empty() ||
+            report.energy < result.best_trace.back().second) {
+          // Deterministic "time" axis: the round index.
+          result.best_trace.emplace_back(static_cast<double>(rounds_),
+                                         report.energy);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+      device->targets().push(generate_target(pool_, config_.ga, rng_));
+      ++targets_generated_;
+    }
+  }
+  ++rounds_;
+}
+
+AbsResult SyncAbsRunner::finalize(AbsResult result) const {
+  ABSQ_CHECK(pool_.evaluated_count() > 0, "no device ever reported");
+  result.best = pool_.best().bits;
+  result.best_energy = pool_.best().energy;
+  result.reports_received = reports_received_;
+  result.reports_inserted = reports_inserted_;
+  result.targets_generated = targets_generated_;
+  std::uint64_t flips = 0;
+  for (const auto& device : devices_) flips += device->total_flips();
+  result.total_flips = flips;
+  result.evaluated_solutions = flips * w_->size();
+  return result;
+}
+
+AbsResult SyncAbsRunner::run_rounds(std::uint64_t rounds) {
+  ensure_started();
+  AbsResult result;
+  Stopwatch watch;
+  for (std::uint64_t r = 0; r < rounds; ++r) one_round(result);
+  result.seconds = watch.seconds();
+  result.search_rate =
+      result.seconds > 0.0
+          ? static_cast<double>(result.evaluated_solutions) / result.seconds
+          : 0.0;
+  return finalize(std::move(result));
+}
+
+AbsResult SyncAbsRunner::run_to_target(Energy target,
+                                       std::uint64_t max_rounds) {
+  ABSQ_CHECK(max_rounds >= 1, "max_rounds must be positive");
+  ensure_started();
+  AbsResult result;
+  Stopwatch watch;
+  for (std::uint64_t r = 0; r < max_rounds; ++r) {
+    one_round(result);
+    if (pool_.best_energy() <= target) {
+      result.reached_target = true;
+      break;
+    }
+  }
+  result.seconds = watch.seconds();
+  return finalize(std::move(result));
+}
+
+}  // namespace absq

@@ -1,0 +1,66 @@
+// SyncAbsRunner — a deterministic, single-threaded executor of the ABS
+// protocol.
+//
+// The production AbsSolver runs devices on their own threads, which is
+// faithful to the paper's asynchronous design but makes runs depend on OS
+// scheduling. For experiments that must be bit-reproducible (regression
+// baselines, paired A/B ablations, debugging) this runner executes the
+// same host logic and the same Device/SearchBlock code in strict rounds:
+//
+//   round := every device steps all its blocks once (synchronously),
+//            then the host drains, inserts, and breeds replacement targets.
+//
+// Identical (instance, config) always produces identical results — a
+// property the test suite pins down. The trade-off is fidelity: there is
+// no asynchrony, so host/device overlap effects are absent by design.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "abs/device.hpp"
+#include "abs/solver.hpp"
+#include "ga/operators.hpp"
+#include "ga/solution_pool.hpp"
+
+namespace absq {
+
+class SyncAbsRunner {
+ public:
+  /// Uses the same configuration type as AbsSolver (thread counts and
+  /// polling knobs are simply ignored).
+  SyncAbsRunner(const WeightMatrix& w, AbsConfig config);
+
+  /// Runs `rounds` synchronous rounds (starting from a fresh pool on the
+  /// first call; subsequent calls continue). Returns the result so far.
+  AbsResult run_rounds(std::uint64_t rounds);
+
+  /// Runs rounds until the pool's best energy is ≤ target or `max_rounds`
+  /// elapsed (0 = unlimited is rejected).
+  AbsResult run_to_target(Energy target, std::uint64_t max_rounds);
+
+  [[nodiscard]] const SolutionPool& pool() const { return pool_; }
+  [[nodiscard]] std::uint64_t rounds_completed() const { return rounds_; }
+  [[nodiscard]] const Device& device(std::size_t i) const {
+    return *devices_[i];
+  }
+
+ private:
+  void ensure_started();
+  void one_round(AbsResult& result);
+  AbsResult finalize(AbsResult result) const;
+
+  const WeightMatrix* w_;
+  AbsConfig config_;
+  SolutionPool pool_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  Rng rng_;
+  bool started_ = false;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t reports_received_ = 0;
+  std::uint64_t reports_inserted_ = 0;
+  std::uint64_t targets_generated_ = 0;
+};
+
+}  // namespace absq

@@ -1,0 +1,66 @@
+// Reference single-thread solvers used as baselines in the ablation benches
+// and as independent oracles in the tests.
+//
+// All run on top of the same DeltaState kernel as the ABS blocks, so
+// comparisons isolate the *search strategy* (GA + straight search + window
+// policy vs SA / greedy restarts / tabu / random sampling) rather than
+// implementation quality.
+#pragma once
+
+#include <cstdint>
+
+#include "qubo/bit_vector.hpp"
+#include "qubo/types.hpp"
+#include "qubo/weight_matrix.hpp"
+
+namespace absq {
+
+struct BaselineResult {
+  BitVector best;
+  Energy best_energy = 0;
+  std::uint64_t flips = 0;  ///< committed flips (n evaluations each)
+  double seconds = 0.0;
+};
+
+/// Classic simulated annealing (Algorithm 3 kernel + Eq. (7) acceptance,
+/// geometric cooling t_start → t_end over `steps` proposals).
+[[nodiscard]] BaselineResult simulated_annealing(const WeightMatrix& w,
+                                                 double t_start, double t_end,
+                                                 std::uint64_t steps,
+                                                 std::uint64_t seed);
+
+/// Steepest-descent to a 1-flip local minimum, restarted from fresh random
+/// vectors until the flip budget is spent.
+[[nodiscard]] BaselineResult greedy_descent(const WeightMatrix& w,
+                                            std::uint64_t flip_budget,
+                                            std::uint64_t seed);
+
+/// Uniform random sampling of `samples` vectors (the floor any search must
+/// beat).
+[[nodiscard]] BaselineResult random_sampling(const WeightMatrix& w,
+                                             std::uint64_t samples,
+                                             std::uint64_t seed);
+
+/// 1-flip tabu search: each step flips the bit minimizing the next energy
+/// among non-tabu bits (aspiration: a tabu flip is allowed when it would
+/// beat the incumbent), recently flipped bits stay tabu for `tenure` steps.
+[[nodiscard]] BaselineResult tabu_search(const WeightMatrix& w,
+                                         std::uint64_t steps,
+                                         std::uint32_t tenure,
+                                         std::uint64_t seed);
+
+/// Ballistic simulated bifurcation (bSB) — the algorithm family of the
+/// paper's GPU/FPGA comparators (Goto et al., refs. [13]/[29]). Continuous
+/// positions x ∈ [−1, 1]ⁿ and momenta y evolve under symplectic Euler with
+/// a bifurcation parameter ramped over `steps`; inelastic walls clamp
+/// |x| ≤ 1. The QUBO instance is internally viewed as the equivalent Ising
+/// model (J = −2W off-diagonal, h from row sums), and the best sign
+/// configuration seen (sampled every few steps) is reported as a QUBO
+/// solution with its exact energy. `dt` ≈ 0.25–1.0; one step costs O(n²)
+/// (a matrix-vector product), like every SB implementation.
+[[nodiscard]] BaselineResult simulated_bifurcation(const WeightMatrix& w,
+                                                   std::uint64_t steps,
+                                                   double dt,
+                                                   std::uint64_t seed);
+
+}  // namespace absq

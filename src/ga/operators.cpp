@@ -1,0 +1,86 @@
+#include "ga/operators.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace absq {
+
+BitVector mutate(const BitVector& parent, BitIndex flip_count, Rng& rng) {
+  const BitIndex n = parent.size();
+  ABSQ_CHECK(n >= 1, "cannot mutate an empty vector");
+  flip_count = std::clamp<BitIndex>(flip_count, 1, n);
+  BitVector child = parent;
+  // Floyd's algorithm for a uniform sample of `flip_count` distinct bits —
+  // O(flip_count) expected, no allocation beyond the small set.
+  std::vector<BitIndex> chosen;
+  chosen.reserve(flip_count);
+  for (BitIndex j = n - flip_count; j < n; ++j) {
+    auto candidate = static_cast<BitIndex>(rng.below(j + 1));
+    if (std::find(chosen.begin(), chosen.end(), candidate) != chosen.end()) {
+      candidate = j;
+    }
+    chosen.push_back(candidate);
+  }
+  for (const BitIndex bit : chosen) child.flip(bit);
+  return child;
+}
+
+BitVector uniform_crossover(const BitVector& a, const BitVector& b, Rng& rng) {
+  ABSQ_CHECK(a.size() == b.size(), "crossover parents must have equal size");
+  BitVector child(a.size());
+  // Word-parallel: a random mask picks each bit from a or b.
+  const auto words_a = a.words();
+  const auto words_b = b.words();
+  for (std::size_t w = 0; w < words_a.size(); ++w) {
+    const std::uint64_t mask = rng();
+    const std::uint64_t word = (words_a[w] & mask) | (words_b[w] & ~mask);
+    // BitVector exposes no word mutation, so set each one-bit of the mixed
+    // word individually (both parents have zero tails, so `word` does too).
+    for (std::uint64_t diff = word; diff != 0; diff &= diff - 1) {
+      const auto bit = static_cast<BitIndex>(
+          w * 64 + static_cast<std::size_t>(std::countr_zero(diff)));
+      if (bit < child.size()) child.set(bit, true);
+    }
+  }
+  return child;
+}
+
+std::size_t pick_parent_rank(std::size_t pool_size, double bias, Rng& rng) {
+  ABSQ_CHECK(pool_size >= 1, "empty pool");
+  const double u = rng.uniform01();
+  const double biased = std::pow(u, std::max(bias, 1e-9));
+  auto rank = static_cast<std::size_t>(biased * static_cast<double>(pool_size));
+  return std::min(rank, pool_size - 1);
+}
+
+BitVector generate_target(const SolutionPool& pool, const GaConfig& config,
+                          Rng& rng) {
+  ABSQ_CHECK(!pool.empty(), "cannot breed from an empty pool");
+  const BitIndex n = pool.entry(0).bits.size();
+
+  if (rng.chance(config.random_prob)) return BitVector::random(n, rng);
+
+  const auto& parent_a =
+      pool.entry(pick_parent_rank(pool.size(), config.selection_bias, rng))
+          .bits;
+  if (pool.size() >= 2 && rng.chance(config.crossover_prob)) {
+    // Draw a second, distinct parent.
+    std::size_t rank_b =
+        pick_parent_rank(pool.size(), config.selection_bias, rng);
+    const BitVector* parent_b = &pool.entry(rank_b).bits;
+    for (int attempt = 0; attempt < 4 && *parent_b == parent_a; ++attempt) {
+      rank_b = pick_parent_rank(pool.size(), config.selection_bias, rng);
+      parent_b = &pool.entry(rank_b).bits;
+    }
+    return uniform_crossover(parent_a, *parent_b, rng);
+  }
+  const auto flips = static_cast<BitIndex>(std::max(
+      1.0, std::round(config.mutation_rate * static_cast<double>(n))));
+  return mutate(parent_a, flips, rng);
+}
+
+}  // namespace absq

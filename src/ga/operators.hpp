@@ -1,0 +1,52 @@
+// Genetic operators and target generation — Section 2.2.1.
+//
+// The host breeds *target solutions* for the devices: it never evaluates
+// them (the devices do, via the straight search). The paper specifies the
+// operator set — mutation (flip some random bits of one parent), uniform
+// crossover (each bit from either parent), copy — but not the mixing
+// probabilities or parent selection; those are configuration here, with
+// defaults chosen by the ablation bench, and the defaults favour
+// rank-biased parent selection which matches the sorted-pool design.
+#pragma once
+
+#include <cstdint>
+
+#include "ga/solution_pool.hpp"
+#include "qubo/bit_vector.hpp"
+#include "util/rng.hpp"
+
+namespace absq {
+
+/// Returns a copy of `parent` with `flip_count` distinct random bits
+/// flipped (clamped to [1, n]).
+[[nodiscard]] BitVector mutate(const BitVector& parent, BitIndex flip_count,
+                               Rng& rng);
+
+/// Uniform crossover: each bit is drawn from parent `a` or `b` with equal
+/// probability. Sizes must match.
+[[nodiscard]] BitVector uniform_crossover(const BitVector& a,
+                                          const BitVector& b, Rng& rng);
+
+/// How targets are bred from the pool.
+struct GaConfig {
+  /// Probability a target is produced by crossover; otherwise mutation.
+  double crossover_prob = 0.5;
+  /// Bits flipped by a mutation, as a fraction of n (at least 1 bit).
+  double mutation_rate = 0.02;
+  /// Parent selection bias: parents are drawn at rank ⌊m·u^bias⌋ for
+  /// uniform u, so bias > 1 favours low-energy (better) ranks; 1 = uniform.
+  double selection_bias = 2.0;
+  /// Probability a target is a fresh uniform-random vector (exploration /
+  /// pool reseeding). Applied before the crossover-vs-mutation choice.
+  double random_prob = 0.02;
+};
+
+/// Breeds one target solution from the pool. The pool must be non-empty.
+[[nodiscard]] BitVector generate_target(const SolutionPool& pool,
+                                        const GaConfig& config, Rng& rng);
+
+/// Rank-biased parent pick (see GaConfig::selection_bias).
+[[nodiscard]] std::size_t pick_parent_rank(std::size_t pool_size, double bias,
+                                           Rng& rng);
+
+}  // namespace absq

@@ -1,0 +1,79 @@
+#include "ga/pool_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace absq {
+
+void write_pool(std::ostream& out, const SolutionPool& pool) {
+  const BitIndex bits = pool.empty() ? 0 : pool.entry(0).bits.size();
+  out << "pool " << bits << ' ' << pool.size() << '\n';
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const auto& entry = pool.entry(i);
+    if (entry.energy == kUnevaluated) {
+      out << "? ";
+    } else {
+      out << entry.energy << ' ';
+    }
+    out << entry.bits.to_string() << '\n';
+  }
+}
+
+void write_pool_file(const std::string& path, const SolutionPool& pool) {
+  std::ofstream out(path);
+  ABSQ_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  write_pool(out, pool);
+  ABSQ_CHECK(out.good(), "write to '" << path << "' failed");
+}
+
+SolutionPool read_pool(std::istream& in, std::size_t capacity) {
+  std::string tag;
+  long long bits = 0;
+  long long entries = 0;
+  ABSQ_CHECK(in >> tag >> bits >> entries && tag == "pool",
+             "expected 'pool <bits> <entries>' header");
+  ABSQ_CHECK(bits >= 0 && bits <= static_cast<long long>(kMaxBits),
+             "bit count out of range");
+  ABSQ_CHECK(entries >= 1, "empty pool snapshot");
+  if (capacity == 0) capacity = static_cast<std::size_t>(entries);
+
+  SolutionPool pool(capacity);
+  for (long long i = 0; i < entries; ++i) {
+    std::string energy_token;
+    std::string bit_string;
+    ABSQ_CHECK(in >> energy_token >> bit_string,
+               "pool snapshot truncated at entry " << i);
+    ABSQ_CHECK(bit_string.size() == static_cast<std::size_t>(bits),
+               "entry " << i << " has " << bit_string.size()
+                        << " bits, header says " << bits);
+    Energy energy = kUnevaluated;
+    if (energy_token != "?") {
+      try {
+        std::size_t consumed = 0;
+        energy = std::stoll(energy_token, &consumed);
+        ABSQ_CHECK(consumed == energy_token.size(),
+                   "entry " << i << ": bad energy '" << energy_token << "'");
+      } catch (const std::invalid_argument&) {
+        ABSQ_CHECK(false,
+                   "entry " << i << ": bad energy '" << energy_token << "'");
+      } catch (const std::out_of_range&) {
+        ABSQ_CHECK(false, "entry " << i << ": energy out of range");
+      }
+    }
+    // Inserting through the normal path re-establishes distinctness and
+    // order; beyond-capacity worse entries are naturally rejected.
+    (void)pool.insert(BitVector::from_string(bit_string), energy);
+  }
+  ABSQ_CHECK(!pool.empty(), "snapshot contained no usable entries");
+  return pool;
+}
+
+SolutionPool read_pool_file(const std::string& path, std::size_t capacity) {
+  std::ifstream in(path);
+  ABSQ_CHECK(in.good(), "cannot open '" << path << "' for reading");
+  return read_pool(in, capacity);
+}
+
+}  // namespace absq

@@ -1,0 +1,31 @@
+// Solution-pool persistence: checkpoint a run's population and resume it
+// later (or seed a new run with a previously found population).
+//
+// Format:
+//
+//     pool <n_bits> <entries>
+//     <energy-or-'?'> <bit string>        one line per entry, best first
+//
+// '?' marks not-yet-evaluated entries (kUnevaluated). Reading validates
+// sizes, bit strings and distinctness through the pool's own insert path.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ga/solution_pool.hpp"
+
+namespace absq {
+
+void write_pool(std::ostream& out, const SolutionPool& pool);
+void write_pool_file(const std::string& path, const SolutionPool& pool);
+
+/// Reads a pool snapshot into a pool of capacity `capacity` (0 = use the
+/// snapshot's entry count). Entries beyond capacity are dropped worst-first
+/// (the file is best-first).
+[[nodiscard]] SolutionPool read_pool(std::istream& in,
+                                     std::size_t capacity = 0);
+[[nodiscard]] SolutionPool read_pool_file(const std::string& path,
+                                          std::size_t capacity = 0);
+
+}  // namespace absq

@@ -1,0 +1,64 @@
+#include "ga/solution_pool.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace absq {
+
+SolutionPool::SolutionPool(std::size_t capacity) : capacity_(capacity) {
+  ABSQ_CHECK(capacity >= 1, "pool capacity must be at least 1");
+  entries_.reserve(capacity);
+}
+
+void SolutionPool::initialize_random(BitIndex n, Rng& rng) {
+  entries_.clear();
+  present_.clear();
+  while (entries_.size() < capacity_) {
+    BitVector bits = BitVector::random(n, rng);
+    if (!present_.insert(bits).second) continue;  // keep distinct
+    entries_.push_back(Entry{std::move(bits), kUnevaluated});
+  }
+  std::sort(entries_.begin(), entries_.end());
+}
+
+bool SolutionPool::insert(const BitVector& bits, Energy energy) {
+  if (present_.contains(bits)) return false;
+  const Entry candidate{bits, energy};
+  if (entries_.size() >= capacity_) {
+    // Full: the newcomer must strictly beat the worst member.
+    if (!(candidate < entries_.back())) return false;
+    present_.erase(entries_.back().bits);
+    entries_.pop_back();
+  }
+  // O(log m) position search, as in the paper.
+  const auto pos =
+      std::lower_bound(entries_.begin(), entries_.end(), candidate);
+  entries_.insert(pos, candidate);
+  present_.insert(bits);
+  return true;
+}
+
+bool SolutionPool::contains(const BitVector& bits) const {
+  return present_.contains(bits);
+}
+
+std::size_t SolutionPool::evaluated_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(entries_.begin(), entries_.end(),
+                    [](const Entry& e) { return e.energy != kUnevaluated; }));
+}
+
+bool SolutionPool::check_invariants() const {
+  if (entries_.size() > capacity_) return false;
+  if (present_.size() != entries_.size()) return false;
+  for (std::size_t i = 0; i + 1 < entries_.size(); ++i) {
+    if (!(entries_[i] < entries_[i + 1])) return false;  // strict order
+  }
+  for (const auto& entry : entries_) {
+    if (!present_.contains(entry.bits)) return false;
+  }
+  return true;
+}
+
+}  // namespace absq

@@ -1,0 +1,89 @@
+// SolutionPool — the host-side population of Section 3.1.
+//
+// A bounded set of solutions kept (a) sorted ascending by energy and
+// (b) pairwise distinct. Both properties are the paper's premature-
+// convergence defence: duplicates are rejected on insert (binary search over
+// the sorted range, O(log m) comparisons), and a full pool replaces its
+// worst member only when the newcomer is strictly better. Solutions arriving
+// from the initial randomization carry no energy yet — the host *never*
+// computes E(X) (an ABS invariant) — and are ranked after every evaluated
+// solution until a device reports them back.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <unordered_set>
+#include <vector>
+
+#include "qubo/bit_vector.hpp"
+#include "qubo/types.hpp"
+#include "util/rng.hpp"
+
+namespace absq {
+
+/// Sentinel energy for not-yet-evaluated solutions ("+∞" in the paper).
+inline constexpr Energy kUnevaluated = std::numeric_limits<Energy>::max();
+
+class SolutionPool {
+ public:
+  struct Entry {
+    BitVector bits;
+    Energy energy = kUnevaluated;
+
+    /// Sort key: ascending energy, ties broken by bit pattern so that
+    /// equality of keys is equality of solutions.
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.energy != b.energy) return a.energy < b.energy;
+      return a.bits < b.bits;
+    }
+  };
+
+  /// A pool holding at most `capacity` solutions (m in the paper).
+  explicit SolutionPool(std::size_t capacity);
+
+  /// Fills the pool with `capacity` distinct uniform-random n-bit vectors,
+  /// all unevaluated — host Step 1.
+  void initialize_random(BitIndex n, Rng& rng);
+
+  /// Inserts a solution with its device-reported energy — host Step 3.
+  /// Returns false (and changes nothing) when an identical bit pattern is
+  /// already present (regardless of its recorded energy), or when the pool
+  /// is full and `energy` is not strictly better than the current worst.
+  bool insert(const BitVector& bits, Energy energy);
+
+  /// True iff an identical bit pattern is present.
+  [[nodiscard]] bool contains(const BitVector& bits) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// i-th best entry (0 = lowest energy).
+  [[nodiscard]] const Entry& entry(std::size_t i) const { return entries_[i]; }
+
+  /// The incumbent best entry; pool must be non-empty.
+  [[nodiscard]] const Entry& best() const { return entries_.front(); }
+
+  /// Energy of the best *evaluated* entry, or kUnevaluated when none is.
+  [[nodiscard]] Energy best_energy() const {
+    return entries_.empty() ? kUnevaluated : entries_.front().energy;
+  }
+
+  /// Number of entries whose energy a device has reported.
+  [[nodiscard]] std::size_t evaluated_count() const;
+
+  /// Invariant check (sortedness + distinctness); used by tests and debug
+  /// assertions, O(m·n/64).
+  [[nodiscard]] bool check_invariants() const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<Entry> entries_;  // sorted ascending
+  // Bit patterns currently in the pool. The paper detects duplicates with
+  // the (energy, bits) binary search alone, which is sound only when equal
+  // solutions always arrive with equal energies; the hash set additionally
+  // covers the unevaluated-random corner, making distinctness unconditional.
+  std::unordered_set<BitVector, BitVectorHash> present_;
+};
+
+}  // namespace absq

@@ -1,0 +1,73 @@
+#include "problems/coloring.hpp"
+
+#include "util/check.hpp"
+
+namespace absq {
+
+ColoringQubo coloring_to_qubo(const WeightedGraph& graph, BitIndex colors) {
+  const BitIndex n = graph.vertex_count();
+  ABSQ_CHECK(n >= 1 && colors >= 1, "need vertices and at least one color");
+  ABSQ_CHECK(static_cast<std::uint64_t>(n) * colors <= kMaxBits,
+             "n·k = " << static_cast<std::uint64_t>(n) * colors
+                      << " exceeds the " << kMaxBits << "-bit limit");
+  constexpr Energy a = 2;
+
+  ColoringQubo qubo;
+  qubo.vertices = n;
+  qubo.colors = colors;
+  qubo.penalty = a;
+
+  WeightMatrixBuilder builder(n * colors);
+  // One-color-per-vertex: A(1 − Σ_c x)² → −A per variable, +2A per
+  // same-vertex color pair (constant dropped).
+  for (BitIndex v = 0; v < n; ++v) {
+    for (BitIndex c = 0; c < colors; ++c) {
+      builder.add_linear(qubo.var(v, c), -a);
+      for (BitIndex c2 = c + 1; c2 < colors; ++c2) {
+        builder.add(qubo.var(v, c), qubo.var(v, c2), 2 * a);
+      }
+    }
+  }
+  // Proper-coloring terms; parallel edges accumulate harmlessly.
+  for (const auto& e : graph.edges()) {
+    for (BitIndex c = 0; c < colors; ++c) {
+      builder.add(qubo.var(e.u, c), qubo.var(e.v, c), a);
+    }
+  }
+  qubo.w = builder.build();
+  qubo.energy_scale = builder.energy_scale();
+  return qubo;
+}
+
+std::optional<std::vector<BitIndex>> decode_coloring(const ColoringQubo& qubo,
+                                                     const WeightedGraph& graph,
+                                                     const BitVector& x) {
+  ABSQ_CHECK(x.size() == qubo.vertices * qubo.colors, "assignment size");
+  ABSQ_CHECK(graph.vertex_count() == qubo.vertices, "graph mismatch");
+  std::vector<BitIndex> coloring(qubo.vertices, qubo.colors);
+  for (BitIndex v = 0; v < qubo.vertices; ++v) {
+    for (BitIndex c = 0; c < qubo.colors; ++c) {
+      if (x.get(qubo.var(v, c)) == 0) continue;
+      if (coloring[v] != qubo.colors) return std::nullopt;  // two colors
+      coloring[v] = c;
+    }
+    if (coloring[v] == qubo.colors) return std::nullopt;  // uncolored
+  }
+  for (const auto& e : graph.edges()) {
+    if (coloring[e.u] == coloring[e.v]) return std::nullopt;  // improper
+  }
+  return coloring;
+}
+
+BitVector encode_coloring(const ColoringQubo& qubo,
+                          const std::vector<BitIndex>& colors) {
+  ABSQ_CHECK(colors.size() == qubo.vertices, "one color per vertex required");
+  BitVector x(qubo.vertices * qubo.colors);
+  for (BitIndex v = 0; v < qubo.vertices; ++v) {
+    ABSQ_CHECK(colors[v] < qubo.colors, "color out of range at vertex " << v);
+    x.set(qubo.var(v, colors[v]), true);
+  }
+  return x;
+}
+
+}  // namespace absq

@@ -1,0 +1,53 @@
+// Graph k-coloring as QUBO (Lucas formulation).
+//
+// Variables x_{v,c} = 1 iff vertex v gets color c (n·k bits). Energy:
+//
+//   A·Σ_v (1 − Σ_c x_{v,c})²            every vertex exactly one color
+// + A·Σ_{(u,v)∈E} Σ_c x_{u,c}·x_{v,c}   adjacent vertices differ
+//
+// After dropping the constant A·|V|, a valid k-coloring has energy
+// −A·|V| and every constraint violation costs at least +A, so the graph
+// is k-colorable iff the QUBO optimum equals valid_energy().
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "problems/graph.hpp"
+#include "qubo/bit_vector.hpp"
+#include "qubo/weight_matrix.hpp"
+
+namespace absq {
+
+struct ColoringQubo {
+  WeightMatrix w;
+  BitIndex vertices = 0;
+  BitIndex colors = 0;   ///< k
+  Energy penalty = 0;    ///< A
+  int energy_scale = 1;
+
+  /// Bit index of x_{v,c}.
+  [[nodiscard]] BitIndex var(BitIndex v, BitIndex c) const {
+    return v * colors + c;
+  }
+
+  /// Energy of any valid (proper, complete) k-coloring: −A·|V| (× scale).
+  [[nodiscard]] Energy valid_energy() const {
+    return -energy_scale * penalty * static_cast<Energy>(vertices);
+  }
+};
+
+/// Builds the n·k-bit coloring QUBO with A = 2.
+[[nodiscard]] ColoringQubo coloring_to_qubo(const WeightedGraph& graph,
+                                            BitIndex colors);
+
+/// Decodes an assignment into a color per vertex; nullopt unless every
+/// vertex has exactly one color AND no edge is monochromatic.
+[[nodiscard]] std::optional<std::vector<BitIndex>> decode_coloring(
+    const ColoringQubo& qubo, const WeightedGraph& graph, const BitVector& x);
+
+/// Encodes a color-per-vertex vector as QUBO bits (colors must be < k).
+[[nodiscard]] BitVector encode_coloring(const ColoringQubo& qubo,
+                                        const std::vector<BitIndex>& colors);
+
+}  // namespace absq

@@ -1,0 +1,85 @@
+// Undirected weighted graphs: the substrate of the Max-Cut benchmark.
+//
+// Includes deterministic generators for the three G-set instance families
+// the paper evaluates (Section 4.1.1) and a parser/writer for the G-set
+// text format, so real G-set files can be dropped in when available. The
+// generators are the DESIGN.md substitution for the non-redistributable
+// G-set downloads: same vertex counts, edge counts, weight types and
+// structure family, pinned by an explicit seed.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "qubo/types.hpp"
+#include "util/rng.hpp"
+
+namespace absq {
+
+struct Edge {
+  BitIndex u = 0;
+  BitIndex v = 0;
+  int weight = 1;
+};
+
+class WeightedGraph {
+ public:
+  WeightedGraph() = default;
+  explicit WeightedGraph(BitIndex vertex_count) : n_(vertex_count) {}
+
+  [[nodiscard]] BitIndex vertex_count() const { return n_; }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Adds an undirected edge; u ≠ v, both < vertex_count. Parallel edges
+  /// are rejected only by the generators (the format permits them).
+  void add_edge(BitIndex u, BitIndex v, int weight);
+
+  /// Sum of |w| over edges — used to bound QUBO coefficients.
+  [[nodiscard]] std::int64_t total_abs_weight() const;
+
+  /// Weighted degree of each vertex (Σ of incident edge weights).
+  [[nodiscard]] std::vector<std::int64_t> weighted_degrees() const;
+
+ private:
+  BitIndex n_ = 0;
+  std::vector<Edge> edges_;
+};
+
+/// Weight distributions used by G-set.
+enum class EdgeWeights {
+  kUnit,    ///< all +1
+  kPlusMinusOne,  ///< ±1 uniformly
+};
+
+/// G(n, m) random graph: m distinct edges drawn uniformly, no self loops.
+/// Matches the "random" G-set family (e.g. G1, G22).
+[[nodiscard]] WeightedGraph random_gnm_graph(BitIndex n, std::size_t m,
+                                             EdgeWeights weights, Rng& rng);
+
+/// Toroidal 2D grid: rows×cols vertices, 4-neighbour edges (wrap-around) —
+/// the stand-in for the "planar" G-set family (e.g. G35, G39).
+/// Every toroidal grid minus one row/column of edges is planar, and the
+/// family shares the bounded-degree locality that makes the planar G-set
+/// instances behave differently from the random family.
+[[nodiscard]] WeightedGraph toroidal_grid_graph(BitIndex rows, BitIndex cols,
+                                                EdgeWeights weights, Rng& rng);
+
+/// Toroidal grid with a growing neighbourhood: offset rings are added in a
+/// fixed order (E, S, SE, SW, EE, SS, ...) until at least `target_edges`
+/// edges exist, then uniformly random edges are removed to hit the target
+/// exactly. Keeps the bounded-degree locality of the planar G-set family at
+/// arbitrary densities (a plain grid is stuck at 2 edges per vertex).
+[[nodiscard]] WeightedGraph toroidal_neighborhood_graph(
+    BitIndex rows, BitIndex cols, std::size_t target_edges,
+    EdgeWeights weights, Rng& rng);
+
+/// G-set text format: header "n m", then one "u v w" line per edge,
+/// vertices 1-indexed.
+void write_gset(std::ostream& out, const WeightedGraph& graph);
+[[nodiscard]] WeightedGraph read_gset(std::istream& in);
+[[nodiscard]] WeightedGraph read_gset_file(const std::string& path);
+
+}  // namespace absq

@@ -1,0 +1,126 @@
+#include "problems/knapsack.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace absq {
+namespace {
+
+/// Binary digits 1, 2, 4, …, 2^{k−1} plus a clipped top coefficient so
+/// that subset sums cover exactly 0 … bound.
+std::vector<std::int64_t> bounded_binary_coefficients(std::int64_t bound) {
+  std::vector<std::int64_t> coefficients;
+  if (bound <= 0) return coefficients;
+  std::int64_t power = 1;
+  while (power * 2 <= bound + 1) {
+    coefficients.push_back(power);
+    power *= 2;
+  }
+  if (const std::int64_t rest = bound - (power - 1); rest > 0) {
+    coefficients.push_back(rest);
+  }
+  return coefficients;
+}
+
+}  // namespace
+
+KnapsackQubo knapsack_to_qubo(const std::vector<KnapsackItem>& items,
+                              std::int64_t capacity) {
+  ABSQ_CHECK(!items.empty(), "need at least one item");
+  ABSQ_CHECK(capacity >= 1, "capacity must be positive");
+  std::int64_t max_value = 0;
+  for (const auto& item : items) {
+    ABSQ_CHECK(item.weight >= 1 && item.value >= 1,
+               "weights and values must be positive");
+    max_value = std::max(max_value, item.value);
+  }
+
+  KnapsackQubo qubo;
+  qubo.items = items;
+  qubo.capacity = capacity;
+  qubo.value_scale = 1;                  // B
+  qubo.penalty = max_value + 1;          // A > B·max v
+  qubo.slack_coefficients = bounded_binary_coefficients(capacity);
+  qubo.constant = qubo.penalty * capacity * capacity;
+
+  const auto n = static_cast<BitIndex>(items.size());
+  const auto total_bits =
+      static_cast<BitIndex>(n + qubo.slack_coefficients.size());
+  ABSQ_CHECK(total_bits <= kMaxBits, "too many bits");
+
+  // Unified coefficient view: bit b carries weight-like coefficient g_b in
+  // the constraint (item weights then slack digits).
+  std::vector<std::int64_t> g(total_bits);
+  for (BitIndex i = 0; i < n; ++i) g[i] = items[i].weight;
+  for (std::size_t j = 0; j < qubo.slack_coefficients.size(); ++j) {
+    g[qubo.slack_bit(j)] = qubo.slack_coefficients[j];
+  }
+
+  // A(W − Σ g_b x_b)² − B·Σ v_i x_i, constant A·W² dropped:
+  //   Σ_b A·g_b(g_b − 2W)·x_b + Σ_{b<b'} 2A·g_b·g_b'·x_b·x_b' − B·Σ v_i x_i
+  WeightMatrixBuilder builder(total_bits);
+  const Energy a = qubo.penalty;
+  for (BitIndex b = 0; b < total_bits; ++b) {
+    builder.add_linear(b, a * g[b] * (g[b] - 2 * capacity));
+    for (BitIndex b2 = b + 1; b2 < total_bits; ++b2) {
+      builder.add(b, b2, 2 * a * g[b] * g[b2]);
+    }
+  }
+  for (BitIndex i = 0; i < n; ++i) {
+    builder.add_linear(i, -qubo.value_scale * items[i].value);
+  }
+  qubo.w = builder.build();
+  qubo.energy_scale = builder.energy_scale();
+  return qubo;
+}
+
+KnapsackSelection decode_knapsack(const KnapsackQubo& qubo,
+                                  const BitVector& x) {
+  ABSQ_CHECK(x.size() == qubo.w.size(), "assignment size mismatch");
+  KnapsackSelection selection;
+  for (BitIndex i = 0; i < qubo.item_count(); ++i) {
+    if (x.get(i) != 0) {
+      selection.weight += qubo.items[i].weight;
+      selection.value += qubo.items[i].value;
+    }
+  }
+  selection.feasible = selection.weight <= qubo.capacity;
+  return selection;
+}
+
+std::int64_t knapsack_optimum(const std::vector<KnapsackItem>& items,
+                              std::int64_t capacity) {
+  ABSQ_CHECK(capacity >= 0, "negative capacity");
+  // Classic O(n·W) table over remaining capacity.
+  std::vector<std::int64_t> best(static_cast<std::size_t>(capacity) + 1, 0);
+  for (const auto& item : items) {
+    for (std::int64_t c = capacity; c >= item.weight; --c) {
+      best[static_cast<std::size_t>(c)] =
+          std::max(best[static_cast<std::size_t>(c)],
+                   best[static_cast<std::size_t>(c - item.weight)] +
+                       item.value);
+    }
+  }
+  return best[static_cast<std::size_t>(capacity)];
+}
+
+std::vector<KnapsackItem> random_knapsack_items(std::size_t count,
+                                                std::int64_t max_weight,
+                                                std::int64_t max_value,
+                                                std::uint64_t seed) {
+  ABSQ_CHECK(count >= 1 && max_weight >= 1 && max_value >= 1,
+             "bad generator parameters");
+  Rng rng(mix64(seed));
+  std::vector<KnapsackItem> items(count);
+  for (auto& item : items) {
+    item.weight =
+        1 + static_cast<std::int64_t>(
+                rng.below(static_cast<std::uint64_t>(max_weight)));
+    item.value = 1 + static_cast<std::int64_t>(
+                         rng.below(static_cast<std::uint64_t>(max_value)));
+  }
+  return items;
+}
+
+}  // namespace absq

@@ -1,0 +1,80 @@
+// 0/1 knapsack as QUBO (Lucas formulation with binary slack variables).
+//
+// Maximize Σ v_i x_i subject to Σ w_i x_i ≤ W. The inequality becomes an
+// equality through a slack value s encoded in ⌈log₂(W+1)⌉ binary digits
+// (the top digit's coefficient clipped so s can represent exactly
+// 0 … W):
+//
+//   H = A·(W − Σ w_i x_i − Σ c_j y_j)²  −  B·Σ v_i x_i,   A·1 > B·max v
+//
+// A feasible selection with optimally-set slack bits has energy
+// −B·(total value); an infeasible one pays at least A per unit of
+// constraint violation squared. A > B·max_v guarantees the global optimum
+// is feasible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qubo/bit_vector.hpp"
+#include "qubo/weight_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace absq {
+
+struct KnapsackItem {
+  std::int64_t weight = 0;
+  std::int64_t value = 0;
+};
+
+struct KnapsackQubo {
+  WeightMatrix w;
+  std::vector<KnapsackItem> items;
+  std::int64_t capacity = 0;
+  Energy penalty = 0;         ///< A
+  Energy value_scale = 0;     ///< B
+  std::vector<std::int64_t> slack_coefficients;  ///< c_j
+  Energy constant = 0;        ///< dropped A·W² term
+  int energy_scale = 1;
+
+  [[nodiscard]] BitIndex item_count() const {
+    return static_cast<BitIndex>(items.size());
+  }
+  /// QUBO bit of slack digit j.
+  [[nodiscard]] BitIndex slack_bit(std::size_t j) const {
+    return static_cast<BitIndex>(items.size() + j);
+  }
+
+  /// QUBO energy of a *feasible* selection with total value V and
+  /// optimally-set slack bits: scale·(−B·V − constant_correction); use
+  /// this as a target for "find value ≥ V".
+  [[nodiscard]] Energy energy_for_value(std::int64_t total_value) const {
+    return energy_scale * (-value_scale * total_value - constant);
+  }
+};
+
+/// Builds the QUBO. Item weights/values must be positive and small enough
+/// for A·w_i·w_j to fit the 16-bit weight range (throws otherwise).
+[[nodiscard]] KnapsackQubo knapsack_to_qubo(
+    const std::vector<KnapsackItem>& items, std::int64_t capacity);
+
+/// Total weight / value of the selection encoded in the item bits of `x`
+/// (slack bits ignored).
+struct KnapsackSelection {
+  std::int64_t weight = 0;
+  std::int64_t value = 0;
+  bool feasible = false;
+};
+[[nodiscard]] KnapsackSelection decode_knapsack(const KnapsackQubo& qubo,
+                                                const BitVector& x);
+
+/// Exact optimum by dynamic programming over capacity — the test oracle.
+[[nodiscard]] std::int64_t knapsack_optimum(
+    const std::vector<KnapsackItem>& items, std::int64_t capacity);
+
+/// Random instance: weights in [1, max_weight], values in [1, max_value].
+[[nodiscard]] std::vector<KnapsackItem> random_knapsack_items(
+    std::size_t count, std::int64_t max_weight, std::int64_t max_value,
+    std::uint64_t seed);
+
+}  // namespace absq

@@ -1,0 +1,64 @@
+#include "problems/maxcut.hpp"
+
+#include "util/check.hpp"
+
+namespace absq {
+
+WeightMatrix maxcut_to_qubo(const WeightedGraph& graph) {
+  const BitIndex n = graph.vertex_count();
+  WeightMatrixBuilder builder(n);
+  // Eq. (17): off-diagonal W_uv = G_uv, i.e. the symmetric pair contributes
+  // 2·G_uv to the x_u·x_v energy term; diagonal W_ii = −Σ_k G_ik.
+  for (const auto& e : graph.edges()) {
+    builder.add(e.u, e.v, 2 * static_cast<Energy>(e.weight));
+  }
+  const auto degrees = graph.weighted_degrees();
+  for (BitIndex i = 0; i < n; ++i) builder.add_linear(i, -degrees[i]);
+  return builder.build();
+}
+
+std::int64_t cut_weight(const WeightedGraph& graph, const BitVector& x) {
+  ABSQ_CHECK(x.size() == graph.vertex_count(), "vector/graph size mismatch");
+  std::int64_t cut = 0;
+  for (const auto& e : graph.edges()) {
+    if (x.get(e.u) != x.get(e.v)) cut += e.weight;
+  }
+  return cut;
+}
+
+const std::vector<GsetSpec>& gset_catalog() {
+  // Sizes, edge counts, families and targets from Table 1(a); edge counts
+  // are the published G-set values.
+  static const std::vector<GsetSpec> catalog = {
+      {"G1", 800, 19176, false, EdgeWeights::kUnit, 11624, 1.00, 0.0723},
+      {"G6", 800, 19176, false, EdgeWeights::kPlusMinusOne, 2178, 1.00, 0.106},
+      {"G22", 2000, 19990, false, EdgeWeights::kUnit, 13225, 0.99, 0.110},
+      {"G27", 2000, 19990, false, EdgeWeights::kPlusMinusOne, 3308, 0.99,
+       0.721},
+      {"G35", 2000, 11778, true, EdgeWeights::kUnit, 7611, 0.99, 0.208},
+      {"G39", 2000, 11778, true, EdgeWeights::kPlusMinusOne, 2384, 0.99, 1.89},
+      {"G55", 5000, 12498, false, EdgeWeights::kUnit, 9785, 0.95, 0.150},
+      {"G70", 10000, 9999, false, EdgeWeights::kUnit, 9112, 0.95, 0.360},
+  };
+  return catalog;
+}
+
+WeightedGraph generate_gset_instance(const GsetSpec& spec, std::uint64_t seed) {
+  Rng rng(mix64(seed ^ mix64(spec.vertices) ^ spec.edges));
+  if (!spec.planar_family) {
+    return random_gnm_graph(spec.vertices, spec.edges, spec.weights, rng);
+  }
+  // Factor the vertex count into the most square rows×cols grid.
+  BitIndex rows = 1;
+  for (BitIndex r = 1; static_cast<std::uint64_t>(r) * r <= spec.vertices;
+       ++r) {
+    if (spec.vertices % r == 0) rows = r;
+  }
+  const BitIndex cols = spec.vertices / rows;
+  ABSQ_CHECK(rows >= 5, "vertex count " << spec.vertices
+                                        << " factors too unevenly for a grid");
+  return toroidal_neighborhood_graph(rows, cols, spec.edges, spec.weights,
+                                     rng);
+}
+
+}  // namespace absq

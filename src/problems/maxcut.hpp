@@ -1,0 +1,54 @@
+// Max-Cut ↔ QUBO — Section 4.1.1.
+//
+// The paper's Eq. (17) conversion: for a graph with symmetric edge weights
+// G_ij, set W_ij = G_ij for i ≠ j and W_ii = −Σ_k G_ik. Then E(X) equals
+// the *negated* cut weight of the bipartition encoded by X (proved in the
+// paper by splitting the diagonal sum into internal and cut edges; verified
+// here by an independent direct cut computation in the tests), so
+// maximizing the cut is minimizing E.
+//
+// The G-set catalog below mirrors Table 1(a): for each paper instance we
+// record the published size/type/edge-weight parameters and generate the
+// same family deterministically (DESIGN.md substitution).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "problems/graph.hpp"
+#include "qubo/bit_vector.hpp"
+#include "qubo/weight_matrix.hpp"
+
+namespace absq {
+
+/// Eq. (17): Max-Cut instance as a QUBO weight matrix.
+/// Throws when a coefficient exceeds the 16-bit weight range (only possible
+/// for weighted degrees beyond ±32767).
+[[nodiscard]] WeightMatrix maxcut_to_qubo(const WeightedGraph& graph);
+
+/// Direct cut weight of the bipartition {x_i = 0} / {x_i = 1} — computed
+/// from the edge list, independent of the QUBO conversion.
+[[nodiscard]] std::int64_t cut_weight(const WeightedGraph& graph,
+                                      const BitVector& x);
+
+/// One row of the Table 1(a) catalog.
+struct GsetSpec {
+  std::string name;        ///< paper instance name, e.g. "G1"
+  BitIndex vertices;       ///< = QUBO bits
+  std::size_t edges;       ///< edge count of the original instance
+  bool planar_family;      ///< toroidal-grid stand-in vs G(n, m)
+  EdgeWeights weights;
+  std::int64_t paper_target_cut;  ///< cut value targeted in Table 1(a)
+  double paper_target_fraction;   ///< 1.0 = best-known, .99/.95 as published
+  double paper_seconds;           ///< the paper's reported time-to-target
+};
+
+/// All Table 1(a) rows (G1, G6, G22, G27, G35, G39, G55, G70).
+[[nodiscard]] const std::vector<GsetSpec>& gset_catalog();
+
+/// Deterministically generates the stand-in instance for a catalog row.
+/// The same (spec, seed) always produces the same graph.
+[[nodiscard]] WeightedGraph generate_gset_instance(const GsetSpec& spec,
+                                                   std::uint64_t seed);
+
+}  // namespace absq

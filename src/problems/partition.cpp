@@ -1,0 +1,66 @@
+#include "problems/partition.hpp"
+
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace absq {
+
+Energy PartitionQubo::perfect_energy() const {
+  return energy_for_difference(0);
+}
+
+Energy PartitionQubo::energy_for_difference(std::int64_t difference) const {
+  const std::int64_t total =
+      std::accumulate(numbers.begin(), numbers.end(), std::int64_t{0});
+  // Raw energy (constant T² dropped from the QUBO): D² − T².
+  return energy_scale * (difference * difference - total * total);
+}
+
+PartitionQubo partition_to_qubo(const std::vector<std::int64_t>& numbers) {
+  ABSQ_CHECK(!numbers.empty(), "need at least one number");
+  for (const auto a : numbers) ABSQ_CHECK(a > 0, "numbers must be positive");
+  const auto n = static_cast<BitIndex>(numbers.size());
+  const std::int64_t total =
+      std::accumulate(numbers.begin(), numbers.end(), std::int64_t{0});
+
+  // Minimize D² with D = 2S − T, S = Σ a_i x_i:
+  // D² − T² = 4·Σ_{i<j} 2·a_i·a_j·x_i·x_j + Σ_i 4·a_i·(a_i − T)·x_i.
+  WeightMatrixBuilder builder(n);
+  for (BitIndex i = 0; i < n; ++i) {
+    builder.add_linear(i, 4 * numbers[i] * (numbers[i] - total));
+    for (BitIndex j = i + 1; j < n; ++j) {
+      builder.add(i, j, 8 * numbers[i] * numbers[j]);
+    }
+  }
+  PartitionQubo result;
+  result.w = builder.build();
+  result.numbers = numbers;
+  result.energy_scale = builder.energy_scale();
+  return result;
+}
+
+std::int64_t partition_difference(const std::vector<std::int64_t>& numbers,
+                                  const BitVector& x) {
+  ABSQ_CHECK(x.size() == numbers.size(), "assignment size mismatch");
+  std::int64_t diff = 0;
+  for (std::size_t i = 0; i < numbers.size(); ++i) {
+    diff += (x.get(static_cast<BitIndex>(i)) != 0) ? numbers[i] : -numbers[i];
+  }
+  return diff < 0 ? -diff : diff;
+}
+
+std::vector<std::int64_t> random_partition_numbers(std::size_t count,
+                                                   std::int64_t max_value,
+                                                   std::uint64_t seed) {
+  ABSQ_CHECK(count >= 2 && max_value >= 1, "bad generator parameters");
+  Rng rng(mix64(seed));
+  std::vector<std::int64_t> numbers(count);
+  for (auto& a : numbers) {
+    a = 1 + static_cast<std::int64_t>(
+                rng.below(static_cast<std::uint64_t>(max_value)));
+  }
+  return numbers;
+}
+
+}  // namespace absq

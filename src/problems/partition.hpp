@@ -1,0 +1,50 @@
+// Number partitioning as QUBO — one of the Karp problems the paper cites
+// (via Lucas's Ising formulations) as motivating applications.
+//
+// Given positive integers a_0..a_{n-1}, split them into two sets with
+// minimal difference of sums. With s_i = ±1 the difference is Σ a_i s_i, so
+// minimizing (Σ a_i s_i)² is the Ising form; substituting s = 2x − 1 gives
+// the QUBO used here. For a number set with total T and subset sum S
+// (= Σ a_i x_i), the energy works out to scale·((T − 2S)² − T²)/1 up to the
+// builder's doubling — partition_difference() below avoids the algebra by
+// decoding the assignment directly, and the exact relation is covered by
+// tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qubo/bit_vector.hpp"
+#include "qubo/weight_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace absq {
+
+struct PartitionQubo {
+  WeightMatrix w;
+  std::vector<std::int64_t> numbers;
+  int energy_scale = 1;
+
+  /// Energy a perfectly balanced split would have (the optimum when the
+  /// total is even and a perfect partition exists).
+  [[nodiscard]] Energy perfect_energy() const;
+
+  /// Energy of the assignment with subset difference d: scale·(d² − T²)
+  /// ... expressed through the decoded difference; see tests.
+  [[nodiscard]] Energy energy_for_difference(std::int64_t difference) const;
+};
+
+/// Builds the QUBO. Numbers must be positive and small enough for the
+/// coefficients (≈ 4·a_i·a_j and a_i·(a_i − T)) to fit 16-bit weights.
+[[nodiscard]] PartitionQubo partition_to_qubo(
+    const std::vector<std::int64_t>& numbers);
+
+/// |sum(set with x_i = 1) − sum(set with x_i = 0)| for an assignment.
+[[nodiscard]] std::int64_t partition_difference(
+    const std::vector<std::int64_t>& numbers, const BitVector& x);
+
+/// Random instance: `count` numbers uniform in [1, max_value].
+[[nodiscard]] std::vector<std::int64_t> random_partition_numbers(
+    std::size_t count, std::int64_t max_value, std::uint64_t seed);
+
+}  // namespace absq

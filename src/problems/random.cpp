@@ -1,0 +1,31 @@
+#include "problems/random.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace absq {
+
+WeightMatrix random_qubo(BitIndex n, std::uint64_t seed) {
+  ABSQ_CHECK(n >= 1 && n <= kMaxBits, "instance size out of range");
+  Rng rng(mix64(seed ^ mix64(n)));
+  return WeightMatrix::generate_symmetric(n, [&rng](BitIndex, BitIndex) {
+    return static_cast<Weight>(
+        static_cast<std::int32_t>(rng.below(65536)) - 32768);
+  });
+}
+
+const std::vector<RandomSpec>& random_catalog() {
+  // Targets and times from Table 1(c). The paper's absolute energies belong
+  // to its (unpublished) random instances; our harness recomputes reference
+  // energies for the generated stand-ins and reports both.
+  static const std::vector<RandomSpec> catalog = {
+      {1024, -182208337, 1.00, 0.0172},
+      {2048, -518114192, 1.00, 0.0413},
+      {4096, -1466369859, 1.00, 1.04},
+      {16384, -11631426556, 0.99, 0.417},
+      {32768, -33115098990, 0.99, 1.79},
+  };
+  return catalog;
+}
+
+}  // namespace absq

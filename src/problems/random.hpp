@@ -1,0 +1,32 @@
+// Synthetic random QUBO instances — Section 4.1.3.
+//
+// Every weight W_ij is drawn uniformly from the full 16-bit range
+// [−32768, 32767]; the matrix is dense. The paper uses this family for the
+// throughput study (Table 2, Fig. 8) and for Table 1(c)'s time-to-solution
+// rows, where "best-known" energies are established by long reference runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qubo/weight_matrix.hpp"
+
+namespace absq {
+
+/// Deterministic dense random instance: same (n, seed) → same matrix.
+/// Fills the upper triangle directly (the builder's sparse accumulation
+/// would be wasted work on n² nonzeros).
+[[nodiscard]] WeightMatrix random_qubo(BitIndex n, std::uint64_t seed);
+
+/// One row of the Table 1(c) catalog.
+struct RandomSpec {
+  BitIndex bits;
+  Energy paper_target;            ///< target energy printed in Table 1(c)
+  double paper_target_fraction;   ///< 1.0 = best-known, 0.99 = 99% rows
+  double paper_seconds;
+};
+
+/// All Table 1(c) rows (1k, 2k, 4k, 16k, 32k).
+[[nodiscard]] const std::vector<RandomSpec>& random_catalog();
+
+}  // namespace absq

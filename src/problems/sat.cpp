@@ -1,0 +1,189 @@
+#include "problems/sat.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace absq {
+namespace {
+
+/// Affine form c0 + c1·x_i over one QUBO bit (or a pure constant).
+struct Affine {
+  Energy c0 = 0;
+  Energy c1 = 0;
+  BitIndex bit = 0;
+};
+
+/// z indicator ("literal is false") of a DIMACS literal.
+Affine false_indicator(int literal, BitIndex variables) {
+  ABSQ_CHECK(literal != 0, "DIMACS literal may not be 0");
+  const auto var = static_cast<BitIndex>(std::abs(literal) - 1);
+  ABSQ_CHECK(var < variables, "literal " << literal << " out of range");
+  if (literal > 0) return Affine{1, -1, var};  // z = 1 − x
+  return Affine{0, 1, var};                    // z = x
+}
+
+/// Adds coeff·A·B to the builder (+ returns the constant part).
+Energy add_product(WeightMatrixBuilder& builder, Energy coeff,
+                   const Affine& a, const Affine& b) {
+  // (a0 + a1·x_i)(b0 + b1·x_j) — remember x² = x when i == j.
+  Energy constant = coeff * a.c0 * b.c0;
+  if (a.c1 != 0) builder.add_linear(a.bit, coeff * a.c1 * b.c0);
+  if (b.c1 != 0) builder.add_linear(b.bit, coeff * a.c0 * b.c1);
+  if (a.c1 != 0 && b.c1 != 0) {
+    if (a.bit == b.bit) {
+      builder.add_linear(a.bit, coeff * a.c1 * b.c1);  // x² = x
+    } else {
+      builder.add(a.bit, b.bit, coeff * a.c1 * b.c1);
+    }
+  }
+  return constant;
+}
+
+/// Adds coeff·A (a degree-≤1 term).
+Energy add_term(WeightMatrixBuilder& builder, Energy coeff, const Affine& a) {
+  if (a.c1 != 0) builder.add_linear(a.bit, coeff * a.c1);
+  return coeff * a.c0;
+}
+
+}  // namespace
+
+SatQubo sat_to_qubo(const SatFormula& formula) {
+  ABSQ_CHECK(formula.variables >= 1, "formula needs variables");
+  const auto m = static_cast<BitIndex>(formula.clauses.size());
+  const std::uint64_t total_bits =
+      static_cast<std::uint64_t>(formula.variables) + m;
+  ABSQ_CHECK(total_bits <= kMaxBits,
+             "variables + ancillas = " << total_bits << " exceeds "
+                                       << kMaxBits);
+
+  SatQubo qubo;
+  qubo.variables = formula.variables;
+  qubo.clauses = m;
+
+  WeightMatrixBuilder builder(static_cast<BitIndex>(total_bits));
+  Energy constant = 0;
+  for (BitIndex j = 0; j < m; ++j) {
+    const SatClause& clause = formula.clauses[j];
+    const Affine z1 = false_indicator(clause.literals[0], formula.variables);
+    const Affine z2 = false_indicator(clause.literals[1], formula.variables);
+    const Affine z3 = false_indicator(clause.literals[2], formula.variables);
+    const Affine a{0, 1, qubo.ancilla(j)};
+
+    // R(z1, z2, a) = z1·z2 − 2·z1·a − 2·z2·a + 3·a, then + a·z3.
+    constant += add_product(builder, 1, z1, z2);
+    constant += add_product(builder, -2, z1, a);
+    constant += add_product(builder, -2, z2, a);
+    constant += add_term(builder, 3, a);
+    constant += add_product(builder, 1, a, z3);
+  }
+  qubo.w = builder.build();
+  qubo.energy_scale = builder.energy_scale();
+  // Total penalty P = (non-constant part) + constant, and with optimal
+  // ancillas P = violations, so E = scale·(P − constant) =
+  // scale·(violations − constant).
+  qubo.constant = constant;
+  return qubo;
+}
+
+std::size_t count_violations(const SatFormula& formula, const BitVector& x) {
+  ABSQ_CHECK(x.size() >= formula.variables, "assignment too small");
+  std::size_t violated = 0;
+  for (const auto& clause : formula.clauses) {
+    bool satisfied = false;
+    for (const int literal : clause.literals) {
+      const auto var = static_cast<BitIndex>(std::abs(literal) - 1);
+      const bool value = x.get(var) != 0;
+      if ((literal > 0) == value) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) ++violated;
+  }
+  return violated;
+}
+
+SatFormula random_3sat(BitIndex variables, std::size_t clauses,
+                       std::uint64_t seed) {
+  ABSQ_CHECK(variables >= 3, "need at least 3 variables for 3-SAT");
+  Rng rng(mix64(seed ^ mix64(variables)));
+  SatFormula formula;
+  formula.variables = variables;
+  formula.clauses.reserve(clauses);
+  for (std::size_t c = 0; c < clauses; ++c) {
+    BitIndex vars[3];
+    vars[0] = static_cast<BitIndex>(rng.below(variables));
+    do {
+      vars[1] = static_cast<BitIndex>(rng.below(variables));
+    } while (vars[1] == vars[0]);
+    do {
+      vars[2] = static_cast<BitIndex>(rng.below(variables));
+    } while (vars[2] == vars[0] || vars[2] == vars[1]);
+    SatClause clause{};
+    for (int i = 0; i < 3; ++i) {
+      const int sign = rng.chance(0.5) ? 1 : -1;
+      clause.literals[i] = sign * (static_cast<int>(vars[i]) + 1);
+    }
+    formula.clauses.push_back(clause);
+  }
+  return formula;
+}
+
+SatFormula read_dimacs(std::istream& in) {
+  SatFormula formula;
+  bool have_header = false;
+  long long declared_clauses = 0;
+  std::string line;
+  int line_no = 0;
+  std::vector<int> pending;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream fields(line);
+    if (line[0] == 'p') {
+      std::string p;
+      std::string cnf;
+      long long vars = 0;
+      ABSQ_CHECK(fields >> p >> cnf >> vars >> declared_clauses &&
+                     cnf == "cnf",
+                 "line " << line_no << ": malformed 'p cnf' header");
+      ABSQ_CHECK(vars >= 1 && vars <= static_cast<long long>(kMaxBits),
+                 "line " << line_no << ": variable count out of range");
+      formula.variables = static_cast<BitIndex>(vars);
+      have_header = true;
+      continue;
+    }
+    ABSQ_CHECK(have_header, "line " << line_no << ": clause before header");
+    int literal = 0;
+    while (fields >> literal) {
+      if (literal == 0) {
+        ABSQ_CHECK(pending.size() == 3,
+                   "line " << line_no << ": only 3-literal clauses are "
+                           << "supported, got " << pending.size());
+        formula.clauses.push_back(
+            SatClause{{pending[0], pending[1], pending[2]}});
+        pending.clear();
+      } else {
+        pending.push_back(literal);
+      }
+    }
+  }
+  ABSQ_CHECK(have_header, "missing 'p cnf' header");
+  ABSQ_CHECK(pending.empty(), "last clause not terminated by 0");
+  ABSQ_CHECK(declared_clauses ==
+                 static_cast<long long>(formula.clauses.size()),
+             "header declares " << declared_clauses << " clauses, found "
+                                << formula.clauses.size());
+  return formula;
+}
+
+SatFormula read_dimacs_file(const std::string& path) {
+  std::ifstream in(path);
+  ABSQ_CHECK(in.good(), "cannot open '" << path << "'");
+  return read_dimacs(in);
+}
+
+}  // namespace absq

@@ -1,0 +1,82 @@
+// 3-SAT as QUBO via quadratization — the hardest-structured converter in
+// the problem layer and a classic Karp-problem mapping.
+//
+// A clause (l₁ ∨ l₂ ∨ l₃) is violated iff z₁·z₂·z₃ = 1, where z_i is the
+// "literal is false" indicator (z = 1−x for a positive literal, z = x for
+// a negated one). The cubic penalty z₁z₂z₃ is quadratized with one
+// ancilla a per clause using Rosenberg's substitution a ≐ z₁∧z₂:
+//
+//     R(z₁, z₂, a) = z₁z₂ − 2z₁a − 2z₂a + 3a        (≥ 0, = 0 iff a = z₁z₂)
+//     clause penalty = R + a·z₃
+//
+// min over the ancilla of (R + a·z₃) equals z₁z₂z₃ exactly, so with all
+// ancillas chosen optimally the total QUBO energy counts violated clauses:
+// E = scale·(violated − constant). A formula is satisfiable iff the QUBO
+// optimum equals energy_for_violations(0).
+//
+// Includes a DIMACS CNF parser and a uniform random 3-SAT generator, so
+// the phase-transition workloads (m/n ≈ 4.27) the QA literature studies
+// can be generated deterministically.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "qubo/bit_vector.hpp"
+#include "qubo/weight_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace absq {
+
+/// One clause of exactly three DIMACS-style literals: ±(var+1), var
+/// 0-indexed, no literal may be 0.
+struct SatClause {
+  int literals[3];
+};
+
+struct SatFormula {
+  BitIndex variables = 0;
+  std::vector<SatClause> clauses;
+};
+
+struct SatQubo {
+  WeightMatrix w;
+  BitIndex variables = 0;  ///< original variables (bits [0, variables))
+  BitIndex clauses = 0;    ///< ancilla a_j lives at bit variables + j
+  /// Constant dropped from the penalty sum.
+  Energy constant = 0;
+  int energy_scale = 1;
+
+  /// QUBO bit of ancilla j.
+  [[nodiscard]] BitIndex ancilla(BitIndex j) const { return variables + j; }
+
+  /// QUBO energy when `k` clauses are violated and every ancilla is
+  /// optimal: scale·(k − constant).
+  [[nodiscard]] Energy energy_for_violations(std::size_t k) const {
+    return energy_scale * (static_cast<Energy>(k) - constant);
+  }
+};
+
+/// Builds the (variables + clauses)-bit QUBO. Throws on malformed
+/// literals (zero, out of range).
+[[nodiscard]] SatQubo sat_to_qubo(const SatFormula& formula);
+
+/// Number of clauses the variable assignment violates (ancilla bits of a
+/// full QUBO assignment are ignored — pass any BitVector whose first
+/// `variables` bits are the assignment).
+[[nodiscard]] std::size_t count_violations(const SatFormula& formula,
+                                           const BitVector& x);
+
+/// Uniform random 3-SAT: each clause draws three distinct variables and
+/// random polarities. Deterministic per seed.
+[[nodiscard]] SatFormula random_3sat(BitIndex variables, std::size_t clauses,
+                                     std::uint64_t seed);
+
+/// DIMACS CNF ("p cnf <vars> <clauses>", clauses of exactly 3 literals
+/// terminated by 0; 'c' comment lines ignored).
+[[nodiscard]] SatFormula read_dimacs(std::istream& in);
+[[nodiscard]] SatFormula read_dimacs_file(const std::string& path);
+
+}  // namespace absq

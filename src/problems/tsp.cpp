@@ -1,0 +1,448 @@
+#include "problems/tsp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <numbers>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace absq {
+
+TspInstance::TspInstance(std::string name,
+                         std::vector<std::vector<int>> distances)
+    : name_(std::move(name)), dist_(std::move(distances)) {
+  const std::size_t c = dist_.size();
+  ABSQ_CHECK(c >= 3, "a TSP needs at least 3 cities");
+  for (std::size_t i = 0; i < c; ++i) {
+    ABSQ_CHECK(dist_[i].size() == c, "distance matrix is not square");
+    ABSQ_CHECK(dist_[i][i] == 0, "nonzero diagonal at city " << i);
+    for (std::size_t j = 0; j < c; ++j) {
+      ABSQ_CHECK(dist_[i][j] >= 0, "negative distance");
+      ABSQ_CHECK(dist_[i][j] == dist_[j][i],
+                 "asymmetric distance between " << i << " and " << j);
+    }
+  }
+}
+
+int TspInstance::max_distance() const {
+  int max_d = 0;
+  for (const auto& row : dist_) {
+    for (const int d : row) max_d = std::max(max_d, d);
+  }
+  return max_d;
+}
+
+std::int64_t TspInstance::tour_length(
+    const std::vector<BitIndex>& order) const {
+  ABSQ_CHECK(order.size() == cities(), "tour must visit every city once");
+  std::int64_t length = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const BitIndex a = order[i];
+    const BitIndex b = order[(i + 1) % order.size()];
+    ABSQ_CHECK(a < cities() && b < cities(), "city index out of range");
+    length += dist_[a][b];
+  }
+  return length;
+}
+
+TspInstance random_euclidean_tsp(const std::string& name, BitIndex cities,
+                                 int box, std::uint64_t seed) {
+  ABSQ_CHECK(cities >= 3 && box >= 1, "bad TSP generator parameters");
+  Rng rng(mix64(seed ^ mix64(cities)));
+  std::vector<std::pair<double, double>> coords(cities);
+  for (auto& [x, y] : coords) {
+    x = static_cast<double>(rng.below(static_cast<std::uint64_t>(box) + 1));
+    y = static_cast<double>(rng.below(static_cast<std::uint64_t>(box) + 1));
+  }
+  std::vector<std::vector<int>> dist(cities, std::vector<int>(cities, 0));
+  for (BitIndex i = 0; i < cities; ++i) {
+    for (BitIndex j = i + 1; j < cities; ++j) {
+      const double dx = coords[i].first - coords[j].first;
+      const double dy = coords[i].second - coords[j].second;
+      // TSPLIB EUC_2D rounding: nearest integer.
+      const int d = static_cast<int>(std::lround(std::sqrt(dx * dx + dy * dy)));
+      dist[i][j] = dist[j][i] = d;
+    }
+  }
+  return TspInstance(name, std::move(dist));
+}
+
+namespace {
+
+/// TSPLIB GEO distance (geographical, in km) — used by ulysses16.
+int geo_distance(double lat_i, double lon_i, double lat_j, double lon_j) {
+  constexpr double kPi = std::numbers::pi;
+  const auto to_radians = [](double x) {
+    const double deg = std::trunc(x);
+    const double min = x - deg;
+    return kPi * (deg + 5.0 * min / 3.0) / 180.0;
+  };
+  const double lat_ri = to_radians(lat_i);
+  const double lon_ri = to_radians(lon_i);
+  const double lat_rj = to_radians(lat_j);
+  const double lon_rj = to_radians(lon_j);
+  constexpr double kRadius = 6378.388;
+  const double q1 = std::cos(lon_ri - lon_rj);
+  const double q2 = std::cos(lat_ri - lat_rj);
+  const double q3 = std::cos(lat_ri + lat_rj);
+  return static_cast<int>(
+      kRadius * std::acos(0.5 * ((1.0 + q1) * q2 - (1.0 - q1) * q3)) + 1.0);
+}
+
+/// TSPLIB ATT pseudo-Euclidean distance.
+int att_distance(double xi, double yi, double xj, double yj) {
+  const double dx = xi - xj;
+  const double dy = yi - yj;
+  const double r = std::sqrt((dx * dx + dy * dy) / 10.0);
+  const int t = static_cast<int>(std::lround(r));
+  return (t < r) ? t + 1 : t;
+}
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+TspInstance read_tsplib(std::istream& in) {
+  std::string name = "unnamed";
+  std::string weight_type;
+  std::string weight_format;
+  long long dimension = 0;
+  std::vector<std::pair<double, double>> coords;
+  std::vector<double> raw_weights;
+
+  std::string line;
+  enum class Section { kHeader, kCoords, kWeights } section = Section::kHeader;
+  while (std::getline(in, line)) {
+    line = trim(line);
+    if (line.empty()) continue;
+    if (line == "EOF") break;
+
+    if (section == Section::kHeader || line.find(':') != std::string::npos ||
+        line == "NODE_COORD_SECTION" || line == "EDGE_WEIGHT_SECTION" ||
+        line == "DISPLAY_DATA_SECTION") {
+      if (line == "NODE_COORD_SECTION") {
+        section = Section::kCoords;
+        continue;
+      }
+      if (line == "EDGE_WEIGHT_SECTION") {
+        section = Section::kWeights;
+        continue;
+      }
+      if (line == "DISPLAY_DATA_SECTION") {
+        section = Section::kHeader;  // display coords are ignored
+        continue;
+      }
+      const auto colon = line.find(':');
+      if (colon == std::string::npos) continue;  // ignorable header noise
+      const std::string key = trim(line.substr(0, colon));
+      const std::string value = trim(line.substr(colon + 1));
+      if (key == "NAME") {
+        name = value;
+      } else if (key == "DIMENSION") {
+        try {
+          dimension = std::stoll(value);
+        } catch (const std::exception&) {
+          ABSQ_CHECK(false, "malformed DIMENSION value '" << value << "'");
+        }
+      } else if (key == "EDGE_WEIGHT_TYPE") {
+        weight_type = value;
+      } else if (key == "EDGE_WEIGHT_FORMAT") {
+        weight_format = value;
+      }
+      continue;
+    }
+
+    std::istringstream fields(line);
+    if (section == Section::kCoords) {
+      long long index = 0;
+      double x = 0.0;
+      double y = 0.0;
+      ABSQ_CHECK(static_cast<bool>(fields >> index >> x >> y),
+                 "malformed NODE_COORD line: " << line);
+      coords.emplace_back(x, y);
+    } else {
+      double w = 0.0;
+      while (fields >> w) raw_weights.push_back(w);
+    }
+  }
+
+  ABSQ_CHECK(dimension >= 3 && dimension <= 1024,
+             "DIMENSION " << dimension << " out of supported range");
+  const auto c = static_cast<BitIndex>(dimension);
+  std::vector<std::vector<int>> dist(c, std::vector<int>(c, 0));
+
+  if (weight_type == "EXPLICIT") {
+    // Unpack the declared triangular/full layout.
+    std::size_t cursor = 0;
+    const auto next = [&]() -> int {
+      ABSQ_CHECK(cursor < raw_weights.size(),
+                 "EDGE_WEIGHT_SECTION shorter than " << weight_format
+                                                     << " requires");
+      return static_cast<int>(raw_weights[cursor++]);
+    };
+    if (weight_format == "FULL_MATRIX") {
+      for (BitIndex i = 0; i < c; ++i) {
+        for (BitIndex j = 0; j < c; ++j) dist[i][j] = next();
+      }
+    } else if (weight_format == "UPPER_ROW") {
+      for (BitIndex i = 0; i < c; ++i) {
+        for (BitIndex j = i + 1; j < c; ++j) dist[i][j] = dist[j][i] = next();
+      }
+    } else if (weight_format == "LOWER_ROW") {
+      for (BitIndex i = 1; i < c; ++i) {
+        for (BitIndex j = 0; j < i; ++j) dist[i][j] = dist[j][i] = next();
+      }
+    } else if (weight_format == "UPPER_DIAG_ROW") {
+      for (BitIndex i = 0; i < c; ++i) {
+        for (BitIndex j = i; j < c; ++j) dist[i][j] = dist[j][i] = next();
+      }
+    } else if (weight_format == "LOWER_DIAG_ROW") {
+      for (BitIndex i = 0; i < c; ++i) {
+        for (BitIndex j = 0; j <= i; ++j) dist[i][j] = dist[j][i] = next();
+      }
+    } else {
+      ABSQ_CHECK(false, "unsupported EDGE_WEIGHT_FORMAT '" << weight_format
+                                                           << "'");
+    }
+    for (BitIndex i = 0; i < c; ++i) dist[i][i] = 0;
+  } else {
+    ABSQ_CHECK(coords.size() == c, "NODE_COORD_SECTION has " << coords.size()
+                                                             << " entries, "
+                                                                "DIMENSION is "
+                                                             << c);
+    for (BitIndex i = 0; i < c; ++i) {
+      for (BitIndex j = i + 1; j < c; ++j) {
+        const auto [xi, yi] = coords[i];
+        const auto [xj, yj] = coords[j];
+        int d = 0;
+        if (weight_type == "EUC_2D") {
+          const double dx = xi - xj;
+          const double dy = yi - yj;
+          d = static_cast<int>(std::lround(std::sqrt(dx * dx + dy * dy)));
+        } else if (weight_type == "CEIL_2D") {
+          const double dx = xi - xj;
+          const double dy = yi - yj;
+          d = static_cast<int>(std::ceil(std::sqrt(dx * dx + dy * dy)));
+        } else if (weight_type == "GEO") {
+          d = geo_distance(xi, yi, xj, yj);
+        } else if (weight_type == "ATT") {
+          d = att_distance(xi, yi, xj, yj);
+        } else {
+          ABSQ_CHECK(false, "unsupported EDGE_WEIGHT_TYPE '" << weight_type
+                                                             << "'");
+        }
+        dist[i][j] = dist[j][i] = d;
+      }
+    }
+  }
+  return TspInstance(name, std::move(dist));
+}
+
+TspInstance read_tsplib_file(const std::string& path) {
+  std::ifstream in(path);
+  ABSQ_CHECK(in.good(), "cannot open '" << path << "'");
+  return read_tsplib(in);
+}
+
+TspQubo tsp_to_qubo(const TspInstance& tsp) {
+  const BitIndex c = tsp.cities();
+  const BitIndex m = c - 1;  // variables per row/column
+  const Energy a = 2 * static_cast<Energy>(tsp.max_distance());  // penalty
+
+  TspQubo qubo;
+  qubo.cities = c;
+  qubo.penalty = a;
+
+  WeightMatrixBuilder builder(m * m);
+  const auto var = [m](BitIndex u, BitIndex j) { return u * m + j; };
+
+  // Validity penalties: A(1 − Σx)² per row (city) and per column (order)
+  // expands to −A per variable and +2A per within-row / within-column pair
+  // (constant dropped).
+  for (BitIndex u = 0; u < m; ++u) {
+    for (BitIndex j = 0; j < m; ++j) {
+      builder.add_linear(var(u, j), -2 * a);  // −A from its row, −A column
+      for (BitIndex j2 = j + 1; j2 < m; ++j2) {
+        builder.add(var(u, j), var(u, j2), 2 * a);  // same city, two slots
+      }
+      for (BitIndex u2 = u + 1; u2 < m; ++u2) {
+        builder.add(var(u, j), var(u2, j), 2 * a);  // same slot, two cities
+      }
+    }
+  }
+
+  // Tour length: consecutive positions, plus the pinned last city's two
+  // incident legs as linear terms.
+  for (BitIndex j = 0; j + 1 < m; ++j) {
+    for (BitIndex u = 0; u < m; ++u) {
+      for (BitIndex v = 0; v < m; ++v) {
+        if (u == v) continue;
+        builder.add(var(u, j), var(v, j + 1), tsp.distance(u, v));
+      }
+    }
+  }
+  for (BitIndex u = 0; u < m; ++u) {
+    builder.add_linear(var(u, 0), tsp.distance(c - 1, u));
+    builder.add_linear(var(u, m - 1), tsp.distance(u, c - 1));
+  }
+
+  qubo.w = builder.build();
+  qubo.energy_scale = builder.energy_scale();
+  return qubo;
+}
+
+std::optional<std::vector<BitIndex>> decode_tour(const TspQubo& qubo,
+                                                 const BitVector& x) {
+  const BitIndex c = qubo.cities;
+  const BitIndex m = c - 1;
+  ABSQ_CHECK(x.size() == m * m, "assignment size mismatch");
+
+  std::vector<BitIndex> city_at_position(m, m);  // m = unassigned
+  std::vector<bool> city_used(m, false);
+  for (BitIndex u = 0; u < m; ++u) {
+    for (BitIndex j = 0; j < m; ++j) {
+      if (x.get(qubo.var(u, j)) == 0) continue;
+      if (city_at_position[j] != m || city_used[u]) return std::nullopt;
+      city_at_position[j] = u;
+      city_used[u] = true;
+    }
+  }
+  for (BitIndex j = 0; j < m; ++j) {
+    if (city_at_position[j] == m) return std::nullopt;
+  }
+  city_at_position.push_back(c - 1);  // pinned final city
+  return city_at_position;
+}
+
+BitVector encode_tour(const TspQubo& qubo, const std::vector<BitIndex>& order) {
+  const BitIndex c = qubo.cities;
+  const BitIndex m = c - 1;
+  ABSQ_CHECK(order.size() == c, "order must list all cities");
+  ABSQ_CHECK(order.back() == c - 1, "the last city must be the pinned one");
+  BitVector x(m * m);
+  for (BitIndex j = 0; j < m; ++j) {
+    ABSQ_CHECK(order[j] < m, "pinned city may appear only last");
+    x.set(qubo.var(order[j], j), true);
+  }
+  return x;
+}
+
+std::int64_t exact_tsp_length(const TspInstance& tsp) {
+  const BitIndex c = tsp.cities();
+  ABSQ_CHECK(c <= 20, "Held-Karp capped at 20 cities, got " << c);
+  const BitIndex m = c - 1;  // free cities; start/end at city c−1
+  const std::uint32_t full = (1u << m) - 1u;
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+  // best[mask][last] = min length of a path from city c−1 through exactly
+  // `mask`, ending at `last`.
+  std::vector<std::vector<std::int64_t>> best(
+      full + 1u, std::vector<std::int64_t>(m, kInf));
+  for (BitIndex u = 0; u < m; ++u) {
+    best[1u << u][u] = tsp.distance(c - 1, u);
+  }
+  for (std::uint32_t mask = 1; mask <= full; ++mask) {
+    for (BitIndex last = 0; last < m; ++last) {
+      const std::int64_t base = best[mask][last];
+      if (base >= kInf || (mask & (1u << last)) == 0) continue;
+      for (BitIndex next = 0; next < m; ++next) {
+        if ((mask & (1u << next)) != 0) continue;
+        const std::uint32_t next_mask = mask | (1u << next);
+        const std::int64_t candidate = base + tsp.distance(last, next);
+        if (candidate < best[next_mask][next]) {
+          best[next_mask][next] = candidate;
+        }
+      }
+    }
+  }
+  std::int64_t optimum = kInf;
+  for (BitIndex last = 0; last < m; ++last) {
+    optimum = std::min(optimum, best[full][last] + tsp.distance(last, c - 1));
+  }
+  return optimum;
+}
+
+std::int64_t two_opt_tsp_length(const TspInstance& tsp, std::uint32_t restarts,
+                                std::uint64_t seed) {
+  const BitIndex c = tsp.cities();
+  Rng rng(mix64(seed));
+  std::int64_t best_length = std::numeric_limits<std::int64_t>::max();
+
+  for (std::uint32_t run = 0; run < restarts; ++run) {
+    // Nearest-neighbour construction from a random start.
+    std::vector<BitIndex> tour;
+    tour.reserve(c);
+    std::vector<bool> visited(c, false);
+    BitIndex current = static_cast<BitIndex>(rng.below(c));
+    tour.push_back(current);
+    visited[current] = true;
+    for (BitIndex step = 1; step < c; ++step) {
+      BitIndex nearest = c;
+      for (BitIndex v = 0; v < c; ++v) {
+        if (visited[v]) continue;
+        if (nearest == c ||
+            tsp.distance(current, v) < tsp.distance(current, nearest)) {
+          nearest = v;
+        }
+      }
+      tour.push_back(nearest);
+      visited[nearest] = true;
+      current = nearest;
+    }
+
+    // Full 2-opt descent.
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (BitIndex i = 0; i + 1 < c; ++i) {
+        for (BitIndex j = i + 2; j < c; ++j) {
+          if (i == 0 && j == c - 1) continue;  // same edge
+          const BitIndex a = tour[i];
+          const BitIndex b = tour[i + 1];
+          const BitIndex p = tour[j];
+          const BitIndex q = tour[(j + 1) % c];
+          const std::int64_t gain =
+              static_cast<std::int64_t>(tsp.distance(a, b)) +
+              tsp.distance(p, q) - tsp.distance(a, p) - tsp.distance(b, q);
+          if (gain > 0) {
+            std::reverse(tour.begin() + i + 1, tour.begin() + j + 1);
+            improved = true;
+          }
+        }
+      }
+    }
+    best_length = std::min(best_length, tsp.tour_length(tour));
+  }
+  return best_length;
+}
+
+const std::vector<TspSpec>& tsp_catalog() {
+  // City counts / bit counts / targets / times from Table 1(b). The paper
+  // prints "4621" bits for st70, which cannot be a (c−1)² encoding size
+  // (69² = 4761); we record the corrected value.
+  static const std::vector<TspSpec> catalog = {
+      {"ulysses16", 16, 225, 6859, 0.00, 0.11},
+      {"bayg29", 29, 784, 1610, 0.00, 0.69},
+      {"dantzig42", 42, 1681, 734, 0.05, 1.25},
+      {"berlin52", 52, 2601, 7919, 0.05, 1.79},
+      {"st70", 70, 4761, 742, 0.10, 4.19},
+  };
+  return catalog;
+}
+
+TspInstance generate_tsp_instance(const TspSpec& spec, std::uint64_t seed) {
+  // Box 250 keeps the penalty (2·max_distance ≤ ~710) and all QUBO
+  // coefficients comfortably inside the 16-bit weight range.
+  return random_euclidean_tsp(spec.paper_name + "-standin", spec.cities, 250,
+                              mix64(seed ^ mix64(spec.cities)));
+}
+
+}  // namespace absq

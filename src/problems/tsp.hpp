@@ -1,0 +1,145 @@
+// Traveling Salesman ↔ QUBO — Section 4.1.2.
+//
+// A c-city symmetric TSP becomes a (c−1)²-bit QUBO (the paper's encoding,
+// after Lucas): variable x_{u,j} = 1 iff city u is visited at tour position
+// j, for u, j ∈ [0, c−1); the last city (c−1) is pinned to the final
+// position and needs no variables (Fig. 7's "visit order of city E is
+// omitted"). The energy is
+//
+//     A·Σ_u (1 − Σ_j x_{u,j})²  +  A·Σ_j (1 − Σ_u x_{u,j})²      (validity)
+//   + Σ_j Σ_{u≠v} d(u,v)·x_{u,j}·x_{v,j+1}                       (length)
+//   + Σ_u d(c−1,u)·x_{u,0} + Σ_u d(u,c−1)·x_{u,c−2}              (endpoints)
+//
+// with penalty A = 2·max_distance, the paper's choice. Constants drop out
+// of the QUBO, so a valid tour of length L has energy
+// scale·(L − 2(c−1)A); TspQubo records that affine relation so energies and
+// tour lengths convert exactly in both directions.
+//
+// The TSPLIB file parser handles the formats of the paper's five instances
+// (EUC_2D, GEO, EXPLICIT matrices); since the TSPLIB files themselves are
+// not downloadable here, the catalog pairs each paper row with a
+// deterministic synthetic instance of identical city count (DESIGN.md
+// substitution), with reference optima computed by the bundled exact
+// Held–Karp solver (small c) or multi-restart 2-opt (large c).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qubo/bit_vector.hpp"
+#include "qubo/weight_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace absq {
+
+/// A symmetric TSP instance with integer distances.
+class TspInstance {
+ public:
+  TspInstance() = default;
+
+  /// From an explicit full distance matrix (must be symmetric, zero
+  /// diagonal, non-negative).
+  TspInstance(std::string name, std::vector<std::vector<int>> distances);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] BitIndex cities() const {
+    return static_cast<BitIndex>(dist_.size());
+  }
+  [[nodiscard]] int distance(BitIndex a, BitIndex b) const {
+    return dist_[a][b];
+  }
+  [[nodiscard]] int max_distance() const;
+
+  /// Length of a closed tour visiting `order` (a permutation of all
+  /// cities), returning to order.front().
+  [[nodiscard]] std::int64_t tour_length(
+      const std::vector<BitIndex>& order) const;
+
+ private:
+  std::string name_;
+  std::vector<std::vector<int>> dist_;
+};
+
+/// Uniform random cities on an integer grid [0, box]² with TSPLIB EUC_2D
+/// rounding (nearest-integer Euclidean distance). Deterministic in `seed`.
+[[nodiscard]] TspInstance random_euclidean_tsp(const std::string& name,
+                                               BitIndex cities, int box,
+                                               std::uint64_t seed);
+
+/// TSPLIB .tsp parser: NODE_COORD (EUC_2D, CEIL_2D, ATT, GEO) and EXPLICIT
+/// (FULL_MATRIX, UPPER_ROW, LOWER_ROW, UPPER_DIAG_ROW, LOWER_DIAG_ROW)
+/// edge-weight formats — covering ulysses16/bayg29/dantzig42/berlin52/st70.
+[[nodiscard]] TspInstance read_tsplib(std::istream& in);
+[[nodiscard]] TspInstance read_tsplib_file(const std::string& path);
+
+/// The QUBO encoding plus everything needed to map energies back to tours.
+struct TspQubo {
+  WeightMatrix w;
+  BitIndex cities = 0;        ///< c; bit count is (c−1)²
+  Energy penalty = 0;         ///< A = 2·max_distance
+  int energy_scale = 1;       ///< builder doubling factor (1 or 2)
+
+  /// Bit index of x_{u,j} (city u at position j), u, j < c−1.
+  [[nodiscard]] BitIndex var(BitIndex u, BitIndex j) const {
+    return u * (cities - 1) + j;
+  }
+
+  /// Energy of a valid tour of length L: scale·(L − 2(c−1)A).
+  [[nodiscard]] Energy energy_for_length(std::int64_t length) const {
+    return energy_scale *
+           (length - 2 * static_cast<Energy>(cities - 1) * penalty);
+  }
+
+  /// Inverse of energy_for_length for energies of *valid* assignments.
+  [[nodiscard]] std::int64_t length_for_energy(Energy e) const {
+    return e / energy_scale +
+           2 * static_cast<Energy>(cities - 1) * penalty;
+  }
+};
+
+/// Builds the (c−1)²-bit QUBO. Requires 3 ≤ c and coefficients within the
+/// 16-bit weight range (throws otherwise; see build_scaled note in
+/// WeightMatrixBuilder for oversized instances).
+[[nodiscard]] TspQubo tsp_to_qubo(const TspInstance& tsp);
+
+/// Decodes a QUBO assignment into a visiting order (all c cities, fixed
+/// city last). Returns nullopt unless the assignment is a valid
+/// permutation (each row and column exactly one).
+[[nodiscard]] std::optional<std::vector<BitIndex>> decode_tour(
+    const TspQubo& qubo, const BitVector& x);
+
+/// Encodes a visiting order (length c, ending with city c−1) as QUBO bits.
+[[nodiscard]] BitVector encode_tour(const TspQubo& qubo,
+                                    const std::vector<BitIndex>& order);
+
+/// Exact optimum by Held–Karp dynamic programming. O(2^c·c²) time — c is
+/// capped at 20.
+[[nodiscard]] std::int64_t exact_tsp_length(const TspInstance& tsp);
+
+/// Strong heuristic reference: nearest-neighbour starts + full 2-opt
+/// descent, best of `restarts` runs.
+[[nodiscard]] std::int64_t two_opt_tsp_length(const TspInstance& tsp,
+                                              std::uint32_t restarts,
+                                              std::uint64_t seed);
+
+/// One row of the Table 1(b) catalog.
+struct TspSpec {
+  std::string paper_name;  ///< TSPLIB instance the paper used
+  BitIndex cities;
+  BitIndex bits;                  ///< (c−1)² (Table 1(b), st70 row corrected)
+  std::int64_t paper_target;      ///< target tour length in the paper
+  double paper_target_margin;     ///< 0 = best-known, 0.05 = +5%, ...
+  double paper_seconds;
+};
+
+/// All Table 1(b) rows (ulysses16, bayg29, dantzig42, berlin52, st70).
+[[nodiscard]] const std::vector<TspSpec>& tsp_catalog();
+
+/// Deterministic synthetic stand-in with the same city count.
+[[nodiscard]] TspInstance generate_tsp_instance(const TspSpec& spec,
+                                                std::uint64_t seed);
+
+}  // namespace absq

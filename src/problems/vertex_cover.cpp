@@ -1,0 +1,65 @@
+#include "problems/vertex_cover.hpp"
+
+#include "util/check.hpp"
+
+namespace absq {
+
+VertexCoverQubo vertex_cover_to_qubo(const WeightedGraph& graph) {
+  const BitIndex n = graph.vertex_count();
+  ABSQ_CHECK(n >= 1, "empty graph");
+  constexpr Energy a = 2;  // uncovered-edge penalty
+  constexpr Energy b = 1;  // per-vertex cost
+
+  WeightMatrixBuilder builder(n);
+  // A(1−x_u)(1−x_v) = A − A·x_u − A·x_v + A·x_u·x_v (constant dropped).
+  // Edge weights are ignored: cover is a structural property. Parallel
+  // edges simply accumulate, which only deepens the same penalty.
+  for (const auto& e : graph.edges()) {
+    builder.add_linear(e.u, -a);
+    builder.add_linear(e.v, -a);
+    builder.add(e.u, e.v, a);
+  }
+  for (BitIndex i = 0; i < n; ++i) builder.add_linear(i, b);
+
+  VertexCoverQubo qubo;
+  qubo.w = builder.build();
+  qubo.edge_penalty = a;
+  qubo.vertex_cost = b;
+  qubo.edge_count = graph.edge_count();
+  qubo.energy_scale = builder.energy_scale();
+  return qubo;
+}
+
+bool is_vertex_cover(const WeightedGraph& graph, const BitVector& x) {
+  ABSQ_CHECK(x.size() == graph.vertex_count(), "size mismatch");
+  for (const auto& e : graph.edges()) {
+    if (x.get(e.u) == 0 && x.get(e.v) == 0) return false;
+  }
+  return true;
+}
+
+IndependentSetQubo independent_set_to_qubo(const WeightedGraph& graph) {
+  const BitIndex n = graph.vertex_count();
+  ABSQ_CHECK(n >= 1, "empty graph");
+  constexpr Energy a = 2;  // conflict penalty (> vertex gain of 1)
+
+  WeightMatrixBuilder builder(n);
+  for (BitIndex i = 0; i < n; ++i) builder.add_linear(i, -1);
+  for (const auto& e : graph.edges()) builder.add(e.u, e.v, a);
+
+  IndependentSetQubo qubo;
+  qubo.w = builder.build();
+  qubo.conflict_penalty = a;
+  qubo.energy_scale = builder.energy_scale();
+  return qubo;
+}
+
+bool is_independent_set(const WeightedGraph& graph, const BitVector& x) {
+  ABSQ_CHECK(x.size() == graph.vertex_count(), "size mismatch");
+  for (const auto& e : graph.edges()) {
+    if (x.get(e.u) != 0 && x.get(e.v) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace absq

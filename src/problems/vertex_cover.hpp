@@ -1,0 +1,63 @@
+// Minimum vertex cover and maximum independent set as QUBO — two of the
+// Karp-problem mappings (after Lucas, "Ising formulations of many NP
+// problems") the paper cites as the application space for ABS.
+//
+// Vertex cover:  H = A·Σ_{(u,v)∈E} (1−x_u)(1−x_v) + B·Σ_i x_i,  A > B,
+// so every uncovered edge costs A and every chosen vertex costs B; for a
+// valid cover C the QUBO energy (constant A·|E| dropped) is
+// B·|C| − A·|E|, an exact affine map between energies and cover sizes.
+//
+// Independent set: H = −Σ_i x_i + A·Σ_{(u,v)∈E} x_u x_v, A ≥ 2, so a
+// valid independent set S has energy −|S| and any conflicting pair costs
+// more than the vertex it could gain.
+#pragma once
+
+#include "problems/graph.hpp"
+#include "qubo/bit_vector.hpp"
+#include "qubo/weight_matrix.hpp"
+
+namespace absq {
+
+struct VertexCoverQubo {
+  WeightMatrix w;
+  Energy edge_penalty = 0;   ///< A
+  Energy vertex_cost = 0;    ///< B
+  std::size_t edge_count = 0;
+  int energy_scale = 1;
+
+  /// QUBO energy of a *valid* cover with k vertices.
+  [[nodiscard]] Energy energy_for_cover_size(std::size_t k) const {
+    return energy_scale *
+           (vertex_cost * static_cast<Energy>(k) -
+            edge_penalty * static_cast<Energy>(edge_count));
+  }
+};
+
+/// Builds the cover QUBO with A = 2, B = 1 (A > B guarantees that the
+/// optimum is always a valid cover).
+[[nodiscard]] VertexCoverQubo vertex_cover_to_qubo(const WeightedGraph& graph);
+
+/// True iff every edge has at least one endpoint selected.
+[[nodiscard]] bool is_vertex_cover(const WeightedGraph& graph,
+                                   const BitVector& x);
+
+struct IndependentSetQubo {
+  WeightMatrix w;
+  Energy conflict_penalty = 0;  ///< A
+  int energy_scale = 1;
+
+  /// QUBO energy of a *valid* independent set of size k: −k (× scale).
+  [[nodiscard]] Energy energy_for_set_size(std::size_t k) const {
+    return -energy_scale * static_cast<Energy>(k);
+  }
+};
+
+/// Builds the independent-set QUBO with A = 2.
+[[nodiscard]] IndependentSetQubo independent_set_to_qubo(
+    const WeightedGraph& graph);
+
+/// True iff no selected pair is adjacent.
+[[nodiscard]] bool is_independent_set(const WeightedGraph& graph,
+                                      const BitVector& x);
+
+}  // namespace absq

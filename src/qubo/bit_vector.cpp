@@ -1,0 +1,109 @@
+#include "qubo/bit_vector.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace absq {
+
+BitVector::BitVector(BitIndex n) : size_(n), words_(word_count(n), 0) {}
+
+BitVector BitVector::from_string(const std::string& bits) {
+  BitVector v(static_cast<BitIndex>(bits.size()));
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const char c = bits[i];
+    ABSQ_CHECK(c == '0' || c == '1',
+               "bit string may contain only 0/1, found '" << c << "'");
+    if (c == '1') v.set(static_cast<BitIndex>(i), true);
+  }
+  return v;
+}
+
+BitVector BitVector::random(BitIndex n, Rng& rng) {
+  BitVector v(n);
+  for (auto& word : v.words_) word = rng();
+  // Zero the unused tail of the last word to preserve the invariant.
+  if (const BitIndex tail = n & 63; tail != 0 && !v.words_.empty()) {
+    v.words_.back() &= (1ULL << tail) - 1;
+  }
+  return v;
+}
+
+BitIndex BitVector::popcount() const {
+  std::size_t total = 0;
+  for (const auto word : words_) {
+    total += static_cast<std::size_t>(std::popcount(word));
+  }
+  return static_cast<BitIndex>(total);
+}
+
+BitIndex BitVector::hamming_distance(const BitVector& other) const {
+  ABSQ_CHECK(size_ == other.size_, "hamming_distance: size mismatch "
+                                       << size_ << " vs " << other.size_);
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    total += static_cast<std::size_t>(std::popcount(words_[w] ^
+                                                    other.words_[w]));
+  }
+  return static_cast<BitIndex>(total);
+}
+
+std::vector<BitIndex> BitVector::ones() const {
+  std::vector<BitIndex> result;
+  result.reserve(popcount());
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t word = words_[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      result.push_back(static_cast<BitIndex>(w * 64 + static_cast<std::size_t>(bit)));
+      word &= word - 1;
+    }
+  }
+  return result;
+}
+
+std::vector<BitIndex> BitVector::differing_bits(const BitVector& other) const {
+  ABSQ_CHECK(size_ == other.size_, "differing_bits: size mismatch");
+  std::vector<BitIndex> result;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t word = words_[w] ^ other.words_[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      result.push_back(static_cast<BitIndex>(w * 64 + static_cast<std::size_t>(bit)));
+      word &= word - 1;
+    }
+  }
+  return result;
+}
+
+void BitVector::clear() {
+  for (auto& word : words_) word = 0;
+}
+
+std::string BitVector::to_string() const {
+  std::string out(size_, '0');
+  for (BitIndex i = 0; i < size_; ++i) {
+    if (get(i) != 0) out[i] = '1';
+  }
+  return out;
+}
+
+std::size_t BitVector::hash() const {
+  std::size_t h = 0xcbf29ce484222325ULL ^ size_;
+  for (const auto word : words_) {
+    h ^= word;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::strong_ordering operator<=>(const BitVector& a, const BitVector& b) {
+  if (auto cmp = a.size_ <=> b.size_; cmp != 0) return cmp;
+  for (std::size_t w = 0; w < a.words_.size(); ++w) {
+    if (auto cmp = a.words_[w] <=> b.words_[w]; cmp != 0) return cmp;
+  }
+  return std::strong_ordering::equal;
+}
+
+}  // namespace absq

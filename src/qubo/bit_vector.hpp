@@ -1,0 +1,109 @@
+// Packed bit vector representing a QUBO solution X = x_0 x_1 ... x_{n-1}.
+//
+// Solutions are stored 64 bits per word so that Hamming distances (the cost
+// driver of the straight search, Algorithm 5) and equality tests (the
+// duplicate rule of the solution pool) are word-parallel.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "qubo/types.hpp"
+
+namespace absq {
+
+class Rng;  // fwd from util/rng.hpp; random_bits is defined in the .cpp.
+
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// An all-zero vector of `n` bits.
+  explicit BitVector(BitIndex n);
+
+  /// Builds from a 0/1 character string, e.g. "01101".
+  static BitVector from_string(const std::string& bits);
+
+  /// A uniformly random vector of `n` bits.
+  static BitVector random(BitIndex n, Rng& rng);
+
+  [[nodiscard]] BitIndex size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Value of bit i as 0 or 1.
+  [[nodiscard]] int get(BitIndex i) const {
+    return static_cast<int>((words_[i >> 6] >> (i & 63)) & 1u);
+  }
+
+  void set(BitIndex i, bool value) {
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (value)
+      words_[i >> 6] |= mask;
+    else
+      words_[i >> 6] &= ~mask;
+  }
+
+  /// Flips bit i in place (the flip_k primitive of Eq. 2).
+  void flip(BitIndex i) { words_[i >> 6] ^= 1ULL << (i & 63); }
+
+  /// Returns a copy with bit i flipped — flip_k(X) as a pure function.
+  [[nodiscard]] BitVector with_flip(BitIndex i) const {
+    BitVector copy = *this;
+    copy.flip(i);
+    return copy;
+  }
+
+  /// Number of set bits.
+  [[nodiscard]] BitIndex popcount() const;
+
+  /// Hamming distance to `other` (sizes must match).
+  [[nodiscard]] BitIndex hamming_distance(const BitVector& other) const;
+
+  /// Indices of set bits, ascending.
+  [[nodiscard]] std::vector<BitIndex> ones() const;
+
+  /// Indices where this vector and `other` differ, ascending. This is the
+  /// flip set the straight search must traverse.
+  [[nodiscard]] std::vector<BitIndex> differing_bits(
+      const BitVector& other) const;
+
+  /// Sets all bits to zero.
+  void clear();
+
+  /// "0110..." representation (x_0 first).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Raw 64-bit words (unused high bits of the last word are zero — an
+  /// invariant all mutators preserve, relied on by popcount/compare).
+  [[nodiscard]] std::span<const std::uint64_t> words() const { return words_; }
+
+  /// FNV-style hash for unordered containers.
+  [[nodiscard]] std::size_t hash() const;
+
+  friend bool operator==(const BitVector& a, const BitVector& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+  /// Lexicographic-by-word order; any strict total order works for the
+  /// solution pool's tie-breaking, this one is cheap.
+  friend std::strong_ordering operator<=>(const BitVector& a,
+                                          const BitVector& b);
+
+ private:
+  static std::size_t word_count(BitIndex n) {
+    return (static_cast<std::size_t>(n) + 63) / 64;
+  }
+
+  BitIndex size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+struct BitVectorHash {
+  std::size_t operator()(const BitVector& v) const { return v.hash(); }
+};
+
+}  // namespace absq

@@ -1,0 +1,83 @@
+#include "qubo/delta_state.hpp"
+
+#include "qubo/energy.hpp"
+#include "util/check.hpp"
+
+namespace absq {
+
+DeltaState::DeltaState(const WeightMatrix& w)
+    : w_(&w),
+      x_(w.size()),
+      deltas_(w.size()),
+      signs_(w.size(), +1),
+      energy_(0) {
+  // X = 0: E(0) = 0, Δ_i(0) = W_ii.
+  for (BitIndex i = 0; i < w.size(); ++i) deltas_[i] = w.at(i, i);
+}
+
+DeltaState::DeltaState(const WeightMatrix& w, const BitVector& x)
+    : w_(&w), x_(x), deltas_(all_deltas(w, x)), signs_(w.size()) {
+  ABSQ_CHECK(w.size() == x.size(), "matrix/vector size mismatch");
+  for (BitIndex i = 0; i < w.size(); ++i) {
+    signs_[i] = static_cast<std::int8_t>(phi(x.get(i)));
+  }
+  energy_ = full_energy(w, x);
+}
+
+Energy DeltaState::flip(BitIndex k) {
+  ABSQ_DCHECK(k < size(), "flip index out of range");
+  const auto row = w_->row(k);
+  // 2·φ(x_k) before the flip; Eq. (16) applies the pre-flip signs.
+  const Energy two_phi_k = 2 * static_cast<Energy>(signs_[k]);
+  const Energy old_delta_k = deltas_[k];
+  const BitIndex n = size();
+  for (BitIndex i = 0; i < n; ++i) {
+    deltas_[i] += two_phi_k * signs_[i] * static_cast<Energy>(row[i]);
+  }
+  // The loop touched i == k with the i ≠ k rule; the k = i case of Eq. (6)
+  // is Δ_k ← −Δ_k (pre-flip value), so overwrite it.
+  energy_ += old_delta_k;
+  deltas_[k] = -old_delta_k;
+  signs_[k] = static_cast<std::int8_t>(-signs_[k]);
+  x_.flip(k);
+  ++flips_;
+  return energy_;
+}
+
+DeltaState::FlipOutcome DeltaState::flip_tracked(BitIndex k) {
+  ABSQ_DCHECK(k < size(), "flip index out of range");
+  const auto row = w_->row(k);
+  const Energy two_phi_k = 2 * static_cast<Energy>(signs_[k]);
+  const Energy old_delta_k = deltas_[k];
+  const Energy new_energy = energy_ + old_delta_k;
+
+  // Single fused pass: repair Δ_i and track min_{i≠k} Δ_i(new X).
+  Energy best_delta = 0;
+  BitIndex best_bit = k;
+  bool have_best = false;
+  const BitIndex n = size();
+  for (BitIndex i = 0; i < n; ++i) {
+    const Energy d = deltas_[i] +
+                     two_phi_k * signs_[i] * static_cast<Energy>(row[i]);
+    deltas_[i] = d;
+    if (i != k && (!have_best || d < best_delta)) {
+      best_delta = d;
+      best_bit = i;
+      have_best = true;
+    }
+  }
+  deltas_[k] = -old_delta_k;
+  energy_ = new_energy;
+  signs_[k] = static_cast<std::int8_t>(-signs_[k]);
+  x_.flip(k);
+  ++flips_;
+
+  // n == 1 has no neighbour other than k itself; report flipping back.
+  if (!have_best) {
+    best_delta = deltas_[k];
+    best_bit = k;
+  }
+  return FlipOutcome{new_energy, new_energy + best_delta, best_bit};
+}
+
+}  // namespace absq

@@ -1,0 +1,50 @@
+#include "qubo/energy.hpp"
+
+#include "util/check.hpp"
+
+namespace absq {
+
+Energy full_energy(const WeightMatrix& w, const BitVector& x) {
+  ABSQ_CHECK(w.size() == x.size(), "matrix is " << w.size() << "-bit, vector "
+                                                << x.size() << "-bit");
+  // Only rows of set bits contribute; within such a row only set columns do.
+  Energy total = 0;
+  const auto set_bits = x.ones();
+  for (const BitIndex i : set_bits) {
+    const auto row = w.row(i);
+    Energy row_sum = 0;
+    for (const BitIndex j : set_bits) row_sum += row[j];
+    total += row_sum;
+  }
+  return total;
+}
+
+Energy delta_k(const WeightMatrix& w, const BitVector& x, BitIndex k) {
+  ABSQ_CHECK(w.size() == x.size(), "matrix/vector size mismatch");
+  ABSQ_CHECK(k < x.size(), "bit index " << k << " out of range");
+  const auto row = w.row(k);
+  Energy sum = 0;
+  for (const BitIndex j : x.ones()) {
+    if (j != k) sum += row[j];
+  }
+  return phi(x.get(k)) * (2 * sum + row[k]);
+}
+
+std::vector<Energy> all_deltas(const WeightMatrix& w, const BitVector& x) {
+  const BitIndex n = x.size();
+  std::vector<Energy> deltas(n);
+  // Shared inner sum: for each k, Σ_{j≠k, x_j=1} W_kj. Computing the ones()
+  // list once keeps this O(n·popcount) instead of O(n²) bit reads.
+  const auto set_bits = x.ones();
+  for (BitIndex k = 0; k < n; ++k) {
+    const auto row = w.row(k);
+    Energy sum = 0;
+    for (const BitIndex j : set_bits) {
+      if (j != k) sum += row[j];
+    }
+    deltas[k] = phi(x.get(k)) * (2 * sum + row[k]);
+  }
+  return deltas;
+}
+
+}  // namespace absq

@@ -1,0 +1,133 @@
+#include "qubo/io.hpp"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace absq {
+
+void write_qubo(std::ostream& out, const WeightMatrix& w,
+                const std::string& comment) {
+  if (!comment.empty()) {
+    std::istringstream lines(comment);
+    std::string line;
+    while (std::getline(lines, line)) out << "# " << line << '\n';
+  }
+  out << "qubo " << w.size() << '\n';
+  for (BitIndex i = 0; i < w.size(); ++i) {
+    for (BitIndex j = i; j < w.size(); ++j) {
+      if (const Weight v = w.at(i, j); v != 0) {
+        out << i << ' ' << j << ' ' << v << '\n';
+      }
+    }
+  }
+}
+
+void write_qubo_file(const std::string& path, const WeightMatrix& w,
+                     const std::string& comment) {
+  std::ofstream out(path);
+  ABSQ_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  write_qubo(out, w, comment);
+  ABSQ_CHECK(out.good(), "write to '" << path << "' failed");
+}
+
+WeightMatrix read_qubo(std::istream& in) {
+  std::string line;
+  int line_no = 0;
+  BitIndex n = 0;
+  bool have_header = false;
+
+  // Header: first non-comment, non-blank line must be "qubo <n>".
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string tag;
+    long long size = 0;
+    ABSQ_CHECK(fields >> tag >> size && tag == "qubo",
+               "line " << line_no << ": expected 'qubo <n>' header");
+    ABSQ_CHECK(size >= 1 && size <= static_cast<long long>(kMaxBits),
+               "line " << line_no << ": size " << size << " out of range");
+    n = static_cast<BitIndex>(size);
+    have_header = true;
+    break;
+  }
+  ABSQ_CHECK(have_header, "missing 'qubo <n>' header");
+
+  WeightMatrixBuilder builder(n);
+  std::set<std::pair<BitIndex, BitIndex>> seen;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    long long i = 0;
+    long long j = 0;
+    long long v = 0;
+    ABSQ_CHECK(static_cast<bool>(fields >> i >> j >> v),
+               "line " << line_no << ": expected '<i> <j> <w>'");
+    std::string rest;
+    ABSQ_CHECK(!(fields >> rest),
+               "line " << line_no << ": trailing tokens after entry");
+    ABSQ_CHECK(i >= 0 && j >= 0 && i < n && j < n,
+               "line " << line_no << ": index out of range for n=" << n);
+    ABSQ_CHECK(i <= j, "line " << line_no
+                               << ": entries must be upper-triangle (i <= j)");
+    ABSQ_CHECK(v >= kMinWeight && v <= kMaxWeight,
+               "line " << line_no << ": weight " << v << " outside 16-bit");
+    const auto bi = static_cast<BitIndex>(i);
+    const auto bj = static_cast<BitIndex>(j);
+    ABSQ_CHECK(seen.emplace(bi, bj).second,
+               "line " << line_no << ": duplicate entry (" << i << ", " << j
+                       << ")");
+    // A symmetric entry pair (W_ij, W_ji) contributes 2·W_ij to the pair
+    // coefficient of x_i·x_j; the builder splits it back evenly.
+    builder.add(bi, bj, bi == bj ? v : 2 * v);
+  }
+  return builder.build();
+}
+
+WeightMatrix read_qubo_file(const std::string& path) {
+  std::ifstream in(path);
+  ABSQ_CHECK(in.good(), "cannot open '" << path << "' for reading");
+  return read_qubo(in);
+}
+
+void write_solution(std::ostream& out, const BitVector& bits, Energy energy) {
+  out << "solution " << bits.size() << ' ' << energy << '\n'
+      << bits.to_string() << '\n';
+}
+
+void write_solution_file(const std::string& path, const BitVector& bits,
+                         Energy energy) {
+  std::ofstream out(path);
+  ABSQ_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  write_solution(out, bits, energy);
+  ABSQ_CHECK(out.good(), "write to '" << path << "' failed");
+}
+
+StoredSolution read_solution(std::istream& in) {
+  std::string tag;
+  long long size = 0;
+  Energy energy = 0;
+  ABSQ_CHECK(in >> tag >> size >> energy && tag == "solution",
+             "expected 'solution <n> <energy>' header");
+  ABSQ_CHECK(size >= 1 && size <= static_cast<long long>(kMaxBits),
+             "solution size " << size << " out of range");
+  std::string bits;
+  ABSQ_CHECK(static_cast<bool>(in >> bits), "missing solution bit string");
+  ABSQ_CHECK(bits.size() == static_cast<std::size_t>(size),
+             "bit string has " << bits.size() << " characters, header says "
+                               << size);
+  return StoredSolution{BitVector::from_string(bits), energy};
+}
+
+StoredSolution read_solution_file(const std::string& path) {
+  std::ifstream in(path);
+  ABSQ_CHECK(in.good(), "cannot open '" << path << "' for reading");
+  return read_solution(in);
+}
+
+}  // namespace absq

@@ -1,0 +1,50 @@
+// Plain-text instance serialization.
+//
+// Format (one instance per file):
+//
+//     # free-form comments
+//     qubo <n>
+//     <i> <j> <w>        one line per nonzero upper-triangle entry, i <= j
+//
+// where `<w>` is the symmetric matrix entry W_ij (== W_ji). Entries are
+// written sparsely; absent pairs are zero. The format round-trips exactly
+// and is what the benchmark harnesses use to pin down generated instances.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "qubo/bit_vector.hpp"
+#include "qubo/weight_matrix.hpp"
+
+namespace absq {
+
+/// Writes `w` in the text format above; `comment` (may be multi-line) is
+/// emitted as leading `#` lines.
+void write_qubo(std::ostream& out, const WeightMatrix& w,
+                const std::string& comment = "");
+void write_qubo_file(const std::string& path, const WeightMatrix& w,
+                     const std::string& comment = "");
+
+/// Parses the text format. Throws CheckError with a line number on any
+/// malformed input (bad header, indices out of range, weight overflow,
+/// duplicate entries).
+[[nodiscard]] WeightMatrix read_qubo(std::istream& in);
+[[nodiscard]] WeightMatrix read_qubo_file(const std::string& path);
+
+/// A solution paired with its (claimed) energy, as stored on disk:
+///
+///     solution <n> <energy>
+///     <n-character 0/1 string>
+struct StoredSolution {
+  BitVector bits;
+  Energy energy = 0;
+};
+
+void write_solution(std::ostream& out, const BitVector& bits, Energy energy);
+void write_solution_file(const std::string& path, const BitVector& bits,
+                         Energy energy);
+[[nodiscard]] StoredSolution read_solution(std::istream& in);
+[[nodiscard]] StoredSolution read_solution_file(const std::string& path);
+
+}  // namespace absq

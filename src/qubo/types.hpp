@@ -1,0 +1,38 @@
+// Fundamental scalar types and limits for the QUBO library.
+//
+// The paper's system supports fully-connected instances with up to 32k bits
+// and 16-bit weights. With those bounds the energy E(X) = Σ W_ij x_i x_j is
+// bounded in magnitude by n² · 2^15 ≈ 2^30 · 2^15 = 2^45, and a single
+// Δ_k(X) by (2n+1) · 2^15 < 2^32, so both fit comfortably in int64 — the
+// arithmetic in this library never overflows for in-range instances (a fact
+// the test suite checks at the extremes).
+#pragma once
+
+#include <cstdint>
+
+namespace absq {
+
+/// One QUBO weight W_ij. The paper's hardware supports 16-bit weights; we
+/// keep the same representation so the memory footprint (and hence the
+/// occupancy model of the simulated device) matches.
+using Weight = std::int16_t;
+
+/// An energy value E(X) or energy difference Δ_k(X).
+using Energy = std::int64_t;
+
+/// Index of a bit/spin within a solution vector.
+using BitIndex = std::uint32_t;
+
+/// Inclusive weight bounds (16-bit signed, as in the paper: W_ij ∈
+/// [-32768, 32767]).
+inline constexpr Weight kMinWeight = -32768;
+inline constexpr Weight kMaxWeight = 32767;
+
+/// Largest supported problem size (32k bits, the paper's limit for a single
+/// RTX 2080 Ti with 64 registers per thread).
+inline constexpr BitIndex kMaxBits = 32768;
+
+/// φ(x) = 1 − 2x ∈ {+1, −1}: the sign factor of Eq. (3). `x` must be 0 or 1.
+constexpr Energy phi(int x) { return 1 - 2 * static_cast<Energy>(x); }
+
+}  // namespace absq

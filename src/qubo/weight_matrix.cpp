@@ -1,0 +1,109 @@
+#include "qubo/weight_matrix.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace absq {
+
+WeightMatrix::WeightMatrix(BitIndex n)
+    : n_(n), data_(static_cast<std::size_t>(n) * n, 0) {}
+
+std::vector<Weight> WeightMatrix::diagonal() const {
+  std::vector<Weight> diag(n_);
+  for (BitIndex i = 0; i < n_; ++i) diag[i] = at(i, i);
+  return diag;
+}
+
+std::size_t WeightMatrix::nonzeros() const {
+  std::size_t count = 0;
+  for (BitIndex i = 0; i < n_; ++i) {
+    for (BitIndex j = i; j < n_; ++j) {
+      if (at(i, j) != 0) ++count;
+    }
+  }
+  return count;
+}
+
+bool WeightMatrix::is_symmetric() const {
+  for (BitIndex i = 0; i < n_; ++i) {
+    for (BitIndex j = i + 1; j < n_; ++j) {
+      if (at(i, j) != at(j, i)) return false;
+    }
+  }
+  return true;
+}
+
+WeightMatrixBuilder::WeightMatrixBuilder(BitIndex n) : n_(n) {
+  ABSQ_CHECK(n >= 1 && n <= kMaxBits,
+             "instance size " << n << " outside [1, " << kMaxBits << "]");
+}
+
+std::uint64_t WeightMatrixBuilder::key(BitIndex i, BitIndex j) const {
+  if (i > j) std::swap(i, j);
+  return static_cast<std::uint64_t>(i) * n_ + j;
+}
+
+void WeightMatrixBuilder::add(BitIndex i, BitIndex j, Energy w) {
+  ABSQ_CHECK(i < n_ && j < n_,
+             "term (" << i << ", " << j << ") outside instance of size " << n_);
+  if (w == 0) return;
+  acc_[key(i, j)] += w;
+}
+
+Energy WeightMatrixBuilder::max_abs_coefficient() const {
+  Energy max_abs = 0;
+  for (const auto& [k, c] : acc_) max_abs = std::max(max_abs, std::abs(c));
+  return max_abs;
+}
+
+bool WeightMatrixBuilder::any_odd_offdiagonal() const {
+  for (const auto& [k, c] : acc_) {
+    const BitIndex i = static_cast<BitIndex>(k / n_);
+    const BitIndex j = static_cast<BitIndex>(k % n_);
+    if (i != j && (c & 1) != 0) return true;
+  }
+  return false;
+}
+
+WeightMatrix WeightMatrixBuilder::assemble(Energy scale, int shift) const {
+  WeightMatrix w(n_);
+  for (const auto& [k, c] : acc_) {
+    const BitIndex i = static_cast<BitIndex>(k / n_);
+    const BitIndex j = static_cast<BitIndex>(k % n_);
+    const Energy scaled = c * scale;
+    const Energy v = ((i == j) ? scaled : scaled / 2) >> shift;
+    ABSQ_CHECK(v >= kMinWeight && v <= kMaxWeight,
+               "coefficient of x_" << i << "·x_" << j << " = " << v
+                                   << " exceeds 16-bit weight range; "
+                                      "consider build_scaled()");
+    w.set_symmetric(i, j, static_cast<Weight>(v));
+  }
+  return w;
+}
+
+WeightMatrix WeightMatrixBuilder::build() const {
+  const Energy scale = any_odd_offdiagonal() ? 2 : 1;
+  energy_scale_ = static_cast<int>(scale);
+  return assemble(scale, /*shift=*/0);
+}
+
+WeightMatrix WeightMatrixBuilder::build_scaled(int* shift_out) const {
+  const Energy scale = any_odd_offdiagonal() ? 2 : 1;
+  energy_scale_ = static_cast<int>(scale);
+
+  Energy max_abs = 0;
+  for (const auto& [k, c] : acc_) {
+    const BitIndex i = static_cast<BitIndex>(k / n_);
+    const BitIndex j = static_cast<BitIndex>(k % n_);
+    const Energy scaled = c * scale;
+    max_abs = std::max(max_abs, std::abs((i == j) ? scaled : scaled / 2));
+  }
+  int shift = 0;
+  while ((max_abs >> shift) > kMaxWeight) ++shift;
+  if (shift_out != nullptr) *shift_out = shift;
+  return assemble(scale, shift);
+}
+
+}  // namespace absq

@@ -1,0 +1,183 @@
+// Bit-selection policies for the forced-flip local search (Algorithm 4).
+//
+// A policy answers one question per step: which bit gets flipped next, given
+// the current Δ vector. The paper's policy (Fig. 2) scans a window of l
+// consecutive bits starting at a rotating offset and flips the bit with
+// minimum Δ inside it; l acts as an inverse temperature (l = 1 ≈ random
+// walk, l = n = steepest descent) and needs no random numbers in the inner
+// loop. We provide that policy plus the two degenerate ends as named types,
+// and a type-erasing wrapper so callers can plug in custom policies (the
+// "adaptively change the local search algorithm" hook of the paper).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "qubo/delta_state.hpp"
+#include "qubo/types.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace absq {
+
+/// Interface: pick the next bit to flip.
+class SelectionPolicy {
+ public:
+  virtual ~SelectionPolicy() = default;
+
+  /// Returns the bit to flip given the current search state. Called once
+  /// per local-search step; must return an index < state.size().
+  virtual BitIndex select(const DeltaState& state, Rng& rng) = 0;
+
+  /// Restarts any internal schedule (e.g. the window offset). Called when a
+  /// block begins a new local-search phase.
+  virtual void reset() {}
+
+  /// Polymorphic copy, used when one configured policy prototype is stamped
+  /// out across many search blocks.
+  [[nodiscard]] virtual std::unique_ptr<SelectionPolicy> clone() const = 0;
+};
+
+/// The paper's windowed min-Δ policy (Fig. 2): deterministic offset
+/// rotation, no RNG use.
+class WindowMinDeltaPolicy final : public SelectionPolicy {
+ public:
+  /// `window` = l, the number of bits compared per step (≥ 1). The window
+  /// wraps around the end of the bit vector, keeping every bit eligible at
+  /// the same frequency regardless of n mod l.
+  explicit WindowMinDeltaPolicy(BitIndex window, BitIndex start_offset = 0)
+      : window_(window), start_offset_(start_offset), offset_(start_offset) {
+    ABSQ_CHECK(window >= 1, "window length must be at least 1");
+  }
+
+  BitIndex select(const DeltaState& state, Rng&) override {
+    const BitIndex n = state.size();
+    const BitIndex len = window_ < n ? window_ : n;
+    const auto deltas = state.deltas();
+    BitIndex best = offset_ % n;
+    Energy best_delta = deltas[best];
+    for (BitIndex step = 1; step < len; ++step) {
+      const BitIndex i = (offset_ + step) % n;
+      if (deltas[i] < best_delta) {
+        best_delta = deltas[i];
+        best = i;
+      }
+    }
+    offset_ = (offset_ + len) % n;
+    return best;
+  }
+
+  void reset() override { offset_ = start_offset_; }
+
+  [[nodiscard]] std::unique_ptr<SelectionPolicy> clone() const override {
+    return std::make_unique<WindowMinDeltaPolicy>(window_, start_offset_);
+  }
+
+  [[nodiscard]] BitIndex window() const { return window_; }
+
+ private:
+  BitIndex window_;
+  BitIndex start_offset_;
+  BitIndex offset_;
+};
+
+/// Steepest descent: always flips the global min-Δ bit (the l = n end).
+class GreedyMinDeltaPolicy final : public SelectionPolicy {
+ public:
+  BitIndex select(const DeltaState& state, Rng&) override {
+    const auto deltas = state.deltas();
+    BitIndex best = 0;
+    for (BitIndex i = 1; i < state.size(); ++i) {
+      if (deltas[i] < deltas[best]) best = i;
+    }
+    return best;
+  }
+
+  [[nodiscard]] std::unique_ptr<SelectionPolicy> clone() const override {
+    return std::make_unique<GreedyMinDeltaPolicy>();
+  }
+};
+
+/// SA-flavoured stochastic variant of the window policy: instead of the
+/// deterministic window minimum, a bit is drawn from the window with
+/// probability ∝ exp(−(Δ_i − Δ_min)/temperature). temperature → 0
+/// degenerates to WindowMinDeltaPolicy, temperature → ∞ to a uniform pick
+/// inside the window. This is the "any policy, including SA" hook of the
+/// paper's Section 2.1, usable per block through DeviceConfig's policy
+/// prototype.
+class SoftminWindowPolicy final : public SelectionPolicy {
+ public:
+  SoftminWindowPolicy(BitIndex window, double temperature,
+                      BitIndex start_offset = 0)
+      : window_(window),
+        temperature_(temperature),
+        start_offset_(start_offset),
+        offset_(start_offset) {
+    ABSQ_CHECK(window >= 1, "window length must be at least 1");
+    ABSQ_CHECK(temperature > 0.0, "temperature must be positive");
+  }
+
+  BitIndex select(const DeltaState& state, Rng& rng) override {
+    const BitIndex n = state.size();
+    const BitIndex len = window_ < n ? window_ : n;
+    const auto deltas = state.deltas();
+
+    // Two passes: find the window minimum (for numerical stability), then
+    // sample by cumulative weight.
+    Energy min_delta = deltas[offset_ % n];
+    for (BitIndex step = 1; step < len; ++step) {
+      min_delta = std::min(min_delta, deltas[(offset_ + step) % n]);
+    }
+    double total = 0.0;
+    weights_.resize(len);
+    for (BitIndex step = 0; step < len; ++step) {
+      const Energy d = deltas[(offset_ + step) % n];
+      weights_[step] =
+          std::exp(-static_cast<double>(d - min_delta) / temperature_);
+      total += weights_[step];
+    }
+    double draw = rng.uniform01() * total;
+    BitIndex chosen = offset_ % n;
+    for (BitIndex step = 0; step < len; ++step) {
+      draw -= weights_[step];
+      if (draw <= 0.0) {
+        chosen = (offset_ + step) % n;
+        break;
+      }
+    }
+    offset_ = (offset_ + len) % n;
+    return chosen;
+  }
+
+  void reset() override { offset_ = start_offset_; }
+
+  [[nodiscard]] std::unique_ptr<SelectionPolicy> clone() const override {
+    return std::make_unique<SoftminWindowPolicy>(window_, temperature_,
+                                                 start_offset_);
+  }
+
+ private:
+  BitIndex window_;
+  double temperature_;
+  BitIndex start_offset_;
+  BitIndex offset_;
+  std::vector<double> weights_;
+};
+
+/// Uniform random bit (the l = 1 end — "infinite temperature").
+class RandomBitPolicy final : public SelectionPolicy {
+ public:
+  BitIndex select(const DeltaState& state, Rng& rng) override {
+    return static_cast<BitIndex>(rng.below(state.size()));
+  }
+
+  [[nodiscard]] std::unique_ptr<SelectionPolicy> clone() const override {
+    return std::make_unique<RandomBitPolicy>();
+  }
+};
+
+}  // namespace absq

@@ -1,0 +1,46 @@
+// Instrumentation backing the paper's "search efficiency" analysis.
+//
+// Definition 1 of the paper: search efficiency = computational cost divided
+// by the number of evaluated solutions. We count computational cost as the
+// number of weight-matrix element reads performed by the search kernel —
+// the unit in which all of the paper's O(·) bounds are stated — and count a
+// solution as "evaluated" whenever its exact energy became known to the
+// algorithm. bench_search_efficiency regenerates the Lemma 1–3 / Theorem 1
+// comparison from these counters.
+#pragma once
+
+#include <cstdint>
+
+namespace absq {
+
+struct SearchStats {
+  /// Weight-matrix element reads (the paper's "computational cost").
+  std::uint64_t ops = 0;
+  /// Solutions whose energy the algorithm evaluated.
+  std::uint64_t evaluated_solutions = 0;
+  /// Bit flips committed to the current solution.
+  std::uint64_t flips = 0;
+  /// Candidate moves accepted (== flips for forced-flip algorithms).
+  std::uint64_t accepted = 0;
+  /// Times the incumbent best solution improved.
+  std::uint64_t improvements = 0;
+
+  /// Ops per evaluated solution — the search efficiency itself.
+  [[nodiscard]] double efficiency() const {
+    return evaluated_solutions == 0
+               ? 0.0
+               : static_cast<double>(ops) /
+                     static_cast<double>(evaluated_solutions);
+  }
+
+  SearchStats& operator+=(const SearchStats& other) {
+    ops += other.ops;
+    evaluated_solutions += other.evaluated_solutions;
+    flips += other.flips;
+    accepted += other.accepted;
+    improvements += other.improvements;
+    return *this;
+  }
+};
+
+}  // namespace absq

@@ -1,0 +1,44 @@
+#include "search/straight.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace absq {
+
+SearchStats straight_search(DeltaState& state, const BitVector& target,
+                            BestTracker& tracker) {
+  ABSQ_CHECK(state.size() == target.size(), "state/target size mismatch");
+  SearchStats stats;
+
+  // The set of bits still differing from the target; shrinks by exactly one
+  // element per flip.
+  std::vector<BitIndex> pending = state.bits().differing_bits(target);
+
+  while (!pending.empty()) {
+    // Greedy rule of Algorithm 5: minimum Δ_k among differing bits.
+    const auto deltas = state.deltas();
+    std::size_t best_pos = 0;
+    for (std::size_t p = 1; p < pending.size(); ++p) {
+      if (deltas[pending[p]] < deltas[pending[best_pos]]) best_pos = p;
+    }
+    const BitIndex k = pending[best_pos];
+    pending[best_pos] = pending.back();
+    pending.pop_back();
+
+    const auto outcome = state.flip_tracked(k);
+    ++stats.flips;
+    ++stats.accepted;
+    stats.ops += state.size();
+    stats.evaluated_solutions += state.size();
+    if (tracker.offer(state.bits(), outcome.energy)) ++stats.improvements;
+    if (tracker.offer_neighbor(state.bits(), outcome.best_neighbor_bit,
+                               outcome.best_neighbor_energy)) {
+      ++stats.improvements;
+    }
+  }
+  ABSQ_DCHECK(state.bits() == target, "straight search must end at target");
+  return stats;
+}
+
+}  // namespace absq

@@ -1,0 +1,28 @@
+// Straight search — Algorithm 5.
+//
+// Walks an existing Δ-maintained search state from its current solution X to
+// a GA-generated target X', one bit per step, always flipping the *differing*
+// bit with minimum Δ. The walk terminates in exactly Hamming(X, X') flips
+// (each flip removes one differing bit and can never re-create one), keeps
+// the incremental Δ state valid throughout — which is the whole point: a new
+// GA target is reached without ever recomputing E from scratch — and doubles
+// as a local search because the best solution seen is recorded. Because
+// every step moves closer to X', the walk can escape the local minimum it
+// started in.
+#pragma once
+
+#include "qubo/bit_vector.hpp"
+#include "qubo/delta_state.hpp"
+#include "search/stats.hpp"
+#include "search/tracker.hpp"
+
+namespace absq {
+
+/// Runs the straight search in place. `state` ends exactly at `target`.
+/// The tracker is offered every visited solution and (going beyond the
+/// letter of Algorithm 5, at no extra asymptotic cost) every evaluated
+/// neighbour via the fused Δ-repair pass.
+SearchStats straight_search(DeltaState& state, const BitVector& target,
+                            BestTracker& tracker);
+
+}  // namespace absq

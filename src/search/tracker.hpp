@@ -1,0 +1,61 @@
+// BestTracker — the incumbent (B, E(B)) of a search.
+//
+// Algorithm 4 evaluates n neighbour energies per flip but only rarely finds
+// an improvement, so the tracker is designed to make the common path a
+// single integer compare: offer_*() copies bits only when the incumbent
+// actually improves.
+#pragma once
+
+#include <limits>
+
+#include "qubo/bit_vector.hpp"
+#include "qubo/types.hpp"
+
+namespace absq {
+
+class BestTracker {
+ public:
+  BestTracker() = default;
+
+  /// Seeds the tracker with a known solution.
+  BestTracker(const BitVector& bits, Energy energy)
+      : best_(bits), energy_(energy), valid_(true) {}
+
+  /// True once any solution has been offered/seeded.
+  [[nodiscard]] bool valid() const { return valid_; }
+  [[nodiscard]] const BitVector& best() const { return best_; }
+  [[nodiscard]] Energy energy() const {
+    return valid_ ? energy_ : std::numeric_limits<Energy>::max();
+  }
+
+  /// Offers the current solution X itself. Returns true on improvement.
+  bool offer(const BitVector& x, Energy e) {
+    if (valid_ && e >= energy_) return false;
+    best_ = x;
+    energy_ = e;
+    valid_ = true;
+    return true;
+  }
+
+  /// Offers the neighbour flip_i(X) with known energy `e` — materializes
+  /// the flip only on improvement (the B ← flip_i(X) update of Alg. 4).
+  bool offer_neighbor(const BitVector& x, BitIndex i, Energy e) {
+    if (valid_ && e >= energy_) return false;
+    best_ = x;
+    best_.flip(i);
+    energy_ = e;
+    valid_ = true;
+    return true;
+  }
+
+  /// Forgets the incumbent — device Step 3 ("reset the best solution"),
+  /// which the paper uses to keep blocks reporting diverse solutions.
+  void reset() { valid_ = false; }
+
+ private:
+  BitVector best_;
+  Energy energy_ = std::numeric_limits<Energy>::max();
+  bool valid_ = false;
+};
+
+}  // namespace absq

@@ -1,0 +1,83 @@
+#include "sim/device_spec.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace absq::sim {
+namespace {
+
+std::uint32_t ceil_div(std::uint32_t a, std::uint32_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+bool feasible_bits_per_thread(const DeviceSpec& spec, BitIndex n,
+                              std::uint32_t p) {
+  if (p == 0 || n == 0) return false;
+  const std::uint32_t tpb = ceil_div(n, p);
+  if (tpb > spec.max_threads_per_block) return false;
+  // Per-thread register budget caps p (the paper's "64 registers per thread
+  // supports up to 32k bits" rule: p ≤ 32 on the default spec).
+  if (p * spec.registers_per_bit > spec.registers_per_thread_budget()) {
+    return false;
+  }
+  return true;
+}
+
+Occupancy compute_occupancy(const DeviceSpec& spec, BitIndex n,
+                            std::uint32_t p) {
+  ABSQ_CHECK(feasible_bits_per_thread(spec, n, p),
+             "bits per thread p=" << p << " infeasible for n=" << n);
+  Occupancy occ;
+  occ.bits_per_thread = p;
+  occ.threads_per_block = ceil_div(n, p);
+
+  // Threads are allocated in warp granularity.
+  const std::uint32_t warps_per_block =
+      ceil_div(occ.threads_per_block, spec.warp_size);
+  const std::uint32_t thread_cost = warps_per_block * spec.warp_size;
+
+  const std::uint32_t by_threads = spec.max_threads_per_sm / thread_cost;
+  const std::uint32_t by_slots = spec.max_blocks_per_sm;
+  const std::uint32_t regs_per_thread = p * spec.registers_per_bit;
+  const std::uint32_t by_registers =
+      spec.registers_per_sm / (thread_cost * regs_per_thread);
+
+  occ.blocks_per_sm = std::min({by_threads, by_slots, by_registers});
+  if (occ.blocks_per_sm == by_threads) {
+    occ.limiter = Occupancy::Limiter::kThreads;
+  } else if (occ.blocks_per_sm == by_registers) {
+    occ.limiter = Occupancy::Limiter::kRegisters;
+  } else {
+    occ.limiter = Occupancy::Limiter::kBlockSlots;
+  }
+  occ.active_blocks = occ.blocks_per_sm * spec.sm_count;
+  occ.occupancy = static_cast<double>(occ.blocks_per_sm * warps_per_block) /
+                  static_cast<double>(spec.max_warps_per_sm);
+  return occ;
+}
+
+std::vector<std::uint32_t> feasible_bits_per_thread_sweep(
+    const DeviceSpec& spec, BitIndex n) {
+  // The paper sweeps power-of-two p and keeps only configurations reaching
+  // 100% occupancy (Table 2's selection rule).
+  std::vector<std::uint32_t> result;
+  for (std::uint32_t p = 1; p <= 64; p *= 2) {
+    if (!feasible_bits_per_thread(spec, n, p)) continue;
+    if (compute_occupancy(spec, n, p).occupancy >= 1.0) result.push_back(p);
+  }
+  return result;
+}
+
+std::uint32_t default_bits_per_thread(const DeviceSpec& spec, BitIndex n) {
+  for (std::uint32_t p = 1; p <= 1024; p *= 2) {
+    if (feasible_bits_per_thread(spec, n, p)) return p;
+  }
+  ABSQ_CHECK(false, "no feasible bits-per-thread for n=" << n
+                        << " on this device spec");
+  return 0;  // unreachable
+}
+
+}  // namespace absq::sim

@@ -1,0 +1,75 @@
+// DeviceSpec & occupancy model — the resource arithmetic of Section 3.2.
+//
+// The paper sizes its kernel so that occupancy is 100%: for an n-bit
+// instance with p bits per thread, a CUDA block has n/p threads, and the
+// number of blocks resident on one streaming multiprocessor is limited by
+// (a) the SM's thread budget, (b) its block-slot budget and (c) its register
+// file, each thread holding p Δ values. Table 2's
+// bits/thread → threads/block → active blocks/GPU columns all follow from
+// this arithmetic; we reproduce it exactly for the default RTX 2080 Ti spec
+// so the simulated device schedules the same number of concurrent searches
+// per "GPU" as the paper's hardware ran.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qubo/types.hpp"
+
+namespace absq::sim {
+
+/// Static resources of one simulated GPU. Defaults model the NVIDIA GeForce
+/// RTX 2080 Ti (Turing, CC 7.5) used in the paper.
+struct DeviceSpec {
+  std::uint32_t sm_count = 68;
+  std::uint32_t warp_size = 32;
+  std::uint32_t max_threads_per_sm = 1024;
+  std::uint32_t max_warps_per_sm = 32;
+  std::uint32_t max_blocks_per_sm = 16;
+  std::uint32_t max_threads_per_block = 1024;
+  std::uint32_t registers_per_sm = 65536;
+  /// Register cost per handled bit: one 32-bit register for the bit's Δ
+  /// low half plus one for bookkeeping — 2 registers per bit gives the
+  /// paper's "64 registers per thread supports up to 32k bits" at p = 32.
+  std::uint32_t registers_per_bit = 2;
+  /// 11 GB GDDR6 — checked against the weight-matrix footprint.
+  std::uint64_t global_memory_bytes = 11ULL << 30;
+
+  [[nodiscard]] std::uint32_t registers_per_thread_budget() const {
+    return registers_per_sm / max_threads_per_sm;  // 64 on the default spec
+  }
+};
+
+/// Resolved kernel geometry for (spec, n, bits_per_thread).
+struct Occupancy {
+  std::uint32_t bits_per_thread = 0;   ///< p
+  std::uint32_t threads_per_block = 0; ///< n / p
+  std::uint32_t blocks_per_sm = 0;
+  std::uint32_t active_blocks = 0;     ///< blocks_per_sm × sm_count
+  /// Resident warps / max warps, 1.0 = the paper's 100% occupancy goal.
+  double occupancy = 0.0;
+
+  /// The limiting resource, for reporting.
+  enum class Limiter { kThreads, kBlockSlots, kRegisters } limiter =
+      Limiter::kThreads;
+};
+
+/// True iff p is a feasible bits-per-thread choice for an n-bit instance on
+/// `spec`: p divides n, the block fits the thread budget, each thread's p
+/// bits fit its register budget, and the block is warp-aligned.
+[[nodiscard]] bool feasible_bits_per_thread(const DeviceSpec& spec, BitIndex n,
+                                            std::uint32_t p);
+
+/// Computes the kernel geometry; requires feasible_bits_per_thread().
+[[nodiscard]] Occupancy compute_occupancy(const DeviceSpec& spec, BitIndex n,
+                                          std::uint32_t p);
+
+/// All feasible p for an n-bit instance, ascending (the sweep of Table 2).
+[[nodiscard]] std::vector<std::uint32_t> feasible_bits_per_thread_sweep(
+    const DeviceSpec& spec, BitIndex n);
+
+/// Smallest feasible p (largest blocks). Convenient default.
+[[nodiscard]] std::uint32_t default_bits_per_thread(const DeviceSpec& spec,
+                                                    BitIndex n);
+
+}  // namespace absq::sim

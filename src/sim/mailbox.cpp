@@ -1,0 +1,56 @@
+#include "sim/mailbox.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace absq::sim {
+
+TargetBuffer::TargetBuffer(std::size_t capacity) : capacity_(capacity) {
+  ABSQ_CHECK(capacity >= 1, "target buffer needs capacity >= 1");
+}
+
+void TargetBuffer::push(BitVector target) {
+  std::lock_guard lock(mutex_);
+  if (queue_.size() >= capacity_) queue_.pop_front();
+  queue_.push_back(std::move(target));
+  pushed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<BitVector> TargetBuffer::poll() {
+  std::lock_guard lock(mutex_);
+  if (queue_.empty()) return std::nullopt;
+  BitVector target = std::move(queue_.front());
+  queue_.pop_front();
+  return target;
+}
+
+std::size_t TargetBuffer::pending() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+SolutionBuffer::SolutionBuffer(std::size_t capacity) : capacity_(capacity) {
+  ABSQ_CHECK(capacity >= 1, "solution buffer needs capacity >= 1");
+}
+
+void SolutionBuffer::push(ReportedSolution solution) {
+  std::lock_guard lock(mutex_);
+  if (queue_.size() >= capacity_) {
+    queue_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  queue_.push_back(std::move(solution));
+  pushed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<ReportedSolution> SolutionBuffer::drain() {
+  std::lock_guard lock(mutex_);
+  std::vector<ReportedSolution> result(
+      std::make_move_iterator(queue_.begin()),
+      std::make_move_iterator(queue_.end()));
+  queue_.clear();
+  return result;
+}
+
+}  // namespace absq::sim

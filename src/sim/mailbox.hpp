@@ -1,0 +1,99 @@
+// Asynchronous host↔device mailboxes — the global-memory buffers of Fig. 5.
+//
+// The ABS host and its devices never synchronize directly: the host writes
+// GA-bred targets into a target buffer and polls a monotonic counter to
+// learn that new solutions have arrived in a solution buffer (the paper does
+// the counter read with cudaMemcpyAsync). Two properties of the hardware
+// protocol are preserved faithfully because the solver's behaviour depends
+// on them:
+//
+//   1. devices never block — a full solution buffer drops the *oldest*
+//      entry, and an empty target buffer returns nothing (the block then
+//      continues searching from where it is);
+//   2. the host can observe progress without draining — counter() is a
+//      single atomic read.
+//
+// Internally each buffer is a mutex-guarded ring; the fetch/push happens
+// once per block iteration (thousands of flips), so the lock is not a
+// throughput factor — measured and documented in bench_kernels.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "qubo/bit_vector.hpp"
+#include "qubo/types.hpp"
+
+namespace absq::sim {
+
+/// Host → device: GA-bred target solutions.
+class TargetBuffer {
+ public:
+  explicit TargetBuffer(std::size_t capacity);
+
+  /// Host side. A full buffer overwrites its oldest target (staler GA
+  /// output is strictly less interesting than fresher).
+  void push(BitVector target);
+
+  /// Device side. Returns the oldest unread target, or nullopt when the
+  /// host has not kept up — the caller keeps searching its current
+  /// neighbourhood rather than stalling.
+  [[nodiscard]] std::optional<BitVector> poll();
+
+  /// Total targets ever pushed (monotonic).
+  [[nodiscard]] std::uint64_t pushed() const {
+    return pushed_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<BitVector> queue_;
+  std::atomic<std::uint64_t> pushed_{0};
+};
+
+/// One best-found solution reported by a search block (device Step 5).
+struct ReportedSolution {
+  BitVector bits;
+  Energy energy = 0;
+  std::uint32_t device_id = 0;
+  std::uint32_t block_id = 0;
+};
+
+/// Device → host: best solutions found per block iteration.
+class SolutionBuffer {
+ public:
+  explicit SolutionBuffer(std::size_t capacity);
+
+  /// Device side; never blocks. A full buffer drops its oldest entry.
+  void push(ReportedSolution solution);
+
+  /// Host side: removes and returns everything currently buffered.
+  [[nodiscard]] std::vector<ReportedSolution> drain();
+
+  /// The global counter the host polls (total solutions ever pushed).
+  [[nodiscard]] std::uint64_t counter() const {
+    return pushed_.load(std::memory_order_relaxed);
+  }
+
+  /// Solutions lost to overwrites — reported in run statistics so a
+  /// misconfigured (host-starved) run is visible.
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<ReportedSolution> queue_;
+  std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace absq::sim

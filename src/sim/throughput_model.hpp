@@ -1,0 +1,61 @@
+// First-order GPU throughput model backing the Table 2 / Fig. 8 benches.
+//
+// This environment has no GPU, so absolute search rates cannot be
+// measured on the paper's hardware. The benches therefore report three
+// numbers per kernel configuration:
+//
+//   1. the exact occupancy geometry (deterministic, from device_spec),
+//   2. the search rate measured on the host CPU (absolute, honest), and
+//   3. the estimate from this model — a two-parameter latency model capped
+//      by memory bandwidth:
+//
+//        t_flip  = t_base + t_bit · p + t_stream · n       (per block)
+//        flips/s = min( blocks_per_gpu / t_flip,  BW / (2n bytes) )
+//        rate    = flips/s · n · num_gpus                  (solutions/s)
+//
+// Every flip streams one n-entry int16 matrix row from global memory —
+// t_stream is the effective (latency-hiding-adjusted) per-bit cost of that
+// stream and the hard BW term its absolute ceiling; t_base covers the fixed
+// per-flip latency (selection, reduction, bookkeeping) and t_bit the serial
+// per-thread work of updating p Δ values. The three constants are
+// calibrated on Table 2's 1k-bit column plus its p = 16 row series and
+// reproduce the table's qualitative shape — rate grows with resident
+// blocks, peaks at p = 16 for 1k bits (1.21 vs the paper's 1.24 T/s), and
+// declines with n down to ~0.47 vs 0.439 T/s at 32k. Fit error is within
+// ~±30% on every row; see EXPERIMENTS.md for the full side-by-side.
+#pragma once
+
+#include "sim/device_spec.hpp"
+
+namespace absq::sim {
+
+struct ThroughputModel {
+  /// Fixed per-flip latency of one block, seconds.
+  double t_base = 0.7e-6;
+  /// Additional per-flip latency per bit handled by a thread, seconds.
+  double t_bit = 0.16e-6;
+  /// Effective per-bit cost of streaming the weight row, seconds.
+  double t_stream = 0.4e-9;
+  /// Global memory bandwidth, bytes/second (GDDR6 on the RTX 2080 Ti).
+  double bandwidth = 616e9;
+
+  /// Estimated evaluated-solutions per second for `gpus` devices running
+  /// the (n, occupancy) kernel.
+  [[nodiscard]] double solutions_per_second(BitIndex n,
+                                            const Occupancy& occupancy,
+                                            unsigned gpus) const {
+    const double t_flip =
+        t_base + t_bit * static_cast<double>(occupancy.bits_per_thread) +
+        t_stream * static_cast<double>(n);
+    const double flips_by_latency =
+        static_cast<double>(occupancy.active_blocks) / t_flip;
+    const double flips_by_bandwidth =
+        bandwidth / (2.0 * static_cast<double>(n));
+    const double flips =
+        flips_by_latency < flips_by_bandwidth ? flips_by_latency
+                                              : flips_by_bandwidth;
+    return flips * static_cast<double>(n) * gpus;
+  }
+};
+
+}  // namespace absq::sim

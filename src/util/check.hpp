@@ -1,0 +1,51 @@
+// Lightweight precondition / invariant checking.
+//
+// ABSQ_CHECK(cond, msg)    — always-on check; throws absq::CheckError.
+// ABSQ_DCHECK(cond, msg)   — debug-only check; compiled out in NDEBUG builds.
+//
+// The library follows the C++ Core Guidelines convention that broken
+// preconditions on the public API surface are reported by exception, so a
+// host application embedding the solver can recover (e.g. reject one bad
+// instance file without killing a long-running service).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace absq {
+
+/// Error thrown when an ABSQ_CHECK condition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << cond << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace absq
+
+#define ABSQ_CHECK(cond, msg)                                      \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::absq::detail::check_failed(#cond, __FILE__, __LINE__,      \
+                                   (std::ostringstream{} << msg)   \
+                                       .str());                    \
+    }                                                              \
+  } while (false)
+
+#ifdef NDEBUG
+#define ABSQ_DCHECK(cond, msg) \
+  do {                         \
+  } while (false)
+#else
+#define ABSQ_DCHECK(cond, msg) ABSQ_CHECK(cond, msg)
+#endif

@@ -1,0 +1,160 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace absq {
+namespace {
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case 0: return "string";
+    case 1: return "int";
+    case 2: return "double";
+    case 3: return "bool";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+CliParser::CliParser(std::string program_summary)
+    : summary_(std::move(program_summary)) {
+  add_flag("help", false, "print this help and exit");
+}
+
+void CliParser::add_flag(const std::string& name, std::string default_value,
+                         std::string help) {
+  flags_[name] = Flag{Kind::kString, default_value, std::move(default_value),
+                      std::move(help)};
+}
+
+void CliParser::add_flag(const std::string& name, std::int64_t default_value,
+                         std::string help) {
+  auto text = std::to_string(default_value);
+  flags_[name] = Flag{Kind::kInt, text, text, std::move(help)};
+}
+
+void CliParser::add_flag(const std::string& name, double default_value,
+                         std::string help) {
+  auto text = std::to_string(default_value);
+  flags_[name] = Flag{Kind::kDouble, text, text, std::move(help)};
+}
+
+void CliParser::add_flag(const std::string& name, bool default_value,
+                         std::string help) {
+  const char* text = default_value ? "true" : "false";
+  flags_[name] = Flag{Kind::kBool, text, text, std::move(help)};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+
+    // --no-name for booleans.
+    bool negated = false;
+    auto it = flags_.find(name);
+    if (it == flags_.end() && name.rfind("no-", 0) == 0) {
+      it = flags_.find(name.substr(3));
+      if (it != flags_.end() && it->second.kind == Kind::kBool) negated = true;
+    }
+    ABSQ_CHECK(it != flags_.end(), "unknown flag --" << name);
+    Flag& flag = it->second;
+
+    if (flag.kind == Kind::kBool) {
+      if (!has_value) {
+        flag.value = negated ? "false" : "true";
+      } else {
+        ABSQ_CHECK(value == "true" || value == "false",
+                   "--" << name << " expects true/false, got '" << value
+                        << "'");
+        flag.value = value;
+      }
+      continue;
+    }
+
+    if (!has_value) {
+      ABSQ_CHECK(i + 1 < argc, "--" << name << " is missing a value");
+      value = argv[++i];
+    }
+
+    // Validate numeric forms eagerly so sweeps fail at startup.
+    try {
+      std::size_t pos = 0;
+      if (flag.kind == Kind::kInt) {
+        (void)std::stoll(value, &pos);
+        ABSQ_CHECK(pos == value.size(), "--" << name << ": trailing junk in '"
+                                             << value << "'");
+      } else if (flag.kind == Kind::kDouble) {
+        (void)std::stod(value, &pos);
+        ABSQ_CHECK(pos == value.size(), "--" << name << ": trailing junk in '"
+                                             << value << "'");
+      }
+    } catch (const std::invalid_argument&) {
+      ABSQ_CHECK(false, "--" << name << ": '" << value << "' is not a "
+                             << kind_name(static_cast<int>(flag.kind)));
+    } catch (const std::out_of_range&) {
+      ABSQ_CHECK(false, "--" << name << ": '" << value << "' out of range");
+    }
+    flag.value = std::move(value);
+  }
+
+  if (get_bool("help")) {
+    print_help();
+    return false;
+  }
+  return true;
+}
+
+const CliParser::Flag& CliParser::find(const std::string& name,
+                                       Kind expected) const {
+  auto it = flags_.find(name);
+  ABSQ_CHECK(it != flags_.end(), "flag --" << name << " was never registered");
+  ABSQ_CHECK(it->second.kind == expected,
+             "flag --" << name << " read with the wrong type accessor");
+  return it->second;
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  return find(name, Kind::kString).value;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  return std::stoll(find(name, Kind::kInt).value);
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return std::stod(find(name, Kind::kDouble).value);
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  return find(name, Kind::kBool).value == "true";
+}
+
+void CliParser::print_help() const {
+  std::printf("%s\n\nFlags:\n", summary_.c_str());
+  for (const auto& [name, flag] : flags_) {
+    std::printf("  --%-24s %s (%s, default: %s)\n", name.c_str(),
+                flag.help.c_str(), kind_name(static_cast<int>(flag.kind)),
+                flag.default_value.empty() ? "\"\""
+                                           : flag.default_value.c_str());
+  }
+}
+
+}  // namespace absq

@@ -1,0 +1,62 @@
+// A small command-line flag parser shared by the examples and the benchmark
+// harnesses. Supports `--name value`, `--name=value` and boolean
+// `--name` / `--no-name` forms, prints a generated --help, and rejects
+// unknown flags so typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace absq {
+
+class CliParser {
+ public:
+  /// `program_summary` is printed at the top of --help output.
+  explicit CliParser(std::string program_summary);
+
+  /// Registers a flag; `help` is shown in --help. The default value doubles
+  /// as documentation of the flag's type.
+  void add_flag(const std::string& name, std::string default_value,
+                std::string help);
+  void add_flag(const std::string& name, std::int64_t default_value,
+                std::string help);
+  void add_flag(const std::string& name, double default_value,
+                std::string help);
+  void add_flag(const std::string& name, bool default_value, std::string help);
+
+  /// Parses argv. Returns false (after printing help) when --help was given.
+  /// Throws CheckError on unknown flags or malformed values.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Positional arguments (everything that is not a --flag).
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  void print_help() const;
+
+ private:
+  enum class Kind { kString, kInt, kDouble, kBool };
+
+  struct Flag {
+    Kind kind;
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+
+  const Flag& find(const std::string& name, Kind expected) const;
+
+  std::string summary_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace absq

@@ -1,0 +1,114 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// Every stochastic component in the library (GA operators, SA acceptance,
+// workload generators) takes an explicit RNG so that whole solver runs are
+// reproducible from a single seed. We use xoshiro256** seeded through
+// splitmix64, the combination recommended by the xoshiro authors: splitmix64
+// decorrelates arbitrary user seeds, and independent streams are derived by
+// jumping the seed, which lets each simulated device / CUDA block own a
+// private stream without synchronization.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace absq {
+
+/// splitmix64 — used only for seeding and cheap hashing.
+/// Reference: Sebastiano Vigna, public-domain implementation.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Mix an arbitrary 64-bit value into a well-distributed hash.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality, 2^256-1 period.
+///
+/// Satisfies std::uniform_random_bit_generator, so it can be plugged into
+/// <random> distributions, though the bundled helpers below avoid libstdc++
+/// distribution implementations to keep results identical across platforms.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words through splitmix64 so that any seed —
+  /// including 0 — produces a healthy state.
+  explicit constexpr Rng(std::uint64_t seed = 0x243f6a8885a308d3ULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Lemire's multiply-shift rejection method — unbiased and branch-light.
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    // 128-bit multiply; __uint128_t is available on all GCC/Clang targets
+    // this library supports.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  constexpr std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  constexpr double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p (clamped to [0,1] semantics).
+  constexpr bool chance(double p) { return uniform01() < p; }
+
+  /// Derives an independent child stream. Streams obtained from distinct
+  /// `index` values are decorrelated via splitmix64 over (state, index).
+  constexpr Rng split(std::uint64_t index) const {
+    std::uint64_t s = state_[0] ^ rotl(state_[3], 13) ^
+                      (0x9e3779b97f4a7c15ULL * (index + 1));
+    return Rng(splitmix64(s));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace absq

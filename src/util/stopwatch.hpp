@@ -1,0 +1,61 @@
+// Wall-clock stopwatch and deadline helpers used by solver stopping criteria
+// and by the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace absq {
+
+/// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from now.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in nanoseconds.
+  [[nodiscard]] std::int64_t nanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// A fixed point in the future; cheap to test against in hot loops.
+class Deadline {
+ public:
+  /// A deadline `seconds` from now. Non-positive values mean "already due";
+  /// use Deadline::never() for "no limit".
+  explicit Deadline(double seconds)
+      : due_(Stopwatch::Clock::now() +
+             std::chrono::duration_cast<Stopwatch::Clock::duration>(
+                 std::chrono::duration<double>(seconds))) {}
+
+  /// A deadline that never expires.
+  static Deadline never() {
+    Deadline d(0.0);
+    d.due_ = Stopwatch::Clock::time_point::max();
+    return d;
+  }
+
+  [[nodiscard]] bool expired() const {
+    return Stopwatch::Clock::now() >= due_;
+  }
+
+ private:
+  Stopwatch::Clock::time_point due_;
+};
+
+}  // namespace absq

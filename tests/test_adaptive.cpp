@@ -1,0 +1,187 @@
+// Tests for the future-work extensions: custom per-block policies and
+// adaptive window switching (Section 5's "each CUDA block would perform
+// different algorithms and possibly they are changed automatically").
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "abs/device.hpp"
+#include "abs/search_block.hpp"
+#include "abs/solver.hpp"
+#include "problems/random.hpp"
+#include "qubo/energy.hpp"
+#include "search/policy.hpp"
+#include "util/rng.hpp"
+
+namespace absq {
+namespace {
+
+/// A policy that counts its select() calls — proves prototype cloning and
+/// per-block use.
+class CountingPolicy final : public SelectionPolicy {
+ public:
+  explicit CountingPolicy(std::atomic<std::uint64_t>* counter)
+      : counter_(counter) {}
+
+  BitIndex select(const DeltaState& state, Rng& rng) override {
+    counter_->fetch_add(1, std::memory_order_relaxed);
+    return static_cast<BitIndex>(rng.below(state.size()));
+  }
+
+  [[nodiscard]] std::unique_ptr<SelectionPolicy> clone() const override {
+    return std::make_unique<CountingPolicy>(counter_);
+  }
+
+ private:
+  std::atomic<std::uint64_t>* counter_;
+};
+
+SearchBlock::Config base_config(std::uint64_t local_steps = 16) {
+  SearchBlock::Config config;
+  config.window = 8;
+  config.local_steps = local_steps;
+  config.seed = 5;
+  return config;
+}
+
+TEST(CustomPolicy, PrototypeIsClonedAndUsedByBlock) {
+  const WeightMatrix w = random_qubo(32, 1);
+  std::atomic<std::uint64_t> calls{0};
+  CountingPolicy prototype(&calls);
+  auto config = base_config(10);
+  config.policy_prototype = &prototype;
+  SearchBlock block(w, config);
+  (void)block.iterate(block.current());
+  EXPECT_EQ(calls.load(), 10u);  // one select per local step
+  EXPECT_EQ(block.current_window(), 0u);  // unknown for custom policies
+}
+
+TEST(CustomPolicy, DeviceStampsPrototypeOntoEveryBlock) {
+  const WeightMatrix w = random_qubo(32, 2);
+  std::atomic<std::uint64_t> calls{0};
+  CountingPolicy prototype(&calls);
+  DeviceConfig config;
+  config.block_limit = 3;
+  config.local_steps = 7;
+  config.policy_prototype = &prototype;
+  Device device(w, config);
+  device.step_all_blocks_once();
+  EXPECT_EQ(calls.load(), 3u * 7u);
+}
+
+TEST(CustomPolicy, SearchStaysCorrectUnderCustomPolicy) {
+  const WeightMatrix w = random_qubo(48, 3);
+  std::atomic<std::uint64_t> calls{0};
+  CountingPolicy prototype(&calls);
+  auto config = base_config(64);
+  config.policy_prototype = &prototype;
+  SearchBlock block(w, config);
+  Rng rng(4);
+  for (int i = 0; i < 5; ++i) {
+    const auto report = block.iterate(BitVector::random(48, rng));
+    EXPECT_EQ(report.energy, full_energy(w, report.bits));
+  }
+}
+
+TEST(Adaptive, StartsOnOwnLadderRung) {
+  const WeightMatrix w = random_qubo(32, 5);
+  auto config = base_config();
+  config.adaptive_windows = {2, 8, 16};
+  config.block_id = 1;
+  SearchBlock block(w, config);
+  EXPECT_EQ(block.current_window(), 8u);
+}
+
+TEST(Adaptive, StagnationAdvancesTheLadder) {
+  const WeightMatrix w = random_qubo(24, 6);
+  auto config = base_config(4);
+  config.adaptive_windows = {2, 8, 16};
+  config.stagnation_limit = 3;
+  SearchBlock block(w, config);
+  const BitIndex initial = block.current_window();
+
+  // Iterating against the block's own (unchanging) solution stagnates
+  // quickly: the first report sets the bar, later ones can't beat it
+  // forever on a 24-bit instance.
+  std::uint64_t switches_before = block.policy_switches();
+  for (int i = 0; i < 40; ++i) (void)block.iterate(block.current());
+  EXPECT_GT(block.policy_switches(), switches_before);
+  // The ladder moved at least once; the window is one of the rungs.
+  bool on_ladder = false;
+  for (const BitIndex l : config.adaptive_windows) {
+    on_ladder |= (block.current_window() == l);
+  }
+  EXPECT_TRUE(on_ladder);
+  (void)initial;
+}
+
+TEST(Adaptive, ImprovementsResetTheStagnationCounter) {
+  const WeightMatrix w = random_qubo(16, 7);
+  auto config = base_config(2);
+  config.adaptive_windows = {4, 8};
+  config.stagnation_limit = 1000;  // effectively never switch
+  SearchBlock block(w, config);
+  Rng rng(8);
+  for (int i = 0; i < 50; ++i) (void)block.iterate(BitVector::random(16, rng));
+  EXPECT_EQ(block.policy_switches(), 0u);
+}
+
+TEST(Adaptive, RejectsZeroStagnationLimit) {
+  const WeightMatrix w = random_qubo(16, 8);
+  auto config = base_config();
+  config.adaptive_windows = {4, 8};
+  config.stagnation_limit = 0;
+  EXPECT_THROW(SearchBlock(w, config), CheckError);
+}
+
+TEST(Adaptive, DeviceWiresLadderWhenEnabled) {
+  const WeightMatrix w = random_qubo(64, 9);
+  DeviceConfig config;
+  config.block_limit = 4;
+  config.local_steps = 8;
+  config.adaptive = true;
+  config.window_schedule = {2, 32};
+  config.stagnation_limit = 2;
+  Device device(w, config);
+  // Blocks start at round-robin rungs of the schedule.
+  EXPECT_EQ(device.block(0).current_window(), 2u);
+  EXPECT_EQ(device.block(1).current_window(), 32u);
+  // Stagnate them: step without ever pushing targets.
+  for (int i = 0; i < 30; ++i) device.step_all_blocks_once();
+  std::uint64_t total_switches = 0;
+  for (std::uint32_t b = 0; b < device.block_count(); ++b) {
+    total_switches += device.block(b).policy_switches();
+  }
+  EXPECT_GT(total_switches, 0u);
+}
+
+TEST(Adaptive, SolverRunsEndToEndWithAdaptiveDevices) {
+  const WeightMatrix w = random_qubo(64, 10);
+  AbsConfig config;
+  config.device.block_limit = 4;
+  config.device.adaptive = true;
+  config.seed = 11;
+  AbsSolver solver(w, config);
+  StopCriteria stop;
+  stop.max_flips = 20000;
+  stop.time_limit_seconds = 30.0;
+  const AbsResult result = solver.run(stop);
+  EXPECT_EQ(result.best_energy, full_energy(w, result.best));
+}
+
+TEST(SoftminPolicy, UsableThroughDevice) {
+  const WeightMatrix w = random_qubo(48, 11);
+  SoftminWindowPolicy prototype(16, 50.0);
+  DeviceConfig config;
+  config.block_limit = 2;
+  config.local_steps = 32;
+  config.policy_prototype = &prototype;
+  Device device(w, config);
+  device.step_all_blocks_once();
+  for (const auto& report : device.solutions().drain()) {
+    EXPECT_EQ(report.energy, full_energy(w, report.bits));
+  }
+}
+
+}  // namespace
+}  // namespace absq

@@ -1,0 +1,196 @@
+#include "qubo/bit_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace absq {
+namespace {
+
+TEST(BitVector, DefaultIsEmpty) {
+  BitVector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(BitVector, ConstructedZeroed) {
+  BitVector v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.popcount(), 0u);
+  for (BitIndex i = 0; i < v.size(); ++i) EXPECT_EQ(v.get(i), 0);
+}
+
+TEST(BitVector, SetGetFlip) {
+  BitVector v(70);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(69, true);
+  EXPECT_EQ(v.get(0), 1);
+  EXPECT_EQ(v.get(63), 1);
+  EXPECT_EQ(v.get(64), 1);
+  EXPECT_EQ(v.get(69), 1);
+  EXPECT_EQ(v.get(1), 0);
+  EXPECT_EQ(v.popcount(), 4u);
+
+  v.flip(63);
+  EXPECT_EQ(v.get(63), 0);
+  v.flip(63);
+  EXPECT_EQ(v.get(63), 1);
+
+  v.set(0, false);
+  EXPECT_EQ(v.get(0), 0);
+  EXPECT_EQ(v.popcount(), 3u);
+}
+
+TEST(BitVector, WithFlipIsPure) {
+  BitVector v = BitVector::from_string("0101");
+  const BitVector flipped = v.with_flip(0);
+  EXPECT_EQ(v.to_string(), "0101");
+  EXPECT_EQ(flipped.to_string(), "1101");
+}
+
+TEST(BitVector, FromStringRoundTrip) {
+  const std::string pattern = "0110010111010001";
+  const BitVector v = BitVector::from_string(pattern);
+  EXPECT_EQ(v.size(), pattern.size());
+  EXPECT_EQ(v.to_string(), pattern);
+}
+
+TEST(BitVector, FromStringRejectsJunk) {
+  EXPECT_THROW(BitVector::from_string("0120"), CheckError);
+}
+
+TEST(BitVector, OnesListsAscendingSetBits) {
+  const BitVector v = BitVector::from_string("1001000001");
+  const std::vector<BitIndex> expected = {0, 3, 9};
+  EXPECT_EQ(v.ones(), expected);
+}
+
+TEST(BitVector, OnesAcrossWordBoundary) {
+  BitVector v(130);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(129, true);
+  const std::vector<BitIndex> expected = {63, 64, 129};
+  EXPECT_EQ(v.ones(), expected);
+}
+
+TEST(BitVector, HammingDistance) {
+  const BitVector a = BitVector::from_string("110010");
+  const BitVector b = BitVector::from_string("011010");
+  EXPECT_EQ(a.hamming_distance(b), 2u);
+  EXPECT_EQ(a.hamming_distance(a), 0u);
+  EXPECT_EQ(b.hamming_distance(a), 2u);
+}
+
+TEST(BitVector, HammingDistanceSizeMismatchThrows) {
+  EXPECT_THROW((void)BitVector(4).hamming_distance(BitVector(5)), CheckError);
+}
+
+TEST(BitVector, DifferingBits) {
+  const BitVector a = BitVector::from_string("110010");
+  const BitVector b = BitVector::from_string("011010");
+  const std::vector<BitIndex> expected = {0, 2};
+  EXPECT_EQ(a.differing_bits(b), expected);
+  EXPECT_EQ(b.differing_bits(a), expected);
+}
+
+TEST(BitVector, ClearZeroesEverything) {
+  BitVector v = BitVector::from_string("111111");
+  v.clear();
+  EXPECT_EQ(v.popcount(), 0u);
+  EXPECT_EQ(v.size(), 6u);
+}
+
+TEST(BitVector, EqualityAndOrdering) {
+  const BitVector a = BitVector::from_string("0101");
+  const BitVector b = BitVector::from_string("0101");
+  const BitVector c = BitVector::from_string("1101");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE((a <=> c) != 0);
+  // Ordering is a strict total order.
+  EXPECT_TRUE((a < c) != (c < a));
+}
+
+TEST(BitVector, DifferentSizesCompareUnequal) {
+  EXPECT_NE(BitVector(4), BitVector(5));
+}
+
+TEST(BitVector, RandomIsDeterministicPerSeed) {
+  Rng rng_a(7);
+  Rng rng_b(7);
+  const BitVector a = BitVector::random(200, rng_a);
+  const BitVector b = BitVector::random(200, rng_b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitVector, RandomTailBitsAreZero) {
+  // The unused high bits of the last word must stay zero or popcount and
+  // comparisons would break.
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const BitVector v = BitVector::random(65, rng);
+    const auto words = v.words();
+    EXPECT_EQ(words[1] >> 1, 0u) << "tail bits set in trial " << trial;
+  }
+}
+
+TEST(BitVector, RandomIsRoughlyBalanced) {
+  Rng rng(11);
+  const BitVector v = BitVector::random(4096, rng);
+  EXPECT_GT(v.popcount(), 1700u);
+  EXPECT_LT(v.popcount(), 2400u);
+}
+
+TEST(BitVector, HashDistinguishesTypicalVectors) {
+  Rng rng(13);
+  std::unordered_set<std::size_t> hashes;
+  for (int i = 0; i < 100; ++i) {
+    hashes.insert(BitVector::random(128, rng).hash());
+  }
+  EXPECT_GT(hashes.size(), 95u);
+}
+
+TEST(BitVector, HashEqualForEqualVectors) {
+  const BitVector a = BitVector::from_string("0101101");
+  const BitVector b = BitVector::from_string("0101101");
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(BitVector, PopcountMatchesOnes) {
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    const BitVector v = BitVector::random(257, rng);
+    EXPECT_EQ(v.popcount(), v.ones().size());
+  }
+}
+
+class BitVectorSizes : public ::testing::TestWithParam<BitIndex> {};
+
+TEST_P(BitVectorSizes, FlipAllBitsYieldsAllOnes) {
+  BitVector v(GetParam());
+  for (BitIndex i = 0; i < v.size(); ++i) v.flip(i);
+  EXPECT_EQ(v.popcount(), v.size());
+  EXPECT_EQ(v.to_string(), std::string(v.size(), '1'));
+}
+
+TEST_P(BitVectorSizes, HammingToComplementIsSize) {
+  Rng rng(23);
+  const BitVector a = BitVector::random(GetParam(), rng);
+  BitVector b = a;
+  for (BitIndex i = 0; i < b.size(); ++i) b.flip(i);
+  EXPECT_EQ(a.hamming_distance(b), a.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(VariedSizes, BitVectorSizes,
+                         ::testing::Values(1, 2, 63, 64, 65, 127, 128, 129,
+                                           1000));
+
+}  // namespace
+}  // namespace absq

@@ -1,0 +1,111 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace absq {
+namespace {
+
+bool parse(CliParser& parser, std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return parser.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliParser, DefaultsApplyWhenUnset) {
+  CliParser parser("test");
+  parser.add_flag("n", std::int64_t{1024}, "bits");
+  parser.add_flag("rate", 0.5, "rate");
+  parser.add_flag("name", std::string("abs"), "name");
+  parser.add_flag("verbose", false, "chatty");
+  ASSERT_TRUE(parse(parser, {}));
+  EXPECT_EQ(parser.get_int("n"), 1024);
+  EXPECT_DOUBLE_EQ(parser.get_double("rate"), 0.5);
+  EXPECT_EQ(parser.get_string("name"), "abs");
+  EXPECT_FALSE(parser.get_bool("verbose"));
+}
+
+TEST(CliParser, SpaceAndEqualsFormsBothWork) {
+  CliParser parser("test");
+  parser.add_flag("n", std::int64_t{0}, "bits");
+  parser.add_flag("m", std::int64_t{0}, "pool");
+  ASSERT_TRUE(parse(parser, {"--n", "42", "--m=7"}));
+  EXPECT_EQ(parser.get_int("n"), 42);
+  EXPECT_EQ(parser.get_int("m"), 7);
+}
+
+TEST(CliParser, BooleanForms) {
+  CliParser parser("test");
+  parser.add_flag("fast", false, "");
+  parser.add_flag("slow", true, "");
+  ASSERT_TRUE(parse(parser, {"--fast", "--no-slow"}));
+  EXPECT_TRUE(parser.get_bool("fast"));
+  EXPECT_FALSE(parser.get_bool("slow"));
+}
+
+TEST(CliParser, BooleanExplicitValue) {
+  CliParser parser("test");
+  parser.add_flag("fast", false, "");
+  ASSERT_TRUE(parse(parser, {"--fast=true"}));
+  EXPECT_TRUE(parser.get_bool("fast"));
+}
+
+TEST(CliParser, PositionalArgumentsCollected) {
+  CliParser parser("test");
+  parser.add_flag("n", std::int64_t{0}, "");
+  ASSERT_TRUE(parse(parser, {"input.qubo", "--n", "8", "more"}));
+  EXPECT_EQ(parser.positional(),
+            (std::vector<std::string>{"input.qubo", "more"}));
+}
+
+TEST(CliParser, UnknownFlagThrows) {
+  CliParser parser("test");
+  EXPECT_THROW(parse(parser, {"--bogus", "1"}), CheckError);
+}
+
+TEST(CliParser, MissingValueThrows) {
+  CliParser parser("test");
+  parser.add_flag("n", std::int64_t{0}, "");
+  EXPECT_THROW(parse(parser, {"--n"}), CheckError);
+}
+
+TEST(CliParser, MalformedNumbersThrow) {
+  CliParser parser("test");
+  parser.add_flag("n", std::int64_t{0}, "");
+  parser.add_flag("rate", 0.0, "");
+  EXPECT_THROW(parse(parser, {"--n", "abc"}), CheckError);
+  EXPECT_THROW(parse(parser, {"--n", "12x"}), CheckError);
+  EXPECT_THROW(parse(parser, {"--rate", "half"}), CheckError);
+}
+
+TEST(CliParser, NegativeAndScientificValues) {
+  CliParser parser("test");
+  parser.add_flag("energy", std::int64_t{0}, "");
+  parser.add_flag("limit", 0.0, "");
+  ASSERT_TRUE(parse(parser, {"--energy", "-182208337", "--limit", "1e-3"}));
+  EXPECT_EQ(parser.get_int("energy"), -182208337);
+  EXPECT_DOUBLE_EQ(parser.get_double("limit"), 1e-3);
+}
+
+TEST(CliParser, HelpReturnsFalse) {
+  CliParser parser("test");
+  EXPECT_FALSE(parse(parser, {"--help"}));
+}
+
+TEST(CliParser, WrongTypeAccessorThrows) {
+  CliParser parser("test");
+  parser.add_flag("n", std::int64_t{0}, "");
+  ASSERT_TRUE(parse(parser, {}));
+  EXPECT_THROW((void)parser.get_bool("n"), CheckError);
+  EXPECT_THROW((void)parser.get_string("n"), CheckError);
+}
+
+TEST(CliParser, UnregisteredAccessorThrows) {
+  CliParser parser("test");
+  ASSERT_TRUE(parse(parser, {}));
+  EXPECT_THROW((void)parser.get_int("nope"), CheckError);
+}
+
+}  // namespace
+}  // namespace absq

@@ -1,0 +1,112 @@
+#include "problems/coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "qubo/energy.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace absq {
+namespace {
+
+WeightedGraph cycle_graph(BitIndex n) {
+  WeightedGraph graph(n);
+  for (BitIndex i = 0; i < n; ++i) graph.add_edge(i, (i + 1) % n, 1);
+  return graph;
+}
+
+TEST(Coloring, EncodeDecodeRoundTrip) {
+  const WeightedGraph graph = cycle_graph(4);
+  const ColoringQubo qubo = coloring_to_qubo(graph, 2);
+  const std::vector<BitIndex> colors = {0, 1, 0, 1};
+  const BitVector x = encode_coloring(qubo, colors);
+  const auto decoded = decode_coloring(qubo, graph, x);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, colors);
+}
+
+TEST(Coloring, ValidColoringHasValidEnergy) {
+  const WeightedGraph graph = cycle_graph(6);
+  const ColoringQubo qubo = coloring_to_qubo(graph, 2);
+  const BitVector x = encode_coloring(qubo, {0, 1, 0, 1, 0, 1});
+  EXPECT_EQ(full_energy(qubo.w, x), qubo.valid_energy());
+}
+
+TEST(Coloring, DecodeRejectsImproperAndIncomplete) {
+  const WeightedGraph graph = cycle_graph(4);
+  const ColoringQubo qubo = coloring_to_qubo(graph, 2);
+  // Monochromatic edge.
+  EXPECT_FALSE(
+      decode_coloring(qubo, graph, encode_coloring(qubo, {0, 0, 1, 0}))
+          .has_value());
+  // Uncolored vertex.
+  BitVector missing(qubo.w.size());
+  missing.set(qubo.var(0, 0), true);
+  missing.set(qubo.var(1, 1), true);
+  missing.set(qubo.var(2, 0), true);
+  EXPECT_FALSE(decode_coloring(qubo, graph, missing).has_value());
+  // Doubly-colored vertex.
+  BitVector doubled = encode_coloring(qubo, {0, 1, 0, 1});
+  doubled.set(qubo.var(0, 1), true);
+  EXPECT_FALSE(decode_coloring(qubo, graph, doubled).has_value());
+}
+
+TEST(Coloring, EvenCycleIsTwoColorableOddIsNot) {
+  // Exhaustive minima: C₄ reaches valid_energy with 2 colors; C₅ cannot.
+  for (const BitIndex n : {4u, 5u}) {
+    const WeightedGraph graph = cycle_graph(n);
+    const ColoringQubo qubo = coloring_to_qubo(graph, 2);
+    const BitIndex bits = qubo.w.size();
+    ASSERT_LE(bits, 16u);
+    Energy best = std::numeric_limits<Energy>::max();
+    for (std::uint32_t assignment = 0; assignment < (1u << bits);
+         ++assignment) {
+      BitVector x(bits);
+      for (BitIndex b = 0; b < bits; ++b) {
+        if ((assignment >> b) & 1u) x.set(b, true);
+      }
+      best = std::min(best, full_energy(qubo.w, x));
+    }
+    if (n % 2 == 0) {
+      EXPECT_EQ(best, qubo.valid_energy()) << "C" << n;
+    } else {
+      EXPECT_GT(best, qubo.valid_energy()) << "C" << n;
+    }
+  }
+}
+
+TEST(Coloring, TriangleNeedsThreeColors) {
+  const WeightedGraph triangle = cycle_graph(3);
+  const ColoringQubo qubo = coloring_to_qubo(triangle, 3);
+  const auto decoded = decode_coloring(
+      qubo, triangle, encode_coloring(qubo, {0, 1, 2}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(full_energy(qubo.w, encode_coloring(qubo, {0, 1, 2})),
+            qubo.valid_energy());
+}
+
+TEST(Coloring, ViolationsCostAtLeastPenaltyEach) {
+  // Random spot-check: energy of any assignment is ≥ valid_energy, with
+  // equality only for proper complete colorings.
+  Rng rng(7);
+  const WeightedGraph graph = cycle_graph(5);
+  const ColoringQubo qubo = coloring_to_qubo(graph, 3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const BitVector x = BitVector::random(qubo.w.size(), rng);
+    const Energy e = full_energy(qubo.w, x);
+    EXPECT_GE(e, qubo.valid_energy());
+    if (e == qubo.valid_energy()) {
+      EXPECT_TRUE(decode_coloring(qubo, graph, x).has_value());
+    }
+  }
+}
+
+TEST(Coloring, SizeLimitEnforced) {
+  const WeightedGraph graph = cycle_graph(100);
+  EXPECT_THROW((void)coloring_to_qubo(graph, 1000), CheckError);
+}
+
+}  // namespace
+}  // namespace absq

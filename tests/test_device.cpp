@@ -1,0 +1,146 @@
+#include "abs/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "problems/random.hpp"
+#include "qubo/energy.hpp"
+#include "util/rng.hpp"
+
+namespace absq {
+namespace {
+
+DeviceConfig small_device_config(std::uint32_t blocks = 4,
+                                 std::uint64_t local_steps = 32) {
+  DeviceConfig config;
+  config.device_id = 0;
+  config.block_limit = blocks;
+  config.local_steps = local_steps;
+  config.seed = 11;
+  return config;
+}
+
+TEST(Device, BlockCountFollowsOccupancyModel) {
+  const WeightMatrix w = random_qubo(1024, 1);
+  DeviceConfig config;
+  config.bits_per_thread = 16;
+  config.block_limit = 0;  // no cap
+  Device device(w, config);
+  EXPECT_EQ(device.block_count(), 1088u);  // Table 2: 1k bits, p=16
+  EXPECT_EQ(device.occupancy().active_blocks, 1088u);
+}
+
+TEST(Device, BlockLimitCapsResidentBlocks) {
+  const WeightMatrix w = random_qubo(256, 2);
+  Device device(w, small_device_config(3));
+  EXPECT_EQ(device.block_count(), 3u);
+  // The occupancy model still reports the hardware-derived value.
+  EXPECT_GT(device.occupancy().active_blocks, 3u);
+}
+
+TEST(Device, WindowLadderAssignedRoundRobin) {
+  const WeightMatrix w = random_qubo(64, 3);
+  DeviceConfig config = small_device_config(4);
+  config.window_schedule = {2, 16};
+  Device device(w, config);
+  EXPECT_EQ(device.block(0).config().window, 2u);
+  EXPECT_EQ(device.block(1).config().window, 16u);
+  EXPECT_EQ(device.block(2).config().window, 2u);
+  EXPECT_EQ(device.block(3).config().window, 16u);
+}
+
+TEST(Device, SynchronousSteppingProcessesEveryBlock) {
+  const WeightMatrix w = random_qubo(64, 4);
+  Device device(w, small_device_config(4, 16));
+  Rng rng(5);
+  for (std::uint32_t b = 0; b < device.block_count(); ++b) {
+    device.targets().push(BitVector::random(64, rng));
+  }
+  device.step_all_blocks_once();
+  EXPECT_EQ(device.total_iterations(), 4u);
+  EXPECT_EQ(device.solutions().counter(), 4u);
+  const auto reports = device.solutions().drain();
+  ASSERT_EQ(reports.size(), 4u);
+  for (const auto& report : reports) {
+    EXPECT_EQ(report.energy, full_energy(w, report.bits));
+  }
+}
+
+TEST(Device, BlocksWithoutTargetsContinueSearching) {
+  const WeightMatrix w = random_qubo(64, 6);
+  Device device(w, small_device_config(2, 16));
+  // No targets at all: blocks iterate on their own current solutions.
+  device.step_all_blocks_once();
+  device.step_all_blocks_once();
+  EXPECT_EQ(device.total_iterations(), 4u);
+  EXPECT_GT(device.total_flips(), 0u);
+}
+
+TEST(Device, FlipAccountingAggregatesBlocks) {
+  const WeightMatrix w = random_qubo(64, 7);
+  Device device(w, small_device_config(3, 20));
+  device.step_all_blocks_once();  // no targets: 20 local flips per block
+  EXPECT_EQ(device.total_flips(), 3u * 20u);
+  EXPECT_EQ(device.total_evaluated(), 3u * 20u * 64u);
+}
+
+TEST(Device, AsyncStartStopIsIdempotentAndMakesProgress) {
+  const WeightMatrix w = random_qubo(128, 8);
+  Device device(w, small_device_config(2, 64));
+  Rng rng(9);
+  for (int i = 0; i < 8; ++i) device.targets().push(BitVector::random(128, rng));
+
+  device.start();
+  device.start();  // idempotent
+  EXPECT_TRUE(device.running());
+  // Wait until the device demonstrably worked.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (device.solutions().counter() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  device.stop();
+  device.stop();  // idempotent
+  EXPECT_FALSE(device.running());
+  EXPECT_GT(device.solutions().counter(), 0u);
+  EXPECT_GT(device.total_flips(), 0u);
+}
+
+TEST(Device, AsyncProgressDoesNotRequireHost) {
+  // Fidelity of the asynchronous protocol: a stalled host (nobody drains,
+  // nobody pushes targets) must not stop the device from searching.
+  const WeightMatrix w = random_qubo(64, 10);
+  Device device(w, small_device_config(2, 32));
+  device.start();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (device.total_iterations() < 10 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  device.stop();
+  EXPECT_GE(device.total_iterations(), 10u);
+}
+
+TEST(Device, SynchronousSteppingWhileRunningThrows) {
+  const WeightMatrix w = random_qubo(64, 11);
+  Device device(w, small_device_config(1, 8));
+  device.start();
+  EXPECT_THROW(device.step_all_blocks_once(), CheckError);
+  device.stop();
+}
+
+TEST(Device, DefaultLocalStepsIsOneSweep) {
+  const WeightMatrix w = random_qubo(64, 12);
+  DeviceConfig config = small_device_config(1);
+  config.local_steps = 0;  // default: n
+  Device device(w, config);
+  device.step_all_blocks_once();
+  EXPECT_EQ(device.total_flips(), 64u);
+}
+
+}  // namespace
+}  // namespace absq

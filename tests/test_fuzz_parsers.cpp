@@ -1,0 +1,155 @@
+// Robustness fuzzing of every text parser: random garbage, truncations and
+// mutations of valid inputs must either parse or throw CheckError — never
+// crash, hang, or throw anything else. (The property a service embedding
+// the library needs from untrusted instance files.)
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "ga/pool_io.hpp"
+#include "problems/graph.hpp"
+#include "problems/sat.hpp"
+#include "problems/tsp.hpp"
+#include "qubo/io.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace absq {
+namespace {
+
+/// Printable garbage of random length.
+std::string random_garbage(Rng& rng, std::size_t max_len) {
+  static constexpr char kAlphabet[] =
+      "0123456789 -+\n\t#pqubocnfsolution?eE.";
+  const std::size_t len = rng.below(max_len);
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(kAlphabet[rng.below(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+/// Flips/substitutes a few characters of a valid document.
+std::string mutate_document(const std::string& doc, Rng& rng) {
+  std::string out = doc;
+  const std::size_t edits = 1 + rng.below(4);
+  for (std::size_t e = 0; e < edits && !out.empty(); ++e) {
+    const std::size_t pos = rng.below(out.size());
+    switch (rng.below(3)) {
+      case 0:
+        out[pos] = static_cast<char>('0' + rng.below(10));
+        break;
+      case 1:
+        out.erase(pos, 1);
+        break;
+      default:
+        out.insert(pos, 1, '-');
+        break;
+    }
+  }
+  return out;
+}
+
+template <typename Parser>
+void expect_no_crash(const std::string& input, Parser parse) {
+  std::istringstream in(input);
+  try {
+    (void)parse(in);
+  } catch (const CheckError&) {
+    // Rejection is the expected failure mode.
+  }
+  // Any other exception type propagates and fails the test.
+}
+
+TEST(FuzzParsers, QuboGarbage) {
+  Rng rng(1);
+  for (int trial = 0; trial < 300; ++trial) {
+    expect_no_crash(random_garbage(rng, 200),
+                    [](std::istream& in) { return read_qubo(in); });
+  }
+}
+
+TEST(FuzzParsers, QuboMutations) {
+  const WeightMatrix w = WeightMatrix::generate_symmetric(
+      8, [](BitIndex i, BitIndex j) {
+        return static_cast<Weight>((i * 7 + j * 3) % 40 - 20);
+      });
+  std::stringstream buffer;
+  write_qubo(buffer, w, "fuzz seed document");
+  const std::string document = buffer.str();
+  Rng rng(2);
+  for (int trial = 0; trial < 300; ++trial) {
+    expect_no_crash(mutate_document(document, rng),
+                    [](std::istream& in) { return read_qubo(in); });
+  }
+}
+
+TEST(FuzzParsers, GsetGarbageAndMutations) {
+  Rng rng(3);
+  WeightedGraph graph(6);
+  graph.add_edge(0, 1, 1);
+  graph.add_edge(2, 5, -1);
+  std::stringstream buffer;
+  write_gset(buffer, graph);
+  const std::string document = buffer.str();
+  for (int trial = 0; trial < 300; ++trial) {
+    expect_no_crash(random_garbage(rng, 150),
+                    [](std::istream& in) { return read_gset(in); });
+    expect_no_crash(mutate_document(document, rng),
+                    [](std::istream& in) { return read_gset(in); });
+  }
+}
+
+TEST(FuzzParsers, TsplibGarbageAndMutations) {
+  const std::string document =
+      "NAME : fuzz\n"
+      "DIMENSION : 4\n"
+      "EDGE_WEIGHT_TYPE : EUC_2D\n"
+      "NODE_COORD_SECTION\n"
+      "1 0 0\n2 3 0\n3 3 4\n4 0 4\nEOF\n";
+  Rng rng(4);
+  for (int trial = 0; trial < 300; ++trial) {
+    expect_no_crash(random_garbage(rng, 200),
+                    [](std::istream& in) { return read_tsplib(in); });
+    expect_no_crash(mutate_document(document, rng),
+                    [](std::istream& in) { return read_tsplib(in); });
+  }
+}
+
+TEST(FuzzParsers, DimacsGarbageAndMutations) {
+  const std::string document = "p cnf 4 2\n1 -2 3 0\n-1 2 -4 0\n";
+  Rng rng(5);
+  for (int trial = 0; trial < 300; ++trial) {
+    expect_no_crash(random_garbage(rng, 150),
+                    [](std::istream& in) { return read_dimacs(in); });
+    expect_no_crash(mutate_document(document, rng),
+                    [](std::istream& in) { return read_dimacs(in); });
+  }
+}
+
+TEST(FuzzParsers, SolutionGarbageAndMutations) {
+  const std::string document = "solution 6 -42\n010110\n";
+  Rng rng(6);
+  for (int trial = 0; trial < 300; ++trial) {
+    expect_no_crash(random_garbage(rng, 100),
+                    [](std::istream& in) { return read_solution(in); });
+    expect_no_crash(mutate_document(document, rng),
+                    [](std::istream& in) { return read_solution(in); });
+  }
+}
+
+TEST(FuzzParsers, PoolGarbageAndMutations) {
+  const std::string document = "pool 4 2\n-3 0101\n? 1100\n";
+  Rng rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    expect_no_crash(random_garbage(rng, 120),
+                    [](std::istream& in) { return read_pool(in, 0); });
+    expect_no_crash(mutate_document(document, rng),
+                    [](std::istream& in) { return read_pool(in, 0); });
+  }
+}
+
+}  // namespace
+}  // namespace absq

@@ -1,0 +1,135 @@
+#include "qubo/ising.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qubo/energy.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace absq {
+namespace {
+
+WeightMatrix random_matrix(BitIndex n, std::uint64_t seed) {
+  Rng rng(seed);
+  return WeightMatrix::generate_symmetric(n, [&rng](BitIndex, BitIndex) {
+    return static_cast<Weight>(rng.range(-60, 60));
+  });
+}
+
+TEST(IsingModel, CouplingStorageIsSymmetric) {
+  IsingModel m(5);
+  m.set_coupling(1, 3, 42);
+  EXPECT_EQ(m.coupling(1, 3), 42);
+  EXPECT_EQ(m.coupling(3, 1), 42);
+}
+
+TEST(IsingModel, SelfCouplingRejected) {
+  IsingModel m(4);
+  EXPECT_THROW(m.set_coupling(2, 2, 1), CheckError);
+  EXPECT_THROW((void)m.coupling(2, 2), CheckError);
+}
+
+TEST(IsingModel, HamiltonianByHand) {
+  // Two spins: H = −J s₀ s₁ − h₀ s₀ − h₁ s₁.
+  IsingModel m(2);
+  m.set_coupling(0, 1, 3);
+  m.set_field(0, 1);
+  m.set_field(1, -2);
+  EXPECT_EQ(m.hamiltonian({+1, +1}), -3 - 1 + 2);
+  EXPECT_EQ(m.hamiltonian({+1, -1}), +3 - 1 - 2);
+  EXPECT_EQ(m.hamiltonian({-1, +1}), +3 + 1 + 2);
+  EXPECT_EQ(m.hamiltonian({-1, -1}), -3 + 1 - 2);
+}
+
+TEST(IsingModel, HamiltonianValidatesSpins) {
+  IsingModel m(2);
+  EXPECT_THROW((void)m.hamiltonian({1, 0}), CheckError);
+  EXPECT_THROW((void)m.hamiltonian({1}), CheckError);
+}
+
+TEST(IsingModel, SpinBitConversionsRoundTrip) {
+  Rng rng(1);
+  const BitVector x = BitVector::random(40, rng);
+  const SpinVector s = IsingModel::spins_from_bits(x);
+  for (BitIndex i = 0; i < 40; ++i) {
+    EXPECT_EQ(s[i], 2 * x.get(i) - 1);
+  }
+  EXPECT_EQ(IsingModel::bits_from_spins(s), x);
+}
+
+TEST(IsingModel, BitsFromSpinsValidates) {
+  EXPECT_THROW((void)IsingModel::bits_from_spins({1, 0, -1}), CheckError);
+}
+
+TEST(IsingFromQubo, HamiltonianIsFourTimesEnergy) {
+  // The exact relation H(S(X)) = 4·E(X) for every assignment.
+  Rng rng(2);
+  for (const BitIndex n : {2u, 5u, 12u}) {
+    const WeightMatrix w = random_matrix(n, 10 + n);
+    const IsingModel m = IsingModel::from_qubo(w);
+    EXPECT_EQ(m.scale(), 4);
+    for (int trial = 0; trial < 20; ++trial) {
+      const BitVector x = BitVector::random(n, rng);
+      const SpinVector s = IsingModel::spins_from_bits(x);
+      EXPECT_EQ(m.hamiltonian(s), 4 * full_energy(w, x))
+          << "n=" << n << " trial=" << trial;
+    }
+  }
+}
+
+TEST(IsingToQubo, EnergyMatchesHamiltonianUpToConstant) {
+  Rng rng(3);
+  IsingModel m(8);
+  for (BitIndex i = 0; i < 8; ++i) {
+    m.set_field(i, rng.range(-20, 20));
+    for (BitIndex j = i + 1; j < 8; ++j) {
+      m.set_coupling(i, j, rng.range(-20, 20));
+    }
+  }
+  std::int64_t constant = 0;
+  const WeightMatrix w = m.to_qubo(&constant);
+  for (int trial = 0; trial < 30; ++trial) {
+    const BitVector x = BitVector::random(8, rng);
+    const SpinVector s = IsingModel::spins_from_bits(x);
+    EXPECT_EQ(full_energy(w, x), m.hamiltonian(s) - constant);
+  }
+}
+
+TEST(IsingRoundTrip, MinimizersArePreserved) {
+  // QUBO → Ising → QUBO: exhaustive argmin comparison on a small instance.
+  const BitIndex n = 10;
+  const WeightMatrix w = random_matrix(n, 20);
+  const IsingModel m = IsingModel::from_qubo(w);
+
+  Energy best_energy = 0;
+  std::int64_t best_h = m.hamiltonian(IsingModel::spins_from_bits(BitVector(n)));
+  std::uint32_t best_energy_assignment = 0;
+  std::uint32_t best_h_assignment = 0;
+  for (std::uint32_t assignment = 0; assignment < (1u << n); ++assignment) {
+    BitVector x(n);
+    for (BitIndex b = 0; b < n; ++b) {
+      if ((assignment >> b) & 1u) x.set(b, true);
+    }
+    const Energy e = full_energy(w, x);
+    if (e < best_energy) {
+      best_energy = e;
+      best_energy_assignment = assignment;
+    }
+    const std::int64_t h = m.hamiltonian(IsingModel::spins_from_bits(x));
+    EXPECT_EQ(h, 4 * e);
+    if (h < best_h) {
+      best_h = h;
+      best_h_assignment = assignment;
+    }
+  }
+  EXPECT_EQ(best_energy_assignment, best_h_assignment);
+  EXPECT_EQ(best_h, 4 * best_energy);
+}
+
+TEST(IsingModel, SizeLimits) {
+  EXPECT_THROW(IsingModel(0), CheckError);
+  EXPECT_NO_THROW(IsingModel(1));
+}
+
+}  // namespace
+}  // namespace absq

@@ -1,0 +1,141 @@
+#include "problems/knapsack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "qubo/energy.hpp"
+#include "util/check.hpp"
+
+namespace absq {
+namespace {
+
+TEST(Knapsack, DpOracleByHand) {
+  // Items (w, v): (2,3) (3,4) (4,5) (5,6), capacity 5 → best 7 = (2,3)+(3,4).
+  const std::vector<KnapsackItem> items = {{2, 3}, {3, 4}, {4, 5}, {5, 6}};
+  EXPECT_EQ(knapsack_optimum(items, 5), 7);
+  EXPECT_EQ(knapsack_optimum(items, 9), 12);  // (2,3)+(3,4)+(4,5)
+  EXPECT_EQ(knapsack_optimum(items, 1), 0);
+}
+
+TEST(Knapsack, SlackDigitsCoverCapacityExactly) {
+  for (const std::int64_t capacity : {1, 2, 3, 7, 8, 10, 31, 33}) {
+    const KnapsackQubo qubo =
+        knapsack_to_qubo({{1, 1}}, capacity);
+    std::int64_t sum = 0;
+    for (const auto c : qubo.slack_coefficients) sum += c;
+    EXPECT_EQ(sum, capacity) << "capacity " << capacity;
+    // Every value 0..capacity is a subset sum (bounded binary property):
+    // digits are 1,2,4,...,rest with rest ≤ next power, standard argument;
+    // verify exhaustively for these small capacities.
+    const auto digits = qubo.slack_coefficients;
+    std::vector<bool> reachable(static_cast<std::size_t>(capacity) + 1,
+                                false);
+    reachable[0] = true;
+    for (const auto digit : digits) {
+      for (std::int64_t s = capacity; s >= digit; --s) {
+        if (reachable[static_cast<std::size_t>(s - digit)]) {
+          reachable[static_cast<std::size_t>(s)] = true;
+        }
+      }
+    }
+    for (std::int64_t s = 0; s <= capacity; ++s) {
+      EXPECT_TRUE(reachable[static_cast<std::size_t>(s)])
+          << "slack " << s << " unreachable at capacity " << capacity;
+    }
+  }
+}
+
+TEST(Knapsack, QuboOptimumMatchesDp) {
+  // Exhaustive over all bits: the QUBO argmin decodes to a feasible
+  // selection whose value is the DP optimum.
+  const std::vector<KnapsackItem> items = {{2, 3}, {3, 4}, {4, 5}};
+  const std::int64_t capacity = 6;
+  const KnapsackQubo qubo = knapsack_to_qubo(items, capacity);
+  const BitIndex bits = qubo.w.size();
+  ASSERT_LE(bits, 16u);
+
+  Energy best = std::numeric_limits<Energy>::max();
+  BitVector argmin(bits);
+  for (std::uint32_t assignment = 0; assignment < (1u << bits); ++assignment) {
+    BitVector x(bits);
+    for (BitIndex b = 0; b < bits; ++b) {
+      if ((assignment >> b) & 1u) x.set(b, true);
+    }
+    if (const Energy e = full_energy(qubo.w, x); e < best) {
+      best = e;
+      argmin = x;
+    }
+  }
+  const KnapsackSelection selection = decode_knapsack(qubo, argmin);
+  EXPECT_TRUE(selection.feasible);
+  EXPECT_EQ(selection.value, knapsack_optimum(items, capacity));
+  EXPECT_EQ(best, qubo.energy_for_value(selection.value));
+}
+
+TEST(Knapsack, FeasibleEnergiesMatchAffineMapAtOptimalSlack) {
+  // For each item subset, the min energy over slack bits must equal
+  // energy_for_value(V) when feasible, and exceed every feasible energy
+  // when infeasible.
+  const std::vector<KnapsackItem> items = {{2, 3}, {3, 4}, {4, 5}};
+  const std::int64_t capacity = 6;
+  const KnapsackQubo qubo = knapsack_to_qubo(items, capacity);
+  const auto slack_count = qubo.slack_coefficients.size();
+
+  for (std::uint32_t subset = 0; subset < 8; ++subset) {
+    Energy min_e = std::numeric_limits<Energy>::max();
+    for (std::uint32_t slack = 0; slack < (1u << slack_count); ++slack) {
+      BitVector x(qubo.w.size());
+      for (BitIndex i = 0; i < 3; ++i) {
+        if ((subset >> i) & 1u) x.set(i, true);
+      }
+      for (std::size_t j = 0; j < slack_count; ++j) {
+        if ((slack >> j) & 1u) x.set(qubo.slack_bit(j), true);
+      }
+      min_e = std::min(min_e, full_energy(qubo.w, x));
+    }
+    BitVector items_only(qubo.w.size());
+    for (BitIndex i = 0; i < 3; ++i) {
+      if ((subset >> i) & 1u) items_only.set(i, true);
+    }
+    const KnapsackSelection selection = decode_knapsack(qubo, items_only);
+    if (selection.feasible) {
+      EXPECT_EQ(min_e, qubo.energy_for_value(selection.value))
+          << "subset " << subset;
+    } else {
+      // Overweight: must cost strictly more than the global optimum —
+      // A > max_v guarantees the argmin is feasible (removing any item
+      // from an overweight selection drops the penalty by ≥ A while
+      // losing at most max_v < A in value).
+      EXPECT_GT(min_e,
+                qubo.energy_for_value(knapsack_optimum(items, capacity)))
+          << "subset " << subset;
+    }
+  }
+}
+
+TEST(Knapsack, RandomGeneratorBounds) {
+  const auto items = random_knapsack_items(15, 8, 12, 5);
+  EXPECT_EQ(items.size(), 15u);
+  for (const auto& item : items) {
+    EXPECT_GE(item.weight, 1);
+    EXPECT_LE(item.weight, 8);
+    EXPECT_GE(item.value, 1);
+    EXPECT_LE(item.value, 12);
+  }
+}
+
+TEST(Knapsack, InputValidation) {
+  EXPECT_THROW((void)knapsack_to_qubo({}, 5), CheckError);
+  EXPECT_THROW((void)knapsack_to_qubo({{0, 1}}, 5), CheckError);
+  EXPECT_THROW((void)knapsack_to_qubo({{1, 0}}, 5), CheckError);
+  EXPECT_THROW((void)knapsack_to_qubo({{1, 1}}, 0), CheckError);
+}
+
+TEST(Knapsack, WeightRangeOverflowThrows) {
+  // A·w² beyond 16 bits must be caught at build time, not wrap.
+  EXPECT_THROW((void)knapsack_to_qubo({{500, 500}}, 1000), CheckError);
+}
+
+}  // namespace
+}  // namespace absq

@@ -1,0 +1,129 @@
+#include "sim/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace absq::sim {
+namespace {
+
+BitVector bits(const std::string& s) { return BitVector::from_string(s); }
+
+TEST(TargetBuffer, RejectsZeroCapacity) {
+  EXPECT_THROW(TargetBuffer(0), CheckError);
+}
+
+TEST(TargetBuffer, FifoOrder) {
+  TargetBuffer buffer(4);
+  buffer.push(bits("00"));
+  buffer.push(bits("01"));
+  buffer.push(bits("10"));
+  EXPECT_EQ(buffer.poll().value(), bits("00"));
+  EXPECT_EQ(buffer.poll().value(), bits("01"));
+  EXPECT_EQ(buffer.poll().value(), bits("10"));
+  EXPECT_FALSE(buffer.poll().has_value());
+}
+
+TEST(TargetBuffer, EmptyPollDoesNotBlock) {
+  TargetBuffer buffer(2);
+  EXPECT_FALSE(buffer.poll().has_value());
+  EXPECT_EQ(buffer.pending(), 0u);
+}
+
+TEST(TargetBuffer, FullBufferDropsOldest) {
+  TargetBuffer buffer(2);
+  buffer.push(bits("00"));
+  buffer.push(bits("01"));
+  buffer.push(bits("10"));  // evicts "00"
+  EXPECT_EQ(buffer.pending(), 2u);
+  EXPECT_EQ(buffer.poll().value(), bits("01"));
+  EXPECT_EQ(buffer.poll().value(), bits("10"));
+}
+
+TEST(TargetBuffer, PushedCounterIsMonotonicTotal) {
+  TargetBuffer buffer(1);
+  EXPECT_EQ(buffer.pushed(), 0u);
+  buffer.push(bits("0"));
+  buffer.push(bits("1"));  // overwrites, still counts
+  EXPECT_EQ(buffer.pushed(), 2u);
+}
+
+TEST(SolutionBuffer, DrainReturnsEverythingInOrder) {
+  SolutionBuffer buffer(8);
+  buffer.push({bits("00"), -1, 0, 0});
+  buffer.push({bits("01"), -2, 0, 1});
+  const auto drained = buffer.drain();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].energy, -1);
+  EXPECT_EQ(drained[0].block_id, 0u);
+  EXPECT_EQ(drained[1].energy, -2);
+  EXPECT_EQ(drained[1].block_id, 1u);
+  EXPECT_TRUE(buffer.drain().empty());
+}
+
+TEST(SolutionBuffer, CounterSurvivesDrain) {
+  // The paper's host detects arrivals by a monotonic counter, so draining
+  // must not reset it.
+  SolutionBuffer buffer(8);
+  buffer.push({bits("0"), 0, 0, 0});
+  (void)buffer.drain();
+  buffer.push({bits("1"), 0, 0, 0});
+  EXPECT_EQ(buffer.counter(), 2u);
+}
+
+TEST(SolutionBuffer, OverflowDropsOldestAndCounts) {
+  SolutionBuffer buffer(2);
+  buffer.push({bits("00"), 1, 0, 0});
+  buffer.push({bits("01"), 2, 0, 0});
+  buffer.push({bits("10"), 3, 0, 0});
+  EXPECT_EQ(buffer.dropped(), 1u);
+  const auto drained = buffer.drain();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].energy, 2);
+  EXPECT_EQ(drained[1].energy, 3);
+}
+
+TEST(Mailboxes, ConcurrentProducerConsumerLosesNothingWithinCapacity) {
+  // One producer thread, one consumer thread, capacity ample: every pushed
+  // solution must be drained exactly once.
+  constexpr int kCount = 2000;
+  SolutionBuffer buffer(kCount);
+  std::thread producer([&buffer] {
+    for (int i = 0; i < kCount; ++i) {
+      buffer.push({BitVector(8), i, 0, 0});
+    }
+  });
+  std::vector<ReportedSolution> received;
+  while (received.size() < kCount) {
+    auto batch = buffer.drain();
+    received.insert(received.end(), std::make_move_iterator(batch.begin()),
+                    std::make_move_iterator(batch.end()));
+  }
+  producer.join();
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(received[static_cast<std::size_t>(i)].energy, i);
+  }
+  EXPECT_EQ(buffer.dropped(), 0u);
+  EXPECT_EQ(buffer.counter(), static_cast<std::uint64_t>(kCount));
+}
+
+TEST(Mailboxes, ConcurrentTargetTraffic) {
+  TargetBuffer buffer(64);
+  constexpr int kCount = 1000;
+  std::thread producer([&buffer] {
+    for (int i = 0; i < kCount; ++i) buffer.push(BitVector(16));
+  });
+  int polled = 0;
+  while (buffer.pushed() < kCount || buffer.pending() > 0) {
+    if (buffer.poll().has_value()) ++polled;
+  }
+  producer.join();
+  EXPECT_LE(polled, kCount);
+  EXPECT_GT(polled, 0);
+}
+
+}  // namespace
+}  // namespace absq::sim

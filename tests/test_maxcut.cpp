@@ -1,0 +1,144 @@
+#include "problems/maxcut.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qubo/energy.hpp"
+#include "util/rng.hpp"
+
+namespace absq {
+namespace {
+
+TEST(MaxCut, Eq17WeightsByHand) {
+  // Triangle with weights 1, 2, 3.
+  WeightedGraph graph(3);
+  graph.add_edge(0, 1, 1);
+  graph.add_edge(1, 2, 2);
+  graph.add_edge(0, 2, 3);
+  const WeightMatrix w = maxcut_to_qubo(graph);
+  EXPECT_EQ(w.at(0, 1), 1);
+  EXPECT_EQ(w.at(1, 2), 2);
+  EXPECT_EQ(w.at(0, 2), 3);
+  EXPECT_EQ(w.at(0, 0), -4);  // −(1+3)
+  EXPECT_EQ(w.at(1, 1), -3);  // −(1+2)
+  EXPECT_EQ(w.at(2, 2), -5);  // −(2+3)
+  EXPECT_TRUE(w.is_symmetric());
+}
+
+TEST(MaxCut, EnergyIsNegatedCutWeight) {
+  // The paper's central claim for this benchmark: E(X) = −cut(X) for every
+  // bipartition, on graphs with arbitrary weights.
+  Rng rng(1);
+  const WeightedGraph graph =
+      random_gnm_graph(40, 200, EdgeWeights::kPlusMinusOne, rng);
+  const WeightMatrix w = maxcut_to_qubo(graph);
+  for (int trial = 0; trial < 50; ++trial) {
+    const BitVector x = BitVector::random(40, rng);
+    EXPECT_EQ(full_energy(w, x), -cut_weight(graph, x)) << "trial " << trial;
+  }
+}
+
+TEST(MaxCut, EnergyIsNegatedCutOnGridGraphs) {
+  Rng rng(2);
+  const WeightedGraph graph =
+      toroidal_grid_graph(5, 6, EdgeWeights::kPlusMinusOne, rng);
+  const WeightMatrix w = maxcut_to_qubo(graph);
+  for (int trial = 0; trial < 30; ++trial) {
+    const BitVector x = BitVector::random(30, rng);
+    EXPECT_EQ(full_energy(w, x), -cut_weight(graph, x));
+  }
+}
+
+TEST(MaxCut, TrivialCutsHaveZeroEnergy) {
+  Rng rng(3);
+  const WeightedGraph graph = random_gnm_graph(10, 20, EdgeWeights::kUnit, rng);
+  const WeightMatrix w = maxcut_to_qubo(graph);
+  // Empty and full bipartitions cut nothing.
+  BitVector none(10);
+  BitVector all(10);
+  for (BitIndex i = 0; i < 10; ++i) all.set(i, true);
+  EXPECT_EQ(full_energy(w, none), 0);
+  EXPECT_EQ(full_energy(w, all), 0);
+}
+
+TEST(MaxCut, OptimumMatchesExhaustiveSearch) {
+  Rng rng(4);
+  const WeightedGraph graph = random_gnm_graph(12, 30, EdgeWeights::kUnit, rng);
+  const WeightMatrix w = maxcut_to_qubo(graph);
+  std::int64_t best_cut = 0;
+  Energy best_energy = 0;
+  for (std::uint32_t assignment = 0; assignment < (1u << 12); ++assignment) {
+    BitVector x(12);
+    for (BitIndex b = 0; b < 12; ++b) {
+      if ((assignment >> b) & 1u) x.set(b, true);
+    }
+    best_cut = std::max(best_cut, cut_weight(graph, x));
+    best_energy = std::min(best_energy, full_energy(w, x));
+  }
+  EXPECT_EQ(best_energy, -best_cut);
+}
+
+TEST(MaxCut, ParallelEdgesAccumulate) {
+  WeightedGraph graph(2);
+  graph.add_edge(0, 1, 1);
+  graph.add_edge(0, 1, 2);  // the G-set format permits parallel edges
+  const WeightMatrix w = maxcut_to_qubo(graph);
+  EXPECT_EQ(w.at(0, 1), 3);
+  BitVector x(2);
+  x.set(0, true);
+  EXPECT_EQ(full_energy(w, x), -3);
+  EXPECT_EQ(cut_weight(graph, x), 3);
+}
+
+TEST(GsetCatalog, MatchesTable1aRows) {
+  const auto& catalog = gset_catalog();
+  ASSERT_EQ(catalog.size(), 8u);
+  EXPECT_EQ(catalog[0].name, "G1");
+  EXPECT_EQ(catalog[0].vertices, 800u);
+  EXPECT_EQ(catalog[0].paper_target_cut, 11624);
+  EXPECT_EQ(catalog[7].name, "G70");
+  EXPECT_EQ(catalog[7].vertices, 10000u);
+  EXPECT_DOUBLE_EQ(catalog[7].paper_target_fraction, 0.95);
+}
+
+TEST(GsetCatalog, GeneratedInstancesMatchSpecs) {
+  for (const auto& spec : gset_catalog()) {
+    if (spec.vertices > 2000) continue;  // keep the test fast
+    const WeightedGraph graph = generate_gset_instance(spec, 42);
+    EXPECT_EQ(graph.vertex_count(), spec.vertices) << spec.name;
+    EXPECT_EQ(graph.edge_count(), spec.edges) << spec.name;
+    for (const auto& e : graph.edges()) {
+      if (spec.weights == EdgeWeights::kUnit) {
+        EXPECT_EQ(e.weight, 1);
+      } else {
+        EXPECT_TRUE(e.weight == 1 || e.weight == -1);
+      }
+    }
+  }
+}
+
+TEST(GsetCatalog, GenerationIsDeterministic) {
+  const auto& spec = gset_catalog()[0];
+  const WeightedGraph a = generate_gset_instance(spec, 7);
+  const WeightedGraph b = generate_gset_instance(spec, 7);
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (std::size_t i = 0; i < a.edge_count(); ++i) {
+    EXPECT_EQ(a.edges()[i].u, b.edges()[i].u);
+    EXPECT_EQ(a.edges()[i].v, b.edges()[i].v);
+    EXPECT_EQ(a.edges()[i].weight, b.edges()[i].weight);
+  }
+}
+
+TEST(GsetCatalog, DifferentSeedsDiffer) {
+  const auto& spec = gset_catalog()[0];
+  const WeightedGraph a = generate_gset_instance(spec, 1);
+  const WeightedGraph b = generate_gset_instance(spec, 2);
+  bool any_difference = a.edge_count() != b.edge_count();
+  for (std::size_t i = 0; !any_difference && i < a.edge_count(); ++i) {
+    any_difference = a.edges()[i].u != b.edges()[i].u ||
+                     a.edges()[i].v != b.edges()[i].v;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace absq

@@ -1,0 +1,174 @@
+#include "ga/operators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace absq {
+namespace {
+
+TEST(Mutate, FlipsExactlyRequestedBits) {
+  Rng rng(1);
+  const BitVector parent = BitVector::random(100, rng);
+  for (const BitIndex flips : {1u, 2u, 5u, 50u, 100u}) {
+    const BitVector child = mutate(parent, flips, rng);
+    EXPECT_EQ(parent.hamming_distance(child), flips) << "flips=" << flips;
+  }
+}
+
+TEST(Mutate, ClampsFlipCount) {
+  Rng rng(2);
+  const BitVector parent = BitVector::random(10, rng);
+  // 0 clamps to 1, oversized clamps to n.
+  EXPECT_EQ(parent.hamming_distance(mutate(parent, 0, rng)), 1u);
+  EXPECT_EQ(parent.hamming_distance(mutate(parent, 999, rng)), 10u);
+}
+
+TEST(Mutate, ParentUntouched) {
+  Rng rng(3);
+  const BitVector parent = BitVector::random(64, rng);
+  const BitVector copy = parent;
+  (void)mutate(parent, 7, rng);
+  EXPECT_EQ(parent, copy);
+}
+
+TEST(Mutate, FlippedPositionsAreUniform) {
+  // Every bit position should be hit sometimes across many mutations.
+  Rng rng(4);
+  const BitVector parent(32);
+  std::vector<int> hit(32, 0);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const BitVector child = mutate(parent, 2, rng);
+    for (const BitIndex i : child.ones()) ++hit[i];
+  }
+  for (BitIndex i = 0; i < 32; ++i) {
+    EXPECT_GT(hit[i], 50) << "bit " << i << " never mutated";
+  }
+}
+
+TEST(UniformCrossover, ChildBitsComeFromParents) {
+  Rng rng(5);
+  const BitVector a = BitVector::random(128, rng);
+  const BitVector b = BitVector::random(128, rng);
+  const BitVector child = uniform_crossover(a, b, rng);
+  ASSERT_EQ(child.size(), 128u);
+  for (BitIndex i = 0; i < 128; ++i) {
+    EXPECT_TRUE(child.get(i) == a.get(i) || child.get(i) == b.get(i))
+        << "bit " << i << " matches neither parent";
+  }
+}
+
+TEST(UniformCrossover, AgreementBitsAreInherited) {
+  Rng rng(6);
+  const BitVector a = BitVector::from_string("11110000");
+  const BitVector b = BitVector::from_string("11001100");
+  for (int trial = 0; trial < 20; ++trial) {
+    const BitVector child = uniform_crossover(a, b, rng);
+    EXPECT_EQ(child.get(0), 1);
+    EXPECT_EQ(child.get(1), 1);
+    EXPECT_EQ(child.get(6), 0);
+    EXPECT_EQ(child.get(7), 0);
+  }
+}
+
+TEST(UniformCrossover, MixesBothParents) {
+  Rng rng(7);
+  const BitVector zeros(256);
+  BitVector ones(256);
+  for (BitIndex i = 0; i < 256; ++i) ones.flip(i);
+  const BitVector child = uniform_crossover(zeros, ones, rng);
+  // A fair mix has ~128 ones; 5σ bounds.
+  EXPECT_GT(child.popcount(), 80u);
+  EXPECT_LT(child.popcount(), 176u);
+}
+
+TEST(UniformCrossover, SizeMismatchThrows) {
+  Rng rng(8);
+  EXPECT_THROW((void)uniform_crossover(BitVector(4), BitVector(5), rng),
+               CheckError);
+}
+
+TEST(PickParentRank, StaysInRange) {
+  Rng rng(9);
+  for (int trial = 0; trial < 500; ++trial) {
+    EXPECT_LT(pick_parent_rank(7, 2.0, rng), 7u);
+  }
+}
+
+TEST(PickParentRank, BiasFavoursBetterRanks) {
+  Rng rng(10);
+  std::uint64_t biased_sum = 0;
+  std::uint64_t uniform_sum = 0;
+  const int trials = 5000;
+  for (int i = 0; i < trials; ++i) {
+    biased_sum += pick_parent_rank(100, 3.0, rng);
+    uniform_sum += pick_parent_rank(100, 1.0, rng);
+  }
+  EXPECT_LT(biased_sum * 2, uniform_sum);  // E[u³·100]=25 vs E[u·100]=50
+}
+
+TEST(PickParentRank, SingleElementPool) {
+  Rng rng(11);
+  EXPECT_EQ(pick_parent_rank(1, 2.0, rng), 0u);
+}
+
+TEST(GenerateTarget, ProducesCorrectSize) {
+  Rng rng(12);
+  SolutionPool pool(8);
+  pool.initialize_random(40, rng);
+  const GaConfig config;
+  for (int trial = 0; trial < 50; ++trial) {
+    EXPECT_EQ(generate_target(pool, config, rng).size(), 40u);
+  }
+}
+
+TEST(GenerateTarget, EmptyPoolThrows) {
+  Rng rng(13);
+  SolutionPool pool(4);
+  EXPECT_THROW((void)generate_target(pool, GaConfig{}, rng), CheckError);
+}
+
+TEST(GenerateTarget, PureMutationStaysNearParent) {
+  Rng rng(14);
+  SolutionPool pool(1);
+  pool.insert(BitVector::random(200, rng), 0);
+  GaConfig config;
+  config.crossover_prob = 0.0;
+  config.random_prob = 0.0;
+  config.mutation_rate = 0.02;  // 4 bits of 200
+  const BitVector target = generate_target(pool, config, rng);
+  EXPECT_EQ(pool.best().bits.hamming_distance(target), 4u);
+}
+
+TEST(GenerateTarget, PureRandomIgnoresPool) {
+  Rng rng(15);
+  SolutionPool pool(1);
+  pool.insert(BitVector(64), 0);  // all-zero parent
+  GaConfig config;
+  config.random_prob = 1.0;
+  const BitVector target = generate_target(pool, config, rng);
+  // A 64-bit uniform vector is all-zero with probability 2⁻⁶⁴.
+  EXPECT_GT(target.popcount(), 0u);
+}
+
+TEST(GenerateTarget, CrossoverChildWithinParentEnvelope) {
+  Rng rng(16);
+  SolutionPool pool(2);
+  const BitVector a = BitVector::random(64, rng);
+  const BitVector b = BitVector::random(64, rng);
+  pool.insert(a, 1);
+  pool.insert(b, 2);
+  GaConfig config;
+  config.crossover_prob = 1.0;
+  config.random_prob = 0.0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const BitVector child = generate_target(pool, config, rng);
+    for (BitIndex i = 0; i < 64; ++i) {
+      EXPECT_TRUE(child.get(i) == a.get(i) || child.get(i) == b.get(i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace absq

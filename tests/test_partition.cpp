@@ -1,0 +1,87 @@
+#include "problems/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "qubo/energy.hpp"
+#include "util/check.hpp"
+
+namespace absq {
+namespace {
+
+TEST(Partition, ValidatesInput) {
+  EXPECT_THROW((void)partition_to_qubo({}), CheckError);
+  EXPECT_THROW((void)partition_to_qubo({3, -1}), CheckError);
+  EXPECT_THROW((void)partition_to_qubo({3, 0}), CheckError);
+}
+
+TEST(Partition, DifferenceDecoding) {
+  const std::vector<std::int64_t> numbers = {3, 1, 4, 2};
+  EXPECT_EQ(partition_difference(numbers, BitVector::from_string("0000")), 10);
+  EXPECT_EQ(partition_difference(numbers, BitVector::from_string("1111")), 10);
+  EXPECT_EQ(partition_difference(numbers, BitVector::from_string("1010")), 4);
+  EXPECT_EQ(partition_difference(numbers, BitVector::from_string("1001")), 0);
+}
+
+TEST(Partition, EnergyMatchesDifferenceRelation) {
+  // E(x) = scale · (D(x)² − T²) for every assignment — exhaustive check.
+  const std::vector<std::int64_t> numbers = {7, 3, 2, 5, 1};
+  const PartitionQubo qubo = partition_to_qubo(numbers);
+  for (std::uint32_t assignment = 0; assignment < (1u << 5); ++assignment) {
+    BitVector x(5);
+    for (BitIndex b = 0; b < 5; ++b) {
+      if ((assignment >> b) & 1u) x.set(b, true);
+    }
+    const std::int64_t diff = partition_difference(numbers, x);
+    EXPECT_EQ(full_energy(qubo.w, x), qubo.energy_for_difference(diff));
+  }
+}
+
+TEST(Partition, PerfectPartitionIsTheMinimum) {
+  // {3,1,4,2}: total 10, perfect splits exist (e.g. {3,2}/{1,4}).
+  const std::vector<std::int64_t> numbers = {3, 1, 4, 2};
+  const PartitionQubo qubo = partition_to_qubo(numbers);
+  Energy best = std::numeric_limits<Energy>::max();
+  BitVector argmin(4);
+  for (std::uint32_t assignment = 0; assignment < 16; ++assignment) {
+    BitVector x(4);
+    for (BitIndex b = 0; b < 4; ++b) {
+      if ((assignment >> b) & 1u) x.set(b, true);
+    }
+    if (const Energy e = full_energy(qubo.w, x); e < best) {
+      best = e;
+      argmin = x;
+    }
+  }
+  EXPECT_EQ(best, qubo.perfect_energy());
+  EXPECT_EQ(partition_difference(numbers, argmin), 0);
+}
+
+TEST(Partition, OddTotalBestDifferenceIsOne) {
+  const std::vector<std::int64_t> numbers = {5, 3, 1};  // total 9
+  const PartitionQubo qubo = partition_to_qubo(numbers);
+  Energy best = std::numeric_limits<Energy>::max();
+  for (std::uint32_t assignment = 0; assignment < 8; ++assignment) {
+    BitVector x(3);
+    for (BitIndex b = 0; b < 3; ++b) {
+      if ((assignment >> b) & 1u) x.set(b, true);
+    }
+    best = std::min(best, full_energy(qubo.w, x));
+  }
+  EXPECT_EQ(best, qubo.energy_for_difference(1));
+}
+
+TEST(Partition, RandomNumbersGenerator) {
+  const auto numbers = random_partition_numbers(20, 15, 7);
+  EXPECT_EQ(numbers.size(), 20u);
+  for (const auto a : numbers) {
+    EXPECT_GE(a, 1);
+    EXPECT_LE(a, 15);
+  }
+  EXPECT_EQ(numbers, random_partition_numbers(20, 15, 7));
+  EXPECT_NE(numbers, random_partition_numbers(20, 15, 8));
+}
+
+}  // namespace
+}  // namespace absq

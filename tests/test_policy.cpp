@@ -1,0 +1,219 @@
+#include "search/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace absq {
+namespace {
+
+/// A matrix whose zero-vector Δ equals its diagonal, letting tests shape
+/// the Δ landscape directly.
+WeightMatrix diagonal_matrix(const std::vector<Weight>& diag) {
+  return WeightMatrix::generate_symmetric(
+      static_cast<BitIndex>(diag.size()),
+      [&diag](BitIndex i, BitIndex j) {
+        return i == j ? diag[i] : Weight{0};
+      });
+}
+
+TEST(WindowMinDeltaPolicy, RejectsZeroWindow) {
+  EXPECT_THROW(WindowMinDeltaPolicy(0), CheckError);
+}
+
+TEST(WindowMinDeltaPolicy, PicksMinimumInsideWindow) {
+  // Δ = diag = [5, 3, 9, 1, 7, 2]; window 3 starting at offset 0 sees
+  // {5, 3, 9} → bit 1.
+  const WeightMatrix w = diagonal_matrix({5, 3, 9, 1, 7, 2});
+  DeltaState state(w);
+  Rng rng(1);
+  WindowMinDeltaPolicy policy(3, 0);
+  EXPECT_EQ(policy.select(state, rng), 1u);
+}
+
+TEST(WindowMinDeltaPolicy, OffsetAdvancesByWindowLength) {
+  const WeightMatrix w = diagonal_matrix({5, 3, 9, 1, 7, 2});
+  DeltaState state(w);
+  Rng rng(2);
+  WindowMinDeltaPolicy policy(3, 0);
+  EXPECT_EQ(policy.select(state, rng), 1u);  // window {0,1,2}
+  EXPECT_EQ(policy.select(state, rng), 3u);  // window {3,4,5} → Δ=1 at bit 3
+  EXPECT_EQ(policy.select(state, rng), 1u);  // wrapped back to {0,1,2}
+}
+
+TEST(WindowMinDeltaPolicy, WindowWrapsAroundTheEnd) {
+  const WeightMatrix w = diagonal_matrix({0, 9, 9, 9, 9});
+  DeltaState state(w);
+  Rng rng(3);
+  WindowMinDeltaPolicy policy(3, 4);  // window {4, 0, 1} → min at bit 0
+  EXPECT_EQ(policy.select(state, rng), 0u);
+}
+
+TEST(WindowMinDeltaPolicy, FullWindowIsGreedy) {
+  const WeightMatrix w = diagonal_matrix({5, 3, 9, 1, 7, 2});
+  DeltaState state(w);
+  Rng rng(4);
+  WindowMinDeltaPolicy window_policy(6, 0);
+  GreedyMinDeltaPolicy greedy_policy;
+  EXPECT_EQ(window_policy.select(state, rng),
+            greedy_policy.select(state, rng));
+}
+
+TEST(WindowMinDeltaPolicy, OversizedWindowIsClamped) {
+  const WeightMatrix w = diagonal_matrix({5, 3, 9});
+  DeltaState state(w);
+  Rng rng(5);
+  WindowMinDeltaPolicy policy(100, 0);
+  EXPECT_EQ(policy.select(state, rng), 1u);
+}
+
+TEST(WindowMinDeltaPolicy, RotationVisitsEveryWindowPosition) {
+  // Over n/l consecutive selections the windows tile all n bits.
+  const BitIndex n = 12;
+  const WeightMatrix w = diagonal_matrix(std::vector<Weight>(n, 1));
+  DeltaState state(w);
+  Rng rng(6);
+  WindowMinDeltaPolicy policy(4, 0);
+  std::set<BitIndex> selected;
+  for (int round = 0; round < 3; ++round) {
+    selected.insert(policy.select(state, rng));
+  }
+  // All ties: the first index of each window wins, so 0, 4, 8.
+  EXPECT_EQ(selected, (std::set<BitIndex>{0, 4, 8}));
+}
+
+TEST(WindowMinDeltaPolicy, ResetRestoresStartOffset) {
+  const WeightMatrix w = diagonal_matrix({5, 3, 9, 1, 7, 2});
+  DeltaState state(w);
+  Rng rng(7);
+  WindowMinDeltaPolicy policy(3, 0);
+  const BitIndex first = policy.select(state, rng);
+  (void)policy.select(state, rng);
+  policy.reset();
+  EXPECT_EQ(policy.select(state, rng), first);
+}
+
+TEST(WindowMinDeltaPolicy, CloneIsIndependent) {
+  const WeightMatrix w = diagonal_matrix({5, 3, 9, 1, 7, 2});
+  DeltaState state(w);
+  Rng rng(8);
+  WindowMinDeltaPolicy original(3, 0);
+  const auto copy = original.clone();
+  (void)original.select(state, rng);  // advances original's offset only
+  EXPECT_EQ(copy->select(state, rng), 1u);
+}
+
+TEST(WindowMinDeltaPolicy, SelectUsesNoRandomNumbers) {
+  // Fig. 2's policy is RNG-free: the rng state must be untouched.
+  const WeightMatrix w = diagonal_matrix({5, 3, 9, 1, 7, 2});
+  DeltaState state(w);
+  Rng rng(9);
+  Rng reference(9);
+  WindowMinDeltaPolicy policy(3, 0);
+  (void)policy.select(state, rng);
+  EXPECT_EQ(rng(), reference());
+}
+
+TEST(GreedyMinDeltaPolicy, AlwaysPicksGlobalMinimum) {
+  const WeightMatrix w = diagonal_matrix({5, 3, 9, -1, 7, 2});
+  DeltaState state(w);
+  Rng rng(10);
+  GreedyMinDeltaPolicy policy;
+  EXPECT_EQ(policy.select(state, rng), 3u);
+  EXPECT_EQ(policy.select(state, rng), 3u);  // stateless
+}
+
+TEST(RandomBitPolicy, CoversAllBits) {
+  const WeightMatrix w = diagonal_matrix(std::vector<Weight>(8, 0));
+  DeltaState state(w);
+  Rng rng(11);
+  RandomBitPolicy policy;
+  std::set<BitIndex> seen;
+  for (int i = 0; i < 200; ++i) {
+    const BitIndex k = policy.select(state, rng);
+    ASSERT_LT(k, 8u);
+    seen.insert(k);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(SoftminWindowPolicy, ValidatesParameters) {
+  EXPECT_THROW(SoftminWindowPolicy(0, 1.0), CheckError);
+  EXPECT_THROW(SoftminWindowPolicy(4, 0.0), CheckError);
+  EXPECT_THROW(SoftminWindowPolicy(4, -1.0), CheckError);
+}
+
+TEST(SoftminWindowPolicy, ColdLimitActsLikeWindowMinimum) {
+  // With Δ gaps of ≥ 2 and temperature 1e-4, exp(−gap/T) underflows to 0:
+  // the window minimum is picked with certainty.
+  const WeightMatrix w = diagonal_matrix({5, 3, 9, 1, 7, 2});
+  DeltaState state(w);
+  Rng rng(20);
+  SoftminWindowPolicy policy(3, 1e-4, 0);
+  for (int trial = 0; trial < 10; ++trial) {
+    policy.reset();
+    EXPECT_EQ(policy.select(state, rng), 1u);
+  }
+}
+
+TEST(SoftminWindowPolicy, HotLimitIsNearUniform) {
+  const WeightMatrix w = diagonal_matrix({5, 3, 9, 1});
+  DeltaState state(w);
+  Rng rng(21);
+  SoftminWindowPolicy policy(4, 1e9, 0);
+  std::vector<int> counts(4, 0);
+  for (int trial = 0; trial < 4000; ++trial) {
+    policy.reset();
+    ++counts[policy.select(state, rng)];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(SoftminWindowPolicy, PrefersLowerDeltasAtModerateTemperature) {
+  const WeightMatrix w = diagonal_matrix({0, 10, 0, 10});
+  DeltaState state(w);
+  Rng rng(22);
+  SoftminWindowPolicy policy(4, 10.0, 0);
+  int low = 0;
+  const int trials = 2000;
+  for (int trial = 0; trial < trials; ++trial) {
+    policy.reset();
+    const BitIndex k = policy.select(state, rng);
+    if (k == 0 || k == 2) ++low;
+  }
+  // p(low)/p(high) = e ≈ 2.72 per bit → low share ≈ e/(e+1) ≈ 0.731.
+  EXPECT_GT(low, static_cast<int>(trials * 0.66));
+  EXPECT_LT(low, static_cast<int>(trials * 0.80));
+}
+
+TEST(SoftminWindowPolicy, OffsetRotatesLikeDeterministicVariant) {
+  const WeightMatrix w = diagonal_matrix({0, 9, 9, 9, 0, 9});
+  DeltaState state(w);
+  Rng rng(23);
+  SoftminWindowPolicy policy(3, 1e-4, 0);
+  EXPECT_EQ(policy.select(state, rng), 0u);  // window {0,1,2}
+  EXPECT_EQ(policy.select(state, rng), 4u);  // window {3,4,5}
+}
+
+TEST(Policies, CloneThroughBaseInterface) {
+  const WeightMatrix w = diagonal_matrix({5, 3, 9});
+  DeltaState state(w);
+  Rng rng(12);
+  std::vector<std::unique_ptr<SelectionPolicy>> prototypes;
+  prototypes.push_back(std::make_unique<WindowMinDeltaPolicy>(2));
+  prototypes.push_back(std::make_unique<GreedyMinDeltaPolicy>());
+  prototypes.push_back(std::make_unique<RandomBitPolicy>());
+  for (const auto& prototype : prototypes) {
+    const auto copy = prototype->clone();
+    EXPECT_LT(copy->select(state, rng), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace absq

@@ -1,0 +1,113 @@
+#include "ga/pool_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace absq {
+namespace {
+
+SolutionPool sample_pool() {
+  SolutionPool pool(8);
+  pool.insert(BitVector::from_string("0101"), -10);
+  pool.insert(BitVector::from_string("1010"), -7);
+  pool.insert(BitVector::from_string("1111"), 3);
+  pool.insert(BitVector::from_string("0011"), kUnevaluated);
+  return pool;
+}
+
+TEST(PoolIo, RoundTripPreservesEntries) {
+  const SolutionPool original = sample_pool();
+  std::stringstream buffer;
+  write_pool(buffer, original);
+  const SolutionPool loaded = read_pool(buffer);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.entry(i).bits, original.entry(i).bits) << i;
+    EXPECT_EQ(loaded.entry(i).energy, original.entry(i).energy) << i;
+  }
+  EXPECT_TRUE(loaded.check_invariants());
+}
+
+TEST(PoolIo, UnevaluatedEntriesRoundTrip) {
+  const SolutionPool original = sample_pool();
+  std::stringstream buffer;
+  write_pool(buffer, original);
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("? 0011"), std::string::npos);
+  const SolutionPool loaded = read_pool(buffer);
+  EXPECT_EQ(loaded.entry(3).energy, kUnevaluated);
+}
+
+TEST(PoolIo, CapacityTruncatesWorstFirst) {
+  const SolutionPool original = sample_pool();
+  std::stringstream buffer;
+  write_pool(buffer, original);
+  const SolutionPool loaded = read_pool(buffer, 2);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.best().energy, -10);
+  EXPECT_EQ(loaded.entry(1).energy, -7);
+}
+
+TEST(PoolIo, LargerCapacityLeavesRoom) {
+  const SolutionPool original = sample_pool();
+  std::stringstream buffer;
+  write_pool(buffer, original);
+  SolutionPool loaded = read_pool(buffer, 16);
+  EXPECT_EQ(loaded.size(), 4u);
+  EXPECT_EQ(loaded.capacity(), 16u);
+  EXPECT_TRUE(loaded.insert(BitVector::from_string("1000"), 0));
+}
+
+TEST(PoolIo, RandomPoolsRoundTrip) {
+  Rng rng(5);
+  SolutionPool pool(32);
+  pool.initialize_random(50, rng);
+  for (int i = 0; i < 20; ++i) {
+    pool.insert(BitVector::random(50, rng), rng.range(-500, 500));
+  }
+  std::stringstream buffer;
+  write_pool(buffer, pool);
+  const SolutionPool loaded = read_pool(buffer);
+  ASSERT_EQ(loaded.size(), pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_EQ(loaded.entry(i).bits, pool.entry(i).bits);
+    EXPECT_EQ(loaded.entry(i).energy, pool.entry(i).energy);
+  }
+}
+
+TEST(PoolIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/absq_pool_test.pool";
+  write_pool_file(path, sample_pool());
+  const SolutionPool loaded = read_pool_file(path);
+  EXPECT_EQ(loaded.size(), 4u);
+}
+
+TEST(PoolIo, Rejections) {
+  {
+    std::istringstream in("population 4 1\n0 0101\n");
+    EXPECT_THROW((void)read_pool(in), CheckError);  // bad tag
+  }
+  {
+    std::istringstream in("pool 4 2\n0 0101\n");
+    EXPECT_THROW((void)read_pool(in), CheckError);  // truncated
+  }
+  {
+    std::istringstream in("pool 4 1\n0 010\n");
+    EXPECT_THROW((void)read_pool(in), CheckError);  // wrong bit count
+  }
+  {
+    std::istringstream in("pool 4 1\nxyz 0101\n");
+    EXPECT_THROW((void)read_pool(in), CheckError);  // bad energy
+  }
+  {
+    std::istringstream in("pool 4 0\n");
+    EXPECT_THROW((void)read_pool(in), CheckError);  // empty snapshot
+  }
+}
+
+}  // namespace
+}  // namespace absq

@@ -1,0 +1,217 @@
+// Parameterized property sweeps — each suite pins one cross-module
+// invariant across a whole parameter range, complementing the per-module
+// example-based tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "ga/solution_pool.hpp"
+#include "problems/maxcut.hpp"
+#include "problems/partition.hpp"
+#include "problems/random.hpp"
+#include "problems/sat.hpp"
+#include "problems/tsp.hpp"
+#include "qubo/delta_state.hpp"
+#include "qubo/energy.hpp"
+#include "search/algorithms.hpp"
+#include "search/straight.hpp"
+#include "util/rng.hpp"
+
+namespace absq {
+namespace {
+
+// ---------------------------------------------------------------- Max-Cut
+
+class MaxCutSweep
+    : public ::testing::TestWithParam<std::tuple<BitIndex, std::size_t>> {};
+
+TEST_P(MaxCutSweep, EnergyIsNegatedCutEverywhere) {
+  const auto [n, m] = GetParam();
+  Rng rng(mix64(n ^ m));
+  const WeightedGraph graph =
+      random_gnm_graph(n, m, EdgeWeights::kPlusMinusOne, rng);
+  const WeightMatrix w = maxcut_to_qubo(graph);
+  for (int trial = 0; trial < 25; ++trial) {
+    const BitVector x = BitVector::random(n, rng);
+    ASSERT_EQ(full_energy(w, x), -cut_weight(graph, x));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GraphShapes, MaxCutSweep,
+    ::testing::Values(std::make_tuple(8u, 10u), std::make_tuple(16u, 40u),
+                      std::make_tuple(33u, 100u), std::make_tuple(64u, 500u),
+                      std::make_tuple(100u, 1200u),
+                      std::make_tuple(130u, 300u)));
+
+// -------------------------------------------------------------------- TSP
+
+class TspSweep : public ::testing::TestWithParam<BitIndex> {};
+
+TEST_P(TspSweep, TourEnergyIdentityAndRoundTrip) {
+  const BitIndex cities = GetParam();
+  const TspInstance tsp =
+      random_euclidean_tsp("sweep", cities, 200, 77 + cities);
+  const TspQubo qubo = tsp_to_qubo(tsp);
+  Rng rng(cities);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    // Random tour ending at the pinned city.
+    std::vector<BitIndex> order(cities - 1);
+    for (BitIndex i = 0; i + 1 < cities; ++i) order[i] = i;
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.below(i)]);
+    }
+    order.push_back(cities - 1);
+
+    const BitVector x = encode_tour(qubo, order);
+    const auto decoded = decode_tour(qubo, x);
+    ASSERT_TRUE(decoded.has_value());
+    ASSERT_EQ(*decoded, order);
+    ASSERT_EQ(full_energy(qubo.w, x),
+              qubo.energy_for_length(tsp.tour_length(order)));
+  }
+}
+
+TEST_P(TspSweep, TwoOptNeverBelowExactForSmall) {
+  const BitIndex cities = GetParam();
+  if (cities > 12) GTEST_SKIP() << "Held-Karp budget";
+  const TspInstance tsp =
+      random_euclidean_tsp("sweep", cities, 200, 99 + cities);
+  EXPECT_GE(two_opt_tsp_length(tsp, 8, cities), exact_tsp_length(tsp));
+}
+
+INSTANTIATE_TEST_SUITE_P(CityCounts, TspSweep,
+                         ::testing::Values(4, 5, 6, 8, 10, 12, 20, 30));
+
+// ------------------------------------------------------------------- pool
+
+class PoolCapacitySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PoolCapacitySweep, InvariantsUnderRandomTraffic) {
+  const std::size_t capacity = GetParam();
+  Rng rng(capacity);
+  SolutionPool pool(capacity);
+  Energy best_accepted = kUnevaluated;
+  for (int op = 0; op < 500; ++op) {
+    const BitVector bits = BitVector::random(12, rng);
+    const Energy energy = rng.range(-200, 200);
+    const bool duplicate = pool.contains(bits);
+    const bool inserted = pool.insert(bits, energy);
+    if (duplicate) ASSERT_FALSE(inserted);
+    if (inserted && energy < best_accepted) best_accepted = energy;
+    ASSERT_LE(pool.size(), capacity);
+  }
+  ASSERT_TRUE(pool.check_invariants());
+  // The pool's best is the best energy it ever accepted.
+  EXPECT_EQ(pool.best().energy, best_accepted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, PoolCapacitySweep,
+                         ::testing::Values(1, 2, 3, 7, 16, 64, 256));
+
+// ------------------------------------------------------------ straight leg
+
+class StraightSweep : public ::testing::TestWithParam<BitIndex> {};
+
+TEST_P(StraightSweep, WalkInvariantsAtEverySize) {
+  const BitIndex n = GetParam();
+  const WeightMatrix w = random_qubo(n, 55 + n);
+  Rng rng(n);
+  DeltaState state(w, BitVector::random(n, rng));
+  for (int leg = 0; leg < 4; ++leg) {
+    const BitVector target = BitVector::random(n, rng);
+    const BitIndex distance = state.bits().hamming_distance(target);
+    BestTracker tracker;
+    const SearchStats stats = straight_search(state, target, tracker);
+    ASSERT_EQ(stats.flips, distance);
+    ASSERT_EQ(state.bits(), target);
+    ASSERT_EQ(state.energy(), full_energy(w, target));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StraightSweep,
+                         ::testing::Values(1, 2, 5, 31, 64, 100, 257));
+
+// ------------------------------------------------------------------ 3-SAT
+
+class SatSweep : public ::testing::TestWithParam<BitIndex> {};
+
+TEST_P(SatSweep, QuadratizationIdentityAcrossSizes) {
+  const BitIndex vars = GetParam();
+  const SatFormula formula = random_3sat(vars, 4, 1000 + vars);
+  const SatQubo qubo = sat_to_qubo(formula);
+  // Exhaust variables × ancillas (vars ≤ 8, 4 ancillas → ≤ 4096 states).
+  for (std::uint32_t assignment = 0; assignment < (1u << vars);
+       ++assignment) {
+    BitVector v(vars);
+    for (BitIndex b = 0; b < vars; ++b) {
+      if ((assignment >> b) & 1u) v.set(b, true);
+    }
+    Energy min_e = std::numeric_limits<Energy>::max();
+    for (std::uint32_t ancillas = 0; ancillas < (1u << 4); ++ancillas) {
+      BitVector full(qubo.w.size());
+      for (BitIndex b = 0; b < vars; ++b) {
+        if (v.get(b) != 0) full.set(b, true);
+      }
+      for (BitIndex j = 0; j < 4; ++j) {
+        if ((ancillas >> j) & 1u) full.set(qubo.ancilla(j), true);
+      }
+      min_e = std::min(min_e, full_energy(qubo.w, full));
+    }
+    ASSERT_EQ(min_e,
+              qubo.energy_for_violations(count_violations(formula, v)))
+        << "vars=" << vars << " assignment=" << assignment;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VariableCounts, SatSweep,
+                         ::testing::Values(3, 4, 5, 6, 7, 8));
+
+// -------------------------------------------------------------- partition
+
+class PartitionSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PartitionSweep, EnergyDifferenceIdentityExhaustive) {
+  const std::size_t count = GetParam();
+  const auto numbers = random_partition_numbers(count, 9, 300 + count);
+  const PartitionQubo qubo = partition_to_qubo(numbers);
+  for (std::uint32_t assignment = 0; assignment < (1u << count);
+       ++assignment) {
+    BitVector x(static_cast<BitIndex>(count));
+    for (std::size_t b = 0; b < count; ++b) {
+      if ((assignment >> b) & 1u) x.set(static_cast<BitIndex>(b), true);
+    }
+    ASSERT_EQ(full_energy(qubo.w, x),
+              qubo.energy_for_difference(partition_difference(numbers, x)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, PartitionSweep,
+                         ::testing::Values(2, 3, 5, 8, 11, 14));
+
+// --------------------------------------------------- Algorithm-4 windows
+
+class WindowEfficiencySweep : public ::testing::TestWithParam<BitIndex> {};
+
+TEST_P(WindowEfficiencySweep, TheoremOneHoldsForEveryWindow) {
+  const BitIndex window = GetParam();
+  const BitIndex n = 96;
+  const WeightMatrix w = random_qubo(n, 31);
+  Rng rng(window);
+  WindowMinDeltaPolicy policy(window);
+  ProposedSearchOptions opts;
+  opts.steps = 300;
+  opts.policy = &policy;
+  const auto outcome =
+      proposed_local_search(w, BitVector::random(n, rng), opts, rng);
+  EXPECT_NEAR(outcome.stats.efficiency(), 1.0, 0.05);
+  EXPECT_EQ(outcome.best_energy, full_energy(w, outcome.best));
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowEfficiencySweep,
+                         ::testing::Values(1, 2, 3, 8, 32, 96, 1000));
+
+}  // namespace
+}  // namespace absq

@@ -1,0 +1,146 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace absq {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, ZeroSeedIsHealthy) {
+  Rng rng(0);
+  std::unordered_set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(rng());
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(7);
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(8);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversSmallRange) {
+  Rng rng(9);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 5000; ++i) ++counts[rng.below(5)];
+  for (const int c : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng rng(10);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(11);
+  double min_seen = 1.0;
+  double max_seen = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    min_seen = std::min(min_seen, u);
+    max_seen = std::max(max_seen, u);
+  }
+  EXPECT_LT(min_seen, 0.01);
+  EXPECT_GT(max_seen, 0.99);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_GT(hits, 2700);
+  EXPECT_LT(hits, 3300);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(42);
+  Rng child_a = parent.split(0);
+  Rng child_b = parent.split(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child_a() == child_b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng parent(42);
+  Rng a = parent.split(5);
+  Rng b = Rng(42).split(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SplitDoesNotAdvanceParent) {
+  Rng parent(42);
+  Rng reference(42);
+  (void)parent.split(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(parent(), reference());
+}
+
+TEST(Mix64, DistinctInputsDistinctOutputs) {
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(mix64(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Splitmix64, KnownSequenceIsStable) {
+  // Pin the seeding function so serialized seeds stay meaningful across
+  // refactors (values from the reference implementation, seed = 0).
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64(state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64(state), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(splitmix64(state), 0x06c45d188009454fULL);
+}
+
+}  // namespace
+}  // namespace absq

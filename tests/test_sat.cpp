@@ -1,0 +1,190 @@
+#include "problems/sat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "qubo/energy.hpp"
+#include "util/check.hpp"
+
+namespace absq {
+namespace {
+
+/// Minimum QUBO energy over the ancilla bits for a fixed variable part —
+/// the quantity that must equal energy_for_violations(count_violations).
+Energy min_energy_over_ancillas(const SatQubo& qubo, const BitVector& vars) {
+  const BitIndex m = qubo.clauses;
+  Energy best = std::numeric_limits<Energy>::max();
+  for (std::uint32_t ancillas = 0; ancillas < (1u << m); ++ancillas) {
+    BitVector x(qubo.w.size());
+    for (BitIndex v = 0; v < qubo.variables; ++v) {
+      if (vars.get(v) != 0) x.set(v, true);
+    }
+    for (BitIndex j = 0; j < m; ++j) {
+      if ((ancillas >> j) & 1u) x.set(qubo.ancilla(j), true);
+    }
+    best = std::min(best, full_energy(qubo.w, x));
+  }
+  return best;
+}
+
+TEST(Sat, CountViolations) {
+  SatFormula formula;
+  formula.variables = 3;
+  formula.clauses = {{{1, 2, 3}}, {{-1, -2, -3}}, {{1, -2, 3}}};
+  // x = 111: first satisfied, second violated, third satisfied.
+  EXPECT_EQ(count_violations(formula, BitVector::from_string("111")), 1u);
+  // x = 000: first violated, second satisfied, third satisfied (¬x₂).
+  EXPECT_EQ(count_violations(formula, BitVector::from_string("000")), 1u);
+}
+
+TEST(Sat, QuadratizationCountsViolationsExactly) {
+  // The core identity: min over ancillas of E equals
+  // energy_for_violations(#violated), for EVERY variable assignment.
+  const SatFormula formula = random_3sat(5, 6, 42);
+  const SatQubo qubo = sat_to_qubo(formula);
+  ASSERT_EQ(qubo.w.size(), 5u + 6u);
+  for (std::uint32_t assignment = 0; assignment < (1u << 5); ++assignment) {
+    BitVector vars(5);
+    for (BitIndex b = 0; b < 5; ++b) {
+      if ((assignment >> b) & 1u) vars.set(b, true);
+    }
+    const std::size_t violated = count_violations(formula, vars);
+    EXPECT_EQ(min_energy_over_ancillas(qubo, vars),
+              qubo.energy_for_violations(violated))
+        << "assignment " << assignment;
+  }
+}
+
+TEST(Sat, SuboptimalAncillasNeverUndercut) {
+  // Rosenberg's penalty is ≥ 0 for wrong ancillas: no assignment may dip
+  // below the count-of-violations energy.
+  const SatFormula formula = random_3sat(4, 5, 7);
+  const SatQubo qubo = sat_to_qubo(formula);
+  const BitIndex bits = qubo.w.size();
+  for (std::uint32_t assignment = 0; assignment < (1u << bits); ++assignment) {
+    BitVector x(bits);
+    for (BitIndex b = 0; b < bits; ++b) {
+      if ((assignment >> b) & 1u) x.set(b, true);
+    }
+    const std::size_t violated = count_violations(formula, x);
+    EXPECT_GE(full_energy(qubo.w, x), qubo.energy_for_violations(violated));
+  }
+}
+
+TEST(Sat, SatisfiableFormulaReachesZeroViolationEnergy) {
+  // (x1 ∨ x2 ∨ x3)(¬x1 ∨ x2 ∨ ¬x3)(x1 ∨ ¬x2 ∨ x3): satisfied by x=111? →
+  // clause 2 = ¬1∨1∨¬1 = 1 ✓. Use exhaustive search to confirm the QUBO
+  // optimum equals energy_for_violations(0).
+  SatFormula formula;
+  formula.variables = 3;
+  formula.clauses = {{{1, 2, 3}}, {{-1, 2, -3}}, {{1, -2, 3}}};
+  const SatQubo qubo = sat_to_qubo(formula);
+  Energy best = std::numeric_limits<Energy>::max();
+  const BitIndex bits = qubo.w.size();
+  for (std::uint32_t assignment = 0; assignment < (1u << bits); ++assignment) {
+    BitVector x(bits);
+    for (BitIndex b = 0; b < bits; ++b) {
+      if ((assignment >> b) & 1u) x.set(b, true);
+    }
+    best = std::min(best, full_energy(qubo.w, x));
+  }
+  EXPECT_EQ(best, qubo.energy_for_violations(0));
+}
+
+TEST(Sat, RepeatedVariableClausesHandled) {
+  // x₁ appearing twice in one clause exercises the x² = x path of the
+  // affine-product expansion.
+  SatFormula formula;
+  formula.variables = 2;
+  formula.clauses = {{{1, 1, 2}}, {{-1, -1, -2}}};
+  const SatQubo qubo = sat_to_qubo(formula);
+  for (std::uint32_t assignment = 0; assignment < 4; ++assignment) {
+    BitVector vars(2);
+    for (BitIndex b = 0; b < 2; ++b) {
+      if ((assignment >> b) & 1u) vars.set(b, true);
+    }
+    EXPECT_EQ(min_energy_over_ancillas(qubo, vars),
+              qubo.energy_for_violations(count_violations(formula, vars)));
+  }
+}
+
+TEST(Sat, RandomGeneratorProperties) {
+  const SatFormula formula = random_3sat(20, 85, 3);  // ~4.25 ratio
+  EXPECT_EQ(formula.variables, 20u);
+  EXPECT_EQ(formula.clauses.size(), 85u);
+  for (const auto& clause : formula.clauses) {
+    // Distinct variables, valid range.
+    int vars[3];
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_NE(clause.literals[i], 0);
+      vars[i] = std::abs(clause.literals[i]);
+      ASSERT_LE(vars[i], 20);
+    }
+    EXPECT_NE(vars[0], vars[1]);
+    EXPECT_NE(vars[0], vars[2]);
+    EXPECT_NE(vars[1], vars[2]);
+  }
+  // Determinism.
+  EXPECT_EQ(random_3sat(20, 85, 3).clauses[7].literals[1],
+            formula.clauses[7].literals[1]);
+}
+
+TEST(Sat, MalformedLiteralsRejected) {
+  SatFormula formula;
+  formula.variables = 2;
+  formula.clauses = {{{1, 0, 2}}};
+  EXPECT_THROW((void)sat_to_qubo(formula), CheckError);
+  formula.clauses = {{{1, 3, 2}}};
+  EXPECT_THROW((void)sat_to_qubo(formula), CheckError);
+}
+
+TEST(Dimacs, ParsesStandardFile) {
+  std::istringstream in(
+      "c sample formula\n"
+      "p cnf 4 2\n"
+      "1 -2 3 0\n"
+      "-1 2 -4 0\n");
+  const SatFormula formula = read_dimacs(in);
+  EXPECT_EQ(formula.variables, 4u);
+  ASSERT_EQ(formula.clauses.size(), 2u);
+  EXPECT_EQ(formula.clauses[0].literals[1], -2);
+  EXPECT_EQ(formula.clauses[1].literals[2], -4);
+}
+
+TEST(Dimacs, MultipleClausesPerLine) {
+  std::istringstream in("p cnf 3 2\n1 2 3 0 -1 -2 -3 0\n");
+  EXPECT_EQ(read_dimacs(in).clauses.size(), 2u);
+}
+
+TEST(Dimacs, Rejections) {
+  {
+    std::istringstream in("1 2 3 0\n");
+    EXPECT_THROW((void)read_dimacs(in), CheckError);  // clause before header
+  }
+  {
+    std::istringstream in("p cnf 3 1\n1 2 0\n");
+    EXPECT_THROW((void)read_dimacs(in), CheckError);  // 2-literal clause
+  }
+  {
+    std::istringstream in("p cnf 3 2\n1 2 3 0\n");
+    EXPECT_THROW((void)read_dimacs(in), CheckError);  // count mismatch
+  }
+  {
+    std::istringstream in("p cnf 3 1\n1 2 3\n");
+    EXPECT_THROW((void)read_dimacs(in), CheckError);  // missing terminator
+  }
+}
+
+TEST(Dimacs, RoundTripThroughQubo) {
+  std::istringstream in("p cnf 3 3\n1 2 3 0\n-1 -2 -3 0\n1 -2 3 0\n");
+  const SatFormula formula = read_dimacs(in);
+  const SatQubo qubo = sat_to_qubo(formula);
+  EXPECT_EQ(qubo.variables, 3u);
+  EXPECT_EQ(qubo.clauses, 3u);
+  EXPECT_EQ(qubo.w.size(), 6u);
+}
+
+}  // namespace
+}  // namespace absq

@@ -1,0 +1,146 @@
+#include "abs/search_block.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "qubo/energy.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace absq {
+namespace {
+
+WeightMatrix random_matrix(BitIndex n, std::uint64_t seed) {
+  Rng rng(seed);
+  return WeightMatrix::generate_symmetric(n, [&rng](BitIndex, BitIndex) {
+    return static_cast<Weight>(rng.range(-100, 100));
+  });
+}
+
+SearchBlock::Config block_config(std::uint64_t local_steps = 64,
+                                 BitIndex window = 8) {
+  SearchBlock::Config config;
+  config.device_id = 1;
+  config.block_id = 2;
+  config.window = window;
+  config.local_steps = local_steps;
+  config.seed = 7;
+  return config;
+}
+
+TEST(SearchBlock, StartsAtZeroVector) {
+  const WeightMatrix w = random_matrix(32, 1);
+  SearchBlock block(w, block_config());
+  EXPECT_EQ(block.current().popcount(), 0u);
+  EXPECT_EQ(block.current_energy(), 0);
+  EXPECT_EQ(block.iterations(), 0u);
+}
+
+TEST(SearchBlock, RejectsZeroLocalSteps) {
+  const WeightMatrix w = random_matrix(8, 2);
+  auto config = block_config(0);
+  EXPECT_THROW(SearchBlock(w, config), CheckError);
+}
+
+TEST(SearchBlock, IterateReportsExactEnergy) {
+  Rng rng(3);
+  const WeightMatrix w = random_matrix(40, 4);
+  SearchBlock block(w, block_config());
+  for (int iteration = 0; iteration < 5; ++iteration) {
+    const BitVector target = BitVector::random(40, rng);
+    const auto report = block.iterate(target);
+    EXPECT_EQ(report.energy, full_energy(w, report.bits))
+        << "iteration " << iteration;
+    EXPECT_EQ(report.device_id, 1u);
+    EXPECT_EQ(report.block_id, 2u);
+  }
+  EXPECT_EQ(block.iterations(), 5u);
+}
+
+TEST(SearchBlock, CurrentSolutionEnergyStaysConsistent) {
+  Rng rng(5);
+  const WeightMatrix w = random_matrix(24, 6);
+  SearchBlock block(w, block_config(32));
+  for (int iteration = 0; iteration < 8; ++iteration) {
+    (void)block.iterate(BitVector::random(24, rng));
+    ASSERT_EQ(block.current_energy(), full_energy(w, block.current()));
+  }
+}
+
+TEST(SearchBlock, FlipAccountingMatchesProtocol) {
+  // Flips per iteration = Hamming(C, T) + local_steps.
+  Rng rng(7);
+  const WeightMatrix w = random_matrix(30, 8);
+  SearchBlock block(w, block_config(50));
+  const BitVector target = BitVector::random(30, rng);
+  const BitIndex distance = block.current().hamming_distance(target);
+  const std::uint64_t flips_before = block.stats().flips;
+  (void)block.iterate(target);
+  EXPECT_EQ(block.stats().flips - flips_before, distance + 50);
+}
+
+TEST(SearchBlock, BestResetsBetweenIterations) {
+  // Step 3: an iteration may report a worse solution than the previous
+  // iteration's best — the incumbent does not leak across iterations.
+  Rng rng(9);
+  const WeightMatrix w = random_matrix(50, 10);
+  SearchBlock block(w, block_config(16));
+  Energy first = block.iterate(BitVector::random(50, rng)).energy;
+  bool saw_worse_report = false;
+  for (int iteration = 0; iteration < 30 && !saw_worse_report; ++iteration) {
+    const auto report = block.iterate(BitVector::random(50, rng));
+    if (report.energy > first) saw_worse_report = true;
+    first = std::min(first, report.energy);
+  }
+  EXPECT_TRUE(saw_worse_report)
+      << "30 iterations never reported a non-incumbent solution — the "
+         "tracker is probably not being reset";
+}
+
+TEST(SearchBlock, TargetSizeMismatchThrows) {
+  const WeightMatrix w = random_matrix(16, 11);
+  SearchBlock block(w, block_config());
+  EXPECT_THROW((void)block.iterate(BitVector(8)), CheckError);
+}
+
+TEST(SearchBlock, IterateOnCurrentSolutionIsPureLocalSearch) {
+  // Target == current: zero straight-search flips, local steps only.
+  const WeightMatrix w = random_matrix(20, 12);
+  SearchBlock block(w, block_config(25));
+  const BitVector current = block.current();
+  const std::uint64_t flips_before = block.stats().flips;
+  (void)block.iterate(current);
+  EXPECT_EQ(block.stats().flips - flips_before, 25u);
+}
+
+TEST(SearchBlock, SearchEfficiencyIsConstant) {
+  // The block-level Theorem 1 check: lifetime ops ≈ lifetime evaluations.
+  Rng rng(13);
+  const WeightMatrix w = random_matrix(64, 14);
+  SearchBlock block(w, block_config(64));
+  for (int iteration = 0; iteration < 10; ++iteration) {
+    (void)block.iterate(BitVector::random(64, rng));
+  }
+  EXPECT_NEAR(block.stats().efficiency(), 1.0, 0.01);
+}
+
+TEST(SearchBlock, DistinctBlocksDiverge) {
+  // Blocks with different ids get staggered window offsets, so equal
+  // targets must not produce identical search trajectories.
+  const WeightMatrix w = random_matrix(48, 15);
+  auto config_a = block_config(100, 4);
+  config_a.block_id = 0;
+  auto config_b = block_config(100, 4);
+  config_b.block_id = 1;
+  SearchBlock block_a(w, config_a);
+  SearchBlock block_b(w, config_b);
+  Rng rng(16);
+  const BitVector target = BitVector::random(48, rng);
+  (void)block_a.iterate(target);
+  (void)block_b.iterate(target);
+  EXPECT_NE(block_a.current(), block_b.current());
+}
+
+}  // namespace
+}  // namespace absq

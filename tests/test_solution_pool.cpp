@@ -1,0 +1,165 @@
+#include "ga/solution_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace absq {
+namespace {
+
+BitVector bits(const std::string& s) { return BitVector::from_string(s); }
+
+TEST(SolutionPool, RejectsZeroCapacity) {
+  EXPECT_THROW(SolutionPool(0), CheckError);
+}
+
+TEST(SolutionPool, RandomInitializationFillsToCapacityDistinct) {
+  Rng rng(1);
+  SolutionPool pool(32);
+  pool.initialize_random(64, rng);
+  EXPECT_EQ(pool.size(), 32u);
+  EXPECT_TRUE(pool.check_invariants());
+  EXPECT_EQ(pool.evaluated_count(), 0u);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_EQ(pool.entry(i).energy, kUnevaluated);
+  }
+}
+
+TEST(SolutionPool, RandomInitializationWithTinyDomain) {
+  // 2-bit vectors: only 4 distinct patterns exist; a 4-slot pool must fill
+  // without spinning forever.
+  Rng rng(2);
+  SolutionPool pool(4);
+  pool.initialize_random(2, rng);
+  EXPECT_EQ(pool.size(), 4u);
+  EXPECT_TRUE(pool.check_invariants());
+}
+
+TEST(SolutionPool, InsertKeepsSortedOrder) {
+  SolutionPool pool(10);
+  EXPECT_TRUE(pool.insert(bits("0001"), 5));
+  EXPECT_TRUE(pool.insert(bits("0010"), -3));
+  EXPECT_TRUE(pool.insert(bits("0100"), 1));
+  ASSERT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.entry(0).energy, -3);
+  EXPECT_EQ(pool.entry(1).energy, 1);
+  EXPECT_EQ(pool.entry(2).energy, 5);
+  EXPECT_TRUE(pool.check_invariants());
+}
+
+TEST(SolutionPool, DuplicateBitsRejected) {
+  SolutionPool pool(10);
+  EXPECT_TRUE(pool.insert(bits("0101"), 7));
+  EXPECT_FALSE(pool.insert(bits("0101"), 7));
+  // Same bits with a different claimed energy are also rejected — the bit
+  // pattern is the identity.
+  EXPECT_FALSE(pool.insert(bits("0101"), 3));
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(SolutionPool, EqualEnergyDifferentBitsBothKept) {
+  SolutionPool pool(10);
+  EXPECT_TRUE(pool.insert(bits("0101"), 7));
+  EXPECT_TRUE(pool.insert(bits("1010"), 7));
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_TRUE(pool.check_invariants());
+}
+
+TEST(SolutionPool, FullPoolReplacesWorstOnlyWhenBetter) {
+  SolutionPool pool(2);
+  EXPECT_TRUE(pool.insert(bits("01"), 10));
+  EXPECT_TRUE(pool.insert(bits("10"), 20));
+  // Not better than the worst (20): rejected.
+  EXPECT_FALSE(pool.insert(bits("11"), 25));
+  EXPECT_FALSE(pool.insert(bits("11"), 20));
+  // Better: replaces the worst.
+  EXPECT_TRUE(pool.insert(bits("11"), 15));
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.entry(1).energy, 15);
+  EXPECT_FALSE(pool.contains(bits("10")));
+  EXPECT_TRUE(pool.check_invariants());
+}
+
+TEST(SolutionPool, ReplacedSolutionCanReenter) {
+  SolutionPool pool(2);
+  pool.insert(bits("01"), 10);
+  pool.insert(bits("10"), 20);
+  pool.insert(bits("11"), 15);  // evicts "10"/20
+  EXPECT_TRUE(pool.insert(bits("10"), 5));
+  EXPECT_EQ(pool.best().energy, 5);
+}
+
+TEST(SolutionPool, UnevaluatedSortAfterEvaluated) {
+  Rng rng(3);
+  SolutionPool pool(4);
+  pool.initialize_random(16, rng);
+  // A full pool of unevaluated entries: any real energy beats kUnevaluated.
+  EXPECT_TRUE(pool.insert(bits("0000000000000001"), 1000));
+  EXPECT_EQ(pool.best().energy, 1000);
+  EXPECT_EQ(pool.evaluated_count(), 1u);
+  EXPECT_TRUE(pool.check_invariants());
+}
+
+TEST(SolutionPool, BestEnergyOnEmptyPool) {
+  SolutionPool pool(4);
+  EXPECT_TRUE(pool.empty());
+  EXPECT_EQ(pool.best_energy(), kUnevaluated);
+}
+
+TEST(SolutionPool, ContainsTracksMembership) {
+  SolutionPool pool(3);
+  EXPECT_FALSE(pool.contains(bits("011")));
+  pool.insert(bits("011"), 4);
+  EXPECT_TRUE(pool.contains(bits("011")));
+}
+
+TEST(SolutionPool, StressRandomOperationsPreserveInvariants) {
+  Rng rng(4);
+  SolutionPool pool(16);
+  int inserted = 0;
+  for (int op = 0; op < 2000; ++op) {
+    const BitVector candidate = BitVector::random(10, rng);
+    const Energy energy = rng.range(-1000, 1000);
+    if (pool.insert(candidate, energy)) ++inserted;
+    if (op % 100 == 0) ASSERT_TRUE(pool.check_invariants()) << "op " << op;
+  }
+  EXPECT_TRUE(pool.check_invariants());
+  EXPECT_EQ(pool.size(), 16u);
+  EXPECT_GT(inserted, 16);        // replacements happened
+  EXPECT_LE(pool.best().energy, pool.entry(pool.size() - 1).energy);
+}
+
+TEST(SolutionPool, CapacityOneMatchesReferenceModel) {
+  // Model a 1-slot pool by hand and require identical behaviour.
+  Rng rng(5);
+  SolutionPool pool(1);
+  BitVector model_bits;
+  Energy model_energy = kUnevaluated;
+  bool model_filled = false;
+  for (int op = 0; op < 300; ++op) {
+    const BitVector candidate = BitVector::random(8, rng);
+    const Energy energy = rng.range(-100, 100);
+    const bool inserted = pool.insert(candidate, energy);
+
+    bool model_inserted = false;
+    if (!model_filled) {
+      model_inserted = true;
+    } else if (candidate != model_bits &&
+               (energy < model_energy ||
+                (energy == model_energy && candidate < model_bits))) {
+      model_inserted = true;
+    }
+    if (model_inserted) {
+      model_bits = candidate;
+      model_energy = energy;
+      model_filled = true;
+    }
+    ASSERT_EQ(inserted, model_inserted) << "op " << op;
+    ASSERT_EQ(pool.best().bits, model_bits) << "op " << op;
+    ASSERT_EQ(pool.best().energy, model_energy) << "op " << op;
+  }
+}
+
+}  // namespace
+}  // namespace absq

@@ -1,0 +1,75 @@
+#include "search/tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace absq {
+namespace {
+
+TEST(BestTracker, StartsInvalid) {
+  BestTracker tracker;
+  EXPECT_FALSE(tracker.valid());
+  EXPECT_EQ(tracker.energy(), std::numeric_limits<Energy>::max());
+}
+
+TEST(BestTracker, SeededConstructorIsValid) {
+  const BitVector x = BitVector::from_string("0110");
+  BestTracker tracker(x, -5);
+  EXPECT_TRUE(tracker.valid());
+  EXPECT_EQ(tracker.best(), x);
+  EXPECT_EQ(tracker.energy(), -5);
+}
+
+TEST(BestTracker, FirstOfferAlwaysAccepted) {
+  BestTracker tracker;
+  EXPECT_TRUE(tracker.offer(BitVector::from_string("01"), 1000000));
+  EXPECT_EQ(tracker.energy(), 1000000);
+}
+
+TEST(BestTracker, OnlyStrictImprovementsAccepted) {
+  BestTracker tracker(BitVector::from_string("00"), 10);
+  EXPECT_FALSE(tracker.offer(BitVector::from_string("01"), 10));  // tie
+  EXPECT_FALSE(tracker.offer(BitVector::from_string("01"), 11));
+  EXPECT_TRUE(tracker.offer(BitVector::from_string("01"), 9));
+  EXPECT_EQ(tracker.best(), BitVector::from_string("01"));
+  EXPECT_EQ(tracker.energy(), 9);
+}
+
+TEST(BestTracker, OfferNeighborMaterializesFlip) {
+  BestTracker tracker(BitVector::from_string("0000"), 0);
+  const BitVector x = BitVector::from_string("0101");
+  EXPECT_TRUE(tracker.offer_neighbor(x, 2, -7));
+  EXPECT_EQ(tracker.best(), BitVector::from_string("0111"));
+  EXPECT_EQ(tracker.energy(), -7);
+}
+
+TEST(BestTracker, OfferNeighborRejectsWithoutCopying) {
+  const BitVector incumbent = BitVector::from_string("1111");
+  BestTracker tracker(incumbent, -100);
+  EXPECT_FALSE(tracker.offer_neighbor(BitVector::from_string("0000"), 1, 0));
+  EXPECT_EQ(tracker.best(), incumbent);
+}
+
+TEST(BestTracker, ResetForgetsIncumbent) {
+  BestTracker tracker(BitVector::from_string("01"), -3);
+  tracker.reset();
+  EXPECT_FALSE(tracker.valid());
+  // Anything is accepted after a reset, even a worse energy.
+  EXPECT_TRUE(tracker.offer(BitVector::from_string("10"), 50));
+  EXPECT_EQ(tracker.energy(), 50);
+}
+
+TEST(BestTracker, SequenceKeepsRunningMinimum) {
+  BestTracker tracker;
+  const Energy energies[] = {5, 3, 4, -1, -1, 7, -2};
+  Energy expected = std::numeric_limits<Energy>::max();
+  for (const Energy e : energies) {
+    tracker.offer(BitVector::from_string("1"), e);
+    expected = std::min(expected, e);
+    EXPECT_EQ(tracker.energy(), expected);
+  }
+}
+
+}  // namespace
+}  // namespace absq

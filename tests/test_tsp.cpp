@@ -1,0 +1,327 @@
+#include "problems/tsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "qubo/energy.hpp"
+#include "util/check.hpp"
+
+namespace absq {
+namespace {
+
+/// 4-city instance small enough to reason about by hand.
+TspInstance tiny_tsp() {
+  return TspInstance("tiny", {{0, 10, 15, 20},
+                              {10, 0, 35, 25},
+                              {15, 35, 0, 30},
+                              {20, 25, 30, 0}});
+}
+
+TEST(TspInstance, ValidatesMatrix) {
+  EXPECT_THROW(TspInstance("bad", {{0, 1}, {1, 0}}), CheckError);  // c < 3
+  EXPECT_THROW(TspInstance("bad", {{0, 1, 2}, {1, 0, 3}, {2, 4, 0}}),
+               CheckError);  // asymmetric
+  EXPECT_THROW(TspInstance("bad", {{1, 1, 2}, {1, 0, 3}, {2, 3, 0}}),
+               CheckError);  // nonzero diagonal
+  EXPECT_THROW(TspInstance("bad", {{0, -1, 2}, {-1, 0, 3}, {2, 3, 0}}),
+               CheckError);  // negative
+}
+
+TEST(TspInstance, TourLengthClosesTheLoop) {
+  const TspInstance tsp = tiny_tsp();
+  // 0 → 1 → 3 → 2 → 0: 10 + 25 + 30 + 15 = 80 (the known optimum).
+  EXPECT_EQ(tsp.tour_length({0, 1, 3, 2}), 80);
+  // Rotations and reversal preserve length.
+  EXPECT_EQ(tsp.tour_length({1, 3, 2, 0}), 80);
+  EXPECT_EQ(tsp.tour_length({2, 3, 1, 0}), 80);
+}
+
+TEST(TspInstance, MaxDistance) { EXPECT_EQ(tiny_tsp().max_distance(), 35); }
+
+TEST(ExactTsp, SolvesTinyInstance) {
+  EXPECT_EQ(exact_tsp_length(tiny_tsp()), 80);
+}
+
+TEST(ExactTsp, MatchesBruteForcePermutations) {
+  const TspInstance tsp = random_euclidean_tsp("t", 8, 100, 1);
+  // Brute force over all tours fixing city 7 last.
+  std::vector<BitIndex> order = {0, 1, 2, 3, 4, 5, 6};
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  do {
+    std::vector<BitIndex> tour = order;
+    tour.push_back(7);
+    best = std::min(best, tsp.tour_length(tour));
+  } while (std::next_permutation(order.begin(), order.end()));
+  EXPECT_EQ(exact_tsp_length(tsp), best);
+}
+
+TEST(ExactTsp, CapsCityCount) {
+  const TspInstance tsp = random_euclidean_tsp("t", 25, 100, 2);
+  EXPECT_THROW((void)exact_tsp_length(tsp), CheckError);
+}
+
+TEST(TwoOpt, NeverBeatsExactButGetsClose) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const TspInstance tsp = random_euclidean_tsp("t", 12, 200, seed);
+    const std::int64_t exact = exact_tsp_length(tsp);
+    const std::int64_t heuristic = two_opt_tsp_length(tsp, 10, seed);
+    EXPECT_GE(heuristic, exact);
+    EXPECT_LE(heuristic, exact + exact / 10);  // within 10% on tiny instances
+  }
+}
+
+TEST(TspQubo, BitCountIsSquaredCitiesMinusOne) {
+  const TspQubo qubo = tsp_to_qubo(tiny_tsp());
+  EXPECT_EQ(qubo.w.size(), 9u);  // (4−1)²
+  EXPECT_EQ(qubo.cities, 4u);
+  EXPECT_EQ(qubo.penalty, 70);  // 2 × max distance 35
+}
+
+TEST(TspQubo, ValidTourEnergiesMatchLengths) {
+  // The affine energy↔length relation must hold for EVERY tour.
+  const TspInstance tsp = tiny_tsp();
+  const TspQubo qubo = tsp_to_qubo(tsp);
+  std::vector<BitIndex> order = {0, 1, 2};
+  do {
+    std::vector<BitIndex> tour(order.begin(), order.end());
+    tour.push_back(3);
+    const BitVector x = encode_tour(qubo, tour);
+    const Energy e = full_energy(qubo.w, x);
+    EXPECT_EQ(e, qubo.energy_for_length(tsp.tour_length(tour)));
+    EXPECT_EQ(qubo.length_for_energy(e), tsp.tour_length(tour));
+  } while (std::next_permutation(order.begin(), order.end()));
+}
+
+TEST(TspQubo, EncodeDecodeRoundTrip) {
+  const TspQubo qubo = tsp_to_qubo(tiny_tsp());
+  const std::vector<BitIndex> tour = {2, 0, 1, 3};
+  const BitVector x = encode_tour(qubo, tour);
+  const auto decoded = decode_tour(qubo, x);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, tour);
+}
+
+TEST(TspQubo, DecodeRejectsInvalidAssignments) {
+  const TspQubo qubo = tsp_to_qubo(tiny_tsp());
+  // Empty assignment: no city anywhere.
+  EXPECT_FALSE(decode_tour(qubo, BitVector(9)).has_value());
+  // Same city twice.
+  BitVector twice(9);
+  twice.set(qubo.var(0, 0), true);
+  twice.set(qubo.var(0, 1), true);
+  twice.set(qubo.var(1, 2), true);
+  EXPECT_FALSE(decode_tour(qubo, twice).has_value());
+  // Two cities in one slot.
+  BitVector clash(9);
+  clash.set(qubo.var(0, 0), true);
+  clash.set(qubo.var(1, 0), true);
+  clash.set(qubo.var(2, 1), true);
+  EXPECT_FALSE(decode_tour(qubo, clash).has_value());
+}
+
+TEST(TspQubo, InvalidAssignmentsCostMoreThanAnyValidTour) {
+  // Penalty sufficiency on the tiny instance: exhaustive over all 2⁹
+  // assignments, every invalid one must be worse than the worst valid tour.
+  const TspInstance tsp = tiny_tsp();
+  const TspQubo qubo = tsp_to_qubo(tsp);
+  Energy worst_valid = std::numeric_limits<Energy>::min();
+  Energy best_invalid = std::numeric_limits<Energy>::max();
+  for (std::uint32_t assignment = 0; assignment < (1u << 9); ++assignment) {
+    BitVector x(9);
+    for (BitIndex b = 0; b < 9; ++b) {
+      if ((assignment >> b) & 1u) x.set(b, true);
+    }
+    const Energy e = full_energy(qubo.w, x);
+    if (decode_tour(qubo, x).has_value()) {
+      worst_valid = std::max(worst_valid, e);
+    } else {
+      best_invalid = std::min(best_invalid, e);
+    }
+  }
+  EXPECT_LT(worst_valid, best_invalid);
+}
+
+TEST(TspQubo, GlobalOptimumIsTheOptimalTour) {
+  const TspInstance tsp = tiny_tsp();
+  const TspQubo qubo = tsp_to_qubo(tsp);
+  Energy best = std::numeric_limits<Energy>::max();
+  std::uint32_t best_assignment = 0;
+  for (std::uint32_t assignment = 0; assignment < (1u << 9); ++assignment) {
+    BitVector x(9);
+    for (BitIndex b = 0; b < 9; ++b) {
+      if ((assignment >> b) & 1u) x.set(b, true);
+    }
+    const Energy e = full_energy(qubo.w, x);
+    if (e < best) {
+      best = e;
+      best_assignment = assignment;
+    }
+  }
+  BitVector x(9);
+  for (BitIndex b = 0; b < 9; ++b) {
+    if ((best_assignment >> b) & 1u) x.set(b, true);
+  }
+  const auto tour = decode_tour(qubo, x);
+  ASSERT_TRUE(tour.has_value());
+  EXPECT_EQ(tsp.tour_length(*tour), exact_tsp_length(tsp));
+  EXPECT_EQ(best, qubo.energy_for_length(80));
+}
+
+TEST(TspQubo, EncodeValidation) {
+  const TspQubo qubo = tsp_to_qubo(tiny_tsp());
+  EXPECT_THROW((void)encode_tour(qubo, {0, 1, 2}), CheckError);  // too short
+  EXPECT_THROW((void)encode_tour(qubo, {0, 1, 3, 2}), CheckError);  // pinned
+}
+
+TEST(Tsplib, ParsesEuc2d) {
+  std::istringstream in(
+      "NAME : square4\n"
+      "TYPE : TSP\n"
+      "DIMENSION : 4\n"
+      "EDGE_WEIGHT_TYPE : EUC_2D\n"
+      "NODE_COORD_SECTION\n"
+      "1 0 0\n"
+      "2 3 0\n"
+      "3 3 4\n"
+      "4 0 4\n"
+      "EOF\n");
+  const TspInstance tsp = read_tsplib(in);
+  EXPECT_EQ(tsp.name(), "square4");
+  EXPECT_EQ(tsp.cities(), 4u);
+  EXPECT_EQ(tsp.distance(0, 1), 3);
+  EXPECT_EQ(tsp.distance(1, 2), 4);
+  EXPECT_EQ(tsp.distance(0, 2), 5);
+  EXPECT_EQ(exact_tsp_length(tsp), 14);
+}
+
+TEST(Tsplib, ParsesExplicitFullMatrix) {
+  std::istringstream in(
+      "NAME: m3\n"
+      "DIMENSION: 3\n"
+      "EDGE_WEIGHT_TYPE: EXPLICIT\n"
+      "EDGE_WEIGHT_FORMAT: FULL_MATRIX\n"
+      "EDGE_WEIGHT_SECTION\n"
+      "0 2 9\n"
+      "2 0 6\n"
+      "9 6 0\n"
+      "EOF\n");
+  const TspInstance tsp = read_tsplib(in);
+  EXPECT_EQ(tsp.distance(0, 2), 9);
+  EXPECT_EQ(tsp.distance(1, 2), 6);
+}
+
+TEST(Tsplib, ParsesUpperRow) {
+  // bayg29's format (UPPER_ROW): strictly-above-diagonal entries, row-wise.
+  std::istringstream in(
+      "NAME: u4\n"
+      "DIMENSION: 4\n"
+      "EDGE_WEIGHT_TYPE: EXPLICIT\n"
+      "EDGE_WEIGHT_FORMAT: UPPER_ROW\n"
+      "EDGE_WEIGHT_SECTION\n"
+      "1 2 3\n"
+      "4 5\n"
+      "6\n"
+      "EOF\n");
+  const TspInstance tsp = read_tsplib(in);
+  EXPECT_EQ(tsp.distance(0, 1), 1);
+  EXPECT_EQ(tsp.distance(0, 3), 3);
+  EXPECT_EQ(tsp.distance(1, 2), 4);
+  EXPECT_EQ(tsp.distance(2, 3), 6);
+  EXPECT_EQ(tsp.distance(3, 2), 6);
+}
+
+TEST(Tsplib, ParsesLowerDiagRow) {
+  std::istringstream in(
+      "NAME: l3\n"
+      "DIMENSION: 3\n"
+      "EDGE_WEIGHT_TYPE: EXPLICIT\n"
+      "EDGE_WEIGHT_FORMAT: LOWER_DIAG_ROW\n"
+      "EDGE_WEIGHT_SECTION\n"
+      "0\n"
+      "7 0\n"
+      "8 9 0\n"
+      "EOF\n");
+  const TspInstance tsp = read_tsplib(in);
+  EXPECT_EQ(tsp.distance(0, 1), 7);
+  EXPECT_EQ(tsp.distance(0, 2), 8);
+  EXPECT_EQ(tsp.distance(1, 2), 9);
+}
+
+TEST(Tsplib, GeoDistanceMatchesKnownFormula) {
+  // Two points on the equator one degree of longitude apart: the TSPLIB
+  // GEO formula gives ⌊6378.388 · (π/180)⌋ + 1 = 112 km.
+  std::istringstream in(
+      "NAME: geo2\n"
+      "DIMENSION: 3\n"
+      "EDGE_WEIGHT_TYPE : GEO\n"
+      "NODE_COORD_SECTION\n"
+      "1 0.0 0.0\n"
+      "2 0.0 1.0\n"
+      "3 1.0 0.0\n"
+      "EOF\n");
+  const TspInstance tsp = read_tsplib(in);
+  EXPECT_EQ(tsp.distance(0, 1), 112);
+  EXPECT_EQ(tsp.distance(0, 2), 112);
+}
+
+TEST(Tsplib, UnsupportedFormatThrows) {
+  std::istringstream in(
+      "DIMENSION: 3\n"
+      "EDGE_WEIGHT_TYPE : XRAY1\n"
+      "NODE_COORD_SECTION\n"
+      "1 0 0\n2 1 0\n3 0 1\n"
+      "EOF\n");
+  EXPECT_THROW((void)read_tsplib(in), CheckError);
+}
+
+TEST(Tsplib, TruncatedExplicitSectionThrows) {
+  std::istringstream in(
+      "DIMENSION: 3\n"
+      "EDGE_WEIGHT_TYPE: EXPLICIT\n"
+      "EDGE_WEIGHT_FORMAT: FULL_MATRIX\n"
+      "EDGE_WEIGHT_SECTION\n"
+      "0 2 9\n"
+      "EOF\n");
+  EXPECT_THROW((void)read_tsplib(in), CheckError);
+}
+
+TEST(TspCatalog, MatchesTable1bRows) {
+  const auto& catalog = tsp_catalog();
+  ASSERT_EQ(catalog.size(), 5u);
+  EXPECT_EQ(catalog[0].paper_name, "ulysses16");
+  EXPECT_EQ(catalog[0].bits, 225u);
+  EXPECT_EQ(catalog[4].paper_name, "st70");
+  EXPECT_EQ(catalog[4].cities, 70u);
+  for (const auto& spec : catalog) {
+    EXPECT_EQ(spec.bits, (spec.cities - 1) * (spec.cities - 1))
+        << spec.paper_name;
+  }
+}
+
+TEST(TspCatalog, StandInsAreDeterministicAndSized) {
+  const auto& spec = tsp_catalog()[1];  // bayg29 stand-in
+  const TspInstance a = generate_tsp_instance(spec, 3);
+  const TspInstance b = generate_tsp_instance(spec, 3);
+  EXPECT_EQ(a.cities(), 29u);
+  for (BitIndex i = 0; i < a.cities(); ++i) {
+    for (BitIndex j = 0; j < a.cities(); ++j) {
+      EXPECT_EQ(a.distance(i, j), b.distance(i, j));
+    }
+  }
+}
+
+TEST(TspCatalog, StandInQuboFitsWeightRange) {
+  // The whole catalog must convert without overflow (the paper's 16-bit
+  // weight constraint).
+  for (const auto& spec : tsp_catalog()) {
+    if (spec.cities > 42) continue;  // keep the test quick
+    const TspInstance tsp = generate_tsp_instance(spec, 1);
+    EXPECT_NO_THROW((void)tsp_to_qubo(tsp)) << spec.paper_name;
+  }
+}
+
+}  // namespace
+}  // namespace absq

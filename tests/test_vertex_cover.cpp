@@ -1,0 +1,153 @@
+#include "problems/vertex_cover.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "qubo/energy.hpp"
+#include "util/rng.hpp"
+
+namespace absq {
+namespace {
+
+WeightedGraph path_graph(BitIndex n) {
+  WeightedGraph graph(n);
+  for (BitIndex i = 0; i + 1 < n; ++i) graph.add_edge(i, i + 1, 1);
+  return graph;
+}
+
+TEST(VertexCover, ValidityPredicate) {
+  const WeightedGraph graph = path_graph(4);  // 0-1-2-3
+  EXPECT_TRUE(is_vertex_cover(graph, BitVector::from_string("0110")));
+  EXPECT_TRUE(is_vertex_cover(graph, BitVector::from_string("1111")));
+  EXPECT_FALSE(is_vertex_cover(graph, BitVector::from_string("1001")));
+  EXPECT_FALSE(is_vertex_cover(graph, BitVector::from_string("0000")));
+}
+
+TEST(VertexCover, EnergyOfValidCoversFollowsAffineMap) {
+  Rng rng(1);
+  const WeightedGraph graph =
+      random_gnm_graph(10, 20, EdgeWeights::kUnit, rng);
+  const VertexCoverQubo qubo = vertex_cover_to_qubo(graph);
+  for (std::uint32_t assignment = 0; assignment < (1u << 10); ++assignment) {
+    BitVector x(10);
+    for (BitIndex b = 0; b < 10; ++b) {
+      if ((assignment >> b) & 1u) x.set(b, true);
+    }
+    if (is_vertex_cover(graph, x)) {
+      EXPECT_EQ(full_energy(qubo.w, x),
+                qubo.energy_for_cover_size(x.popcount()));
+    } else {
+      // Invalid assignments must cost strictly more than covering the
+      // same vertices plus the missing endpoints would.
+      EXPECT_GT(full_energy(qubo.w, x),
+                qubo.energy_for_cover_size(x.popcount()));
+    }
+  }
+}
+
+TEST(VertexCover, OptimumIsMinimumCover) {
+  // Exhaustive: QUBO argmin == smallest vertex cover.
+  Rng rng(2);
+  const WeightedGraph graph =
+      random_gnm_graph(12, 18, EdgeWeights::kUnit, rng);
+  const VertexCoverQubo qubo = vertex_cover_to_qubo(graph);
+  Energy best_energy = std::numeric_limits<Energy>::max();
+  std::size_t best_cover = 12;
+  std::size_t argmin_size = 0;
+  bool argmin_valid = false;
+  for (std::uint32_t assignment = 0; assignment < (1u << 12); ++assignment) {
+    BitVector x(12);
+    for (BitIndex b = 0; b < 12; ++b) {
+      if ((assignment >> b) & 1u) x.set(b, true);
+    }
+    const Energy e = full_energy(qubo.w, x);
+    if (e < best_energy) {
+      best_energy = e;
+      argmin_size = x.popcount();
+      argmin_valid = is_vertex_cover(graph, x);
+    }
+    if (is_vertex_cover(graph, x)) {
+      best_cover = std::min<std::size_t>(best_cover, x.popcount());
+    }
+  }
+  EXPECT_TRUE(argmin_valid) << "QUBO optimum must be a valid cover";
+  EXPECT_EQ(best_energy, qubo.energy_for_cover_size(best_cover));
+  EXPECT_EQ(argmin_size, best_cover);
+}
+
+TEST(VertexCover, PathGraphOptimum) {
+  // Minimum cover of a 5-path (4 edges) has 2 vertices (positions 1, 3).
+  const WeightedGraph graph = path_graph(5);
+  const VertexCoverQubo qubo = vertex_cover_to_qubo(graph);
+  Energy best = std::numeric_limits<Energy>::max();
+  for (std::uint32_t assignment = 0; assignment < 32; ++assignment) {
+    BitVector x(5);
+    for (BitIndex b = 0; b < 5; ++b) {
+      if ((assignment >> b) & 1u) x.set(b, true);
+    }
+    best = std::min(best, full_energy(qubo.w, x));
+  }
+  EXPECT_EQ(best, qubo.energy_for_cover_size(2));
+}
+
+TEST(IndependentSet, ValidityPredicate) {
+  const WeightedGraph graph = path_graph(4);
+  EXPECT_TRUE(is_independent_set(graph, BitVector::from_string("1010")));
+  EXPECT_TRUE(is_independent_set(graph, BitVector::from_string("0000")));
+  EXPECT_FALSE(is_independent_set(graph, BitVector::from_string("1100")));
+}
+
+TEST(IndependentSet, EnergyOfValidSetsIsNegatedSize) {
+  Rng rng(3);
+  const WeightedGraph graph =
+      random_gnm_graph(10, 15, EdgeWeights::kUnit, rng);
+  const IndependentSetQubo qubo = independent_set_to_qubo(graph);
+  for (std::uint32_t assignment = 0; assignment < (1u << 10); ++assignment) {
+    BitVector x(10);
+    for (BitIndex b = 0; b < 10; ++b) {
+      if ((assignment >> b) & 1u) x.set(b, true);
+    }
+    if (is_independent_set(graph, x)) {
+      EXPECT_EQ(full_energy(qubo.w, x), qubo.energy_for_set_size(x.popcount()));
+    }
+  }
+}
+
+TEST(IndependentSet, OptimumIsMaximumIndependentSet) {
+  Rng rng(4);
+  const WeightedGraph graph =
+      random_gnm_graph(12, 20, EdgeWeights::kUnit, rng);
+  const IndependentSetQubo qubo = independent_set_to_qubo(graph);
+  Energy best_energy = 0;
+  std::size_t best_set = 0;
+  for (std::uint32_t assignment = 0; assignment < (1u << 12); ++assignment) {
+    BitVector x(12);
+    for (BitIndex b = 0; b < 12; ++b) {
+      if ((assignment >> b) & 1u) x.set(b, true);
+    }
+    best_energy = std::min(best_energy, full_energy(qubo.w, x));
+    if (is_independent_set(graph, x)) {
+      best_set = std::max<std::size_t>(best_set, x.popcount());
+    }
+  }
+  EXPECT_EQ(best_energy, qubo.energy_for_set_size(best_set));
+}
+
+TEST(IndependentSet, ComplementOfCoverIsIndependent) {
+  // Classic duality on a concrete graph: V \ cover is an independent set.
+  Rng rng(5);
+  const WeightedGraph graph =
+      random_gnm_graph(14, 25, EdgeWeights::kUnit, rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    BitVector x = BitVector::random(14, rng);
+    if (!is_vertex_cover(graph, x)) continue;
+    BitVector complement = x;
+    for (BitIndex i = 0; i < 14; ++i) complement.flip(i);
+    EXPECT_TRUE(is_independent_set(graph, complement));
+  }
+}
+
+}  // namespace
+}  // namespace absq

@@ -1,0 +1,187 @@
+#include "qubo/weight_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qubo/bit_vector.hpp"
+#include "qubo/energy.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace absq {
+namespace {
+
+TEST(WeightMatrix, ZeroConstructed) {
+  WeightMatrix w(5);
+  EXPECT_EQ(w.size(), 5u);
+  EXPECT_EQ(w.nonzeros(), 0u);
+  EXPECT_TRUE(w.is_symmetric());
+  for (BitIndex i = 0; i < 5; ++i) {
+    for (BitIndex j = 0; j < 5; ++j) EXPECT_EQ(w.at(i, j), 0);
+  }
+}
+
+TEST(WeightMatrix, GenerateSymmetricMirrorsUpperTriangle) {
+  const WeightMatrix w = WeightMatrix::generate_symmetric(
+      4, [](BitIndex i, BitIndex j) { return static_cast<Weight>(10 * i + j); });
+  EXPECT_TRUE(w.is_symmetric());
+  EXPECT_EQ(w.at(1, 3), 13);
+  EXPECT_EQ(w.at(3, 1), 13);
+  EXPECT_EQ(w.at(2, 2), 22);
+}
+
+TEST(WeightMatrix, RowSpanMatchesAt) {
+  const WeightMatrix w = WeightMatrix::generate_symmetric(
+      6, [](BitIndex i, BitIndex j) { return static_cast<Weight>(i + j); });
+  for (BitIndex k = 0; k < 6; ++k) {
+    const auto row = w.row(k);
+    ASSERT_EQ(row.size(), 6u);
+    for (BitIndex j = 0; j < 6; ++j) EXPECT_EQ(row[j], w.at(k, j));
+  }
+}
+
+TEST(WeightMatrix, BytesReportsFootprint) {
+  EXPECT_EQ(WeightMatrix(100).bytes(), 100u * 100u * sizeof(Weight));
+}
+
+TEST(WeightMatrixBuilder, RejectsBadSizes) {
+  EXPECT_THROW(WeightMatrixBuilder(0), CheckError);
+  EXPECT_THROW(WeightMatrixBuilder(kMaxBits + 1), CheckError);
+  EXPECT_NO_THROW((void)WeightMatrixBuilder{kMaxBits});
+}
+
+TEST(WeightMatrixBuilder, RejectsOutOfRangeIndices) {
+  WeightMatrixBuilder b(4);
+  EXPECT_THROW(b.add(0, 4, 1), CheckError);
+  EXPECT_THROW(b.add(4, 0, 1), CheckError);
+}
+
+TEST(WeightMatrixBuilder, DiagonalIsLinearCoefficient) {
+  WeightMatrixBuilder b(3);
+  b.add_linear(1, 7);
+  const WeightMatrix w = b.build();
+  EXPECT_EQ(w.at(1, 1), 7);
+  EXPECT_EQ(b.energy_scale(), 1);
+}
+
+TEST(WeightMatrixBuilder, EvenPairCoefficientSplitsEvenly) {
+  WeightMatrixBuilder b(3);
+  b.add(0, 2, 6);  // 6·x_0·x_2 → W_02 = W_20 = 3
+  const WeightMatrix w = b.build();
+  EXPECT_EQ(w.at(0, 2), 3);
+  EXPECT_EQ(w.at(2, 0), 3);
+  EXPECT_EQ(b.energy_scale(), 1);
+}
+
+TEST(WeightMatrixBuilder, OddPairCoefficientDoublesEverything) {
+  WeightMatrixBuilder b(3);
+  b.add(0, 1, 3);    // odd pair coefficient
+  b.add_linear(2, 5);
+  const WeightMatrix w = b.build();
+  EXPECT_EQ(b.energy_scale(), 2);
+  EXPECT_EQ(w.at(0, 1), 3);  // 3·2/2
+  EXPECT_EQ(w.at(2, 2), 10); // 5·2
+}
+
+TEST(WeightMatrixBuilder, AccumulatesRepeatedTerms) {
+  WeightMatrixBuilder b(3);
+  b.add(0, 1, 2);
+  b.add(1, 0, 2);  // order-insensitive accumulation
+  b.add(0, 1, -2);
+  const WeightMatrix w = b.build();
+  EXPECT_EQ(w.at(0, 1), 1);  // pair coefficient 2 → split 1/1
+}
+
+TEST(WeightMatrixBuilder, QuadraticFormPreserved) {
+  // For any accumulated terms, X^T W X must equal scale · Σ c_ij x_i x_j.
+  Rng rng(5);
+  WeightMatrixBuilder b(8);
+  std::vector<std::tuple<BitIndex, BitIndex, Energy>> terms;
+  for (int t = 0; t < 30; ++t) {
+    const auto i = static_cast<BitIndex>(rng.below(8));
+    const auto j = static_cast<BitIndex>(rng.below(8));
+    const Energy c = rng.range(-50, 50);
+    b.add(i, j, c);
+    terms.emplace_back(i, j, c);
+  }
+  const WeightMatrix w = b.build();
+  const Energy scale = b.energy_scale();
+  for (int trial = 0; trial < 20; ++trial) {
+    const BitVector x = BitVector::random(8, rng);
+    Energy direct = 0;
+    for (const auto& [i, j, c] : terms) {
+      if (x.get(i) != 0 && x.get(j) != 0) direct += c;
+    }
+    EXPECT_EQ(full_energy(w, x), scale * direct);
+  }
+}
+
+TEST(WeightMatrixBuilder, BuildThrowsOnOverflow) {
+  WeightMatrixBuilder b(2);
+  b.add_linear(0, 40000);
+  EXPECT_THROW((void)b.build(), CheckError);
+}
+
+TEST(WeightMatrixBuilder, BuildThrowsWhenDoublingOverflows) {
+  WeightMatrixBuilder b(3);
+  b.add_linear(0, 20000);  // fine alone
+  b.add(1, 2, 3);          // odd → doubling pushes 20000 to 40000
+  EXPECT_THROW((void)b.build(), CheckError);
+}
+
+TEST(WeightMatrixBuilder, BuildScaledBringsCoefficientsInRange) {
+  WeightMatrixBuilder b(2);
+  b.add_linear(0, 1 << 20);
+  b.add_linear(1, -(1 << 20));
+  int shift = -1;
+  const WeightMatrix w = b.build_scaled(&shift);
+  EXPECT_GT(shift, 0);
+  EXPECT_EQ(w.at(0, 0), (1 << 20) >> shift);
+  EXPECT_EQ(w.at(1, 1), -(1 << 20) >> shift);
+  EXPECT_LE(w.at(0, 0), kMaxWeight);
+}
+
+TEST(WeightMatrixBuilder, BuildScaledUsesZeroShiftWhenInRange) {
+  WeightMatrixBuilder b(2);
+  b.add_linear(0, 100);
+  int shift = -1;
+  const WeightMatrix w = b.build_scaled(&shift);
+  EXPECT_EQ(shift, 0);
+  EXPECT_EQ(w.at(0, 0), 100);
+}
+
+TEST(WeightMatrixBuilder, MaxAbsCoefficientTracksAccumulation) {
+  WeightMatrixBuilder b(3);
+  EXPECT_EQ(b.max_abs_coefficient(), 0);
+  b.add(0, 1, -500);
+  b.add_linear(2, 300);
+  EXPECT_EQ(b.max_abs_coefficient(), 500);
+}
+
+TEST(WeightMatrixBuilder, ZeroTermsAreIgnored) {
+  WeightMatrixBuilder b(3);
+  b.add(0, 1, 0);
+  EXPECT_EQ(b.build().nonzeros(), 0u);
+}
+
+TEST(WeightMatrix, EqualityComparesContents) {
+  WeightMatrixBuilder b1(3);
+  b1.add_linear(0, 4);
+  WeightMatrixBuilder b2(3);
+  b2.add_linear(0, 4);
+  EXPECT_EQ(b1.build(), b2.build());
+  WeightMatrixBuilder b3(3);
+  b3.add_linear(0, 5);
+  EXPECT_NE(b1.build(), b3.build());
+}
+
+TEST(WeightMatrix, DiagonalExtraction) {
+  const WeightMatrix w = WeightMatrix::generate_symmetric(
+      4, [](BitIndex i, BitIndex j) {
+        return static_cast<Weight>(i == j ? static_cast<int>(i) + 1 : 0);
+      });
+  const std::vector<Weight> expected = {1, 2, 3, 4};
+  EXPECT_EQ(w.diagonal(), expected);
+}
+
+}  // namespace
+}  // namespace absq
