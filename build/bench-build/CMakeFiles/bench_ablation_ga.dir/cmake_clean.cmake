@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_ga"
+  "../bench/bench_ablation_ga.pdb"
+  "CMakeFiles/bench_ablation_ga.dir/bench_ablation_ga.cpp.o"
+  "CMakeFiles/bench_ablation_ga.dir/bench_ablation_ga.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1a_maxcut"
+  "../bench/bench_table1a_maxcut.pdb"
+  "CMakeFiles/bench_table1a_maxcut.dir/bench_table1a_maxcut.cpp.o"
+  "CMakeFiles/bench_table1a_maxcut.dir/bench_table1a_maxcut.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1a_maxcut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

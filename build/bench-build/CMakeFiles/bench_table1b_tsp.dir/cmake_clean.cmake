@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1b_tsp"
+  "../bench/bench_table1b_tsp.pdb"
+  "CMakeFiles/bench_table1b_tsp.dir/bench_table1b_tsp.cpp.o"
+  "CMakeFiles/bench_table1b_tsp.dir/bench_table1b_tsp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1b_tsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

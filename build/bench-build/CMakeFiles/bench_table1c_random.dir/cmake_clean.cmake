@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1c_random"
+  "../bench/bench_table1c_random.pdb"
+  "CMakeFiles/bench_table1c_random.dir/bench_table1c_random.cpp.o"
+  "CMakeFiles/bench_table1c_random.dir/bench_table1c_random.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1c_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

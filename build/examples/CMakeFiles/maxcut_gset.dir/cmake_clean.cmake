@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxcut_gset.dir/maxcut_gset.cpp.o"
+  "CMakeFiles/maxcut_gset.dir/maxcut_gset.cpp.o.d"
+  "maxcut_gset"
+  "maxcut_gset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxcut_gset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsp_tour.dir/tsp_tour.cpp.o"
+  "CMakeFiles/tsp_tour.dir/tsp_tour.cpp.o.d"
+  "tsp_tour"
+  "tsp_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsp_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--bits" "128" "--seconds" "0.3")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "90" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_maxcut "/root/repo/build/examples/maxcut_gset" "--instance" "G1" "--seconds" "0.3")
+set_tests_properties(example_maxcut PROPERTIES  TIMEOUT "90" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tsp "/root/repo/build/examples/tsp_tour" "--cities" "7" "--seconds" "2")
+set_tests_properties(example_tsp PROPERTIES  TIMEOUT "90" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_partition "/root/repo/build/examples/partition" "--count" "12" "--seconds" "0.5")
+set_tests_properties(example_partition PROPERTIES  TIMEOUT "90" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_custom_policy "/root/repo/build/examples/custom_policy" "--bits" "64" "--steps" "2000")
+set_tests_properties(example_custom_policy PROPERTIES  TIMEOUT "90" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_checkpoint_resume "/root/repo/build/examples/checkpoint_resume" "--bits" "128" "--rounds" "10")
+set_tests_properties(example_checkpoint_resume PROPERTIES  TIMEOUT "90" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abs/device.cpp" "src/CMakeFiles/absqubo.dir/abs/device.cpp.o" "gcc" "src/CMakeFiles/absqubo.dir/abs/device.cpp.o.d"
+  "/root/repo/src/abs/search_block.cpp" "src/CMakeFiles/absqubo.dir/abs/search_block.cpp.o" "gcc" "src/CMakeFiles/absqubo.dir/abs/search_block.cpp.o.d"
+  "/root/repo/src/abs/solver.cpp" "src/CMakeFiles/absqubo.dir/abs/solver.cpp.o" "gcc" "src/CMakeFiles/absqubo.dir/abs/solver.cpp.o.d"
+  "/root/repo/src/abs/sync_runner.cpp" "src/CMakeFiles/absqubo.dir/abs/sync_runner.cpp.o" "gcc" "src/CMakeFiles/absqubo.dir/abs/sync_runner.cpp.o.d"
+  "/root/repo/src/baselines/solvers.cpp" "src/CMakeFiles/absqubo.dir/baselines/solvers.cpp.o" "gcc" "src/CMakeFiles/absqubo.dir/baselines/solvers.cpp.o.d"
+  "/root/repo/src/ga/operators.cpp" "src/CMakeFiles/absqubo.dir/ga/operators.cpp.o" "gcc" "src/CMakeFiles/absqubo.dir/ga/operators.cpp.o.d"
+  "/root/repo/src/ga/pool_io.cpp" "src/CMakeFiles/absqubo.dir/ga/pool_io.cpp.o" "gcc" "src/CMakeFiles/absqubo.dir/ga/pool_io.cpp.o.d"
+  "/root/repo/src/ga/solution_pool.cpp" "src/CMakeFiles/absqubo.dir/ga/solution_pool.cpp.o" "gcc" "src/CMakeFiles/absqubo.dir/ga/solution_pool.cpp.o.d"
+  "/root/repo/src/problems/coloring.cpp" "src/CMakeFiles/absqubo.dir/problems/coloring.cpp.o" "gcc" "src/CMakeFiles/absqubo.dir/problems/coloring.cpp.o.d"
+  "/root/repo/src/problems/graph.cpp" "src/CMakeFiles/absqubo.dir/problems/graph.cpp.o" "gcc" "src/CMakeFiles/absqubo.dir/problems/graph.cpp.o.d"
+  "/root/repo/src/problems/knapsack.cpp" "src/CMakeFiles/absqubo.dir/problems/knapsack.cpp.o" "gcc" "src/CMakeFiles/absqubo.dir/problems/knapsack.cpp.o.d"
+  "/root/repo/src/problems/maxcut.cpp" "src/CMakeFiles/absqubo.dir/problems/maxcut.cpp.o" "gcc" "src/CMakeFiles/absqubo.dir/problems/maxcut.cpp.o.d"
+  "/root/repo/src/problems/partition.cpp" "src/CMakeFiles/absqubo.dir/problems/partition.cpp.o" "gcc" "src/CMakeFiles/absqubo.dir/problems/partition.cpp.o.d"
+  "/root/repo/src/problems/random.cpp" "src/CMakeFiles/absqubo.dir/problems/random.cpp.o" "gcc" "src/CMakeFiles/absqubo.dir/problems/random.cpp.o.d"
+  "/root/repo/src/problems/sat.cpp" "src/CMakeFiles/absqubo.dir/problems/sat.cpp.o" "gcc" "src/CMakeFiles/absqubo.dir/problems/sat.cpp.o.d"
+  "/root/repo/src/problems/tsp.cpp" "src/CMakeFiles/absqubo.dir/problems/tsp.cpp.o" "gcc" "src/CMakeFiles/absqubo.dir/problems/tsp.cpp.o.d"
+  "/root/repo/src/problems/vertex_cover.cpp" "src/CMakeFiles/absqubo.dir/problems/vertex_cover.cpp.o" "gcc" "src/CMakeFiles/absqubo.dir/problems/vertex_cover.cpp.o.d"
+  "/root/repo/src/qubo/bit_vector.cpp" "src/CMakeFiles/absqubo.dir/qubo/bit_vector.cpp.o" "gcc" "src/CMakeFiles/absqubo.dir/qubo/bit_vector.cpp.o.d"
+  "/root/repo/src/qubo/delta_state.cpp" "src/CMakeFiles/absqubo.dir/qubo/delta_state.cpp.o" "gcc" "src/CMakeFiles/absqubo.dir/qubo/delta_state.cpp.o.d"
+  "/root/repo/src/qubo/energy.cpp" "src/CMakeFiles/absqubo.dir/qubo/energy.cpp.o" "gcc" "src/CMakeFiles/absqubo.dir/qubo/energy.cpp.o.d"
+  "/root/repo/src/qubo/io.cpp" "src/CMakeFiles/absqubo.dir/qubo/io.cpp.o" "gcc" "src/CMakeFiles/absqubo.dir/qubo/io.cpp.o.d"
+  "/root/repo/src/qubo/ising.cpp" "src/CMakeFiles/absqubo.dir/qubo/ising.cpp.o" "gcc" "src/CMakeFiles/absqubo.dir/qubo/ising.cpp.o.d"
+  "/root/repo/src/qubo/weight_matrix.cpp" "src/CMakeFiles/absqubo.dir/qubo/weight_matrix.cpp.o" "gcc" "src/CMakeFiles/absqubo.dir/qubo/weight_matrix.cpp.o.d"
+  "/root/repo/src/search/algorithms.cpp" "src/CMakeFiles/absqubo.dir/search/algorithms.cpp.o" "gcc" "src/CMakeFiles/absqubo.dir/search/algorithms.cpp.o.d"
+  "/root/repo/src/search/straight.cpp" "src/CMakeFiles/absqubo.dir/search/straight.cpp.o" "gcc" "src/CMakeFiles/absqubo.dir/search/straight.cpp.o.d"
+  "/root/repo/src/sim/device_spec.cpp" "src/CMakeFiles/absqubo.dir/sim/device_spec.cpp.o" "gcc" "src/CMakeFiles/absqubo.dir/sim/device_spec.cpp.o.d"
+  "/root/repo/src/sim/mailbox.cpp" "src/CMakeFiles/absqubo.dir/sim/mailbox.cpp.o" "gcc" "src/CMakeFiles/absqubo.dir/sim/mailbox.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/absqubo.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/absqubo.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/absqubo.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/absqubo.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delta_state.dir/test_delta_state.cpp.o"
+  "CMakeFiles/test_delta_state.dir/test_delta_state.cpp.o.d"
+  "test_delta_state"
+  "test_delta_state.pdb"
+  "test_delta_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delta_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

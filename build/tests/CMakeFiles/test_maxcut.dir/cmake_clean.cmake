@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maxcut.dir/test_maxcut.cpp.o"
+  "CMakeFiles/test_maxcut.dir/test_maxcut.cpp.o.d"
+  "test_maxcut"
+  "test_maxcut.pdb"
+  "test_maxcut[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maxcut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

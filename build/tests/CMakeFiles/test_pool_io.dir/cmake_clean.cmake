@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pool_io.dir/test_pool_io.cpp.o"
+  "CMakeFiles/test_pool_io.dir/test_pool_io.cpp.o.d"
+  "test_pool_io"
+  "test_pool_io.pdb"
+  "test_pool_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pool_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

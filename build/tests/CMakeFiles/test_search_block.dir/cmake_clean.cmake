@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_search_block.dir/test_search_block.cpp.o"
+  "CMakeFiles/test_search_block.dir/test_search_block.cpp.o.d"
+  "test_search_block"
+  "test_search_block.pdb"
+  "test_search_block[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_search_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solution_pool.dir/test_solution_pool.cpp.o"
+  "CMakeFiles/test_solution_pool.dir/test_solution_pool.cpp.o.d"
+  "test_solution_pool"
+  "test_solution_pool.pdb"
+  "test_solution_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solution_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

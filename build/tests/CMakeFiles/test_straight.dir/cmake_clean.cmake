@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_straight.dir/test_straight.cpp.o"
+  "CMakeFiles/test_straight.dir/test_straight.cpp.o.d"
+  "test_straight"
+  "test_straight.pdb"
+  "test_straight[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_straight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync_runner.dir/test_sync_runner.cpp.o"
+  "CMakeFiles/test_sync_runner.dir/test_sync_runner.cpp.o.d"
+  "test_sync_runner"
+  "test_sync_runner.pdb"
+  "test_sync_runner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weight_matrix.dir/test_weight_matrix.cpp.o"
+  "CMakeFiles/test_weight_matrix.dir/test_weight_matrix.cpp.o.d"
+  "test_weight_matrix"
+  "test_weight_matrix.pdb"
+  "test_weight_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weight_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

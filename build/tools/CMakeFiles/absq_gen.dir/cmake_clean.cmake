@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/absq_gen.dir/absq_gen.cpp.o"
+  "CMakeFiles/absq_gen.dir/absq_gen.cpp.o.d"
+  "absq_gen"
+  "absq_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/absq_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/absq_info.dir/absq_info.cpp.o"
+  "CMakeFiles/absq_info.dir/absq_info.cpp.o.d"
+  "absq_info"
+  "absq_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/absq_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

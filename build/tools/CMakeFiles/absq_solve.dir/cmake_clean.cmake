@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/absq_solve.dir/absq_solve.cpp.o"
+  "CMakeFiles/absq_solve.dir/absq_solve.cpp.o.d"
+  "absq_solve"
+  "absq_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/absq_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
