@@ -22,6 +22,8 @@ int main(int argc, char** argv) {
   cli.add_flag("bits", std::int64_t{1024}, "instance size");
   cli.add_flag("seconds", 2.0, "measurement window per point");
   cli.add_flag("seed", std::int64_t{8}, "seed");
+  cli.add_flag("threads", std::int64_t{-1},
+               "worker threads per device (-1 = auto: cores/devices)");
   if (!cli.parse(argc, argv)) return 0;
 
   const auto n = static_cast<absq::BitIndex>(cli.get_int("bits"));
@@ -44,6 +46,9 @@ int main(int argc, char** argv) {
     absq::AbsConfig config;
     config.num_devices = devices;
     config.device.block_limit = 4;
+    if (const std::int64_t threads = cli.get_int("threads"); threads >= 0) {
+      config.device.threads_per_device = static_cast<std::uint32_t>(threads);
+    }
     config.seed = seed;
     absq::AbsSolver solver(w, config);
     absq::StopCriteria stop;

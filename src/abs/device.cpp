@@ -25,6 +25,15 @@ std::uint32_t Device::effective_block_count(const sim::Occupancy& occupancy,
   return count;
 }
 
+std::uint32_t Device::resolve_workers(const DeviceConfig& config) {
+  if (config.threads_per_device.has_value()) {
+    return *config.threads_per_device;
+  }
+  // Standalone device: all of the host. Multi-device owners (AbsSolver)
+  // resolve the auto default themselves, dividing by the device count.
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
 Device::Device(const WeightMatrix& w, const DeviceConfig& config)
     : w_(&w),
       config_(config),
@@ -33,12 +42,15 @@ Device::Device(const WeightMatrix& w, const DeviceConfig& config)
           config.bits_per_thread != 0
               ? config.bits_per_thread
               : sim::default_bits_per_thread(config.spec, w.size()))),
+      workers_(resolve_workers(config)),
       targets_(config.target_capacity != 0
                    ? config.target_capacity
-                   : effective_block_count(occupancy_, config)),
+                   : effective_block_count(occupancy_, config),
+               std::max(1u, workers_)),
       solutions_(config.solution_capacity != 0
                      ? config.solution_capacity
-                     : effective_block_count(occupancy_, config)) {
+                     : effective_block_count(occupancy_, config),
+                 std::max(1u, workers_)) {
   const std::uint32_t block_count = effective_block_count(occupancy_, config);
 
   const std::vector<BitIndex> ladder = config.window_schedule.empty()
@@ -70,47 +82,70 @@ Device::~Device() { stop(); }
 void Device::start() {
   if (running_) return;
   stop_requested_.store(false, std::memory_order_relaxed);
-  thread_ = std::thread([this] { run_loop(&stop_requested_); });
+  if (workers_ == 0) {
+    thread_ = std::thread([this] { run_legacy_loop(&stop_requested_); });
+  } else {
+    // A fresh pool per start(): ThreadPool drains and joins on destruction,
+    // which is exactly the stop() contract.
+    pool_ = std::make_unique<ThreadPool>(workers_);
+    for (std::uint32_t worker = 0; worker < workers_; ++worker) {
+      pool_->submit([this, worker] { run_shard(worker, &stop_requested_); });
+    }
+  }
   running_ = true;
 }
 
 void Device::stop() {
   if (!running_) return;
   stop_requested_.store(true, std::memory_order_relaxed);
-  thread_.join();
+  if (thread_.joinable()) thread_.join();
+  pool_.reset();
   running_ = false;
+}
+
+void Device::iterate_block(std::size_t index, std::size_t worker) {
+  SearchBlock& block = *blocks_[index];
+  const auto maybe_target = targets_.poll(worker);
+  if (!maybe_target) {
+    target_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const std::uint64_t before = block.stats().flips;
+  // With no fresh target the block continues from where it is: a
+  // zero-distance straight search followed by the usual local search.
+  solutions_.push(block.iterate(maybe_target ? *maybe_target : block.current()),
+                  worker);
+  flips_.fetch_add(block.stats().flips - before, std::memory_order_relaxed);
+  iterations_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Device::step_all_blocks_once() {
   ABSQ_CHECK(!running_, "synchronous stepping while the device thread runs");
-  for (auto& block : blocks_) {
-    const auto maybe_target = targets_.poll();
-    const std::uint64_t before = block->stats().flips;
-    // With no fresh target the block continues from where it is: a
-    // zero-distance straight search followed by the usual local search.
-    solutions_.push(
-        block->iterate(maybe_target ? *maybe_target : block->current()));
-    flips_.fetch_add(block->stats().flips - before, std::memory_order_relaxed);
-    iterations_.fetch_add(1, std::memory_order_relaxed);
-  }
+  for (std::size_t i = 0; i < blocks_.size(); ++i) iterate_block(i, i);
 }
 
 std::uint64_t Device::total_evaluated() const {
   return total_flips() * w_->size();
 }
 
-void Device::run_loop(const std::atomic<bool>* stop_flag) {
+void Device::run_legacy_loop(const std::atomic<bool>* stop_flag) {
   // Round-robin block schedule; each visit is one full Step 2–5 iteration.
   while (!stop_flag->load(std::memory_order_relaxed)) {
-    for (auto& block : blocks_) {
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
       if (stop_flag->load(std::memory_order_relaxed)) return;
-      const auto maybe_target = targets_.poll();
-      const std::uint64_t before = block->stats().flips;
-      solutions_.push(
-          block->iterate(maybe_target ? *maybe_target : block->current()));
-      flips_.fetch_add(block->stats().flips - before,
-                       std::memory_order_relaxed);
-      iterations_.fetch_add(1, std::memory_order_relaxed);
+      iterate_block(i, /*worker=*/0);
+    }
+  }
+}
+
+void Device::run_shard(std::size_t worker, const std::atomic<bool>* stop_flag) {
+  // Worker `worker` owns blocks worker, worker+W, worker+2W, … — a static
+  // partition, so every block is touched by exactly one thread and the
+  // per-block search state needs no locking.
+  if (worker >= blocks_.size()) return;  // more workers than blocks
+  while (!stop_flag->load(std::memory_order_relaxed)) {
+    for (std::size_t i = worker; i < blocks_.size(); i += workers_) {
+      if (stop_flag->load(std::memory_order_relaxed)) return;
+      iterate_block(i, worker);
     }
   }
 }

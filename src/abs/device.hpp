@@ -2,13 +2,22 @@
 //
 // The paper's GPU keeps `active_blocks` CUDA blocks resident (the Table 2
 // occupancy arithmetic) and lets each run its Step 2–5 loop asynchronously
-// against the global-memory mailboxes. Here the same block set is
-// time-sliced over a host thread: the device thread visits blocks round-
-// robin; a visited block polls the target buffer, runs one iteration
-// (straight search + fixed local search) and pushes its report. Nothing in
-// the host protocol can distinguish this schedule from truly concurrent
-// blocks — only wall-clock throughput differs, which is exactly the
-// substitution DESIGN.md documents.
+// against the global-memory mailboxes. Here the block set is partitioned
+// into per-worker shards and run on a ThreadPool: worker w owns blocks
+// w, w+W, w+2W, … and loops over them — a visited block polls the target
+// buffer, runs one iteration (straight search + fixed local search) and
+// pushes its report. Blocks never share state, and the mailboxes are
+// sharded per worker, so the only cross-worker traffic is the atomic
+// counters. Nothing in the host protocol can distinguish this schedule
+// from the GPU's truly concurrent blocks — only wall-clock throughput
+// differs, which is exactly the substitution DESIGN.md documents.
+//
+// `DeviceConfig::threads_per_device` picks the worker count. Explicit 0
+// preserves the legacy schedule — a single device thread visiting every
+// block round-robin — which the deterministic SyncAbsRunner relies on.
+// Leaving it unset ("auto") resolves to the hardware concurrency divided
+// by the device count (floor 1); the resolution happens in AbsSolver /
+// SyncAbsRunner, or in the Device constructor for a standalone device.
 //
 // The device also supports a synchronous mode (step_all_blocks_once) used by
 // the deterministic tests and the throughput benches, which measure the
@@ -18,6 +27,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -25,6 +35,7 @@
 #include "qubo/weight_matrix.hpp"
 #include "sim/device_spec.hpp"
 #include "sim/mailbox.hpp"
+#include "util/thread_pool.hpp"
 
 namespace absq {
 
@@ -39,6 +50,12 @@ struct DeviceConfig {
   std::uint32_t block_limit = 0;
   /// Step 4b flip count. 0 = one sweep (n flips).
   std::uint64_t local_steps = 0;
+  /// Worker threads running the block shards. nullopt = auto (hardware
+  /// concurrency / device count, floor 1 — resolved by the owning solver,
+  /// or against a device count of 1 for a standalone Device). Explicit 0 =
+  /// the legacy single device thread visiting all blocks round-robin (the
+  /// deterministic-schedule mode SyncAbsRunner forces).
+  std::optional<std::uint32_t> threads_per_device;
   /// Window lengths (l) assigned to blocks round-robin. Empty = a geometric
   /// ladder 2, 4, 8, ..., n/2 (the parallel-tempering default).
   std::vector<BitIndex> window_schedule;
@@ -63,11 +80,12 @@ class Device {
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
 
-  /// Launches the device thread. Idempotent.
+  /// Launches the worker threads (or the single legacy device thread).
+  /// Idempotent.
   void start();
 
-  /// Signals the device thread to finish its current block visit, then
-  /// joins it. Idempotent.
+  /// Signals the workers to finish their current block visit, then joins
+  /// them. Idempotent.
   void stop();
 
   [[nodiscard]] bool running() const { return running_; }
@@ -86,6 +104,9 @@ class Device {
   }
   [[nodiscard]] const DeviceConfig& config() const { return config_; }
 
+  /// Worker threads start() will run (0 = legacy single-thread schedule).
+  [[nodiscard]] std::uint32_t worker_count() const { return workers_; }
+
   /// Flips committed by all blocks (each flip = n evaluated solutions).
   [[nodiscard]] std::uint64_t total_flips() const {
     return flips_.load(std::memory_order_relaxed);
@@ -93,6 +114,11 @@ class Device {
   [[nodiscard]] std::uint64_t total_evaluated() const;
   [[nodiscard]] std::uint64_t total_iterations() const {
     return iterations_.load(std::memory_order_relaxed);
+  }
+  /// Block iterations that found no fresh target (the host was behind) —
+  /// the contention/starvation signal of the async protocol.
+  [[nodiscard]] std::uint64_t target_misses() const {
+    return target_misses_.load(std::memory_order_relaxed);
   }
 
   /// Read-only access for inspection/tests; blocks are owned by the device.
@@ -103,22 +129,30 @@ class Device {
  private:
   static std::uint32_t effective_block_count(const sim::Occupancy& occupancy,
                                              const DeviceConfig& config);
+  static std::uint32_t resolve_workers(const DeviceConfig& config);
 
-  void run_loop(const std::atomic<bool>* stop_flag);
+  /// One Step 2–5 iteration of block `index`, attributed to `worker`'s
+  /// mailbox shards.
+  void iterate_block(std::size_t index, std::size_t worker);
+  void run_legacy_loop(const std::atomic<bool>* stop_flag);
+  void run_shard(std::size_t worker, const std::atomic<bool>* stop_flag);
 
   const WeightMatrix* w_;
   DeviceConfig config_;
   sim::Occupancy occupancy_;
+  std::uint32_t workers_;
   std::vector<std::unique_ptr<SearchBlock>> blocks_;
   sim::TargetBuffer targets_;
   sim::SolutionBuffer solutions_;
 
-  std::thread thread_;
+  std::thread thread_;                 ///< legacy mode (workers_ == 0)
+  std::unique_ptr<ThreadPool> pool_;   ///< sharded mode (workers_ >= 1)
   std::atomic<bool> stop_requested_{false};
   bool running_ = false;
 
   std::atomic<std::uint64_t> flips_{0};
   std::atomic<std::uint64_t> iterations_{0};
+  std::atomic<std::uint64_t> target_misses_{0};
 };
 
 }  // namespace absq

@@ -1,5 +1,6 @@
 #include "abs/solver.hpp"
 
+#include <algorithm>
 #include <thread>
 
 #include "util/check.hpp"
@@ -18,6 +19,11 @@ AbsSolver::AbsSolver(const WeightMatrix& w, AbsConfig config)
     DeviceConfig device_config = config_.device;
     device_config.device_id = d;
     device_config.seed = mix64(config_.seed ^ (d + 1));
+    if (!device_config.threads_per_device.has_value()) {
+      // Auto: split the host's cores across the simulated devices.
+      device_config.threads_per_device = std::max(
+          1u, std::thread::hardware_concurrency() / config_.num_devices);
+    }
     devices_.push_back(std::make_unique<Device>(w, device_config));
   }
 }
@@ -120,7 +126,12 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
         result.snapshots.push_back(snapshot);
         last_snapshot_time = now;
         last_snapshot_flips = flips;
-        next_snapshot = now + config_.snapshot_interval_seconds;
+        // Advance on the fixed grid so a late poll does not shift the
+        // cadence permanently; skip intervals already missed rather than
+        // emitting a burst of catch-up snapshots.
+        while (next_snapshot <= now) {
+          next_snapshot += config_.snapshot_interval_seconds;
+        }
       }
     }
 
@@ -159,6 +170,7 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
       if (pool_.insert(report.bits, report.energy)) ++result.reports_inserted;
     }
     result.solutions_dropped += device->solutions().dropped();
+    result.targets_dropped += device->targets().dropped();
   }
   if (stop.target_energy.has_value() &&
       pool_.best_energy() <= *stop.target_energy) {
@@ -170,9 +182,13 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
   for (const auto& device : devices_) {
     DeviceSummary summary;
     summary.device_id = device->config().device_id;
+    summary.workers = device->worker_count();
     summary.flips = device->total_flips();
     summary.iterations = device->total_iterations();
     summary.reports = device->solutions().counter();
+    summary.target_misses = device->target_misses();
+    summary.targets_dropped = device->targets().dropped();
+    summary.solutions_dropped = device->solutions().dropped();
     result.devices.push_back(summary);
   }
   result.best = pool_.best().bits;

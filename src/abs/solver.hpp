@@ -66,9 +66,14 @@ struct AbsConfig {
 /// Per-device accounting attached to every result.
 struct DeviceSummary {
   std::uint32_t device_id = 0;
+  std::uint32_t workers = 0;  ///< worker threads (0 = legacy single-thread)
   std::uint64_t flips = 0;
   std::uint64_t iterations = 0;
   std::uint64_t reports = 0;  ///< solutions pushed (mailbox counter)
+  /// Block iterations that found no fresh target (host fell behind).
+  std::uint64_t target_misses = 0;
+  std::uint64_t targets_dropped = 0;    ///< target-mailbox overwrites
+  std::uint64_t solutions_dropped = 0;  ///< solution-mailbox overwrites
 };
 
 /// One periodic observation of a running solve (see
@@ -99,6 +104,7 @@ struct AbsResult {
   std::uint64_t reports_inserted = 0;
   std::uint64_t targets_generated = 0;
   std::uint64_t solutions_dropped = 0;
+  std::uint64_t targets_dropped = 0;
 
   /// (wall-clock seconds, energy) at each improvement of the incumbent —
   /// the raw series behind time-to-solution plots.

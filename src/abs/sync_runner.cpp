@@ -16,6 +16,10 @@ SyncAbsRunner::SyncAbsRunner(const WeightMatrix& w, AbsConfig config)
     DeviceConfig device_config = config_.device;
     device_config.device_id = d;
     device_config.seed = mix64(config_.seed ^ (d + 1));
+    // Deterministic schedule: one mailbox shard, no worker threads, so the
+    // round-based execution is bit-reproducible across machines regardless
+    // of their core count.
+    device_config.threads_per_device = 0;
     devices_.push_back(std::make_unique<Device>(w, device_config));
   }
 }
@@ -68,7 +72,14 @@ void SyncAbsRunner::one_round(AbsResult& result) {
   ++rounds_;
 }
 
-AbsResult SyncAbsRunner::finalize(AbsResult result) const {
+std::uint64_t SyncAbsRunner::lifetime_flips() const {
+  std::uint64_t flips = 0;
+  for (const auto& device : devices_) flips += device->total_flips();
+  return flips;
+}
+
+AbsResult SyncAbsRunner::finalize(AbsResult result,
+                                  std::uint64_t flips_before) const {
   ABSQ_CHECK(pool_.evaluated_count() > 0, "no device ever reported");
   result.best = pool_.best().bits;
   result.best_energy = pool_.best().energy;
@@ -76,23 +87,44 @@ AbsResult SyncAbsRunner::finalize(AbsResult result) const {
   result.reports_inserted = reports_inserted_;
   result.targets_generated = targets_generated_;
   std::uint64_t flips = 0;
-  for (const auto& device : devices_) flips += device->total_flips();
+  for (const auto& device : devices_) {
+    flips += device->total_flips();
+    result.solutions_dropped += device->solutions().dropped();
+    result.targets_dropped += device->targets().dropped();
+
+    DeviceSummary summary;
+    summary.device_id = device->config().device_id;
+    summary.workers = device->worker_count();
+    summary.flips = device->total_flips();
+    summary.iterations = device->total_iterations();
+    summary.reports = device->solutions().counter();
+    summary.target_misses = device->target_misses();
+    summary.targets_dropped = device->targets().dropped();
+    summary.solutions_dropped = device->solutions().dropped();
+    result.devices.push_back(summary);
+  }
   result.total_flips = flips;
   result.evaluated_solutions = flips * w_->size();
+  // The rate must be derived *after* the flip totals are known — the
+  // callers only stamp result.seconds. total_flips is a lifetime figure
+  // ("the result so far") while seconds covers only this call, so the
+  // rate pairs the seconds with the flips committed *during* the call.
+  result.search_rate =
+      result.seconds > 0.0
+          ? static_cast<double>((flips - flips_before) * w_->size()) /
+                result.seconds
+          : 0.0;
   return result;
 }
 
 AbsResult SyncAbsRunner::run_rounds(std::uint64_t rounds) {
   ensure_started();
   AbsResult result;
+  const std::uint64_t flips_before = lifetime_flips();
   Stopwatch watch;
   for (std::uint64_t r = 0; r < rounds; ++r) one_round(result);
   result.seconds = watch.seconds();
-  result.search_rate =
-      result.seconds > 0.0
-          ? static_cast<double>(result.evaluated_solutions) / result.seconds
-          : 0.0;
-  return finalize(std::move(result));
+  return finalize(std::move(result), flips_before);
 }
 
 AbsResult SyncAbsRunner::run_to_target(Energy target,
@@ -100,6 +132,7 @@ AbsResult SyncAbsRunner::run_to_target(Energy target,
   ABSQ_CHECK(max_rounds >= 1, "max_rounds must be positive");
   ensure_started();
   AbsResult result;
+  const std::uint64_t flips_before = lifetime_flips();
   Stopwatch watch;
   for (std::uint64_t r = 0; r < max_rounds; ++r) {
     one_round(result);
@@ -109,7 +142,7 @@ AbsResult SyncAbsRunner::run_to_target(Energy target,
     }
   }
   result.seconds = watch.seconds();
-  return finalize(std::move(result));
+  return finalize(std::move(result), flips_before);
 }
 
 }  // namespace absq

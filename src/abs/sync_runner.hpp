@@ -28,8 +28,9 @@ namespace absq {
 
 class SyncAbsRunner {
  public:
-  /// Uses the same configuration type as AbsSolver (thread counts and
-  /// polling knobs are simply ignored).
+  /// Uses the same configuration type as AbsSolver. threads_per_device is
+  /// forced to 0 (single-shard mailboxes, legacy schedule) so results stay
+  /// bit-reproducible across machines regardless of core count.
   SyncAbsRunner(const WeightMatrix& w, AbsConfig config);
 
   /// Runs `rounds` synchronous rounds (starting from a fresh pool on the
@@ -49,7 +50,11 @@ class SyncAbsRunner {
  private:
   void ensure_started();
   void one_round(AbsResult& result);
-  AbsResult finalize(AbsResult result) const;
+  [[nodiscard]] std::uint64_t lifetime_flips() const;
+  /// Fills the derived fields. total_flips/evaluated_solutions stay
+  /// lifetime totals ("the result so far"); search_rate pairs this call's
+  /// seconds with the flips committed since `flips_before`.
+  AbsResult finalize(AbsResult result, std::uint64_t flips_before) const;
 
   const WeightMatrix* w_;
   AbsConfig config_;

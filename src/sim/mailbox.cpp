@@ -5,51 +5,101 @@
 #include "util/check.hpp"
 
 namespace absq::sim {
+namespace {
 
-TargetBuffer::TargetBuffer(std::size_t capacity) : capacity_(capacity) {
-  ABSQ_CHECK(capacity >= 1, "target buffer needs capacity >= 1");
+/// Total capacity split evenly across shards, every shard non-empty.
+std::size_t per_shard_capacity(std::size_t capacity, std::size_t shards) {
+  ABSQ_CHECK(capacity >= 1, "mailbox needs capacity >= 1");
+  ABSQ_CHECK(shards >= 1, "mailbox needs at least one shard");
+  return (capacity + shards - 1) / shards;
 }
 
+template <typename Shard>
+std::vector<std::unique_ptr<Shard>> make_shards(std::size_t shards) {
+  std::vector<std::unique_ptr<Shard>> result;
+  result.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    result.push_back(std::make_unique<Shard>());
+  }
+  return result;
+}
+
+}  // namespace
+
+TargetBuffer::TargetBuffer(std::size_t capacity, std::size_t shards)
+    : shard_capacity_(per_shard_capacity(capacity, shards)),
+      shards_(make_shards<Shard>(shards)) {}
+
 void TargetBuffer::push(BitVector target) {
-  std::lock_guard lock(mutex_);
-  if (queue_.size() >= capacity_) queue_.pop_front();
-  queue_.push_back(std::move(target));
+  const std::size_t index =
+      push_cursor_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  Shard& shard = *shards_[index];
+  {
+    std::lock_guard lock(shard.mutex);
+    if (shard.queue.size() >= shard_capacity_) {
+      shard.queue.pop_front();
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.queue.push_back(std::move(target));
+  }
   pushed_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::optional<BitVector> TargetBuffer::poll() {
-  std::lock_guard lock(mutex_);
-  if (queue_.empty()) return std::nullopt;
-  BitVector target = std::move(queue_.front());
-  queue_.pop_front();
-  return target;
+  return poll(poll_cursor_.fetch_add(1, std::memory_order_relaxed));
+}
+
+std::optional<BitVector> TargetBuffer::poll(std::size_t hint) {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[(hint + i) % shards_.size()];
+    std::lock_guard lock(shard.mutex);
+    if (shard.queue.empty()) continue;
+    BitVector target = std::move(shard.queue.front());
+    shard.queue.pop_front();
+    return target;
+  }
+  return std::nullopt;
 }
 
 std::size_t TargetBuffer::pending() const {
-  std::lock_guard lock(mutex_);
-  return queue_.size();
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    total += shard->queue.size();
+  }
+  return total;
 }
 
-SolutionBuffer::SolutionBuffer(std::size_t capacity) : capacity_(capacity) {
-  ABSQ_CHECK(capacity >= 1, "solution buffer needs capacity >= 1");
-}
+SolutionBuffer::SolutionBuffer(std::size_t capacity, std::size_t shards)
+    : shard_capacity_(per_shard_capacity(capacity, shards)),
+      shards_(make_shards<Shard>(shards)) {}
 
 void SolutionBuffer::push(ReportedSolution solution) {
-  std::lock_guard lock(mutex_);
-  if (queue_.size() >= capacity_) {
-    queue_.pop_front();
-    dropped_.fetch_add(1, std::memory_order_relaxed);
+  push(std::move(solution),
+       push_cursor_.fetch_add(1, std::memory_order_relaxed));
+}
+
+void SolutionBuffer::push(ReportedSolution solution, std::size_t hint) {
+  Shard& shard = *shards_[hint % shards_.size()];
+  {
+    std::lock_guard lock(shard.mutex);
+    if (shard.queue.size() >= shard_capacity_) {
+      shard.queue.pop_front();
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.queue.push_back(std::move(solution));
   }
-  queue_.push_back(std::move(solution));
   pushed_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<ReportedSolution> SolutionBuffer::drain() {
-  std::lock_guard lock(mutex_);
-  std::vector<ReportedSolution> result(
-      std::make_move_iterator(queue_.begin()),
-      std::make_move_iterator(queue_.end()));
-  queue_.clear();
+  std::vector<ReportedSolution> result;
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    result.insert(result.end(), std::make_move_iterator(shard->queue.begin()),
+                  std::make_move_iterator(shard->queue.end()));
+    shard->queue.clear();
+  }
   return result;
 }
 

@@ -7,20 +7,28 @@
 // protocol are preserved faithfully because the solver's behaviour depends
 // on them:
 //
-//   1. devices never block — a full solution buffer drops the *oldest*
-//      entry, and an empty target buffer returns nothing (the block then
-//      continues searching from where it is);
+//   1. devices never block — a full buffer drops the *oldest* entry (drops
+//      are counted on both buffers), and an empty target buffer returns
+//      nothing (the block then continues searching from where it is);
 //   2. the host can observe progress without draining — counter() is a
 //      single atomic read.
 //
-// Internally each buffer is a mutex-guarded ring; the fetch/push happens
-// once per block iteration (thousands of flips), so the lock is not a
-// throughput factor — measured and documented in bench_kernels.
+// Internally each buffer is a set of mutex-guarded ring shards. A device
+// running W worker threads constructs its mailboxes with W shards so that
+// workers do not serialize on one lock: a worker pushes reports into and
+// preferentially polls targets from its own shard (the `hint` overloads),
+// falling back to scanning the other shards so no entry is stranded. The
+// host-facing API — push / poll / drain / counter — is shard-oblivious;
+// with the default single shard the buffers behave exactly as before. The
+// fetch/push happens once per block iteration (thousands of flips), so even
+// the single-shard lock is not a throughput factor — measured and
+// documented in bench_kernels.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -33,29 +41,53 @@ namespace absq::sim {
 /// Host → device: GA-bred target solutions.
 class TargetBuffer {
  public:
-  explicit TargetBuffer(std::size_t capacity);
+  /// `capacity` is the total capacity across all shards (each shard holds
+  /// at least one slot); `shards` is normally the owning device's worker
+  /// count.
+  explicit TargetBuffer(std::size_t capacity, std::size_t shards = 1);
 
-  /// Host side. A full buffer overwrites its oldest target (staler GA
-  /// output is strictly less interesting than fresher).
+  /// Host side; shards are filled round-robin. A full shard overwrites its
+  /// oldest target (staler GA output is strictly less interesting than
+  /// fresher) and counts the drop.
   void push(BitVector target);
 
-  /// Device side. Returns the oldest unread target, or nullopt when the
-  /// host has not kept up — the caller keeps searching its current
-  /// neighbourhood rather than stalling.
+  /// Device side. Returns the oldest unread target of the first non-empty
+  /// shard (scanning from a rotating cursor), or nullopt when the host has
+  /// not kept up — the caller keeps searching its current neighbourhood
+  /// rather than stalling.
   [[nodiscard]] std::optional<BitVector> poll();
+
+  /// Device side, contention-avoiding: scans starting at shard
+  /// `hint % shard_count()` so worker `hint` usually touches only its own
+  /// lock, stealing from other shards only when its own is empty.
+  [[nodiscard]] std::optional<BitVector> poll(std::size_t hint);
 
   /// Total targets ever pushed (monotonic).
   [[nodiscard]] std::uint64_t pushed() const {
     return pushed_.load(std::memory_order_relaxed);
   }
 
+  /// Targets lost to overwrites — reported in run statistics so a
+  /// misconfigured (device-starved) run is visible.
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
 
  private:
-  const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::deque<BitVector> queue_;
+  struct Shard {
+    mutable std::mutex mutex;
+    std::deque<BitVector> queue;
+  };
+
+  const std::size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> push_cursor_{0};
+  std::atomic<std::size_t> poll_cursor_{0};
   std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::uint64_t> dropped_{0};
 };
 
 /// One best-found solution reported by a search block (device Step 5).
@@ -69,12 +101,22 @@ struct ReportedSolution {
 /// Device → host: best solutions found per block iteration.
 class SolutionBuffer {
  public:
-  explicit SolutionBuffer(std::size_t capacity);
+  /// `capacity` is the total capacity across all shards (each shard holds
+  /// at least one slot); `shards` is normally the owning device's worker
+  /// count.
+  explicit SolutionBuffer(std::size_t capacity, std::size_t shards = 1);
 
-  /// Device side; never blocks. A full buffer drops its oldest entry.
+  /// Device side; never blocks. Shards are filled round-robin; a full
+  /// shard drops its oldest entry.
   void push(ReportedSolution solution);
 
-  /// Host side: removes and returns everything currently buffered.
+  /// Device side, contention-avoiding: pushes into shard
+  /// `hint % shard_count()` (worker-private under the device's shard
+  /// layout).
+  void push(ReportedSolution solution, std::size_t hint);
+
+  /// Host side: removes and returns everything currently buffered, one
+  /// shard at a time (FIFO within a shard).
   [[nodiscard]] std::vector<ReportedSolution> drain();
 
   /// The global counter the host polls (total solutions ever pushed).
@@ -88,10 +130,17 @@ class SolutionBuffer {
     return dropped_.load(std::memory_order_relaxed);
   }
 
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
  private:
-  const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::deque<ReportedSolution> queue_;
+  struct Shard {
+    mutable std::mutex mutex;
+    std::deque<ReportedSolution> queue;
+  };
+
+  const std::size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> push_cursor_{0};
   std::atomic<std::uint64_t> pushed_{0};
   std::atomic<std::uint64_t> dropped_{0};
 };

@@ -1,11 +1,13 @@
 // A minimal fixed-size worker pool.
 //
-// sim::Device uses one pool per simulated GPU to time-slice its CUDA-block
-// analogues over however many hardware threads the host actually has. The
-// pool deliberately exposes only two primitives — submit() and wait_idle() —
-// because the ABS host/device protocol is built on asynchronous mailboxes,
-// not on futures: a device drains block work items; the host never joins on
-// individual tasks.
+// abs::Device creates one pool per simulated GPU (per start()/stop() cycle)
+// and gives each worker a static shard of its CUDA-block analogues, so the
+// block set runs over however many hardware threads the host actually has.
+// The pool deliberately exposes only two primitives — submit() and
+// wait_idle() — because the ABS host/device protocol is built on
+// asynchronous mailboxes, not on futures: a device's workers loop until the
+// stop flag; the host never joins on individual tasks (Device::stop()
+// destroys the pool, which drains and joins).
 #pragma once
 
 #include <condition_variable>

@@ -133,6 +133,89 @@ TEST(Device, SynchronousSteppingWhileRunningThrows) {
   device.stop();
 }
 
+TEST(Device, MultiThreadedWorkersKeepCountersConsistent) {
+  // 4 workers over 8 blocks: every block iteration pushes exactly one
+  // report, so after stop() the counters must balance — no lost or
+  // double-counted reports across the sharded mailboxes.
+  const WeightMatrix w = random_qubo(64, 20);
+  DeviceConfig config = small_device_config(8, 16);
+  config.threads_per_device = 4;
+  // Ample capacity so this test exercises sharding, not overflow.
+  config.solution_capacity = 1 << 16;
+  Device device(w, config);
+  EXPECT_EQ(device.worker_count(), 4u);
+  EXPECT_EQ(device.targets().shard_count(), 4u);
+  EXPECT_EQ(device.solutions().shard_count(), 4u);
+
+  Rng rng(21);
+  for (int i = 0; i < 32; ++i) device.targets().push(BitVector::random(64, rng));
+  device.start();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (device.total_iterations() < 64 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  device.stop();
+
+  const std::uint64_t iterations = device.total_iterations();
+  EXPECT_GE(iterations, 64u);
+  // One report per iteration, none lost before the overflow threshold.
+  EXPECT_EQ(device.solutions().counter(), iterations);
+  const auto drained = device.solutions().drain();
+  EXPECT_EQ(drained.size() + device.solutions().dropped(), iterations);
+  // Step 4b alone commits local_steps flips per iteration.
+  EXPECT_GE(device.total_flips(), iterations * 16u);
+  EXPECT_EQ(device.total_evaluated(), device.total_flips() * 64u);
+  for (const auto& report : drained) {
+    EXPECT_EQ(report.energy, full_energy(w, report.bits));
+  }
+}
+
+TEST(Device, ExplicitZeroThreadsKeepsLegacySingleThreadSchedule) {
+  const WeightMatrix w = random_qubo(64, 22);
+  DeviceConfig config = small_device_config(3, 16);
+  config.threads_per_device = 0;
+  Device device(w, config);
+  EXPECT_EQ(device.worker_count(), 0u);
+  EXPECT_EQ(device.targets().shard_count(), 1u);
+  EXPECT_EQ(device.solutions().shard_count(), 1u);
+  device.start();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (device.total_iterations() < 6 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  device.stop();
+  EXPECT_GE(device.total_iterations(), 6u);
+}
+
+TEST(Device, MoreWorkersThanBlocksStillProgressesAndJoins) {
+  const WeightMatrix w = random_qubo(64, 23);
+  DeviceConfig config = small_device_config(2, 16);
+  config.threads_per_device = 8;  // 6 workers get empty shards
+  Device device(w, config);
+  device.start();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (device.total_iterations() < 4 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  device.stop();
+  EXPECT_GE(device.total_iterations(), 4u);
+  EXPECT_EQ(device.solutions().counter(), device.total_iterations());
+}
+
+TEST(Device, TargetMissesCountStarvedIterations) {
+  const WeightMatrix w = random_qubo(64, 24);
+  Device device(w, small_device_config(2, 16));
+  // No targets at all: every visit is a miss.
+  device.step_all_blocks_once();
+  EXPECT_EQ(device.target_misses(), 2u);
+}
+
 TEST(Device, DefaultLocalStepsIsOneSweep) {
   const WeightMatrix w = random_qubo(64, 12);
   DeviceConfig config = small_device_config(1);

@@ -85,6 +85,97 @@ TEST(SolutionBuffer, OverflowDropsOldestAndCounts) {
   EXPECT_EQ(drained[1].energy, 3);
 }
 
+TEST(TargetBuffer, OverflowCountsDrops) {
+  TargetBuffer buffer(2);
+  EXPECT_EQ(buffer.dropped(), 0u);
+  buffer.push(bits("00"));
+  buffer.push(bits("01"));
+  buffer.push(bits("10"));  // evicts "00"
+  EXPECT_EQ(buffer.dropped(), 1u);
+  EXPECT_EQ(buffer.pushed(), 3u);
+}
+
+TEST(TargetBuffer, ShardedPushSpreadsAndPollSteals) {
+  TargetBuffer buffer(8, 4);
+  EXPECT_EQ(buffer.shard_count(), 4u);
+  for (int i = 0; i < 8; ++i) buffer.push(BitVector(4));
+  EXPECT_EQ(buffer.pending(), 8u);
+  EXPECT_EQ(buffer.dropped(), 0u);
+  // A single worker's hint drains everything: its own shard first, then
+  // stealing from the others — no target is stranded in a foreign shard.
+  int polled = 0;
+  while (buffer.poll(/*hint=*/2).has_value()) ++polled;
+  EXPECT_EQ(polled, 8);
+  EXPECT_EQ(buffer.pending(), 0u);
+}
+
+TEST(TargetBuffer, ShardedOverflowDropsWithinTheFullShard) {
+  TargetBuffer buffer(4, 2);  // 2 slots per shard
+  for (int i = 0; i < 6; ++i) buffer.push(BitVector(4));  // 3 per shard
+  EXPECT_EQ(buffer.dropped(), 2u);
+  EXPECT_EQ(buffer.pending(), 4u);
+}
+
+TEST(SolutionBuffer, ShardedPushAndDrainCollectEverything) {
+  SolutionBuffer buffer(16, 4);
+  EXPECT_EQ(buffer.shard_count(), 4u);
+  for (int worker = 0; worker < 4; ++worker) {
+    for (int i = 0; i < 3; ++i) {
+      buffer.push({bits("0"), worker * 10 + i, 0,
+                   static_cast<std::uint32_t>(worker)},
+                  static_cast<std::size_t>(worker));
+    }
+  }
+  EXPECT_EQ(buffer.counter(), 12u);
+  const auto drained = buffer.drain();
+  ASSERT_EQ(drained.size(), 12u);
+  // FIFO within each worker's shard.
+  for (int worker = 0; worker < 4; ++worker) {
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(drained[static_cast<std::size_t>(worker * 3 + i)].energy,
+                worker * 10 + i);
+    }
+  }
+  EXPECT_EQ(buffer.dropped(), 0u);
+}
+
+TEST(Mailboxes, ShardedConcurrentWorkersLoseNothingWithinCapacity) {
+  // 4 "workers" each push into their own shard while the host drains —
+  // the Device's exact traffic pattern.
+  constexpr int kPerWorker = 500;
+  constexpr int kWorkers = 4;
+  SolutionBuffer buffer(kPerWorker * kWorkers, kWorkers);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&buffer, w] {
+      for (int i = 0; i < kPerWorker; ++i) {
+        buffer.push({BitVector(8), w * kPerWorker + i, 0,
+                     static_cast<std::uint32_t>(w)},
+                    static_cast<std::size_t>(w));
+      }
+    });
+  }
+  std::vector<ReportedSolution> received;
+  while (received.size() < kPerWorker * kWorkers) {
+    auto batch = buffer.drain();
+    received.insert(received.end(), std::make_move_iterator(batch.begin()),
+                    std::make_move_iterator(batch.end()));
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(received.size(),
+            static_cast<std::size_t>(kPerWorker * kWorkers));
+  EXPECT_EQ(buffer.dropped(), 0u);
+  EXPECT_EQ(buffer.counter(),
+            static_cast<std::uint64_t>(kPerWorker * kWorkers));
+  // Every pushed energy arrives exactly once.
+  std::vector<bool> seen(kPerWorker * kWorkers, false);
+  for (const auto& report : received) {
+    const auto index = static_cast<std::size_t>(report.energy);
+    EXPECT_FALSE(seen[index]);
+    seen[index] = true;
+  }
+}
+
 TEST(Mailboxes, ConcurrentProducerConsumerLosesNothingWithinCapacity) {
   // One producer thread, one consumer thread, capacity ample: every pushed
   // solution must be drained exactly once.

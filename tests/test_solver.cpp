@@ -171,6 +171,41 @@ TEST(AbsSolver, DeviceSummariesMatchTotals) {
   EXPECT_EQ(summary_flips, result.total_flips);
 }
 
+TEST(AbsSolver, ThreadsPerDeviceRunsShardedWorkers) {
+  const WeightMatrix w = random_qubo(64, 14);
+  AbsConfig config = small_config(1, 8);
+  config.device.threads_per_device = 4;
+  AbsSolver solver(w, config);
+  StopCriteria stop;
+  stop.max_flips = 10000;
+  stop.time_limit_seconds = 30.0;
+  const AbsResult result = solver.run(stop);
+  ASSERT_EQ(result.devices.size(), 1u);
+  EXPECT_EQ(result.devices[0].workers, 4u);
+  EXPECT_EQ(result.devices[0].flips, result.total_flips);
+  // Every block iteration pushes exactly one report.
+  EXPECT_EQ(result.devices[0].reports, result.devices[0].iterations);
+  EXPECT_GT(result.search_rate, 0.0);
+  EXPECT_EQ(result.best_energy, full_energy(w, result.best));
+}
+
+TEST(AbsSolver, TargetDropsAreCountedAndSurfaced) {
+  const WeightMatrix w = random_qubo(64, 15);
+  AbsConfig config = small_config(1, 4);
+  // A single target slot cannot hold the four Step 1 targets: three drops
+  // are guaranteed before the run even starts moving.
+  config.device.target_capacity = 1;
+  config.device.threads_per_device = 0;
+  AbsSolver solver(w, config);
+  StopCriteria stop;
+  stop.max_flips = 2000;
+  stop.time_limit_seconds = 30.0;
+  const AbsResult result = solver.run(stop);
+  EXPECT_GE(result.targets_dropped, 3u);
+  ASSERT_EQ(result.devices.size(), 1u);
+  EXPECT_EQ(result.devices[0].targets_dropped, result.targets_dropped);
+}
+
 TEST(AbsSolver, SnapshotsCollectedAtInterval) {
   const WeightMatrix w = random_qubo(64, 12);
   AbsConfig config = small_config();

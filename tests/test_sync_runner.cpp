@@ -131,6 +131,63 @@ TEST(SyncRunner, WarmStartSizeMismatchThrows) {
   EXPECT_THROW((void)runner.run_rounds(1), CheckError);
 }
 
+TEST(SyncRunner, RunRoundsReportsSearchRateAndEvaluatedSolutions) {
+  // Regression: search_rate used to be computed from evaluated_solutions
+  // *before* finalize() filled it in, so it was always 0.
+  const WeightMatrix w = random_qubo(64, 13);
+  SyncAbsRunner runner(w, runner_config());
+  const AbsResult result = runner.run_rounds(10);
+  EXPECT_GT(result.total_flips, 0u);
+  EXPECT_EQ(result.evaluated_solutions, result.total_flips * 64u);
+  ASSERT_GT(result.seconds, 0.0);
+  EXPECT_GT(result.search_rate, 0.0);
+  EXPECT_NEAR(result.search_rate,
+              static_cast<double>(result.evaluated_solutions) / result.seconds,
+              result.search_rate * 1e-9);
+}
+
+TEST(SyncRunner, ContinuationRateCoversOnlyTheCall) {
+  // total_flips is a lifetime figure but seconds is per-call, so the rate
+  // of a continued run must be computed from this call's flips only —
+  // strictly below lifetime-evaluated / seconds.
+  const WeightMatrix w = random_qubo(32, 16);
+  SyncAbsRunner runner(w, runner_config());
+  (void)runner.run_rounds(5);
+  const AbsResult second = runner.run_rounds(5);
+  ASSERT_GT(second.seconds, 0.0);
+  EXPECT_GT(second.search_rate, 0.0);
+  EXPECT_LT(second.search_rate,
+            static_cast<double>(second.evaluated_solutions) / second.seconds);
+}
+
+TEST(SyncRunner, RunToTargetReportsSearchRate) {
+  // Regression: run_to_target never set search_rate at all.
+  const WeightMatrix w = random_qubo(32, 14);
+  SyncAbsRunner runner(w, runner_config());
+  const AbsResult result =
+      runner.run_to_target(std::numeric_limits<Energy>::min(), 5);
+  EXPECT_GT(result.evaluated_solutions, 0u);
+  EXPECT_GT(result.search_rate, 0.0);
+}
+
+TEST(SyncRunner, DeviceSummariesUseDeterministicSchedule) {
+  const WeightMatrix w = random_qubo(32, 15);
+  AbsConfig config = runner_config();
+  config.num_devices = 2;
+  // Even an explicit thread request is overridden for reproducibility.
+  config.device.threads_per_device = 4;
+  SyncAbsRunner runner(w, config);
+  const AbsResult result = runner.run_rounds(3);
+  ASSERT_EQ(result.devices.size(), 2u);
+  std::uint64_t summary_flips = 0;
+  for (const auto& summary : result.devices) {
+    EXPECT_EQ(summary.workers, 0u);
+    EXPECT_GT(summary.iterations, 0u);
+    summary_flips += summary.flips;
+  }
+  EXPECT_EQ(summary_flips, result.total_flips);
+}
+
 TEST(SyncRunner, MultiDeviceDeterminismHolds) {
   const WeightMatrix w = random_qubo(48, 8);
   AbsConfig config = runner_config();

@@ -42,6 +42,9 @@ int run(int argc, char** argv) {
                "search blocks per device (0 = occupancy-derived)");
   cli.add_flag("local-steps", std::int64_t{0},
                "Step 4b flips per iteration (0 = one sweep)");
+  cli.add_flag("threads", std::int64_t{-1},
+               "worker threads per device (-1 = auto: cores/devices, "
+               "0 = single legacy device thread)");
   cli.add_flag("pool", std::int64_t{128}, "solution pool capacity");
   cli.add_flag("adaptive", false, "enable adaptive window switching");
   cli.add_flag("seed", std::int64_t{1}, "solver seed");
@@ -86,6 +89,9 @@ int run(int argc, char** argv) {
   config.device.local_steps =
       static_cast<std::uint64_t>(cli.get_int("local-steps"));
   config.device.adaptive = cli.get_bool("adaptive");
+  if (const std::int64_t threads = cli.get_int("threads"); threads >= 0) {
+    config.device.threads_per_device = static_cast<std::uint32_t>(threads);
+  }
   config.pool_capacity = static_cast<std::size_t>(cli.get_int("pool"));
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
@@ -107,6 +113,14 @@ int run(int argc, char** argv) {
              "internal error: reported energy does not verify");
   std::printf("flips:        %" PRIu64 "  (%.3g solutions/s)\n",
               result.total_flips, result.search_rate);
+  for (const auto& dev : result.devices) {
+    std::printf("device %u:     %u worker%s, %" PRIu64 " iterations, %" PRIu64
+                " target misses, %" PRIu64 " targets / %" PRIu64
+                " solutions dropped\n",
+                dev.device_id, dev.workers, dev.workers == 1 ? "" : "s",
+                dev.iterations, dev.target_misses, dev.targets_dropped,
+                dev.solutions_dropped);
+  }
 
   // Problem-aware decode.
   if (format == "gset") {
