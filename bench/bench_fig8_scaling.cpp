@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "abs/solver.hpp"
+#include "bench_util.hpp"
 #include "problems/random.hpp"
 #include "sim/throughput_model.hpp"
 #include "util/cli.hpp"
@@ -24,6 +25,8 @@ int main(int argc, char** argv) {
   cli.add_flag("seed", std::int64_t{8}, "seed");
   cli.add_flag("threads", std::int64_t{-1},
                "worker threads per device (-1 = auto: cores/devices)");
+  cli.add_flag("report", std::string(""),
+               "append per-point JSONL run reports to this file");
   if (!cli.parse(argc, argv)) return 0;
 
   const auto n = static_cast<absq::BitIndex>(cli.get_int("bits"));
@@ -34,6 +37,9 @@ int main(int argc, char** argv) {
   const absq::sim::ThroughputModel model;
   const auto occ = absq::sim::compute_occupancy(
       spec, n, absq::sim::default_bits_per_thread(spec, n));
+
+  absq::bench::BenchReport report(cli.get_string("report"),
+                                  "bench_fig8_scaling");
 
   std::printf("Figure 8 — scaling of the search rate with device count "
               "(%u-bit instance)\n", n);
@@ -54,6 +60,7 @@ int main(int argc, char** argv) {
     absq::StopCriteria stop;
     stop.time_limit_seconds = cli.get_double("seconds");
     const absq::AbsResult result = solver.run(stop);
+    report.add("devices=" + std::to_string(devices), seed, result);
 
     // Work-normalized rate: a device thread is "busy" whenever it runs;
     // with D devices oversubscribed on one core each gets ~1/D of it, so

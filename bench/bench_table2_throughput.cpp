@@ -9,10 +9,16 @@
 //     latency+bandwidth estimate.
 //
 //   ./bench/bench_table2_throughput [--max-bits 16384] [--flips 200000]
+//
+// --telemetry attaches a full metrics registry + event tracer to every
+// measured device, so two runs (with and without the flag) quantify the
+// observability overhead on the flip hot path — recorded in
+// EXPERIMENTS.md, target < 2%.
 #include <cinttypes>
 #include <cstdio>
 
 #include "abs/device.hpp"
+#include "obs/telemetry.hpp"
 #include "problems/random.hpp"
 #include "sim/throughput_model.hpp"
 #include "util/cli.hpp"
@@ -23,11 +29,12 @@ namespace {
 /// Measured CPU rate: synchronous block stepping, no targets (pure local
 /// search), `flips` committed flips minimum.
 double measured_rate(const absq::WeightMatrix& w, std::uint32_t bits_per_thread,
-                     std::uint64_t min_flips) {
+                     std::uint64_t min_flips, absq::obs::Telemetry telemetry) {
   absq::DeviceConfig config;
   config.bits_per_thread = bits_per_thread;
   config.block_limit = 4;  // CPU: rate is per-flip-dominated, blocks ≈ moot
   config.local_steps = 256;
+  config.telemetry = telemetry;
   absq::Device device(w, config);
   // Warm-up pass (page in the matrix).
   device.step_all_blocks_once();
@@ -51,7 +58,19 @@ int main(int argc, char** argv) {
   cli.add_flag("flips", std::int64_t{100000},
                "measured flips per configuration");
   cli.add_flag("seed", std::int64_t{5}, "instance seed");
+  cli.add_flag("telemetry", false,
+               "attach metrics registry + tracer to the measured devices "
+               "(A/B the observability overhead)");
   if (!cli.parse(argc, argv)) return 0;
+
+  // One registry/tracer across all rows, as a long-lived solver would use.
+  absq::obs::MetricsRegistry registry;
+  absq::obs::EventTracer tracer;
+  absq::obs::Telemetry telemetry;
+  if (cli.get_bool("telemetry")) {
+    telemetry.metrics = &registry;
+    telemetry.tracer = &tracer;
+  }
 
   const absq::sim::DeviceSpec spec;  // RTX 2080 Ti
   const absq::sim::ThroughputModel model;
@@ -100,7 +119,7 @@ int main(int argc, char** argv) {
          absq::sim::feasible_bits_per_thread_sweep(spec, n)) {
       const auto occ = absq::sim::compute_occupancy(spec, n, p);
       const double modeled = model.solutions_per_second(n, occ, 4);
-      const double measured = measured_rate(w, p, min_flips);
+      const double measured = measured_rate(w, p, min_flips, telemetry);
       std::printf("%6u %5u %9u %10u | %9.3f | %12.3f %12.3e\n", n, p,
                   occ.threads_per_block, occ.active_blocks, paper_rate(n, p),
                   modeled / 1e12, measured);

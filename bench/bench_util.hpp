@@ -10,16 +10,53 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <fstream>
 #include <limits>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "abs/solver.hpp"
 #include "baselines/solvers.hpp"
+#include "obs/report.hpp"
 #include "qubo/weight_matrix.hpp"
+#include "util/check.hpp"
 #include "util/stopwatch.hpp"
 
 namespace absq::bench {
+
+/// Uniform machine-readable output of a bench run: every harness that
+/// produces AbsResults appends them through this sink (obs::write_run_report
+/// — the same JSONL schema absq_solve's --report emits), so BENCH_*.jsonl
+/// trajectories from every table/figure live in one format. Appending keeps
+/// one file per sweep; each result opens with its own `meta` line keyed by
+/// `row` (e.g. "devices=3").
+class BenchReport {
+ public:
+  /// Inactive when `path` is empty (all calls become no-ops).
+  BenchReport(std::string path, std::string bench_name)
+      : path_(std::move(path)), bench_(std::move(bench_name)) {}
+
+  void add(const std::string& row, std::uint64_t seed,
+           const AbsResult& result,
+           const obs::MetricsRegistry* metrics = nullptr) {
+    if (path_.empty()) return;
+    std::ofstream out(path_, first_ ? std::ios::trunc : std::ios::app);
+    ABSQ_CHECK(out.good(), "cannot open bench report '" << path_ << "'");
+    first_ = false;
+    obs::RunReportMeta meta;
+    meta.tool = bench_;
+    meta.instance = row;
+    meta.seed = seed;
+    obs::write_run_report(out, meta, result, metrics);
+  }
+
+ private:
+  std::string path_;
+  std::string bench_;
+  bool first_ = true;
+};
 
 /// Computes a reference ("best-known" stand-in) energy for an instance by
 /// racing an ensemble of independent solvers, mirroring how the paper

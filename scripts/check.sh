@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# The repo's one-command verification gate:
+#
+#   1. tier-1: configure + build everything, run the full ctest suite;
+#   2. race check: rebuild the concurrency-sensitive tests under
+#      ThreadSanitizer (cmake -DABSQ_SANITIZE=thread) and run them —
+#      the observability layer's lock-free counters and ring tracer,
+#      the sharded mailboxes under device workers, and the threaded
+#      solver itself must all be TSan-clean.
+#
+#   scripts/check.sh [jobs]      (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== tier 1: build + ctest =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo
+echo "== tier 2: ThreadSanitizer =="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DABSQ_SANITIZE=thread >/dev/null
+TSAN_TARGETS=(test_metrics test_trace test_mailbox test_device test_solver)
+cmake --build build-tsan -j "$JOBS" --target "${TSAN_TARGETS[@]}"
+for test in "${TSAN_TARGETS[@]}"; do
+  echo "-- tsan: $test"
+  ./build-tsan/tests/"$test"
+done
+
+echo
+echo "check.sh: all gates passed"

@@ -1,6 +1,7 @@
 #include "abs/device.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "util/check.hpp"
 
@@ -73,7 +74,38 @@ Device::Device(const WeightMatrix& w, const DeviceConfig& config)
       block_config.adaptive_windows = ladder;
       block_config.stagnation_limit = config.stagnation_limit;
     }
+    block_config.tracer = config.telemetry.tracer;
     blocks_.push_back(std::make_unique<SearchBlock>(w, block_config));
+  }
+
+  // Resolve telemetry series once; the per-iteration path then pays only
+  // relaxed atomic adds (or nothing when disabled).
+  const std::uint32_t trace_pid = config.device_id + 1;
+  if (config.telemetry.tracer != nullptr) {
+    targets_.set_tracer(config.telemetry.tracer, trace_pid);
+    solutions_.set_tracer(config.telemetry.tracer, trace_pid);
+  }
+  if (obs::MetricsRegistry* registry = config.telemetry.metrics;
+      registry != nullptr) {
+    const std::string device_label = std::to_string(config.device_id);
+    const obs::Labels device_labels{{"device", device_label}};
+    m_iterations_ =
+        &registry->counter("absq_device_iterations_total", device_labels);
+    m_flips_ = &registry->counter("absq_device_flips_total", device_labels);
+    m_target_misses_ =
+        &registry->counter("absq_device_target_misses_total", device_labels);
+    m_iteration_flips_ =
+        &registry->histogram("absq_iteration_flips", device_labels);
+    m_block_flips_.reserve(block_count);
+    m_block_iterations_.reserve(block_count);
+    for (std::uint32_t b = 0; b < block_count; ++b) {
+      const obs::Labels block_labels{{"device", device_label},
+                                     {"block", std::to_string(b)}};
+      m_block_flips_.push_back(
+          &registry->counter("absq_block_flips_total", block_labels));
+      m_block_iterations_.push_back(
+          &registry->counter("absq_block_iterations_total", block_labels));
+    }
   }
 }
 
@@ -108,14 +140,28 @@ void Device::iterate_block(std::size_t index, std::size_t worker) {
   const auto maybe_target = targets_.poll(worker);
   if (!maybe_target) {
     target_misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::add(m_target_misses_);
+    if (obs::EventTracer* tracer = config_.telemetry.tracer;
+        tracer != nullptr) {
+      tracer->instant("target_miss", "device", config_.device_id + 1,
+                      static_cast<std::uint32_t>(index));
+    }
   }
   const std::uint64_t before = block.stats().flips;
   // With no fresh target the block continues from where it is: a
   // zero-distance straight search followed by the usual local search.
   solutions_.push(block.iterate(maybe_target ? *maybe_target : block.current()),
                   worker);
-  flips_.fetch_add(block.stats().flips - before, std::memory_order_relaxed);
+  const std::uint64_t iteration_flips = block.stats().flips - before;
+  flips_.fetch_add(iteration_flips, std::memory_order_relaxed);
   iterations_.fetch_add(1, std::memory_order_relaxed);
+  if (m_iterations_ != nullptr) {  // metrics attached
+    m_iterations_->add(1);
+    m_flips_->add(iteration_flips);
+    m_iteration_flips_->observe(iteration_flips);
+    m_block_flips_[index]->add(iteration_flips);
+    m_block_iterations_[index]->add(1);
+  }
 }
 
 void Device::step_all_blocks_once() {

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "abs/search_block.hpp"
+#include "obs/telemetry.hpp"
 #include "qubo/weight_matrix.hpp"
 #include "sim/device_spec.hpp"
 #include "sim/mailbox.hpp"
@@ -70,6 +71,12 @@ struct DeviceConfig {
   /// Mailbox capacities. 0 = one slot per resident block.
   std::size_t target_capacity = 0;
   std::size_t solution_capacity = 0;
+  /// Observability sinks (non-owning; default = disabled). With metrics
+  /// attached the device registers per-device and per-block counters at
+  /// construction and pays one relaxed atomic add per counter per block
+  /// iteration; with a tracer attached it emits per-iteration spans and
+  /// drop/miss instants. Both must outlive the device.
+  obs::Telemetry telemetry;
 };
 
 class Device {
@@ -153,6 +160,14 @@ class Device {
   std::atomic<std::uint64_t> flips_{0};
   std::atomic<std::uint64_t> iterations_{0};
   std::atomic<std::uint64_t> target_misses_{0};
+
+  // Telemetry series, resolved once at construction (null = disabled).
+  obs::Counter* m_iterations_ = nullptr;
+  obs::Counter* m_flips_ = nullptr;
+  obs::Counter* m_target_misses_ = nullptr;
+  obs::Histogram* m_iteration_flips_ = nullptr;
+  std::vector<obs::Counter*> m_block_flips_;       ///< per block
+  std::vector<obs::Counter*> m_block_iterations_;  ///< per block
 };
 
 }  // namespace absq

@@ -66,21 +66,35 @@ sim::ReportedSolution SearchBlock::iterate(const BitVector& target) {
   // Step 3: reset the incumbent so this iteration reports something new.
   tracker_.reset();
 
+  const std::uint32_t trace_pid = config_.device_id + 1;
+
   // Step 4a: straight search C → T (flip count = Hamming distance).
-  stats_ += straight_search(state_, target, tracker_);
+  {
+    obs::TraceSpan span(config_.tracer, "straight", "search", trace_pid,
+                        config_.block_id);
+    const std::uint64_t flips_before = stats_.flips;
+    stats_ += straight_search(state_, target, tracker_);
+    span.set_arg("walk_flips",
+                 static_cast<std::int64_t>(stats_.flips - flips_before));
+  }
 
   // Step 4b: fixed-length forced-flip local search from T.
-  for (std::uint64_t step = 0; step < config_.local_steps; ++step) {
-    const BitIndex k = policy_->select(state_, rng_);
-    const auto outcome = state_.flip_tracked(k);
-    ++stats_.flips;
-    ++stats_.accepted;
-    stats_.ops += state_.size();
-    stats_.evaluated_solutions += state_.size();
-    if (tracker_.offer(state_.bits(), outcome.energy)) ++stats_.improvements;
-    if (tracker_.offer_neighbor(state_.bits(), outcome.best_neighbor_bit,
-                                outcome.best_neighbor_energy)) {
-      ++stats_.improvements;
+  {
+    obs::TraceSpan span(config_.tracer, "local", "search", trace_pid,
+                        config_.block_id);
+    span.set_arg("flips", static_cast<std::int64_t>(config_.local_steps));
+    for (std::uint64_t step = 0; step < config_.local_steps; ++step) {
+      const BitIndex k = policy_->select(state_, rng_);
+      const auto outcome = state_.flip_tracked(k);
+      ++stats_.flips;
+      ++stats_.accepted;
+      stats_.ops += state_.size();
+      stats_.evaluated_solutions += state_.size();
+      if (tracker_.offer(state_.bits(), outcome.energy)) ++stats_.improvements;
+      if (tracker_.offer_neighbor(state_.bits(), outcome.best_neighbor_bit,
+                                  outcome.best_neighbor_energy)) {
+        ++stats_.improvements;
+      }
     }
   }
   ++iterations_;

@@ -29,6 +29,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "qubo/bit_vector.hpp"
 #include "qubo/delta_state.hpp"
 #include "qubo/weight_matrix.hpp"
@@ -59,6 +60,11 @@ class SearchBlock {
     std::vector<BitIndex> adaptive_windows;
     /// Iterations without a best-report improvement before adapting.
     std::uint32_t stagnation_limit = 4;
+    /// Optional event tracer (not owned; null = tracing disabled). The
+    /// block emits one "straight" and one "local" span per iteration —
+    /// pid = device_id + 1, tid = block_id, so every block is a lane of
+    /// its device's process in the trace viewer.
+    obs::EventTracer* tracer = nullptr;
   };
 
   /// The matrix is shared by all blocks and must outlive them.

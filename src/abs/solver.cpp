@@ -1,6 +1,7 @@
 #include "abs/solver.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <thread>
 
 #include "util/check.hpp"
@@ -19,12 +20,27 @@ AbsSolver::AbsSolver(const WeightMatrix& w, AbsConfig config)
     DeviceConfig device_config = config_.device;
     device_config.device_id = d;
     device_config.seed = mix64(config_.seed ^ (d + 1));
+    device_config.telemetry = config_.telemetry;
     if (!device_config.threads_per_device.has_value()) {
       // Auto: split the host's cores across the simulated devices.
       device_config.threads_per_device = std::max(
           1u, std::thread::hardware_concurrency() / config_.num_devices);
     }
     devices_.push_back(std::make_unique<Device>(w, device_config));
+  }
+
+  if (obs::MetricsRegistry* registry = config_.telemetry.metrics;
+      registry != nullptr) {
+    m_reports_received_ = &registry->counter("absq_reports_received_total");
+    m_reports_inserted_ = &registry->counter("absq_reports_inserted_total");
+    m_duplicates_ =
+        &registry->counter("absq_pool_duplicates_rejected_total");
+    m_evictions_ = &registry->counter("absq_pool_evictions_total");
+    m_targets_generated_ = &registry->counter("absq_targets_generated_total");
+    m_improvements_ =
+        &registry->counter("absq_incumbent_improvements_total");
+    m_pool_best_energy_ = &registry->gauge("absq_pool_best_energy");
+    m_pool_evaluated_ = &registry->gauge("absq_pool_evaluated");
   }
 }
 
@@ -38,6 +54,21 @@ std::uint64_t AbsSolver::flips_across_devices() const {
   return total;
 }
 
+void AbsSolver::sync_pool_metrics() {
+  if (m_reports_inserted_ == nullptr) return;
+  m_reports_inserted_->add(pool_.insertions() - synced_inserted_);
+  m_duplicates_->add(pool_.duplicates_rejected() - synced_duplicates_);
+  m_evictions_->add(pool_.evictions() - synced_evictions_);
+  synced_inserted_ = pool_.insertions();
+  synced_duplicates_ = pool_.duplicates_rejected();
+  synced_evictions_ = pool_.evictions();
+  const Energy best = pool_.best_energy();
+  if (best != kUnevaluated) {
+    m_pool_best_energy_->set(static_cast<double>(best));
+  }
+  m_pool_evaluated_->set(static_cast<double>(pool_.evaluated_count()));
+}
+
 AbsResult AbsSolver::run(const StopCriteria& stop) {
   ABSQ_CHECK(stop.bounded(),
              "at least one stop criterion must be set or the run never ends");
@@ -48,6 +79,10 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
   // Host Step 1: random pool, energies unknown; stock the target buffers
   // with the random population so every block starts on GA-chosen ground.
   pool_.initialize_random(w_->size(), rng_);
+  synced_inserted_ = 0;
+  synced_duplicates_ = 0;
+  synced_evictions_ = 0;
+  obs::EventTracer* const tracer = config_.telemetry.tracer;
   if (config_.warm_start != nullptr) {
     for (std::size_t i = 0; i < config_.warm_start->size(); ++i) {
       const auto& entry = config_.warm_start->entry(i);
@@ -68,6 +103,7 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
               : rng_.below(pool_.size());
       device->targets().push(pool_.entry(index).bits);
     }
+    obs::add(m_targets_generated_, device->block_count());
   }
 
   Stopwatch watch;
@@ -87,8 +123,15 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
       seen_counters[d] = counter;
       any_news = true;
 
+      // One GA round for device d: drain, insert, breed replacements.
+      obs::TraceSpan round_span(tracer, "ga_round", "host", /*pid=*/0,
+                                /*tid=*/static_cast<std::uint32_t>(d));
+
       // Host Step 3: insert arrivals into the pool.
       auto arrivals = devices_[d]->solutions().drain();
+      round_span.set_arg("arrivals",
+                         static_cast<std::int64_t>(arrivals.size()));
+      obs::add(m_reports_received_, arrivals.size());
       for (auto& report : arrivals) {
         ++result.reports_received;
         const Energy energy = report.energy;
@@ -97,6 +140,12 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
           if (result.best_trace.empty() ||
               energy < result.best_trace.back().second) {
             result.best_trace.emplace_back(watch.seconds(), energy);
+            obs::add(m_improvements_);
+            if (tracer != nullptr) {
+              tracer->instant("incumbent", "host", /*pid=*/0,
+                              /*tid=*/static_cast<std::uint32_t>(d), "energy",
+                              energy);
+            }
           }
         }
       }
@@ -106,6 +155,13 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
         devices_[d]->targets().push(generate_target(pool_, config_.ga, rng_));
         ++result.targets_generated;
       }
+      obs::add(m_targets_generated_, arrivals.size());
+      if (tracer != nullptr && !arrivals.empty()) {
+        tracer->instant("target_push", "host", /*pid=*/0,
+                        /*tid=*/static_cast<std::uint32_t>(d), "targets",
+                        static_cast<std::int64_t>(arrivals.size()));
+      }
+      sync_pool_metrics();
     }
 
     // Periodic observation.
@@ -118,11 +174,17 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
         snapshot.best_energy = pool_.best_energy();
         snapshot.pool_evaluated = pool_.evaluated_count();
         snapshot.total_flips = flips;
+        // An empty observation window (first snapshot of a continuation,
+        // or a poll racing the grid) yields NaN, not a nonsense rate.
         const double window = now - last_snapshot_time;
         snapshot.window_rate =
             window > 0.0 ? static_cast<double>(flips - last_snapshot_flips) *
                                w_->size() / window
-                         : 0.0;
+                         : std::numeric_limits<double>::quiet_NaN();
+        if (tracer != nullptr) {
+          tracer->instant("snapshot", "host", /*pid=*/0, /*tid=*/0, "flips",
+                          static_cast<std::int64_t>(flips));
+        }
         result.snapshots.push_back(snapshot);
         last_snapshot_time = now;
         last_snapshot_flips = flips;
@@ -167,11 +229,15 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
   for (auto& device : devices_) {
     for (auto& report : device->solutions().drain()) {
       ++result.reports_received;
+      obs::add(m_reports_received_);
       if (pool_.insert(report.bits, report.energy)) ++result.reports_inserted;
     }
     result.solutions_dropped += device->solutions().dropped();
     result.targets_dropped += device->targets().dropped();
   }
+  sync_pool_metrics();
+  result.duplicates_rejected = pool_.duplicates_rejected();
+  result.pool_evictions = pool_.evictions();
   if (stop.target_energy.has_value() &&
       pool_.best_energy() <= *stop.target_energy) {
     result.reached_target = true;

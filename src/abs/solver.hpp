@@ -26,6 +26,7 @@
 #include "abs/device.hpp"
 #include "ga/operators.hpp"
 #include "ga/solution_pool.hpp"
+#include "obs/telemetry.hpp"
 #include "qubo/bit_vector.hpp"
 #include "qubo/weight_matrix.hpp"
 
@@ -61,6 +62,11 @@ struct AbsConfig {
   std::shared_ptr<const SolutionPool> warm_start;
   /// > 0 enables periodic RunSnapshot collection at roughly this cadence.
   double snapshot_interval_seconds = 0.0;
+  /// Observability sinks, propagated to every device (non-owning; default
+  /// = disabled). The solver adds host-side series (pool churn, GA
+  /// breeding, incumbent gauges) and trace spans for host rounds. The
+  /// registry/tracer must outlive the solver.
+  obs::Telemetry telemetry;
 };
 
 /// Per-device accounting attached to every result.
@@ -83,7 +89,11 @@ struct RunSnapshot {
   Energy best_energy = 0;             ///< pool best (kUnevaluated if none)
   std::size_t pool_evaluated = 0;
   std::uint64_t total_flips = 0;
-  /// Evaluated solutions per second since the previous snapshot.
+  /// Evaluated solutions per second since the previous snapshot. NaN when
+  /// the observation window was empty (e.g. the first snapshot of a
+  /// continuation fired immediately) — a near-zero-length window must not
+  /// produce an absurd rate, and 0.0 would be indistinguishable from a
+  /// genuinely stalled solver.
   double window_rate = 0.0;
 };
 
@@ -102,6 +112,10 @@ struct AbsResult {
 
   std::uint64_t reports_received = 0;
   std::uint64_t reports_inserted = 0;
+  /// Pool churn: reports rejected as exact duplicates (the premature-
+  /// convergence signal) and members evicted for better newcomers.
+  std::uint64_t duplicates_rejected = 0;
+  std::uint64_t pool_evictions = 0;
   std::uint64_t targets_generated = 0;
   std::uint64_t solutions_dropped = 0;
   std::uint64_t targets_dropped = 0;
@@ -143,6 +157,9 @@ class AbsSolver {
 
  private:
   std::uint64_t flips_across_devices() const;
+  /// Pushes the pool-churn counter deltas since the last sync into the
+  /// metrics registry (no-op when metrics are disabled).
+  void sync_pool_metrics();
 
   const WeightMatrix* w_;
   AbsConfig config_;
@@ -150,6 +167,19 @@ class AbsSolver {
   std::vector<std::unique_ptr<Device>> devices_;
   Rng rng_;
   std::atomic<bool> stop_requested_{false};
+
+  // Host-side telemetry series, resolved at construction (null = off).
+  obs::Counter* m_reports_received_ = nullptr;
+  obs::Counter* m_reports_inserted_ = nullptr;
+  obs::Counter* m_duplicates_ = nullptr;
+  obs::Counter* m_evictions_ = nullptr;
+  obs::Counter* m_targets_generated_ = nullptr;
+  obs::Counter* m_improvements_ = nullptr;
+  obs::Gauge* m_pool_best_energy_ = nullptr;
+  obs::Gauge* m_pool_evaluated_ = nullptr;
+  std::uint64_t synced_inserted_ = 0;
+  std::uint64_t synced_duplicates_ = 0;
+  std::uint64_t synced_evictions_ = 0;
 };
 
 }  // namespace absq

@@ -20,6 +20,7 @@ SyncAbsRunner::SyncAbsRunner(const WeightMatrix& w, AbsConfig config)
     // round-based execution is bit-reproducible across machines regardless
     // of their core count.
     device_config.threads_per_device = 0;
+    device_config.telemetry = config_.telemetry;
     devices_.push_back(std::make_unique<Device>(w, device_config));
   }
 }
@@ -49,6 +50,9 @@ void SyncAbsRunner::ensure_started() {
 }
 
 void SyncAbsRunner::one_round(AbsResult& result) {
+  obs::TraceSpan round_span(config_.telemetry.tracer, "ga_round", "host",
+                            /*pid=*/0, /*tid=*/0);
+  round_span.set_arg("round", static_cast<std::int64_t>(rounds_));
   for (auto& device : devices_) {
     device->step_all_blocks_once();
     auto arrivals = device->solutions().drain();
@@ -85,6 +89,8 @@ AbsResult SyncAbsRunner::finalize(AbsResult result,
   result.best_energy = pool_.best().energy;
   result.reports_received = reports_received_;
   result.reports_inserted = reports_inserted_;
+  result.duplicates_rejected = pool_.duplicates_rejected();
+  result.pool_evictions = pool_.evictions();
   result.targets_generated = targets_generated_;
   std::uint64_t flips = 0;
   for (const auto& device : devices_) {

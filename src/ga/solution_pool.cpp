@@ -14,6 +14,10 @@ SolutionPool::SolutionPool(std::size_t capacity) : capacity_(capacity) {
 void SolutionPool::initialize_random(BitIndex n, Rng& rng) {
   entries_.clear();
   present_.clear();
+  insertions_ = 0;
+  duplicates_rejected_ = 0;
+  full_rejections_ = 0;
+  evictions_ = 0;
   while (entries_.size() < capacity_) {
     BitVector bits = BitVector::random(n, rng);
     if (!present_.insert(bits).second) continue;  // keep distinct
@@ -23,19 +27,27 @@ void SolutionPool::initialize_random(BitIndex n, Rng& rng) {
 }
 
 bool SolutionPool::insert(const BitVector& bits, Energy energy) {
-  if (present_.contains(bits)) return false;
+  if (present_.contains(bits)) {
+    ++duplicates_rejected_;
+    return false;
+  }
   const Entry candidate{bits, energy};
   if (entries_.size() >= capacity_) {
     // Full: the newcomer must strictly beat the worst member.
-    if (!(candidate < entries_.back())) return false;
+    if (!(candidate < entries_.back())) {
+      ++full_rejections_;
+      return false;
+    }
     present_.erase(entries_.back().bits);
     entries_.pop_back();
+    ++evictions_;
   }
   // O(log m) position search, as in the paper.
   const auto pos =
       std::lower_bound(entries_.begin(), entries_.end(), candidate);
   entries_.insert(pos, candidate);
   present_.insert(bits);
+  ++insertions_;
   return true;
 }
 

@@ -72,6 +72,21 @@ class SolutionPool {
   /// Number of entries whose energy a device has reported.
   [[nodiscard]] std::size_t evaluated_count() const;
 
+  /// Churn counters since construction / the last initialize_random():
+  /// accepted inserts, inserts rejected as duplicates, inserts rejected
+  /// because the pool was full and the newcomer no better, and members
+  /// evicted to make room for a better newcomer. The GA's selection
+  /// pressure and diversity health are read off these (duplicates ↑ =
+  /// premature convergence; evictions ≈ insertions once the pool fills).
+  [[nodiscard]] std::uint64_t insertions() const { return insertions_; }
+  [[nodiscard]] std::uint64_t duplicates_rejected() const {
+    return duplicates_rejected_;
+  }
+  [[nodiscard]] std::uint64_t full_rejections() const {
+    return full_rejections_;
+  }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
   /// Invariant check (sortedness + distinctness); used by tests and debug
   /// assertions, O(m·n/64).
   [[nodiscard]] bool check_invariants() const;
@@ -79,6 +94,10 @@ class SolutionPool {
  private:
   std::size_t capacity_;
   std::vector<Entry> entries_;  // sorted ascending
+  std::uint64_t insertions_ = 0;
+  std::uint64_t duplicates_rejected_ = 0;
+  std::uint64_t full_rejections_ = 0;
+  std::uint64_t evictions_ = 0;
   // Bit patterns currently in the pool. The paper detects duplicates with
   // the (energy, bits) binary search alone, which is sound only when equal
   // solutions always arrive with equal energies; the hash set additionally

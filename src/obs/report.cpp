@@ -1,0 +1,168 @@
+#include "obs/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "ga/solution_pool.hpp"
+#include "util/check.hpp"
+
+namespace absq::obs {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+namespace {
+
+std::string quoted(const std::string& text) {
+  std::string out = "\"";
+  out += json_escape(text);
+  out += '"';
+  return out;
+}
+
+/// kUnevaluated means "no evaluated solution yet" — exported as null.
+std::string energy_json(Energy energy) {
+  if (energy == kUnevaluated) return "null";
+  return std::to_string(energy);
+}
+
+}  // namespace
+
+void write_run_report(std::ostream& out, const RunReportMeta& meta,
+                      const AbsResult& result,
+                      const MetricsRegistry* metrics) {
+  out << "{\"type\":\"meta\",\"tool\":" << quoted(meta.tool)
+      << ",\"instance\":" << quoted(meta.instance)
+      << ",\"seed\":" << meta.seed;
+  for (const auto& [key, value] : meta.extra) {
+    out << "," << quoted(key) << ":" << quoted(value);
+  }
+  out << "}\n";
+
+  out << "{\"type\":\"result\",\"best_energy\":" << energy_json(
+             result.best_energy)
+      << ",\"reached_target\":" << (result.reached_target ? "true" : "false")
+      << ",\"cancelled\":" << (result.cancelled ? "true" : "false")
+      << ",\"seconds\":" << json_number(result.seconds)
+      << ",\"total_flips\":" << result.total_flips
+      << ",\"evaluated_solutions\":" << result.evaluated_solutions
+      << ",\"search_rate\":" << json_number(result.search_rate)
+      << ",\"reports_received\":" << result.reports_received
+      << ",\"reports_inserted\":" << result.reports_inserted
+      << ",\"duplicates_rejected\":" << result.duplicates_rejected
+      << ",\"pool_evictions\":" << result.pool_evictions
+      << ",\"targets_generated\":" << result.targets_generated
+      << ",\"solutions_dropped\":" << result.solutions_dropped
+      << ",\"targets_dropped\":" << result.targets_dropped << "}\n";
+
+  for (const auto& device : result.devices) {
+    out << "{\"type\":\"device\",\"device\":" << device.device_id
+        << ",\"workers\":" << device.workers
+        << ",\"flips\":" << device.flips
+        << ",\"iterations\":" << device.iterations
+        << ",\"reports\":" << device.reports
+        << ",\"target_misses\":" << device.target_misses
+        << ",\"targets_dropped\":" << device.targets_dropped
+        << ",\"solutions_dropped\":" << device.solutions_dropped << "}\n";
+  }
+
+  for (const auto& [seconds, energy] : result.best_trace) {
+    out << "{\"type\":\"improvement\",\"seconds\":" << json_number(seconds)
+        << ",\"energy\":" << energy << "}\n";
+  }
+
+  for (const auto& snapshot : result.snapshots) {
+    out << "{\"type\":\"snapshot\",\"seconds\":" << json_number(
+               snapshot.seconds)
+        << ",\"best_energy\":" << energy_json(snapshot.best_energy)
+        << ",\"pool_evaluated\":" << snapshot.pool_evaluated
+        << ",\"total_flips\":" << snapshot.total_flips
+        << ",\"window_rate\":" << json_number(snapshot.window_rate) << "}\n";
+  }
+
+  if (metrics != nullptr) {
+    const MetricsSnapshot scrape = metrics->scrape();
+    for (const auto& family : scrape.families) {
+      for (const auto& series : family.series) {
+        out << "{\"type\":\"metric\",\"name\":" << quoted(family.name)
+            << ",\"labels\":{";
+        bool first = true;
+        for (const auto& [key, value] : series.labels.pairs()) {
+          if (!first) out << ",";
+          first = false;
+          out << quoted(key) << ":" << quoted(value);
+        }
+        out << "}";
+        switch (family.kind) {
+          case MetricsSnapshot::Kind::kCounter:
+            out << ",\"kind\":\"counter\",\"value\":" << series.counter_value;
+            break;
+          case MetricsSnapshot::Kind::kGauge:
+            out << ",\"kind\":\"gauge\",\"value\":"
+                << json_number(series.gauge_value);
+            break;
+          case MetricsSnapshot::Kind::kHistogram: {
+            out << ",\"kind\":\"histogram\",\"count\":" << series.count
+                << ",\"sum\":" << series.sum << ",\"buckets\":[";
+            // [le, count] pairs for non-empty buckets only.
+            bool first_bucket = true;
+            for (std::size_t b = 0; b < series.buckets.size(); ++b) {
+              if (series.buckets[b] == 0) continue;
+              if (!first_bucket) out << ",";
+              first_bucket = false;
+              const bool overflow = b + 1 == series.buckets.size();
+              out << "["
+                  << (overflow ? std::string("null")
+                               : std::to_string((std::uint64_t{1} << b) - 1))
+                  << "," << series.buckets[b] << "]";
+            }
+            out << "]";
+            break;
+          }
+        }
+        out << "}\n";
+      }
+    }
+  }
+}
+
+void write_run_report_file(const std::string& path, const RunReportMeta& meta,
+                           const AbsResult& result,
+                           const MetricsRegistry* metrics) {
+  std::ofstream out(path, std::ios::trunc);
+  ABSQ_CHECK(out.good(), "cannot open report file '" << path << "'");
+  write_run_report(out, meta, result, metrics);
+  ABSQ_CHECK(out.good(), "write to report file '" << path << "' failed");
+}
+
+}  // namespace absq::obs

@@ -1,0 +1,31 @@
+// Telemetry — the handle instrumented code carries around.
+//
+// A Telemetry value bundles the two observability sinks as non-owning
+// pointers; either (or both) may be null, which disables that sink with a
+// single pointer test at each instrumentation site. Configs embed a
+// Telemetry by value (two pointers), so threading it from AbsConfig →
+// DeviceConfig → SearchBlock::Config costs nothing and requires no
+// macros. The pointed-to registry/tracer must outlive every component
+// that was configured with them.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace absq::obs {
+
+struct Telemetry {
+  MetricsRegistry* metrics = nullptr;
+  EventTracer* tracer = nullptr;
+
+  [[nodiscard]] bool enabled() const {
+    return metrics != nullptr || tracer != nullptr;
+  }
+};
+
+/// Null-safe counter add — the idiom at every instrumentation site.
+inline void add(Counter* counter, std::uint64_t n = 1) {
+  if (counter != nullptr) counter->add(n);
+}
+
+}  // namespace absq::obs

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 namespace absq {
 
@@ -25,10 +26,12 @@ struct SearchStats {
   /// Times the incumbent best solution improved.
   std::uint64_t improvements = 0;
 
-  /// Ops per evaluated solution — the search efficiency itself.
+  /// Ops per evaluated solution — the search efficiency itself. NaN when
+  /// nothing was evaluated: "no data" must not masquerade as the (perfect)
+  /// efficiency 0, or an empty run would win every comparison.
   [[nodiscard]] double efficiency() const {
     return evaluated_solutions == 0
-               ? 0.0
+               ? std::numeric_limits<double>::quiet_NaN()
                : static_cast<double>(ops) /
                      static_cast<double>(evaluated_solutions);
   }

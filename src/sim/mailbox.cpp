@@ -34,15 +34,21 @@ void TargetBuffer::push(BitVector target) {
   const std::size_t index =
       push_cursor_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
   Shard& shard = *shards_[index];
+  bool overwrote = false;
   {
     std::lock_guard lock(shard.mutex);
     if (shard.queue.size() >= shard_capacity_) {
       shard.queue.pop_front();
       dropped_.fetch_add(1, std::memory_order_relaxed);
+      overwrote = true;
     }
     shard.queue.push_back(std::move(target));
   }
   pushed_.fetch_add(1, std::memory_order_relaxed);
+  if (overwrote && tracer_ != nullptr) {
+    tracer_->instant("target_drop", "mailbox", trace_pid_,
+                     static_cast<std::uint32_t>(index));
+  }
 }
 
 std::optional<BitVector> TargetBuffer::poll() {
@@ -80,16 +86,23 @@ void SolutionBuffer::push(ReportedSolution solution) {
 }
 
 void SolutionBuffer::push(ReportedSolution solution, std::size_t hint) {
-  Shard& shard = *shards_[hint % shards_.size()];
+  const std::size_t index = hint % shards_.size();
+  Shard& shard = *shards_[index];
+  bool overwrote = false;
   {
     std::lock_guard lock(shard.mutex);
     if (shard.queue.size() >= shard_capacity_) {
       shard.queue.pop_front();
       dropped_.fetch_add(1, std::memory_order_relaxed);
+      overwrote = true;
     }
     shard.queue.push_back(std::move(solution));
   }
   pushed_.fetch_add(1, std::memory_order_relaxed);
+  if (overwrote && tracer_ != nullptr) {
+    tracer_->instant("solution_drop", "mailbox", trace_pid_,
+                     static_cast<std::uint32_t>(index));
+  }
 }
 
 std::vector<ReportedSolution> SolutionBuffer::drain() {

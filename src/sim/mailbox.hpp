@@ -33,6 +33,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "qubo/bit_vector.hpp"
 #include "qubo/types.hpp"
 
@@ -76,6 +77,14 @@ class TargetBuffer {
   [[nodiscard]] std::size_t pending() const;
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
 
+  /// Attaches an event tracer (not owned; null detaches): every overwrite
+  /// drop emits an instant "target_drop" event with pid = `trace_pid`,
+  /// tid = the shard index. Call before the owning device starts.
+  void set_tracer(obs::EventTracer* tracer, std::uint32_t trace_pid) {
+    tracer_ = tracer;
+    trace_pid_ = trace_pid;
+  }
+
  private:
   struct Shard {
     mutable std::mutex mutex;
@@ -88,6 +97,8 @@ class TargetBuffer {
   std::atomic<std::size_t> poll_cursor_{0};
   std::atomic<std::uint64_t> pushed_{0};
   std::atomic<std::uint64_t> dropped_{0};
+  obs::EventTracer* tracer_ = nullptr;
+  std::uint32_t trace_pid_ = 0;
 };
 
 /// One best-found solution reported by a search block (device Step 5).
@@ -132,6 +143,14 @@ class SolutionBuffer {
 
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
 
+  /// Attaches an event tracer (not owned; null detaches): every overwrite
+  /// drop emits an instant "solution_drop" event with pid = `trace_pid`,
+  /// tid = the shard index. Call before the owning device starts.
+  void set_tracer(obs::EventTracer* tracer, std::uint32_t trace_pid) {
+    tracer_ = tracer;
+    trace_pid_ = trace_pid;
+  }
+
  private:
   struct Shard {
     mutable std::mutex mutex;
@@ -143,6 +162,8 @@ class SolutionBuffer {
   std::atomic<std::size_t> push_cursor_{0};
   std::atomic<std::uint64_t> pushed_{0};
   std::atomic<std::uint64_t> dropped_{0};
+  obs::EventTracer* tracer_ = nullptr;
+  std::uint32_t trace_pid_ = 0;
 };
 
 }  // namespace absq::sim

@@ -1,0 +1,165 @@
+// Tests for the metrics registry (obs/metrics.hpp): label semantics,
+// counter/gauge/histogram behaviour, exact totals under multi-threaded
+// hammering, and the Prometheus text exporter (golden file).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace absq::obs {
+namespace {
+
+TEST(Labels, SortedAndOrderIndependent) {
+  const Labels a{{"device", "0"}, {"block", "17"}};
+  const Labels b{{"block", "17"}, {"device", "0"}};
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.pairs().size(), 2u);
+  EXPECT_EQ(a.pairs()[0].first, "block");  // sorted by key
+  EXPECT_EQ(a.pairs()[1].first, "device");
+}
+
+TEST(Labels, SetReplacesExistingKey) {
+  Labels labels{{"device", "0"}};
+  labels.set("device", "3");
+  ASSERT_EQ(labels.pairs().size(), 1u);
+  EXPECT_EQ(labels.pairs()[0].second, "3");
+}
+
+TEST(Labels, PrometheusForm) {
+  EXPECT_EQ(Labels{}.prometheus(), "");
+  const Labels labels{{"device", "0"}, {"algo", "straight"}};
+  EXPECT_EQ(labels.prometheus(), "{algo=\"straight\",device=\"0\"}");
+}
+
+TEST(Counter, AddsAndSums) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Gauge, KeepsLastValue) {
+  Gauge gauge;
+  gauge.set(2.5);
+  gauge.set(-7.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), -7.0);
+}
+
+TEST(Histogram, Log2BucketPlacement) {
+  Histogram histogram;
+  histogram.observe(0);  // bucket 0 (le 0)
+  histogram.observe(1);  // bucket 1 (le 1)
+  histogram.observe(2);  // bucket 2 (le 3)
+  histogram.observe(3);  // bucket 2
+  histogram.observe(4);  // bucket 3 (le 7)
+  histogram.observe(std::uint64_t{1} << 60);  // overflow bucket
+  const auto buckets = histogram.buckets();
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 2u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(buckets[Histogram::kBuckets - 1], 1u);
+  EXPECT_EQ(histogram.count(), 6u);
+  EXPECT_EQ(histogram.sum(), 10u + (std::uint64_t{1} << 60));
+}
+
+TEST(MetricsRegistry, SameNameAndLabelsIsSameSeries) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("absq_test_total", Labels{{"device", "0"}});
+  Counter& b = registry.counter("absq_test_total", Labels{{"device", "0"}});
+  Counter& c = registry.counter("absq_test_total", Labels{{"device", "1"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  a.add(5);
+  EXPECT_EQ(b.value(), 5u);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsRegistry, KindConflictThrows) {
+  MetricsRegistry registry;
+  (void)registry.counter("absq_conflicted");
+  EXPECT_THROW((void)registry.gauge("absq_conflicted"), CheckError);
+  EXPECT_THROW((void)registry.histogram("absq_conflicted"), CheckError);
+}
+
+// The concurrency contract: N threads hammering counters (one shared, one
+// per thread, plus concurrent registration of the shared name) lose no
+// increments — totals are exact after join.
+TEST(MetricsRegistry, ConcurrentHammerKeepsExactTotals) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kAddsPerThread = 50000;
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Registration races with other threads' registrations and adds.
+      Counter& shared = registry.counter("absq_hammer_shared_total");
+      Counter& mine = registry.counter(
+          "absq_hammer_thread_total", Labels{{"thread", std::to_string(t)}});
+      Histogram& histogram = registry.histogram("absq_hammer_sizes");
+      for (std::uint64_t i = 0; i < kAddsPerThread; ++i) {
+        shared.add();
+        mine.add(2);
+        histogram.observe(i & 0xff);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(registry.counter("absq_hammer_shared_total").value(),
+            kThreads * kAddsPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(registry
+                  .counter("absq_hammer_thread_total",
+                           Labels{{"thread", std::to_string(t)}})
+                  .value(),
+              2 * kAddsPerThread);
+  }
+  EXPECT_EQ(registry.histogram("absq_hammer_sizes").count(),
+            kThreads * kAddsPerThread);
+}
+
+// Golden file for the Prometheus text exposition: deterministic family and
+// series ordering, cumulative histogram buckets with log2 bounds.
+TEST(Prometheus, GoldenExport) {
+  MetricsRegistry registry;
+  registry.counter("absq_flips_total", Labels{{"device", "0"}}).add(7);
+  registry.counter("absq_flips_total", Labels{{"device", "1"}}).add(9);
+  registry.gauge("absq_pool_best_energy").set(-1234.5);
+  Histogram& histogram =
+      registry.histogram("absq_walk_length", Labels{{"device", "0"}});
+  histogram.observe(1);
+  histogram.observe(2);
+  histogram.observe(3);
+  histogram.observe(6);
+
+  const std::string expected =
+      "# TYPE absq_flips_total counter\n"
+      "absq_flips_total{device=\"0\"} 7\n"
+      "absq_flips_total{device=\"1\"} 9\n"
+      "# TYPE absq_pool_best_energy gauge\n"
+      "absq_pool_best_energy -1234.5\n"
+      "# TYPE absq_walk_length histogram\n"
+      "absq_walk_length_bucket{device=\"0\",le=\"0\"} 0\n"
+      "absq_walk_length_bucket{device=\"0\",le=\"1\"} 1\n"
+      "absq_walk_length_bucket{device=\"0\",le=\"3\"} 3\n"
+      "absq_walk_length_bucket{device=\"0\",le=\"7\"} 4\n"
+      "absq_walk_length_bucket{device=\"0\",le=\"+Inf\"} 4\n"
+      "absq_walk_length_sum{device=\"0\"} 12\n"
+      "absq_walk_length_count{device=\"0\"} 4\n";
+  EXPECT_EQ(to_prometheus(registry.scrape()), expected);
+}
+
+TEST(Prometheus, EmptyRegistryExportsNothing) {
+  MetricsRegistry registry;
+  EXPECT_EQ(to_prometheus(registry.scrape()), "");
+}
+
+}  // namespace
+}  // namespace absq::obs

@@ -9,15 +9,27 @@
 //   absq_solve route.tsp  --format tsplib --seconds 30
 //   absq_solve formula.cnf --format dimacs --seconds 5
 //   absq_solve instance.qubo --devices 4 --adaptive --out best.sol
+//   absq_solve instance.qubo --seconds 5 --metrics run.prom
+//              --trace run.json --report run.jsonl
 //
 // Problem-aware decoding: for gset/tsplib/dimacs inputs the result is also
 // reported in the problem's own terms (cut weight, tour, violated
 // clauses).
+//
+// Telemetry: --metrics writes a Prometheus text scrape of the metrics
+// registry, --trace writes Chrome trace_event JSON (open in
+// chrome://tracing or ui.perfetto.dev), --report writes the JSONL run
+// report (see docs/observability.md). Any subset may be enabled;
+// instrumentation is off (and costs nothing) when none is.
 #include <cinttypes>
 #include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
 #include <string>
 
 #include "abs/solver.hpp"
+#include "obs/report.hpp"
 #include "problems/graph.hpp"
 #include "problems/maxcut.hpp"
 #include "problems/sat.hpp"
@@ -49,7 +61,16 @@ int run(int argc, char** argv) {
   cli.add_flag("adaptive", false, "enable adaptive window switching");
   cli.add_flag("seed", std::int64_t{1}, "solver seed");
   cli.add_flag("out", std::string(""), "write best solution to this file");
-  cli.add_flag("trace", false, "print the improvement trace");
+  cli.add_flag("print-trace", false, "print the improvement trace");
+  cli.add_flag("metrics", std::string(""),
+               "write a Prometheus text scrape to this file");
+  cli.add_flag("trace", std::string(""),
+               "write a Chrome trace_event JSON to this file "
+               "(chrome://tracing / Perfetto)");
+  cli.add_flag("report", std::string(""),
+               "write the JSONL run report to this file");
+  cli.add_flag("snapshot-interval", 0.0,
+               "periodic RunSnapshot cadence in seconds (0 = off)");
   if (!cli.parse(argc, argv)) return 0;
 
   ABSQ_CHECK(cli.positional().size() == 1,
@@ -89,11 +110,34 @@ int run(int argc, char** argv) {
   config.device.local_steps =
       static_cast<std::uint64_t>(cli.get_int("local-steps"));
   config.device.adaptive = cli.get_bool("adaptive");
-  if (const std::int64_t threads = cli.get_int("threads"); threads >= 0) {
+  // -1 is the documented "auto" sentinel; anything else negative is a
+  // typo that must not silently mean auto (or wrap through a cast).
+  const std::int64_t threads = cli.get_int("threads");
+  ABSQ_CHECK(threads >= -1 &&
+                 threads <= std::numeric_limits<std::uint32_t>::max(),
+             "--threads must be -1 (auto) or a worker count, got "
+                 << threads);
+  if (threads >= 0) {
     config.device.threads_per_device = static_cast<std::uint32_t>(threads);
   }
   config.pool_capacity = static_cast<std::size_t>(cli.get_int("pool"));
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  config.snapshot_interval_seconds = cli.get_double("snapshot-interval");
+
+  // Telemetry sinks, created only when an export was requested.
+  const std::string metrics_path = cli.get_string("metrics");
+  const std::string trace_path = cli.get_string("trace");
+  const std::string report_path = cli.get_string("report");
+  std::unique_ptr<absq::obs::MetricsRegistry> registry;
+  std::unique_ptr<absq::obs::EventTracer> tracer;
+  if (!metrics_path.empty() || !report_path.empty()) {
+    registry = std::make_unique<absq::obs::MetricsRegistry>();
+    config.telemetry.metrics = registry.get();
+  }
+  if (!trace_path.empty()) {
+    tracer = std::make_unique<absq::obs::EventTracer>();
+    config.telemetry.tracer = tracer.get();
+  }
 
   absq::StopCriteria stop;
   stop.time_limit_seconds = cli.get_double("seconds");
@@ -113,6 +157,10 @@ int run(int argc, char** argv) {
              "internal error: reported energy does not verify");
   std::printf("flips:        %" PRIu64 "  (%.3g solutions/s)\n",
               result.total_flips, result.search_rate);
+  std::printf("pool:         %" PRIu64 " inserted, %" PRIu64
+              " duplicates rejected, %" PRIu64 " evictions\n",
+              result.reports_inserted, result.duplicates_rejected,
+              result.pool_evictions);
   for (const auto& dev : result.devices) {
     std::printf("device %u:     %u worker%s, %" PRIu64 " iterations, %" PRIu64
                 " target misses, %" PRIu64 " targets / %" PRIu64
@@ -141,7 +189,7 @@ int run(int argc, char** argv) {
                 formula.clauses.size());
   }
 
-  if (cli.get_bool("trace")) {
+  if (cli.get_bool("print-trace")) {
     std::printf("improvement trace (s → energy):\n");
     for (const auto& [t, e] : result.best_trace) {
       std::printf("  %10.4f  %" PRId64 "\n", t, e);
@@ -150,6 +198,35 @@ int run(int argc, char** argv) {
   if (const std::string out = cli.get_string("out"); !out.empty()) {
     absq::write_solution_file(out, result.best, result.best_energy);
     std::printf("solution written to %s\n", out.c_str());
+  }
+
+  // Telemetry exports.
+  if (!metrics_path.empty()) {
+    std::ofstream prom(metrics_path, std::ios::trunc);
+    ABSQ_CHECK(prom.good(), "cannot open '" << metrics_path << "'");
+    prom << absq::obs::to_prometheus(registry->scrape());
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    std::ofstream trace(trace_path, std::ios::trunc);
+    ABSQ_CHECK(trace.good(), "cannot open '" << trace_path << "'");
+    trace << absq::obs::chrome_trace_json(tracer->snapshot());
+    std::printf("trace written to %s (%" PRIu64 " events, %" PRIu64
+                " overwritten)\n",
+                trace_path.c_str(), tracer->recorded(), tracer->dropped());
+  }
+  if (!report_path.empty()) {
+    absq::obs::RunReportMeta meta;
+    meta.tool = "absq_solve";
+    meta.instance = path;
+    meta.seed = config.seed;
+    meta.extra = {{"format", format},
+                  {"devices", std::to_string(config.num_devices)},
+                  {"blocks", std::to_string(config.device.block_limit)},
+                  {"pool", std::to_string(config.pool_capacity)}};
+    absq::obs::write_run_report_file(report_path, meta, result,
+                                     registry.get());
+    std::printf("report written to %s\n", report_path.c_str());
   }
   return result.reached_target || !stop.target_energy.has_value() ? 0 : 2;
 }
