@@ -1,18 +1,27 @@
 #!/usr/bin/env bash
 # The repo's one-command verification gate:
 #
-#   1. tier-1: configure + build everything, run the full ctest suite;
+#   1. tier-1: configure + build everything, run the full ctest suite
+#      (includes the tools_smoke and crash_smoke end-to-end scripts);
 #   2. race check: rebuild the concurrency-sensitive tests under
 #      ThreadSanitizer (cmake -DABSQ_SANITIZE=thread) and run them —
 #      the observability layer's lock-free counters and ring tracer,
-#      the sharded mailboxes under device workers, and the threaded
-#      solver itself must all be TSan-clean.
+#      the sharded mailboxes under device workers, the threaded solver,
+#      and the fault-injection/watchdog paths must all be TSan-clean;
+#   3. memory check: the same targets under Address+UndefinedBehavior
+#      Sanitizer (cmake -DABSQ_SANITIZE=address) — quarantine, restart,
+#      and checkpoint paths juggle exception_ptrs and device teardown,
+#      exactly where lifetime bugs would hide.
 #
 #   scripts/check.sh [jobs]      (default: nproc)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
+
+SANITIZE_TARGETS=(test_metrics test_trace test_mailbox test_device
+                  test_solver test_thread_pool test_failpoint
+                  test_fault_tolerance)
 
 echo "== tier 1: build + ctest =="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
@@ -23,11 +32,20 @@ echo
 echo "== tier 2: ThreadSanitizer =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DABSQ_SANITIZE=thread >/dev/null
-TSAN_TARGETS=(test_metrics test_trace test_mailbox test_device test_solver)
-cmake --build build-tsan -j "$JOBS" --target "${TSAN_TARGETS[@]}"
-for test in "${TSAN_TARGETS[@]}"; do
+cmake --build build-tsan -j "$JOBS" --target "${SANITIZE_TARGETS[@]}"
+for test in "${SANITIZE_TARGETS[@]}"; do
   echo "-- tsan: $test"
   ./build-tsan/tests/"$test"
+done
+
+echo
+echo "== tier 3: Address+UB Sanitizer =="
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DABSQ_SANITIZE=address >/dev/null
+cmake --build build-asan -j "$JOBS" --target "${SANITIZE_TARGETS[@]}"
+for test in "${SANITIZE_TARGETS[@]}"; do
+  echo "-- asan: $test"
+  ./build-asan/tests/"$test"
 done
 
 echo

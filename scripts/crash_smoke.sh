@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Crash/recovery smoke test, run by CTest (crash_smoke).
+#
+# SIGKILLs a checkpointing absq_solve mid-run — the one failure no signal
+# handler can soften — then asserts that the atomic checkpoint survived
+# intact and that --resume continues the run to an equal-or-better energy.
+set -euo pipefail
+
+BIN="${1:?usage: crash_smoke.sh <build-dir>}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "crash_smoke: FAIL — $1" >&2; exit 1; }
+
+"$BIN/tools/absq_gen" random --bits 120 --seed 11 --out "$WORK/c.qubo"
+
+# Start a long checkpointing solve and kill it -9 once a checkpoint lands.
+"$BIN/tools/absq_solve" "$WORK/c.qubo" --seconds 60 \
+  --checkpoint "$WORK/run.ck" --checkpoint-interval 0.2 \
+  > "$WORK/victim.out" 2>&1 &
+victim=$!
+for _ in $(seq 1 100); do
+  [[ -f "$WORK/run.ck" ]] && break
+  sleep 0.1
+done
+[[ -f "$WORK/run.ck" ]] || { kill "$victim" 2>/dev/null; \
+  fail "no checkpoint appeared within 10 s"; }
+sleep 0.3   # let at least one more write race the kill
+kill -9 "$victim"
+wait "$victim" 2>/dev/null || true
+
+# The snapshot must parse (atomic rename ⇒ never a torn file) and carry
+# the incumbent energy on its first pool line.
+head -1 "$WORK/run.ck" | grep -q "absq-checkpoint 1" \
+  || fail "checkpoint header missing after SIGKILL"
+grep -q "^end$" "$WORK/run.ck" || fail "checkpoint truncated after SIGKILL"
+ck_best="$(awk '/^pool /{getline; print $1; exit}' "$WORK/run.ck")"
+[[ -n "$ck_best" && "$ck_best" != "?" ]] \
+  || fail "checkpoint carries no evaluated incumbent"
+
+# Resume and require an equal-or-better final energy.
+"$BIN/tools/absq_solve" "$WORK/c.qubo" --seconds 1 \
+  --resume "$WORK/run.ck" > "$WORK/resumed.out" 2>&1 \
+  || fail "absq_solve --resume exited non-zero"
+grep -q "resumed from" "$WORK/resumed.out" \
+  || fail "--resume did not report the checkpoint"
+new_best="$(awk '/^best energy:/{print $3; exit}' "$WORK/resumed.out")"
+[[ -n "$new_best" ]] || fail "resumed run printed no best energy"
+if (( new_best > ck_best )); then
+  fail "resumed energy $new_best is worse than checkpointed $ck_best"
+fi
+
+echo "crash_smoke: OK (checkpoint $ck_best → resumed $new_best)"

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "util/check.hpp"
+#include "util/failpoint.hpp"
 
 namespace absq {
 namespace {
@@ -115,7 +116,18 @@ void Device::start() {
   if (running_) return;
   stop_requested_.store(false, std::memory_order_relaxed);
   if (workers_ == 0) {
-    thread_ = std::thread([this] { run_legacy_loop(&stop_requested_); });
+    thread_ = std::thread([this] {
+      try {
+        run_legacy_loop(&stop_requested_);
+      } catch (...) {
+        // Mirror the ThreadPool contract: capture, don't terminate.
+        std::lock_guard lock(failure_mutex_);
+        if (legacy_failure_ == nullptr) {
+          legacy_failure_ = std::current_exception();
+        }
+        legacy_failed_.store(true, std::memory_order_release);
+      }
+    });
   } else {
     // A fresh pool per start(): ThreadPool drains and joins on destruction,
     // which is exactly the stop() contract.
@@ -130,12 +142,43 @@ void Device::start() {
 void Device::stop() {
   if (!running_) return;
   stop_requested_.store(true, std::memory_order_relaxed);
+  // A worker sleeping inside an injected stall would make the join below
+  // wait out the whole stall; orderly shutdown aborts in-flight stalls
+  // (the fail point re-arms for the next fire, so other devices under
+  // stall injection merely skip one beat).
+  if (fail::Registry::instance().any_armed()) {
+    fail::Registry::instance().cancel_stalls();
+  }
   if (thread_.joinable()) thread_.join();
-  pool_.reset();
+  if (pool_ != nullptr) {
+    // Preserve a captured worker failure past the pool's destruction so
+    // failure() keeps reporting it after the device is stopped.
+    if (std::exception_ptr failure = pool_->failure(); failure != nullptr) {
+      std::lock_guard lock(failure_mutex_);
+      if (legacy_failure_ == nullptr) legacy_failure_ = failure;
+      legacy_failed_.store(true, std::memory_order_release);
+    }
+    pool_.reset();
+  }
   running_ = false;
 }
 
+std::exception_ptr Device::failure() const {
+  if (pool_ != nullptr) {
+    if (std::exception_ptr failure = pool_->failure(); failure != nullptr) {
+      return failure;
+    }
+  }
+  if (!legacy_failed_.load(std::memory_order_acquire)) return nullptr;
+  std::lock_guard lock(failure_mutex_);
+  return legacy_failure_;
+}
+
 void Device::iterate_block(std::size_t index, std::size_t worker) {
+  // Fault-injection site (scope = device id): a throw here simulates a
+  // kernel fault and escapes to the worker pool; a stall spec hangs this
+  // worker. Disarmed cost: one relaxed load.
+  fail::maybe_fail("device.iterate", config_.device_id);
   SearchBlock& block = *blocks_[index];
   const auto maybe_target = targets_.poll(worker);
   if (!maybe_target) {

@@ -26,7 +26,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -95,6 +97,18 @@ class Device {
   /// them. Idempotent.
   void stop();
 
+  /// Signals stop WITHOUT joining — the watchdog's quarantine primitive:
+  /// the host must never block on a possibly-hung device thread. A later
+  /// stop() (or the destructor) performs the join.
+  void request_stop() {
+    stop_requested_.store(true, std::memory_order_relaxed);
+  }
+
+  /// First exception that escaped a worker (or the legacy device thread),
+  /// or nullptr while the device is healthy. A non-null failure means at
+  /// least one worker is dead; the solver watchdog quarantines the device.
+  [[nodiscard]] std::exception_ptr failure() const;
+
   [[nodiscard]] bool running() const { return running_; }
 
   /// Host-facing mailboxes.
@@ -156,6 +170,12 @@ class Device {
   std::unique_ptr<ThreadPool> pool_;   ///< sharded mode (workers_ >= 1)
   std::atomic<bool> stop_requested_{false};
   bool running_ = false;
+
+  // Legacy-thread failure capture (the pool captures its own in sharded
+  // mode). The atomic flag keeps the healthy-path poll lock-free.
+  mutable std::mutex failure_mutex_;
+  std::atomic<bool> legacy_failed_{false};
+  std::exception_ptr legacy_failure_;
 
   std::atomic<std::uint64_t> flips_{0};
   std::atomic<std::uint64_t> iterations_{0};

@@ -1,13 +1,38 @@
 #include "abs/solver.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <limits>
 #include <thread>
 
+#include "ga/pool_io.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
 
 namespace absq {
+namespace {
+
+/// Human-readable diagnosis of a captured exception.
+std::string describe(const std::exception_ptr& failure) {
+  try {
+    std::rethrow_exception(failure);
+  } catch (const std::exception& error) {
+    return error.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+}  // namespace
+
+const char* to_string(DeviceHealth health) {
+  switch (health) {
+    case DeviceHealth::kHealthy: return "healthy";
+    case DeviceHealth::kStalled: return "stalled";
+    case DeviceHealth::kFailed: return "failed";
+  }
+  return "unknown";
+}
 
 AbsSolver::AbsSolver(const WeightMatrix& w, AbsConfig config)
     : w_(&w),
@@ -15,18 +40,19 @@ AbsSolver::AbsSolver(const WeightMatrix& w, AbsConfig config)
       pool_(config_.pool_capacity),
       rng_(config_.seed) {
   ABSQ_CHECK(config_.num_devices >= 1, "need at least one device");
-  devices_.reserve(config_.num_devices);
+  devices_.resize(config_.num_devices);
   for (std::uint32_t d = 0; d < config_.num_devices; ++d) {
-    DeviceConfig device_config = config_.device;
-    device_config.device_id = d;
-    device_config.seed = mix64(config_.seed ^ (d + 1));
-    device_config.telemetry = config_.telemetry;
-    if (!device_config.threads_per_device.has_value()) {
+    DeviceSlot& slot = devices_[d];
+    slot.config = config_.device;
+    slot.config.device_id = d;
+    slot.config.seed = mix64(config_.seed ^ (d + 1));
+    slot.config.telemetry = config_.telemetry;
+    if (!slot.config.threads_per_device.has_value()) {
       // Auto: split the host's cores across the simulated devices.
-      device_config.threads_per_device = std::max(
+      slot.config.threads_per_device = std::max(
           1u, std::thread::hardware_concurrency() / config_.num_devices);
     }
-    devices_.push_back(std::make_unique<Device>(w, device_config));
+    slot.device = make_device(d, /*incarnation=*/0);
   }
 
   if (obs::MetricsRegistry* registry = config_.telemetry.metrics;
@@ -41,16 +67,48 @@ AbsSolver::AbsSolver(const WeightMatrix& w, AbsConfig config)
         &registry->counter("absq_incumbent_improvements_total");
     m_pool_best_energy_ = &registry->gauge("absq_pool_best_energy");
     m_pool_evaluated_ = &registry->gauge("absq_pool_evaluated");
+    m_device_failures_ = &registry->counter("absq_device_failures_total");
+    m_device_restarts_ = &registry->counter("absq_device_restarts_total");
+    m_checkpoints_ = &registry->counter("absq_checkpoints_written_total");
+    m_device_health_.reserve(devices_.size());
+    for (std::uint32_t d = 0; d < config_.num_devices; ++d) {
+      m_device_health_.push_back(&registry->gauge(
+          "absq_device_health", obs::Labels{{"device", std::to_string(d)}}));
+    }
   }
 }
 
 AbsSolver::~AbsSolver() {
-  for (auto& device : devices_) device->stop();
+  for (auto& slot : devices_) {
+    if (slot.device != nullptr) slot.device->stop();
+  }
+}
+
+std::unique_ptr<Device> AbsSolver::make_device(std::size_t slot_index,
+                                               std::uint32_t incarnation) {
+  DeviceConfig device_config = devices_[slot_index].config;
+  if (incarnation > 0) {
+    // A restarted device must not replay the crashed incarnation's stream.
+    device_config.seed =
+        mix64(device_config.seed ^ (0x9e3779b97f4a7c15ULL * incarnation));
+  }
+  return std::make_unique<Device>(*w_, device_config);
+}
+
+void AbsSolver::retire_device_counters(DeviceSlot& slot) {
+  slot.retired_flips += slot.device->total_flips();
+  slot.retired_iterations += slot.device->total_iterations();
+  slot.retired_reports += slot.device->solutions().counter();
+  slot.retired_target_misses += slot.device->target_misses();
+  slot.retired_targets_dropped += slot.device->targets().dropped();
+  slot.retired_solutions_dropped += slot.device->solutions().dropped();
 }
 
 std::uint64_t AbsSolver::flips_across_devices() const {
   std::uint64_t total = 0;
-  for (const auto& device : devices_) total += device->total_flips();
+  for (const auto& slot : devices_) {
+    total += slot.retired_flips + slot.device->total_flips();
+  }
   return total;
 }
 
@@ -69,12 +127,172 @@ void AbsSolver::sync_pool_metrics() {
   m_pool_evaluated_->set(static_cast<double>(pool_.evaluated_count()));
 }
 
+void AbsSolver::salvage_drain(DeviceSlot& slot, AbsResult& result,
+                              double now) {
+  // Reports already in the mailbox survive their device's death; no
+  // replacement targets are bred — the device is out of the rotation.
+  for (auto& report : slot.device->solutions().drain()) {
+    ++result.reports_received;
+    obs::add(m_reports_received_);
+    const Energy energy = report.energy;
+    if (pool_.insert(report.bits, energy)) {
+      ++result.reports_inserted;
+      if (result.best_trace.empty() ||
+          energy < result.best_trace.back().second) {
+        result.best_trace.emplace_back(now, energy);
+        obs::add(m_improvements_);
+      }
+    }
+  }
+  slot.seen_counter = slot.device->solutions().counter();
+}
+
+void AbsSolver::quarantine(std::size_t slot_index, DeviceHealth health,
+                           std::string diagnosis, AbsResult& result,
+                           double now) {
+  DeviceSlot& slot = devices_[slot_index];
+  slot.health = health;
+  slot.failure = std::move(diagnosis);
+  slot.quarantined_at = now;
+  // Stop without joining: the host must stay responsive even if the
+  // device's threads are hung. The join happens at run end (Device::stop),
+  // by which time injected stalls are cancelled.
+  slot.device->request_stop();
+  salvage_drain(slot, result, now);
+  obs::add(m_device_failures_);
+  if (!m_device_health_.empty()) {
+    m_device_health_[slot_index]->set(static_cast<double>(health));
+  }
+  if (obs::EventTracer* tracer = config_.telemetry.tracer;
+      tracer != nullptr) {
+    tracer->instant("device_failed", "host", /*pid=*/0,
+                    /*tid=*/static_cast<std::uint32_t>(slot_index), "health",
+                    static_cast<std::int64_t>(health));
+  }
+}
+
+void AbsSolver::poll_device_health(AbsResult& result, double now) {
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    DeviceSlot& slot = devices_[d];
+    if (slot.health == DeviceHealth::kHealthy) {
+      // A captured exception is unambiguous: quarantine immediately.
+      if (std::exception_ptr failure = slot.device->failure();
+          failure != nullptr) {
+        quarantine(d, DeviceHealth::kFailed,
+                   "device worker threw: " + describe(failure), result, now);
+        continue;
+      }
+      // Stall detection (opt-in): the iteration counter is the heartbeat.
+      if (config_.watchdog.stall_grace_seconds > 0.0) {
+        const std::uint64_t iterations = slot.device->total_iterations();
+        if (iterations != slot.last_iterations) {
+          slot.last_iterations = iterations;
+          slot.last_progress_time = now;
+        } else if (now - slot.last_progress_time >
+                   config_.watchdog.stall_grace_seconds) {
+          std::string diagnosis = "device stalled: no iteration for ";
+          diagnosis += std::to_string(now - slot.last_progress_time);
+          diagnosis += " s (grace ";
+          diagnosis +=
+              std::to_string(config_.watchdog.stall_grace_seconds);
+          diagnosis += " s)";
+          quarantine(d, DeviceHealth::kStalled, std::move(diagnosis), result,
+                     now);
+        }
+      }
+      continue;
+    }
+
+    // Bounded restart policy: failed devices only. A stalled device's
+    // threads may be hung, and re-creating the slot requires joining the
+    // old incarnation — so stalls stay quarantined.
+    if (slot.health == DeviceHealth::kFailed &&
+        slot.restarts < config_.watchdog.max_restarts &&
+        now - slot.quarantined_at >=
+            config_.watchdog.restart_backoff_seconds) {
+      slot.device->stop();  // workers are idle after the failure; joins fast
+      salvage_drain(slot, result, now);
+      retire_device_counters(slot);
+
+      ++slot.restarts;
+      slot.device = make_device(d, ++slot.incarnations);
+      slot.health = DeviceHealth::kHealthy;
+      slot.failure.clear();
+      slot.seen_counter = 0;
+      slot.last_iterations = 0;
+      slot.last_progress_time = now;
+      slot.device->start();
+      for (std::uint32_t b = 0; b < slot.device->block_count(); ++b) {
+        slot.device->targets().push(
+            pool_.entry(rng_.below(pool_.size())).bits);
+        ++result.targets_generated;
+      }
+      obs::add(m_targets_generated_, slot.device->block_count());
+      obs::add(m_device_restarts_);
+      if (!m_device_health_.empty()) {
+        m_device_health_[d]->set(
+            static_cast<double>(DeviceHealth::kHealthy));
+      }
+      if (obs::EventTracer* tracer = config_.telemetry.tracer;
+          tracer != nullptr) {
+        tracer->instant("device_restarted", "host", /*pid=*/0,
+                        /*tid=*/static_cast<std::uint32_t>(d), "restart",
+                        slot.restarts);
+      }
+    }
+  }
+}
+
+void AbsSolver::write_run_checkpoint(AbsResult& result, double now) {
+  RunCheckpoint checkpoint;
+  checkpoint.seed = config_.seed;
+  checkpoint.elapsed_seconds = config_.elapsed_offset_seconds + now;
+  checkpoint.device_flips.reserve(devices_.size());
+  for (const auto& slot : devices_) {
+    checkpoint.device_flips.push_back(slot.retired_flips +
+                                      slot.device->total_flips());
+  }
+  checkpoint.pool = std::make_shared<const SolutionPool>(pool_);
+  try {
+    write_checkpoint_file(config_.checkpoint_path, checkpoint);
+    ++result.checkpoints_written;
+    obs::add(m_checkpoints_);
+    if (obs::EventTracer* tracer = config_.telemetry.tracer;
+        tracer != nullptr) {
+      tracer->instant("checkpoint", "host", /*pid=*/0, /*tid=*/0, "written",
+                      static_cast<std::int64_t>(result.checkpoints_written));
+    }
+  } catch (const std::exception&) {
+    // Durability degrades; the search must not. The previous snapshot is
+    // still intact (atomic rename), so keep running and count the miss.
+    ++result.checkpoints_failed;
+  }
+}
+
 AbsResult AbsSolver::run(const StopCriteria& stop) {
   ABSQ_CHECK(stop.bounded(),
              "at least one stop criterion must be set or the run never ends");
 
   AbsResult result;
   const std::uint64_t flips_at_start = flips_across_devices();
+
+  // Revive slots left unhealthy by a previous run: the device object may
+  // hold dead workers, so it is rebuilt from the weight matrix.
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    DeviceSlot& slot = devices_[d];
+    slot.restarts = 0;
+    if (slot.health != DeviceHealth::kHealthy) {
+      slot.device->stop();
+      retire_device_counters(slot);
+      slot.device = make_device(d, ++slot.incarnations);
+      slot.health = DeviceHealth::kHealthy;
+      slot.failure.clear();
+      if (!m_device_health_.empty()) {
+        m_device_health_[d]->set(
+            static_cast<double>(DeviceHealth::kHealthy));
+      }
+    }
+  }
 
   // Host Step 1: random pool, energies unknown; stock the target buffers
   // with the random population so every block starts on GA-chosen ground.
@@ -91,25 +309,34 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
       (void)pool_.insert(entry.bits, entry.energy);
     }
   }
-  for (auto& device : devices_) {
+  for (auto& slot : devices_) {
+    Device& device = *slot.device;
     // One target per resident block; blocks without a target continue from
     // their current solution, so underfill is benign. With a warm start,
     // its entries (sorted best-first in the pool) go out first.
-    for (std::uint32_t b = 0; b < device->block_count(); ++b) {
+    for (std::uint32_t b = 0; b < device.block_count(); ++b) {
       result.targets_generated += 1;
       const std::size_t index =
           config_.warm_start != nullptr && b < pool_.size()
               ? b
               : rng_.below(pool_.size());
-      device->targets().push(pool_.entry(index).bits);
+      device.targets().push(pool_.entry(index).bits);
     }
-    obs::add(m_targets_generated_, device->block_count());
+    obs::add(m_targets_generated_, device.block_count());
   }
 
   Stopwatch watch;
-  for (auto& device : devices_) device->start();
+  for (auto& slot : devices_) {
+    slot.device->start();
+    // Zero (not the current counter value): on a reused solver the first
+    // poll then drains leftovers exactly as the pre-watchdog host did.
+    slot.seen_counter = 0;
+    slot.last_iterations = slot.device->total_iterations();
+    slot.last_progress_time = 0.0;
+  }
 
-  std::vector<std::uint64_t> seen_counters(devices_.size(), 0);
+  const bool checkpointing = !config_.checkpoint_path.empty();
+  double next_checkpoint = config_.checkpoint_interval_seconds;
   double next_snapshot = config_.snapshot_interval_seconds;
   double last_snapshot_time = 0.0;
   std::uint64_t last_snapshot_flips = 0;
@@ -117,10 +344,12 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
   while (!done) {
     bool any_news = false;
     for (std::size_t d = 0; d < devices_.size(); ++d) {
+      DeviceSlot& slot = devices_[d];
+      if (slot.health != DeviceHealth::kHealthy) continue;  // quarantined
       // Host Step 2: poll the global counter; drain only when it moved.
-      const std::uint64_t counter = devices_[d]->solutions().counter();
-      if (counter == seen_counters[d]) continue;
-      seen_counters[d] = counter;
+      const std::uint64_t counter = slot.device->solutions().counter();
+      if (counter == slot.seen_counter) continue;
+      slot.seen_counter = counter;
       any_news = true;
 
       // One GA round for device d: drain, insert, breed replacements.
@@ -128,7 +357,7 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
                                 /*tid=*/static_cast<std::uint32_t>(d));
 
       // Host Step 3: insert arrivals into the pool.
-      auto arrivals = devices_[d]->solutions().drain();
+      auto arrivals = slot.device->solutions().drain();
       round_span.set_arg("arrivals",
                          static_cast<std::int64_t>(arrivals.size()));
       obs::add(m_reports_received_, arrivals.size());
@@ -152,7 +381,7 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
 
       // Host Step 4: breed as many fresh targets as solutions arrived.
       for (std::size_t i = 0; i < arrivals.size(); ++i) {
-        devices_[d]->targets().push(generate_target(pool_, config_.ga, rng_));
+        slot.device->targets().push(generate_target(pool_, config_.ga, rng_));
         ++result.targets_generated;
       }
       obs::add(m_targets_generated_, arrivals.size());
@@ -163,6 +392,9 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
       }
       sync_pool_metrics();
     }
+
+    // Watchdog: failure capture, stall detection, bounded restarts.
+    poll_device_health(result, watch.seconds());
 
     // Periodic observation.
     if (config_.snapshot_interval_seconds > 0.0) {
@@ -197,6 +429,17 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
       }
     }
 
+    // Periodic crash-safe checkpoint (same fixed-grid cadence).
+    if (checkpointing && config_.checkpoint_interval_seconds > 0.0) {
+      const double now = watch.seconds();
+      if (now >= next_checkpoint) {
+        write_run_checkpoint(result, now);
+        while (next_checkpoint <= now) {
+          next_checkpoint += config_.checkpoint_interval_seconds;
+        }
+      }
+    }
+
     // Stop checks.
     if (stop_requested_.exchange(false)) {
       result.cancelled = true;
@@ -215,6 +458,19 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
         flips_across_devices() - flips_at_start >= stop.max_flips) {
       done = true;
     }
+
+    // Degraded-mode floor: when every device is quarantined and none can
+    // be restarted, waiting out the clock is pointless.
+    if (!done) {
+      const bool any_alive_or_restartable = std::any_of(
+          devices_.begin(), devices_.end(), [this](const DeviceSlot& slot) {
+            return slot.health == DeviceHealth::kHealthy ||
+                   (slot.health == DeviceHealth::kFailed &&
+                    slot.restarts < config_.watchdog.max_restarts);
+          });
+      if (!any_alive_or_restartable) done = true;
+    }
+
     if (!done && !any_news) {
       // Nothing arrived: yield briefly instead of spinning on the counters
       // (the cudaMemcpyAsync cadence of the paper's host).
@@ -222,18 +478,20 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
     }
   }
 
-  for (auto& device : devices_) device->stop();
+  for (auto& slot : devices_) slot.device->stop();
   result.seconds = watch.seconds();
 
   // Final drain so reports in flight at stop time are not lost.
-  for (auto& device : devices_) {
-    for (auto& report : device->solutions().drain()) {
+  for (auto& slot : devices_) {
+    for (auto& report : slot.device->solutions().drain()) {
       ++result.reports_received;
       obs::add(m_reports_received_);
       if (pool_.insert(report.bits, report.energy)) ++result.reports_inserted;
     }
-    result.solutions_dropped += device->solutions().dropped();
-    result.targets_dropped += device->targets().dropped();
+    result.solutions_dropped += slot.retired_solutions_dropped +
+                                slot.device->solutions().dropped();
+    result.targets_dropped +=
+        slot.retired_targets_dropped + slot.device->targets().dropped();
   }
   sync_pool_metrics();
   result.duplicates_rejected = pool_.duplicates_rejected();
@@ -243,18 +501,43 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
     result.reached_target = true;
   }
 
+  if (pool_.evaluated_count() == 0) {
+    // Nothing was ever reported. If that is because every device died,
+    // surface the original fault rather than a misleading configuration
+    // hint.
+    for (const auto& slot : devices_) {
+      if (slot.health == DeviceHealth::kFailed) {
+        if (std::exception_ptr failure = slot.device->failure();
+            failure != nullptr) {
+          std::rethrow_exception(failure);
+        }
+        ABSQ_CHECK(false, "all devices failed before any report: "
+                              << slot.failure);
+      }
+    }
+  }
   ABSQ_CHECK(pool_.evaluated_count() > 0,
              "run ended before any device reported — raise the time limit");
-  for (const auto& device : devices_) {
+  for (auto& slot : devices_) {
+    Device& device = *slot.device;
     DeviceSummary summary;
-    summary.device_id = device->config().device_id;
-    summary.workers = device->worker_count();
-    summary.flips = device->total_flips();
-    summary.iterations = device->total_iterations();
-    summary.reports = device->solutions().counter();
-    summary.target_misses = device->target_misses();
-    summary.targets_dropped = device->targets().dropped();
-    summary.solutions_dropped = device->solutions().dropped();
+    summary.device_id = slot.config.device_id;
+    summary.workers = device.worker_count();
+    summary.flips = slot.retired_flips + device.total_flips();
+    summary.iterations = slot.retired_iterations + device.total_iterations();
+    summary.reports = slot.retired_reports + device.solutions().counter();
+    summary.target_misses =
+        slot.retired_target_misses + device.target_misses();
+    summary.targets_dropped =
+        slot.retired_targets_dropped + device.targets().dropped();
+    summary.solutions_dropped =
+        slot.retired_solutions_dropped + device.solutions().dropped();
+    summary.health = slot.health;
+    summary.restarts = slot.restarts;
+    summary.failure = slot.failure;
+    if (slot.health != DeviceHealth::kHealthy) {
+      result.failed_devices.push_back(slot.config.device_id);
+    }
     result.devices.push_back(summary);
   }
   result.best = pool_.best().bits;
@@ -265,6 +548,10 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
                            ? static_cast<double>(result.evaluated_solutions) /
                                  result.seconds
                            : 0.0;
+
+  // Graceful-shutdown checkpoint: a cancelled (SIGINT) or completed run
+  // leaves a resumable snapshot behind.
+  if (checkpointing) write_run_checkpoint(result, result.seconds);
   return result;
 }
 

@@ -14,12 +14,24 @@
 // state is the mailboxes. The solver stops on any of the configured
 // criteria and reports throughput in the paper's metric — evaluated
 // solutions per second, where every committed flip evaluates n neighbours.
+//
+// Fault tolerance (docs/robustness.md): the host loop doubles as a device
+// watchdog. A device whose worker threw is quarantined (stopped without
+// joining, salvage-drained, excluded from target stocking) and the run
+// continues on the survivors; an optional bounded restart policy re-creates
+// failed devices from the weight matrix. Because the protocol is built on
+// monotonic counters, a *stalled* device is detected the same way the
+// paper's host would have to — its iteration counter stops advancing for
+// longer than a grace window. Periodic crash-safe checkpoints (atomic
+// temp+rename snapshots of the pool plus run context) make a SIGKILL'd run
+// resumable through AbsConfig::warm_start.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -48,6 +60,24 @@ struct StopCriteria {
   }
 };
 
+/// Device-health policy of AbsSolver's host loop. The defaults detect
+/// thrown device failures (always on — a captured exception is
+/// unambiguous) but leave stall detection and restarts opt-in, because
+/// both trade determinism-of-behaviour for availability.
+struct WatchdogConfig {
+  /// > 0 enables stall detection: a running device whose iteration
+  /// counter has not advanced for this many seconds is quarantined.
+  /// Tune well above the longest legitimate block iteration (see
+  /// docs/robustness.md); 0 disables.
+  double stall_grace_seconds = 0.0;
+  /// Restart budget per device slot. Only devices that *failed* (threw)
+  /// are restarted — a stalled device cannot be safely joined, so it
+  /// stays quarantined until the run ends.
+  std::uint32_t max_restarts = 0;
+  /// Minimum delay between a failure and its restart attempt.
+  double restart_backoff_seconds = 0.0;
+};
+
 struct AbsConfig {
   std::uint32_t num_devices = 1;
   /// Per-device template; device_id is assigned by the solver.
@@ -56,6 +86,18 @@ struct AbsConfig {
   std::size_t pool_capacity = 128;
   GaConfig ga;
   std::uint64_t seed = 42;
+  /// Device failure / stall handling (see WatchdogConfig).
+  WatchdogConfig watchdog;
+  /// Non-empty enables crash-safe run checkpointing to this path: an
+  /// atomic snapshot (pool + seed + elapsed + per-device flips) is
+  /// written every checkpoint_interval_seconds and once more on any
+  /// graceful end of run() — including cancellation via request_stop().
+  std::string checkpoint_path;
+  double checkpoint_interval_seconds = 0.0;
+  /// Wall-clock seconds already spent by previous incarnations of this
+  /// run (from a resumed checkpoint); added to the `elapsed` field of
+  /// every checkpoint written.
+  double elapsed_offset_seconds = 0.0;
   /// Optional warm start (checkpoint resume): these entries are inserted
   /// into the fresh pool at host Step 1 and preferred as initial targets.
   /// Shared ownership keeps the config copyable across devices/runs.
@@ -69,7 +111,17 @@ struct AbsConfig {
   obs::Telemetry telemetry;
 };
 
-/// Per-device accounting attached to every result.
+/// Device health as judged by the solver watchdog.
+enum class DeviceHealth : std::uint8_t {
+  kHealthy = 0,  ///< running (or ran to completion) normally
+  kStalled = 1,  ///< quarantined: iteration counter stopped advancing
+  kFailed = 2,   ///< quarantined: a worker threw (restart budget exhausted)
+};
+
+[[nodiscard]] const char* to_string(DeviceHealth health);
+
+/// Per-device accounting attached to every result. Counters are lifetime
+/// totals across every incarnation of the device slot (restarts included).
 struct DeviceSummary {
   std::uint32_t device_id = 0;
   std::uint32_t workers = 0;  ///< worker threads (0 = legacy single-thread)
@@ -80,6 +132,11 @@ struct DeviceSummary {
   std::uint64_t target_misses = 0;
   std::uint64_t targets_dropped = 0;    ///< target-mailbox overwrites
   std::uint64_t solutions_dropped = 0;  ///< solution-mailbox overwrites
+  DeviceHealth health = DeviceHealth::kHealthy;  ///< state at run end
+  std::uint32_t restarts = 0;  ///< successful watchdog restarts this run
+  /// what() of the captured exception (or the stall diagnosis) for an
+  /// unhealthy device; empty while healthy.
+  std::string failure;
 };
 
 /// One periodic observation of a running solve (see
@@ -127,6 +184,15 @@ struct AbsResult {
   std::vector<DeviceSummary> devices;
   /// Periodic observations, when enabled.
   std::vector<RunSnapshot> snapshots;
+
+  /// Device ids quarantined (stalled or failed) at run end. Empty for a
+  /// fully healthy run; a device that failed but was restarted within
+  /// budget is NOT listed (see DeviceSummary::restarts).
+  std::vector<std::uint32_t> failed_devices;
+  /// Run checkpoints successfully written / failed to write (a checkpoint
+  /// write failure degrades the run's durability, never its progress).
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t checkpoints_failed = 0;
 };
 
 class AbsSolver {
@@ -152,19 +218,66 @@ class AbsSolver {
     return static_cast<std::uint32_t>(devices_.size());
   }
   [[nodiscard]] const Device& device(std::size_t i) const {
-    return *devices_[i];
+    return *devices_[i].device;
+  }
+  /// Watchdog verdict for device slot `i` (kHealthy between runs).
+  [[nodiscard]] DeviceHealth device_health(std::size_t i) const {
+    return devices_[i].health;
   }
 
  private:
+  /// One logical device position. The Device object is replaced on
+  /// restart; the slot carries the identity, the health verdict, and the
+  /// counters accumulated by retired incarnations.
+  struct DeviceSlot {
+    std::unique_ptr<Device> device;
+    DeviceConfig config;  ///< resolved per-device config (restart template)
+    DeviceHealth health = DeviceHealth::kHealthy;
+    std::uint32_t restarts = 0;     ///< watchdog restarts this run
+    std::uint32_t incarnations = 0; ///< devices built beyond the first (ever)
+    std::string failure;        ///< diagnosis once unhealthy
+    double quarantined_at = 0;  ///< run clock at quarantine (backoff base)
+    std::uint64_t seen_counter = 0;  ///< host Step 2 high-water mark
+    // Watchdog progress tracking.
+    std::uint64_t last_iterations = 0;
+    double last_progress_time = 0.0;
+    // Lifetime counters of retired (crashed-and-replaced) incarnations.
+    std::uint64_t retired_flips = 0;
+    std::uint64_t retired_iterations = 0;
+    std::uint64_t retired_reports = 0;
+    std::uint64_t retired_target_misses = 0;
+    std::uint64_t retired_targets_dropped = 0;
+    std::uint64_t retired_solutions_dropped = 0;
+  };
+
   std::uint64_t flips_across_devices() const;
   /// Pushes the pool-churn counter deltas since the last sync into the
   /// metrics registry (no-op when metrics are disabled).
   void sync_pool_metrics();
+  /// Builds a fresh Device for slot `slot_index`; `incarnation` > 0 remixes
+  /// the seed so a restarted device explores a new stream.
+  [[nodiscard]] std::unique_ptr<Device> make_device(std::size_t slot_index,
+                                                    std::uint32_t incarnation);
+  /// Folds a retiring Device's lifetime counters into the slot's retired_*
+  /// accumulators so summaries stay lifetime totals across incarnations.
+  static void retire_device_counters(DeviceSlot& slot);
+  /// Drains a device's solution buffer into the pool without breeding
+  /// replacement targets — the salvage path for quarantined devices.
+  void salvage_drain(DeviceSlot& slot, AbsResult& result, double now);
+  /// Marks a device unhealthy, stops it without joining, salvages its
+  /// in-flight reports, and records telemetry.
+  void quarantine(std::size_t slot_index, DeviceHealth health,
+                  std::string diagnosis, AbsResult& result, double now);
+  /// Failure/stall detection plus the bounded restart policy; called from
+  /// the host loop.
+  void poll_device_health(AbsResult& result, double now);
+  /// Writes a run checkpoint (atomic); failures are counted, not fatal.
+  void write_run_checkpoint(AbsResult& result, double now);
 
   const WeightMatrix* w_;
   AbsConfig config_;
   SolutionPool pool_;
-  std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<DeviceSlot> devices_;
   Rng rng_;
   std::atomic<bool> stop_requested_{false};
 
@@ -177,6 +290,10 @@ class AbsSolver {
   obs::Counter* m_improvements_ = nullptr;
   obs::Gauge* m_pool_best_energy_ = nullptr;
   obs::Gauge* m_pool_evaluated_ = nullptr;
+  obs::Counter* m_device_failures_ = nullptr;
+  obs::Counter* m_device_restarts_ = nullptr;
+  obs::Counter* m_checkpoints_ = nullptr;
+  std::vector<obs::Gauge*> m_device_health_;  ///< per slot; DeviceHealth value
   std::uint64_t synced_inserted_ = 0;
   std::uint64_t synced_duplicates_ = 0;
   std::uint64_t synced_evictions_ = 0;

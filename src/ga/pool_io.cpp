@@ -1,15 +1,72 @@
 #include "ga/pool_io.hpp"
 
+#include <cstdio>
 #include <fstream>
+#include <functional>
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/failpoint.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define ABSQ_HAVE_FSYNC 1
+#endif
 
 namespace absq {
+namespace {
+
+#ifdef ABSQ_HAVE_FSYNC
+/// Best-effort fsync of a path (file or directory). Durability belt and
+/// braces — a failed fsync degrades to ordinary buffered-write semantics.
+void fsync_path(const std::string& path, bool directory) {
+  const int fd = ::open(path.c_str(), directory ? O_RDONLY : O_WRONLY);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  (void)::close(fd);
+}
+#endif
+
+/// Writes via `writer` into `path + ".tmp"`, fsyncs, then renames over
+/// `path`. On any failure (including an injected pool_io.write fault) the
+/// temp file is removed and the previous `path` content is untouched.
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer) {
+  const std::string tmp = path + ".tmp";
+  try {
+    std::ofstream out(tmp, std::ios::trunc);
+    ABSQ_CHECK(out.good(), "cannot open '" << tmp << "' for writing");
+    writer(out);
+    out.flush();
+    ABSQ_CHECK(out.good(), "write to '" << tmp << "' failed");
+  } catch (...) {
+    (void)std::remove(tmp.c_str());
+    throw;
+  }
+#ifdef ABSQ_HAVE_FSYNC
+  fsync_path(tmp, /*directory=*/false);
+#endif
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    (void)std::remove(tmp.c_str());
+    ABSQ_CHECK(false, "cannot rename '" << tmp << "' to '" << path << "'");
+  }
+#ifdef ABSQ_HAVE_FSYNC
+  const std::size_t slash = path.find_last_of('/');
+  fsync_path(slash == std::string::npos ? std::string(".")
+                                        : path.substr(0, slash + 1),
+             /*directory=*/true);
+#endif
+}
+
+}  // namespace
 
 void write_pool(std::ostream& out, const SolutionPool& pool) {
   const BitIndex bits = pool.empty() ? 0 : pool.entry(0).bits.size();
   out << "pool " << bits << ' ' << pool.size() << '\n';
+  // Fault-injection site: a throw here leaves a header-only partial
+  // serialization — the mid-write crash the atomic rename must absorb.
+  fail::maybe_fail("pool_io.write");
   for (std::size_t i = 0; i < pool.size(); ++i) {
     const auto& entry = pool.entry(i);
     if (entry.energy == kUnevaluated) {
@@ -22,10 +79,8 @@ void write_pool(std::ostream& out, const SolutionPool& pool) {
 }
 
 void write_pool_file(const std::string& path, const SolutionPool& pool) {
-  std::ofstream out(path);
-  ABSQ_CHECK(out.good(), "cannot open '" << path << "' for writing");
-  write_pool(out, pool);
-  ABSQ_CHECK(out.good(), "write to '" << path << "' failed");
+  atomic_write_file(path,
+                    [&pool](std::ostream& out) { write_pool(out, pool); });
 }
 
 SolutionPool read_pool(std::istream& in, std::size_t capacity) {
@@ -44,7 +99,9 @@ SolutionPool read_pool(std::istream& in, std::size_t capacity) {
     std::string energy_token;
     std::string bit_string;
     ABSQ_CHECK(in >> energy_token >> bit_string,
-               "pool snapshot truncated at entry " << i);
+               "pool snapshot truncated at entry "
+                   << i << " of " << entries
+                   << " — partially written snapshot rejected");
     ABSQ_CHECK(bit_string.size() == static_cast<std::size_t>(bits),
                "entry " << i << " has " << bit_string.size()
                         << " bits, header says " << bits);
@@ -74,6 +131,70 @@ SolutionPool read_pool_file(const std::string& path, std::size_t capacity) {
   std::ifstream in(path);
   ABSQ_CHECK(in.good(), "cannot open '" << path << "' for reading");
   return read_pool(in, capacity);
+}
+
+void write_checkpoint(std::ostream& out, const RunCheckpoint& checkpoint) {
+  ABSQ_CHECK(checkpoint.pool != nullptr && !checkpoint.pool->empty(),
+             "checkpoint needs a non-empty pool");
+  out << "absq-checkpoint 1\n";
+  out << "seed " << checkpoint.seed << '\n';
+  out << "elapsed " << checkpoint.elapsed_seconds << '\n';
+  out << "flips " << checkpoint.device_flips.size();
+  for (const std::uint64_t flips : checkpoint.device_flips) {
+    out << ' ' << flips;
+  }
+  out << '\n';
+  write_pool(out, *checkpoint.pool);
+  out << "end\n";
+}
+
+void write_checkpoint_file(const std::string& path,
+                           const RunCheckpoint& checkpoint) {
+  atomic_write_file(path, [&checkpoint](std::ostream& out) {
+    write_checkpoint(out, checkpoint);
+  });
+}
+
+RunCheckpoint read_checkpoint(std::istream& in, std::size_t capacity) {
+  std::string magic;
+  long long version = 0;
+  ABSQ_CHECK(in >> magic >> version && magic == "absq-checkpoint",
+             "not a run checkpoint (expected 'absq-checkpoint <version>')");
+  ABSQ_CHECK(version == 1, "unsupported checkpoint version " << version);
+
+  RunCheckpoint checkpoint;
+  std::string field;
+  ABSQ_CHECK(in >> field >> checkpoint.seed && field == "seed",
+             "checkpoint missing 'seed' field");
+  ABSQ_CHECK(in >> field >> checkpoint.elapsed_seconds && field == "elapsed",
+             "checkpoint missing 'elapsed' field");
+  ABSQ_CHECK(checkpoint.elapsed_seconds >= 0.0,
+             "checkpoint elapsed time must be >= 0");
+  long long device_count = 0;
+  ABSQ_CHECK(in >> field >> device_count && field == "flips",
+             "checkpoint missing 'flips' field");
+  ABSQ_CHECK(device_count >= 0 && device_count <= 1 << 20,
+             "implausible checkpoint device count " << device_count);
+  checkpoint.device_flips.reserve(static_cast<std::size_t>(device_count));
+  for (long long d = 0; d < device_count; ++d) {
+    std::uint64_t flips = 0;
+    ABSQ_CHECK(in >> flips, "checkpoint truncated in device flip counters — "
+                            "partially written snapshot rejected");
+    checkpoint.device_flips.push_back(flips);
+  }
+  checkpoint.pool =
+      std::make_shared<const SolutionPool>(read_pool(in, capacity));
+  ABSQ_CHECK(in >> field && field == "end",
+             "checkpoint missing 'end' sentinel — "
+             "partially written snapshot rejected");
+  return checkpoint;
+}
+
+RunCheckpoint read_checkpoint_file(const std::string& path,
+                                   std::size_t capacity) {
+  std::ifstream in(path);
+  ABSQ_CHECK(in.good(), "cannot open '" << path << "' for reading");
+  return read_checkpoint(in, capacity);
 }
 
 }  // namespace absq

@@ -1,17 +1,40 @@
 // Solution-pool persistence: checkpoint a run's population and resume it
 // later (or seed a new run with a previously found population).
 //
-// Format:
+// Pool format:
 //
 //     pool <n_bits> <entries>
 //     <energy-or-'?'> <bit string>        one line per entry, best first
 //
 // '?' marks not-yet-evaluated entries (kUnevaluated). Reading validates
 // sizes, bit strings and distinctness through the pool's own insert path.
+//
+// Run-checkpoint format (the crash-safe run snapshot written by AbsSolver
+// and absq_solve --checkpoint):
+//
+//     absq-checkpoint 1
+//     seed <u64>
+//     elapsed <seconds>
+//     flips <k> <flips_0> ... <flips_k-1>   per-device lifetime flips
+//     pool <n_bits> <entries>
+//     <entries as above>
+//     end
+//
+// The trailing `end` sentinel is mandatory: a snapshot interrupted by a
+// crash is detected and rejected with a clear "truncated" error instead
+// of silently resuming from half a population.
+//
+// All file writes are *atomic*: content goes to a temp file in the same
+// directory, is fsync'd, and is renamed over the destination — a crash
+// (or injected `pool_io.write` fault) mid-checkpoint can never truncate a
+// previously good snapshot.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "ga/solution_pool.hpp"
 
@@ -27,5 +50,30 @@ void write_pool_file(const std::string& path, const SolutionPool& pool);
                                      std::size_t capacity = 0);
 [[nodiscard]] SolutionPool read_pool_file(const std::string& path,
                                           std::size_t capacity = 0);
+
+/// Everything needed to resume a run: the population plus the run-level
+/// context (seed, wall-clock already spent, per-device flip totals).
+/// `pool` is shared so it can be handed to AbsConfig::warm_start as-is.
+struct RunCheckpoint {
+  std::uint64_t seed = 0;
+  double elapsed_seconds = 0.0;
+  /// Lifetime committed flips per device slot at checkpoint time.
+  std::vector<std::uint64_t> device_flips;
+  std::shared_ptr<const SolutionPool> pool;  ///< never null after read
+};
+
+void write_checkpoint(std::ostream& out, const RunCheckpoint& checkpoint);
+/// Atomic (temp + fsync + rename): the destination always holds either
+/// the previous complete snapshot or the new one, never a prefix.
+void write_checkpoint_file(const std::string& path,
+                           const RunCheckpoint& checkpoint);
+
+/// Reads and validates a run checkpoint (`capacity` as in read_pool).
+/// Truncated or partially written snapshots are rejected with a
+/// "truncated" CheckError, not a generic parse failure.
+[[nodiscard]] RunCheckpoint read_checkpoint(std::istream& in,
+                                            std::size_t capacity = 0);
+[[nodiscard]] RunCheckpoint read_checkpoint_file(const std::string& path,
+                                                 std::size_t capacity = 0);
 
 }  // namespace absq

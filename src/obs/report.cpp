@@ -83,7 +83,14 @@ void write_run_report(std::ostream& out, const RunReportMeta& meta,
       << ",\"pool_evictions\":" << result.pool_evictions
       << ",\"targets_generated\":" << result.targets_generated
       << ",\"solutions_dropped\":" << result.solutions_dropped
-      << ",\"targets_dropped\":" << result.targets_dropped << "}\n";
+      << ",\"targets_dropped\":" << result.targets_dropped
+      << ",\"failed_devices\":[";
+  for (std::size_t i = 0; i < result.failed_devices.size(); ++i) {
+    if (i > 0) out << ",";
+    out << result.failed_devices[i];
+  }
+  out << "],\"checkpoints_written\":" << result.checkpoints_written
+      << ",\"checkpoints_failed\":" << result.checkpoints_failed << "}\n";
 
   for (const auto& device : result.devices) {
     out << "{\"type\":\"device\",\"device\":" << device.device_id
@@ -93,7 +100,10 @@ void write_run_report(std::ostream& out, const RunReportMeta& meta,
         << ",\"reports\":" << device.reports
         << ",\"target_misses\":" << device.target_misses
         << ",\"targets_dropped\":" << device.targets_dropped
-        << ",\"solutions_dropped\":" << device.solutions_dropped << "}\n";
+        << ",\"solutions_dropped\":" << device.solutions_dropped
+        << ",\"health\":" << quoted(to_string(device.health))
+        << ",\"restarts\":" << device.restarts
+        << ",\"failure\":" << quoted(device.failure) << "}\n";
   }
 
   for (const auto& [seconds, energy] : result.best_trace) {

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "util/check.hpp"
+#include "util/failpoint.hpp"
 
 namespace absq::sim {
 namespace {
@@ -31,6 +32,12 @@ TargetBuffer::TargetBuffer(std::size_t capacity, std::size_t shards)
       shards_(make_shards<Shard>(shards)) {}
 
 void TargetBuffer::push(BitVector target) {
+  if (fail::triggered("mailbox.target_push")) {
+    // Injected transfer loss: the target vanishes before reaching any
+    // shard. Counted as a drop so the storm is visible in run statistics.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   const std::size_t index =
       push_cursor_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
   Shard& shard = *shards_[index];
@@ -86,6 +93,12 @@ void SolutionBuffer::push(ReportedSolution solution) {
 }
 
 void SolutionBuffer::push(ReportedSolution solution, std::size_t hint) {
+  if (fail::triggered("mailbox.solution_push")) {
+    // Injected transfer loss: the report is gone before the counter the
+    // host polls ever moves — exactly what a dropped DMA write looks like.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   const std::size_t index = hint % shards_.size();
   Shard& shard = *shards_[index];
   bool overwrote = false;

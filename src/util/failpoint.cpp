@@ -1,0 +1,207 @@
+#include "util/failpoint.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace absq::fail {
+namespace {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::uint64_t parse_u64(const std::string& text, const char* what) {
+  try {
+    std::size_t consumed = 0;
+    const unsigned long long value = std::stoull(text, &consumed);
+    ABSQ_CHECK(consumed == text.size(), "bad " << what << " '" << text << "'");
+    return value;
+  } catch (const CheckError&) {
+    throw;
+  } catch (const std::exception&) {
+    ABSQ_CHECK(false, "bad " << what << " '" << text << "'");
+  }
+}
+
+double parse_double(const std::string& text, const char* what) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    ABSQ_CHECK(consumed == text.size(), "bad " << what << " '" << text << "'");
+    return value;
+  } catch (const CheckError&) {
+    throw;
+  } catch (const std::exception&) {
+    ABSQ_CHECK(false, "bad " << what << " '" << text << "'");
+  }
+}
+
+}  // namespace
+
+Spec parse_spec(const std::string& text) {
+  const std::vector<std::string> parts = split(text, ':');
+  const std::string& mode = parts[0];
+  Spec spec;
+  if (mode == "off") {
+    ABSQ_CHECK(parts.size() == 1, "'off' takes no arguments");
+    spec.mode = Mode::kOff;
+  } else if (mode == "once") {
+    ABSQ_CHECK(parts.size() == 1, "'once' takes no arguments");
+    spec.mode = Mode::kOnce;
+  } else if (mode == "every") {
+    ABSQ_CHECK(parts.size() == 2, "expected 'every:N'");
+    spec.mode = Mode::kEveryNth;
+    spec.every_n = parse_u64(parts[1], "every-N period");
+    ABSQ_CHECK(spec.every_n >= 1, "'every:N' needs N >= 1");
+  } else if (mode == "prob") {
+    ABSQ_CHECK(parts.size() == 2 || parts.size() == 3,
+               "expected 'prob:P[:seed]'");
+    spec.mode = Mode::kProbability;
+    spec.probability = parse_double(parts[1], "probability");
+    ABSQ_CHECK(spec.probability >= 0.0 && spec.probability <= 1.0,
+               "probability must be in [0, 1], got " << spec.probability);
+    if (parts.size() == 3) spec.seed = parse_u64(parts[2], "probability seed");
+  } else if (mode == "stall") {
+    ABSQ_CHECK(parts.size() == 2, "expected 'stall:SECONDS'");
+    spec.mode = Mode::kStall;
+    spec.stall_seconds = parse_double(parts[1], "stall duration");
+    ABSQ_CHECK(spec.stall_seconds >= 0.0, "stall duration must be >= 0");
+  } else {
+    ABSQ_CHECK(false, "unknown fail-point mode '" << mode
+                      << "' (once | every:N | prob:P[:seed] | stall:S | off)");
+  }
+  return spec;
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Registry() {
+  if (const char* env = std::getenv("ABSQ_FAILPOINTS");
+      env != nullptr && *env != '\0') {
+    arm_from_directives(env);
+  }
+}
+
+void Registry::arm(const std::string& name, const Spec& spec) {
+  ABSQ_CHECK(!name.empty(), "fail-point name must be non-empty");
+  if (spec.mode == Mode::kOff) {
+    disarm(name);
+    return;
+  }
+  std::lock_guard lock(mutex_);
+  auto [it, inserted] = points_.try_emplace(name);
+  Point& point = it->second;
+  point.spec = spec;
+  point.calls = 0;
+  point.fired = 0;
+  point.rng = Rng(spec.seed);
+  if (inserted) armed_points_.fetch_add(1, std::memory_order_release);
+}
+
+void Registry::disarm(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  if (points_.erase(name) > 0) {
+    armed_points_.fetch_sub(1, std::memory_order_release);
+    stall_epoch_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void Registry::disarm_all() {
+  std::lock_guard lock(mutex_);
+  if (!points_.empty()) {
+    armed_points_.fetch_sub(static_cast<int>(points_.size()),
+                            std::memory_order_release);
+    points_.clear();
+  }
+  stall_epoch_.fetch_add(1, std::memory_order_release);
+}
+
+void Registry::cancel_stalls() {
+  stall_epoch_.fetch_add(1, std::memory_order_release);
+}
+
+void Registry::arm_from_directives(const std::string& directives) {
+  if (directives.empty()) return;
+  for (const std::string& directive : split(directives, ',')) {
+    if (directive.empty()) continue;
+    const std::size_t eq = directive.find('=');
+    ABSQ_CHECK(eq != std::string::npos && eq > 0,
+               "fail-point directive must be 'name[@scope]=mode', got '"
+                   << directive << "'");
+    std::string name = directive.substr(0, eq);
+    Spec spec = parse_spec(directive.substr(eq + 1));
+    if (const std::size_t at = name.find('@'); at != std::string::npos) {
+      spec.scope = parse_u64(name.substr(at + 1), "fail-point scope");
+      name = name.substr(0, at);
+    }
+    arm(name, spec);
+  }
+}
+
+bool Registry::fire(const char* name, std::optional<std::uint64_t> scope) {
+  double stall_seconds = 0.0;
+  std::uint64_t epoch_at_fire = 0;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = points_.find(name);
+    if (it == points_.end()) return false;
+    Point& point = it->second;
+    if (point.spec.scope.has_value() &&
+        (!scope.has_value() || *scope != *point.spec.scope)) {
+      return false;
+    }
+    ++point.calls;
+    bool hit = false;
+    switch (point.spec.mode) {
+      case Mode::kOff: return false;
+      case Mode::kOnce: hit = point.fired == 0; break;
+      case Mode::kEveryNth: hit = point.calls % point.spec.every_n == 0; break;
+      case Mode::kProbability: hit = point.rng.chance(point.spec.probability);
+        break;
+      case Mode::kStall: hit = true; break;
+    }
+    if (!hit) return false;
+    ++point.fired;
+    if (point.spec.mode != Mode::kStall) return true;
+    stall_seconds = point.spec.stall_seconds;
+    epoch_at_fire = stall_epoch_.load(std::memory_order_acquire);
+  }
+
+  // Stall outside the lock, in slices, so disarm()/cancel_stalls() can
+  // recover the "hung" thread — an injected hang must never be permanent.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(stall_seconds));
+  while (std::chrono::steady_clock::now() < deadline &&
+         stall_epoch_.load(std::memory_order_acquire) == epoch_at_fire) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+std::uint64_t Registry::hits(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.fired;
+}
+
+}  // namespace absq::fail

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "util/check.hpp"
+#include "util/failpoint.hpp"
 
 namespace absq {
 
@@ -49,7 +50,16 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    try {
+      fail::maybe_fail("thread_pool.task");
+      task();
+    } catch (...) {
+      // First failure wins; the worker itself survives and returns to the
+      // queue — fault isolation, not fail-fast.
+      std::lock_guard lock(mutex_);
+      if (failure_ == nullptr) failure_ = std::current_exception();
+      failed_.store(true, std::memory_order_release);
+    }
     {
       std::lock_guard lock(mutex_);
       --active_;

@@ -1,0 +1,160 @@
+#include "util/failpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace absq::fail {
+namespace {
+
+/// Every test leaves the process-wide registry clean.
+class FailPointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Registry::instance().disarm_all(); }
+};
+
+TEST_F(FailPointTest, ParseSpecModes) {
+  EXPECT_EQ(parse_spec("off").mode, Mode::kOff);
+  EXPECT_EQ(parse_spec("once").mode, Mode::kOnce);
+
+  const Spec every = parse_spec("every:8");
+  EXPECT_EQ(every.mode, Mode::kEveryNth);
+  EXPECT_EQ(every.every_n, 8u);
+
+  const Spec prob = parse_spec("prob:0.25:99");
+  EXPECT_EQ(prob.mode, Mode::kProbability);
+  EXPECT_DOUBLE_EQ(prob.probability, 0.25);
+  EXPECT_EQ(prob.seed, 99u);
+
+  const Spec stall = parse_spec("stall:0.5");
+  EXPECT_EQ(stall.mode, Mode::kStall);
+  EXPECT_DOUBLE_EQ(stall.stall_seconds, 0.5);
+}
+
+TEST_F(FailPointTest, ParseSpecRejectsMalformed) {
+  EXPECT_THROW((void)parse_spec(""), CheckError);
+  EXPECT_THROW((void)parse_spec("sometimes"), CheckError);
+  EXPECT_THROW((void)parse_spec("every:0"), CheckError);
+  EXPECT_THROW((void)parse_spec("every:x"), CheckError);
+  EXPECT_THROW((void)parse_spec("prob:1.5"), CheckError);
+  EXPECT_THROW((void)parse_spec("prob:-0.1"), CheckError);
+  EXPECT_THROW((void)parse_spec("stall:-1"), CheckError);
+}
+
+TEST_F(FailPointTest, DisarmedPointNeverFires) {
+  Registry& registry = Registry::instance();
+  EXPECT_FALSE(registry.any_armed());
+  EXPECT_FALSE(triggered("test.nothing"));
+  EXPECT_NO_THROW(maybe_fail("test.nothing"));
+  EXPECT_EQ(registry.hits("test.nothing"), 0u);
+}
+
+TEST_F(FailPointTest, OnceFiresExactlyOnce) {
+  Registry& registry = Registry::instance();
+  registry.arm("test.once", parse_spec("once"));
+  EXPECT_TRUE(triggered("test.once"));
+  EXPECT_FALSE(triggered("test.once"));
+  EXPECT_FALSE(triggered("test.once"));
+  EXPECT_EQ(registry.hits("test.once"), 1u);
+}
+
+TEST_F(FailPointTest, EveryNthFiresOnSchedule) {
+  Registry& registry = Registry::instance();
+  registry.arm("test.nth", parse_spec("every:3"));
+  int fired = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (triggered("test.nth")) ++fired;
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(registry.hits("test.nth"), 3u);
+}
+
+TEST_F(FailPointTest, ProbabilityIsSeededAndDeterministic) {
+  Registry& registry = Registry::instance();
+  auto sample = [&registry](const char* name) {
+    std::vector<bool> hits;
+    for (int i = 0; i < 64; ++i) hits.push_back(triggered(name));
+    return hits;
+  };
+  registry.arm("test.prob", parse_spec("prob:0.5:7"));
+  const auto first = sample("test.prob");
+  registry.arm("test.prob", parse_spec("prob:0.5:7"));  // re-arm resets RNG
+  const auto second = sample("test.prob");
+  EXPECT_EQ(first, second);
+  // A 0.5 stream of 64 draws all-same has probability 2^-63: sanity-check
+  // that the RNG is actually consulted.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 64);
+}
+
+TEST_F(FailPointTest, ScopeRestrictsFiring) {
+  Registry& registry = Registry::instance();
+  Spec spec = parse_spec("once");
+  spec.scope = 2;
+  registry.arm("test.scoped", spec);
+  EXPECT_FALSE(triggered("test.scoped", 0));
+  EXPECT_FALSE(triggered("test.scoped"));  // unscoped call site
+  EXPECT_TRUE(triggered("test.scoped", 2));
+}
+
+TEST_F(FailPointTest, MaybeFailThrowsWithNameAndScope) {
+  Registry::instance().arm("test.throw", parse_spec("once"));
+  try {
+    maybe_fail("test.throw", 3);
+    FAIL() << "expected FailPointError";
+  } catch (const FailPointError& error) {
+    EXPECT_NE(std::string(error.what()).find("test.throw"),
+              std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("3"), std::string::npos);
+  }
+}
+
+TEST_F(FailPointTest, ArmFromDirectivesParsesListAndScope) {
+  Registry& registry = Registry::instance();
+  registry.arm_from_directives("test.a@1=once,test.b=every:2");
+  EXPECT_FALSE(triggered("test.a", 0));
+  EXPECT_TRUE(triggered("test.a", 1));
+  EXPECT_FALSE(triggered("test.b"));
+  EXPECT_TRUE(triggered("test.b"));
+  EXPECT_THROW(registry.arm_from_directives("nomode"), CheckError);
+  EXPECT_THROW(registry.arm_from_directives("p@x=once"), CheckError);
+}
+
+TEST_F(FailPointTest, DisarmStopsFiring) {
+  Registry& registry = Registry::instance();
+  registry.arm("test.disarm", parse_spec("every:1"));
+  EXPECT_TRUE(triggered("test.disarm"));
+  registry.disarm("test.disarm");
+  EXPECT_FALSE(registry.any_armed());
+  EXPECT_FALSE(triggered("test.disarm"));
+}
+
+TEST_F(FailPointTest, CancelStallsAbortsInFlightSleep) {
+  Registry& registry = Registry::instance();
+  registry.arm("test.stall", parse_spec("stall:30"));
+  std::atomic<bool> returned{false};
+  std::thread sleeper([&returned] {
+    (void)triggered("test.stall");  // stalls, returns false when cancelled
+    returned.store(true);
+  });
+  // Give the sleeper time to enter the stall, then cancel it; the 30 s
+  // sleep must end promptly rather than at its natural deadline.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  registry.cancel_stalls();
+  const auto start = std::chrono::steady_clock::now();
+  sleeper.join();
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(returned.load());
+  EXPECT_LT(waited, std::chrono::seconds(5));
+  // The point is still armed: hits() counts the aborted stall.
+  EXPECT_GE(registry.hits("test.stall"), 1u);
+}
+
+}  // namespace
+}  // namespace absq::fail

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/failpoint.hpp"
 #include "util/rng.hpp"
 
 namespace absq {
@@ -106,6 +109,88 @@ TEST(PoolIo, Rejections) {
   {
     std::istringstream in("pool 4 0\n");
     EXPECT_THROW((void)read_pool(in), CheckError);  // empty snapshot
+  }
+}
+
+TEST(PoolIo, InterruptedWriteLeavesPreviousSnapshotIntact) {
+  const std::string path = ::testing::TempDir() + "/absq_pool_atomic.pool";
+  write_pool_file(path, sample_pool());
+
+  // Crash mid-serialization of the *next* write: the injected fault fires
+  // after the header, exactly like a process death halfway through.
+  fail::Registry::instance().arm_from_directives("pool_io.write=once");
+  SolutionPool bigger(8);
+  bigger.insert(BitVector::from_string("0110"), -99);
+  EXPECT_THROW(write_pool_file(path, bigger), fail::FailPointError);
+  fail::Registry::instance().disarm_all();
+
+  // The destination still holds the previous complete snapshot and the
+  // temp file has been cleaned up.
+  const SolutionPool loaded = read_pool_file(path);
+  EXPECT_EQ(loaded.size(), 4u);
+  EXPECT_EQ(loaded.best().energy, -10);
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+}
+
+RunCheckpoint sample_checkpoint() {
+  RunCheckpoint checkpoint;
+  checkpoint.seed = 1234;
+  checkpoint.elapsed_seconds = 2.5;
+  checkpoint.device_flips = {10, 20, 30};
+  checkpoint.pool = std::make_shared<const SolutionPool>(sample_pool());
+  return checkpoint;
+}
+
+TEST(PoolIo, CheckpointRoundTrip) {
+  std::stringstream buffer;
+  write_checkpoint(buffer, sample_checkpoint());
+  const RunCheckpoint loaded = read_checkpoint(buffer);
+  EXPECT_EQ(loaded.seed, 1234u);
+  EXPECT_DOUBLE_EQ(loaded.elapsed_seconds, 2.5);
+  EXPECT_EQ(loaded.device_flips, (std::vector<std::uint64_t>{10, 20, 30}));
+  ASSERT_NE(loaded.pool, nullptr);
+  EXPECT_EQ(loaded.pool->size(), 4u);
+  EXPECT_EQ(loaded.pool->best().energy, -10);
+}
+
+TEST(PoolIo, CheckpointFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/absq_ck_test.checkpoint";
+  write_checkpoint_file(path, sample_checkpoint());
+  const RunCheckpoint loaded = read_checkpoint_file(path, 32);
+  EXPECT_EQ(loaded.pool->capacity(), 32u);
+  EXPECT_EQ(loaded.pool->size(), 4u);
+}
+
+TEST(PoolIo, CheckpointRejections) {
+  // A checkpoint truncated anywhere — header, counters, pool, or before
+  // the end sentinel — must be rejected, not half-resumed.
+  const std::string full = [] {
+    std::stringstream buffer;
+    write_checkpoint(buffer, sample_checkpoint());
+    return buffer.str();
+  }();
+  {
+    std::istringstream in("absq-pool 1\n");
+    EXPECT_THROW((void)read_checkpoint(in), CheckError);  // bad magic
+  }
+  {
+    std::istringstream in("absq-checkpoint 2\nseed 1\n");
+    EXPECT_THROW((void)read_checkpoint(in), CheckError);  // bad version
+  }
+  {
+    // Drop the trailing "end\n": simulates death just before the sentinel.
+    std::istringstream in(full.substr(0, full.size() - 4));
+    EXPECT_THROW((void)read_checkpoint(in), CheckError);
+  }
+  {
+    // Truncate mid-pool.
+    std::istringstream in(full.substr(0, full.size() / 2));
+    EXPECT_THROW((void)read_checkpoint(in), CheckError);
+  }
+  {
+    std::istringstream in("absq-checkpoint 1\nseed 1\nelapsed -3\n");
+    EXPECT_THROW((void)read_checkpoint(in), CheckError);  // negative elapsed
   }
 }
 

@@ -88,11 +88,14 @@ TEST(RunReport, EmitsAllLineTypesWithCorrectContent) {
   EXPECT_NE(lines[1].find("\"reached_target\":true"), std::string::npos);
   EXPECT_NE(lines[1].find("\"duplicates_rejected\":7"), std::string::npos);
   EXPECT_NE(lines[1].find("\"pool_evictions\":5"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"failed_devices\":[]"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"checkpoints_written\":0"), std::string::npos);
   EXPECT_EQ(lines[2],
             "{\"type\":\"device\",\"device\":0,\"workers\":2,"
             "\"flips\":1000,\"iterations\":9,\"reports\":0,"
             "\"target_misses\":0,\"targets_dropped\":0,"
-            "\"solutions_dropped\":0}");
+            "\"solutions_dropped\":0,\"health\":\"healthy\","
+            "\"restarts\":0,\"failure\":\"\"}");
   EXPECT_EQ(lines[3],
             "{\"type\":\"improvement\",\"seconds\":0.25,\"energy\":-100}");
   EXPECT_EQ(lines[4],

@@ -4,9 +4,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 
 #include "util/check.hpp"
+#include "util/failpoint.hpp"
 
 namespace absq {
 namespace {
@@ -76,6 +78,52 @@ TEST(ThreadPool, DestructorDrainsOutstandingWork) {
     }
   }  // destructor joins
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, NoFailureOnCleanPool) {
+  ThreadPool pool(2);
+  pool.submit([] {});
+  pool.wait_idle();
+  EXPECT_EQ(pool.failure(), nullptr);
+}
+
+TEST(ThreadPool, CapturesFirstEscapingExceptionAndKeepsRunning) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.wait_idle();
+  pool.submit([] { throw std::runtime_error("second"); });
+  pool.wait_idle();
+
+  // The worker survived both throws and still executes new work.
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran.store(true); });
+  pool.wait_idle();
+  EXPECT_TRUE(ran.load());
+
+  // Only the first exception is kept.
+  const std::exception_ptr failure = pool.failure();
+  ASSERT_NE(failure, nullptr);
+  try {
+    std::rethrow_exception(failure);
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "first");
+  }
+}
+
+TEST(ThreadPool, InjectedTaskFaultIsCaptured) {
+  fail::Registry::instance().arm_from_directives("thread_pool.task=once");
+  ThreadPool pool(1);
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran.store(true); });
+  pool.wait_idle();
+  fail::Registry::instance().disarm_all();
+
+  // The injected fault fires before the task body runs and is captured
+  // like any other task failure.
+  EXPECT_FALSE(ran.load());
+  const std::exception_ptr failure = pool.failure();
+  ASSERT_NE(failure, nullptr);
+  EXPECT_THROW(std::rethrow_exception(failure), fail::FailPointError);
 }
 
 TEST(ThreadPool, TasksCanSubmitMoreTasks) {

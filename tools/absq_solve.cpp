@@ -21,7 +21,15 @@
 // chrome://tracing or ui.perfetto.dev), --report writes the JSONL run
 // report (see docs/observability.md). Any subset may be enabled;
 // instrumentation is off (and costs nothing) when none is.
+//
+// Robustness (docs/robustness.md): --checkpoint enables crash-safe periodic
+// run snapshots, --resume restarts from one, --watchdog-grace /
+// --max-restarts / --restart-backoff configure the device watchdog. SIGINT
+// and SIGTERM request a graceful stop (final checkpoint included); a second
+// signal kills the process the old-fashioned way.
+#include <atomic>
 #include <cinttypes>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <limits>
@@ -29,6 +37,7 @@
 #include <string>
 
 #include "abs/solver.hpp"
+#include "ga/pool_io.hpp"
 #include "obs/report.hpp"
 #include "problems/graph.hpp"
 #include "problems/maxcut.hpp"
@@ -40,6 +49,19 @@
 #include "util/cli.hpp"
 
 namespace {
+
+/// The solver the signal handler should cancel. request_stop() is a single
+/// relaxed atomic store, which is as async-signal-safe as it gets.
+std::atomic<absq::AbsSolver*> g_active_solver{nullptr};
+
+extern "C" void handle_stop_signal(int signum) {
+  if (absq::AbsSolver* solver = g_active_solver.load()) {
+    solver->request_stop();
+  }
+  // A second Ctrl-C means "now": restore the default disposition so the
+  // next delivery terminates the process.
+  std::signal(signum, SIG_DFL);
+}
 
 int run(int argc, char** argv) {
   absq::CliParser cli("absq_solve — Adaptive Bulk Search QUBO solver");
@@ -71,6 +93,21 @@ int run(int argc, char** argv) {
                "write the JSONL run report to this file");
   cli.add_flag("snapshot-interval", 0.0,
                "periodic RunSnapshot cadence in seconds (0 = off)");
+  cli.add_flag("checkpoint", std::string(""),
+               "write crash-safe run checkpoints to this file (atomic "
+               "temp+rename; also written on graceful exit and SIGINT)");
+  cli.add_flag("checkpoint-interval", 30.0,
+               "periodic checkpoint cadence in seconds");
+  cli.add_flag("resume", std::string(""),
+               "resume from a checkpoint file (pool is warm-started, "
+               "elapsed time carries over, seed is remixed)");
+  cli.add_flag("watchdog-grace", 0.0,
+               "quarantine a device whose iteration counter stalls for "
+               "this many seconds (0 = stall detection off)");
+  cli.add_flag("max-restarts", std::int64_t{0},
+               "restart budget per device for failed (thrown) devices");
+  cli.add_flag("restart-backoff", 0.0,
+               "seconds between a device failure and its restart");
   if (!cli.parse(argc, argv)) return 0;
 
   ABSQ_CHECK(cli.positional().size() == 1,
@@ -123,6 +160,26 @@ int run(int argc, char** argv) {
   config.pool_capacity = static_cast<std::size_t>(cli.get_int("pool"));
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   config.snapshot_interval_seconds = cli.get_double("snapshot-interval");
+  config.checkpoint_path = cli.get_string("checkpoint");
+  config.checkpoint_interval_seconds = cli.get_double("checkpoint-interval");
+  config.watchdog.stall_grace_seconds = cli.get_double("watchdog-grace");
+  config.watchdog.max_restarts =
+      static_cast<std::uint32_t>(cli.get_int("max-restarts"));
+  config.watchdog.restart_backoff_seconds =
+      cli.get_double("restart-backoff");
+
+  if (const std::string resume = cli.get_string("resume"); !resume.empty()) {
+    const absq::RunCheckpoint checkpoint =
+        absq::read_checkpoint_file(resume, config.pool_capacity);
+    config.warm_start = checkpoint.pool;
+    config.elapsed_offset_seconds = checkpoint.elapsed_seconds;
+    // Continue the checkpointed run's stream without replaying it.
+    config.seed = absq::mix64(checkpoint.seed + 1);
+    std::printf("resumed from %s — %zu pool entries, %.1f s elapsed, "
+                "best %" PRId64 "\n",
+                resume.c_str(), checkpoint.pool->size(),
+                checkpoint.elapsed_seconds, checkpoint.pool->best_energy());
+  }
 
   // Telemetry sinks, created only when an export was requested.
   const std::string metrics_path = cli.get_string("metrics");
@@ -149,8 +206,19 @@ int run(int argc, char** argv) {
              "set at least one of --seconds / --target / --max-flips");
 
   absq::AbsSolver solver(w, config);
+  g_active_solver.store(&solver);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
   const absq::AbsResult result = solver.run(stop);
+  g_active_solver.store(nullptr);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
 
+  if (result.cancelled) {
+    std::printf("interrupted — stopping gracefully%s\n",
+                config.checkpoint_path.empty() ? ""
+                                               : " (checkpoint written)");
+  }
   std::printf("best energy:  %" PRId64 "%s\n", result.best_energy,
               result.reached_target ? "  (target reached)" : "");
   ABSQ_CHECK(absq::full_energy(w, result.best) == result.best_energy,
@@ -168,6 +236,22 @@ int run(int argc, char** argv) {
                 dev.device_id, dev.workers, dev.workers == 1 ? "" : "s",
                 dev.iterations, dev.target_misses, dev.targets_dropped,
                 dev.solutions_dropped);
+    if (dev.health != absq::DeviceHealth::kHealthy || dev.restarts > 0) {
+      std::printf("device %u:     %s after %u restart%s — %s\n",
+                  dev.device_id, absq::to_string(dev.health), dev.restarts,
+                  dev.restarts == 1 ? "" : "s",
+                  dev.failure.empty() ? "recovered" : dev.failure.c_str());
+    }
+  }
+  if (!result.failed_devices.empty()) {
+    std::printf("degraded run: %zu of %u device(s) quarantined\n",
+                result.failed_devices.size(), config.num_devices);
+  }
+  if (result.checkpoints_written > 0 || result.checkpoints_failed > 0) {
+    std::printf("checkpoints:  %" PRIu64 " written, %" PRIu64
+                " failed → %s\n",
+                result.checkpoints_written, result.checkpoints_failed,
+                config.checkpoint_path.c_str());
   }
 
   // Problem-aware decode.
@@ -228,6 +312,7 @@ int run(int argc, char** argv) {
                                      registry.get());
     std::printf("report written to %s\n", report_path.c_str());
   }
+  if (result.cancelled) return 130;  // interrupted, shell convention
   return result.reached_target || !stop.target_energy.has_value() ? 0 : 2;
 }
 
