@@ -7,7 +7,8 @@
 #      ThreadSanitizer (cmake -DABSQ_SANITIZE=thread) and run them —
 #      the observability layer's lock-free counters and ring tracer,
 #      the sharded mailboxes under device workers, the threaded solver,
-#      and the fault-injection/watchdog paths must all be TSan-clean;
+#      the fault-injection/watchdog paths, and the serving layer (job
+#      scheduler + TCP server) must all be TSan-clean;
 #   3. memory check: the same targets under Address+UndefinedBehavior
 #      Sanitizer (cmake -DABSQ_SANITIZE=address) — quarantine, restart,
 #      and checkpoint paths juggle exception_ptrs and device teardown,
@@ -21,7 +22,8 @@ JOBS="${1:-$(nproc)}"
 
 SANITIZE_TARGETS=(test_metrics test_trace test_mailbox test_device
                   test_solver test_thread_pool test_failpoint
-                  test_fault_tolerance)
+                  test_fault_tolerance test_protocol test_job_manager
+                  test_job_server)
 
 echo "== tier 1: build + ctest =="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null

@@ -85,13 +85,22 @@ void write_pool_file(const std::string& path, const SolutionPool& pool) {
 
 SolutionPool read_pool(std::istream& in, std::size_t capacity) {
   std::string tag;
+  if (!(in >> tag)) {
+    // Distinguish "nothing there at all" from a malformed header: an
+    // empty file is a typed no-entries condition, not corruption.
+    throw EmptyPoolError("empty pool file — nothing to resume from");
+  }
   long long bits = 0;
   long long entries = 0;
-  ABSQ_CHECK(in >> tag >> bits >> entries && tag == "pool",
+  ABSQ_CHECK(tag == "pool" && in >> bits >> entries,
              "expected 'pool <bits> <entries>' header");
   ABSQ_CHECK(bits >= 0 && bits <= static_cast<long long>(kMaxBits),
              "bit count out of range");
-  ABSQ_CHECK(entries >= 1, "empty pool snapshot");
+  if (entries == 0) {
+    throw EmptyPoolError(
+        "header-only pool snapshot (0 entries) — nothing to resume from");
+  }
+  ABSQ_CHECK(entries >= 1, "negative entry count in pool header");
   if (capacity == 0) capacity = static_cast<std::size_t>(entries);
 
   SolutionPool pool(capacity);
@@ -123,7 +132,9 @@ SolutionPool read_pool(std::istream& in, std::size_t capacity) {
     // order; beyond-capacity worse entries are naturally rejected.
     (void)pool.insert(BitVector::from_string(bit_string), energy);
   }
-  ABSQ_CHECK(!pool.empty(), "snapshot contained no usable entries");
+  if (pool.empty()) {
+    throw EmptyPoolError("snapshot contained no usable entries");
+  }
   return pool;
 }
 

@@ -37,8 +37,18 @@
 #include <vector>
 
 #include "ga/solution_pool.hpp"
+#include "util/check.hpp"
 
 namespace absq {
+
+/// An empty or header-only pool snapshot: the file exists and may even be
+/// well-formed, but holds no usable entries to resume from. Typed so
+/// callers (absq_solve --resume, the serving layer's per-job resume) can
+/// distinguish "nothing to warm-start" from a corrupt file.
+class EmptyPoolError : public CheckError {
+ public:
+  explicit EmptyPoolError(const std::string& what) : CheckError(what) {}
+};
 
 void write_pool(std::ostream& out, const SolutionPool& pool);
 void write_pool_file(const std::string& path, const SolutionPool& pool);

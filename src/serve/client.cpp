@@ -1,0 +1,168 @@
+#include "serve/client.hpp"
+
+#include <netdb.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "serve/protocol.hpp"
+#include "util/check.hpp"
+
+namespace absq::serve {
+namespace {
+
+void throw_for_code(const Json& reply) {
+  const std::string code = reply.get_string("code", "internal");
+  const std::string error = reply.get_string("error", "request failed");
+  if (code == "queue_full") throw QueueFullError(error);
+  if (code == "shutting_down") throw ShuttingDownError(error);
+  if (code == "not_found") throw JobNotFoundError(error);
+  throw CheckError("server replied " + code + ": " + error);
+}
+
+}  // namespace
+
+Client::Client(const std::string& host, int port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* found = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                    &found);
+  ABSQ_CHECK(rc == 0 && found != nullptr,
+             "cannot resolve '" << host << "': " << ::gai_strerror(rc));
+
+  int fd = -1;
+  std::string reason = "no usable address";
+  for (const addrinfo* cursor = found; cursor != nullptr;
+       cursor = cursor->ai_next) {
+    fd = ::socket(cursor->ai_family, cursor->ai_socktype,
+                  cursor->ai_protocol);
+    if (fd < 0) {
+      reason = std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd, cursor->ai_addr, cursor->ai_addrlen) == 0) break;
+    reason = std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(found);
+  ABSQ_CHECK(fd >= 0,
+             "cannot connect to " << host << ":" << port << ": " << reason);
+  fd_ = fd;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string Client::read_line() {
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    ABSQ_CHECK(n > 0, "server closed the connection");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Json Client::request(const Json& request) {
+  const std::string line = request.dump() + "\n";
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n = ::send(fd_, line.data() + sent, line.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    ABSQ_CHECK(n > 0, "cannot write to server: " << std::strerror(errno));
+    sent += static_cast<std::size_t>(n);
+  }
+  return Json::parse(read_line());
+}
+
+Json Client::request_ok(const Json& request) {
+  Json reply = this->request(request);
+  if (!reply.get_bool("ok", false)) throw_for_code(reply);
+  return reply;
+}
+
+bool Client::ping() {
+  Json request = Json::object();
+  request.set("cmd", "ping");
+  try {
+    return this->request(request).get_bool("pong", false);
+  } catch (const CheckError&) {
+    return false;
+  }
+}
+
+JobId Client::submit(Json request) {
+  request.set("cmd", "submit");
+  const Json reply = request_ok(request);
+  return static_cast<JobId>(reply.at("id").as_int());
+}
+
+JobStatus Client::status(JobId id) {
+  Json request = Json::object();
+  request.set("cmd", "status").set("id", id);
+  return job_from_json(request_ok(request).at("job"));
+}
+
+JobStatus Client::wait(JobId id, double timeout_seconds,
+                       double poll_seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  while (true) {
+    const JobStatus snapshot = status(id);
+    if (is_terminal(snapshot.state)) return snapshot;
+    if (timeout_seconds > 0.0 &&
+        std::chrono::steady_clock::now() >= deadline) {
+      return snapshot;
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(poll_seconds));
+  }
+}
+
+Json Client::result(JobId id) {
+  Json request = Json::object();
+  request.set("cmd", "result").set("id", id);
+  return request_ok(request);
+}
+
+bool Client::cancel(JobId id) {
+  Json request = Json::object();
+  request.set("cmd", "cancel").set("id", id);
+  return request_ok(request).get_bool("cancelled", false);
+}
+
+Json Client::list() {
+  Json request = Json::object();
+  request.set("cmd", "list");
+  return request_ok(request);
+}
+
+std::string Client::metrics() {
+  Json request = Json::object();
+  request.set("cmd", "metrics");
+  return request_ok(request).get_string("prometheus", "");
+}
+
+void Client::shutdown_server() {
+  Json request = Json::object();
+  request.set("cmd", "shutdown");
+  request_ok(request);
+}
+
+}  // namespace absq::serve

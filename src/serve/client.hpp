@@ -1,0 +1,72 @@
+// Client — a blocking connection to an absq_serve process.
+//
+// Wraps one TCP connection and the line-delimited JSON protocol: each
+// request() writes one JSON line and blocks for the one-line reply. The
+// typed wrappers (submit/status/result/cancel/...) re-raise the server's
+// error codes as the same typed exceptions the JobManager itself throws,
+// so in-process and over-the-wire callers handle failures identically.
+// Used by the absq_client tool and tests/test_job_server.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/job.hpp"
+#include "serve/json.hpp"
+
+namespace absq::serve {
+
+class Client {
+ public:
+  /// Connects immediately; throws CheckError when the server is
+  /// unreachable. `host` is a numeric address or name ("127.0.0.1",
+  /// "localhost").
+  Client(const std::string& host, int port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request object, returns the raw reply object. Throws
+  /// CheckError when the connection drops or the reply is not JSON. Does
+  /// NOT throw on `ok:false` replies — use expect_ok / the typed wrappers.
+  Json request(const Json& request);
+
+  /// request() + throw the typed exception matching the error code when
+  /// the reply is not ok (queue_full → QueueFullError, shutting_down →
+  /// ShuttingDownError, not_found → JobNotFoundError, else CheckError).
+  Json request_ok(const Json& request);
+
+  /// True when the server answered the ping.
+  bool ping();
+
+  /// Submits and returns the new job id. `request` must carry the submit
+  /// payload fields (problem/file, format, stop criteria, ...); the cmd
+  /// member is filled in here.
+  JobId submit(Json request);
+
+  JobStatus status(JobId id);
+  /// Blocks (client-side polling) until the job is terminal or
+  /// `timeout_seconds` elapses (<= 0 waits forever).
+  JobStatus wait(JobId id, double timeout_seconds = 0.0,
+                 double poll_seconds = 0.05);
+  /// Full result reply of a finished job (members: job, solution, energy,
+  /// reached_target, ...).
+  Json result(JobId id);
+  /// True when the cancel took effect (the job was queued or running).
+  bool cancel(JobId id);
+  /// Status of every job the server knows, ordered by id.
+  Json list();
+  /// Prometheus text exposition from the server's registry.
+  std::string metrics();
+  /// Asks the server to drain and exit.
+  void shutdown_server();
+
+ private:
+  std::string read_line();
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace absq::serve

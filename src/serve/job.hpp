@@ -1,0 +1,106 @@
+// Job model of the serving layer — the unit of work a multi-tenant
+// absq_serve process schedules onto its solver fleet.
+//
+// A job is one QUBO instance plus stop criteria, a seed and a priority.
+// Its lifecycle is a strict one-way state machine:
+//
+//     queued ──→ running ──→ done       (a stop criterion fired)
+//        │          ├──────→ failed     (solver threw; error recorded)
+//        │          └──────→ cancelled  (request_stop honoured mid-run)
+//        └─────────────────→ cancelled  (cancelled while still queued)
+//
+// Status snapshots are plain value types so they can be taken under the
+// manager lock and serialized into the wire protocol without touching live
+// solver state. Typed errors model the two admission-control outcomes a
+// client must distinguish programmatically: a full queue (retry later) and
+// a draining server (go away).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "abs/solver.hpp"
+#include "qubo/weight_matrix.hpp"
+#include "util/check.hpp"
+
+namespace absq::serve {
+
+using JobId = std::uint64_t;
+
+enum class JobState : std::uint8_t {
+  kQueued = 0,
+  kRunning = 1,
+  kDone = 2,
+  kFailed = 3,
+  kCancelled = 4,
+};
+
+[[nodiscard]] const char* to_string(JobState state);
+/// Parses the to_string form back; throws CheckError on unknown text.
+[[nodiscard]] JobState job_state_from_string(const std::string& text);
+[[nodiscard]] inline bool is_terminal(JobState state) {
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+/// Backpressure: the bounded job queue is full. Typed so clients (and the
+/// wire protocol, which maps it to code "queue_full") can retry-later
+/// instead of treating it as a malformed request.
+class QueueFullError : public CheckError {
+ public:
+  explicit QueueFullError(const std::string& what) : CheckError(what) {}
+};
+
+/// The manager is draining: no new work is admitted.
+class ShuttingDownError : public CheckError {
+ public:
+  explicit ShuttingDownError(const std::string& what) : CheckError(what) {}
+};
+
+/// Lookup of a job id that was never issued.
+class JobNotFoundError : public CheckError {
+ public:
+  explicit JobNotFoundError(const std::string& what) : CheckError(what) {}
+};
+
+/// Everything a client supplies when submitting work.
+struct JobSpec {
+  /// The instance. Shared ownership: the matrix must stay alive for the
+  /// whole job lifetime while the submitting connection goes away.
+  std::shared_ptr<const WeightMatrix> problem;
+  StopCriteria stop;
+  std::uint64_t seed = 1;
+  /// Higher runs first; FIFO within a priority level.
+  int priority = 0;
+  /// Free-form client label, echoed in status/list replies.
+  std::string name;
+  /// Optional path to a RunCheckpoint to warm-start from (per-job resume).
+  std::string resume_from;
+};
+
+/// Thread-safe point-in-time snapshot of one job. All timestamps are
+/// seconds on the manager's own monotonic clock (0 = manager start).
+struct JobStatus {
+  JobId id = 0;
+  std::string name;
+  JobState state = JobState::kQueued;
+  int priority = 0;
+  BitIndex bits = 0;  ///< instance size
+  double submitted_seconds = 0.0;
+  double started_seconds = 0.0;   ///< 0 while still queued
+  double finished_seconds = 0.0;  ///< 0 while not terminal
+  /// Time spent waiting in the queue (final once running).
+  double queue_seconds = 0.0;
+  /// Time spent solving (final once terminal).
+  double run_seconds = 0.0;
+  Energy best_energy = kUnevaluated;  ///< kUnevaluated before any report
+  bool reached_target = false;
+  std::uint64_t total_flips = 0;
+  double search_rate = 0.0;
+  std::string error;  ///< what() of the solver failure (kFailed only)
+  /// Where this job's crash-safe checkpoints go ("" = checkpointing off).
+  std::string checkpoint_path;
+};
+
+}  // namespace absq::serve

@@ -1,0 +1,360 @@
+#include "serve/job_manager.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "ga/pool_io.hpp"
+#include "qubo/energy.hpp"
+#include "util/rng.hpp"
+
+namespace absq::serve {
+namespace {
+
+/// Seconds → whole milliseconds for the log2-bucketed latency histograms.
+std::uint64_t to_millis(double seconds) {
+  return seconds <= 0.0 ? 0 : static_cast<std::uint64_t>(seconds * 1000.0);
+}
+
+void observe(obs::Histogram* histogram, std::uint64_t value) {
+  if (histogram != nullptr) histogram->observe(value);
+}
+
+}  // namespace
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+JobState job_state_from_string(const std::string& text) {
+  if (text == "queued") return JobState::kQueued;
+  if (text == "running") return JobState::kRunning;
+  if (text == "done") return JobState::kDone;
+  if (text == "failed") return JobState::kFailed;
+  if (text == "cancelled") return JobState::kCancelled;
+  ABSQ_CHECK(false, "unknown job state '" << text << "'");
+}
+
+JobManager::JobManager(JobManagerConfig config)
+    : config_(std::move(config)),
+      slots_(std::max<std::size_t>(1, config_.solver_slots)) {
+  ABSQ_CHECK(config_.max_queue >= 1, "max_queue must be at least 1");
+  if (obs::MetricsRegistry* registry = config_.telemetry.metrics;
+      registry != nullptr) {
+    m_submitted_ = &registry->counter("absq_jobs_submitted");
+    m_completed_ = &registry->counter("absq_jobs_completed");
+    m_failed_ = &registry->counter("absq_jobs_failed");
+    m_cancelled_ = &registry->counter("absq_jobs_cancelled");
+    m_rejected_ = &registry->counter("absq_jobs_rejected");
+    m_queue_depth_ = &registry->gauge("absq_job_queue_depth");
+    m_running_ = &registry->gauge("absq_jobs_running");
+    m_queue_ms_ = &registry->histogram("absq_job_queue_ms");
+    m_run_ms_ = &registry->histogram("absq_job_run_ms");
+  }
+}
+
+JobManager::~JobManager() { shutdown(Drain::kCancel); }
+
+void JobManager::set_queue_gauge_locked() const {
+  if (m_queue_depth_ != nullptr) {
+    m_queue_depth_->set(static_cast<double>(queue_.size()));
+  }
+  if (m_running_ != nullptr) {
+    m_running_->set(static_cast<double>(running_));
+  }
+}
+
+JobId JobManager::submit(JobSpec spec) {
+  ABSQ_CHECK(spec.problem != nullptr, "job has no problem matrix");
+  ABSQ_CHECK(spec.problem->size() > 0, "job problem is empty");
+  ABSQ_CHECK(spec.stop.bounded(),
+             "job needs at least one stop criterion (target / seconds / "
+             "max_flips) or it would hold a solver slot forever");
+
+  JobId id = 0;
+  {
+    std::lock_guard lock(mutex_);
+    if (shutting_down_) {
+      obs::add(m_rejected_);
+      throw ShuttingDownError("server is draining; submission rejected");
+    }
+    if (queue_.size() >= config_.max_queue) {
+      obs::add(m_rejected_);
+      throw QueueFullError("job queue is full (" +
+                           std::to_string(config_.max_queue) +
+                           " waiting); retry later");
+    }
+    id = next_id_++;
+    auto job = std::make_unique<Job>();
+    job->id = id;
+    job->spec = std::move(spec);
+    job->submitted_seconds = clock_.seconds();
+    if (!config_.checkpoint_dir.empty()) {
+      job->checkpoint_path =
+          config_.checkpoint_dir + "/job-" + std::to_string(id) + ".ck";
+    }
+    queue_.insert({-static_cast<std::int64_t>(job->spec.priority), id});
+    jobs_.emplace(id, std::move(job));
+    obs::add(m_submitted_);
+    set_queue_gauge_locked();
+  }
+  // One drain task per admission: whichever slot runs it claims the best
+  // queued job at that moment, so priorities reorder behind busy slots.
+  slots_.submit([this] { run_one(); });
+  return id;
+}
+
+AbsConfig JobManager::job_config(const Job& job) const {
+  AbsConfig config = config_.solver;
+  config.seed = job.spec.seed;
+  config.checkpoint_path = job.checkpoint_path;
+  config.checkpoint_interval_seconds = config_.checkpoint_interval_seconds;
+  config.warm_start = nullptr;
+  config.elapsed_offset_seconds = 0.0;
+  if (!job.spec.resume_from.empty()) {
+    const RunCheckpoint checkpoint =
+        read_checkpoint_file(job.spec.resume_from, config.pool_capacity);
+    config.warm_start = checkpoint.pool;
+    config.elapsed_offset_seconds = checkpoint.elapsed_seconds;
+    config.seed = mix64(checkpoint.seed + 1);
+  }
+  return config;
+}
+
+void JobManager::run_one() {
+  Job* job = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    if (!queue_.empty()) {
+      const JobId id = queue_.begin()->second;
+      queue_.erase(queue_.begin());
+      job = jobs_.at(id).get();
+      job->state = JobState::kRunning;
+      job->started_seconds = clock_.seconds();
+      ++running_;
+      observe(m_queue_ms_,
+              to_millis(job->started_seconds - job->submitted_seconds));
+      set_queue_gauge_locked();
+    }
+  }
+  // The claimed job can be gone already (cancelled while queued — its
+  // entry left the queue with the cancellation): this task has nothing
+  // to do, and the slot goes back to the pool.
+  if (job == nullptr) return;
+
+  std::unique_ptr<AbsResult> result;
+  std::string error;
+  try {
+    const AbsConfig config = job_config(*job);
+    AbsSolver solver(*job->spec.problem, config);
+    {
+      std::lock_guard lock(mutex_);
+      job->solver = &solver;
+      // A cancel that raced the claim: forward it before the run begins
+      // so the solver exits at its first host poll.
+      if (job->cancel_requested) solver.request_stop();
+    }
+    AbsResult run_result = solver.run(job->spec.stop);
+    result = std::make_unique<AbsResult>(std::move(run_result));
+    std::lock_guard lock(mutex_);
+    job->solver = nullptr;
+  } catch (const std::exception& failure) {
+    error = failure.what();
+    std::lock_guard lock(mutex_);
+    job->solver = nullptr;
+  }
+
+  {
+    std::lock_guard lock(mutex_);
+    job->finished_seconds = clock_.seconds();
+    --running_;
+    observe(m_run_ms_,
+            to_millis(job->finished_seconds - job->started_seconds));
+    if (result != nullptr) {
+      const bool cancelled = result->cancelled;
+      job->result = std::move(result);
+      job->state = cancelled ? JobState::kCancelled : JobState::kDone;
+      obs::add(cancelled ? m_cancelled_ : m_completed_);
+    } else if (job->cancel_requested) {
+      // A cancel so early that the solver never produced a report ends as
+      // a clean cancellation, not a failure.
+      job->state = JobState::kCancelled;
+      obs::add(m_cancelled_);
+    } else {
+      job->state = JobState::kFailed;
+      job->error = error;
+      obs::add(m_failed_);
+    }
+    set_queue_gauge_locked();
+  }
+  state_changed_.notify_all();
+}
+
+const JobManager::Job& JobManager::find_locked(JobId id) const {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    throw JobNotFoundError("no such job id " + std::to_string(id));
+  }
+  return *it->second;
+}
+
+JobStatus JobManager::snapshot_locked(const Job& job) const {
+  JobStatus status;
+  status.id = job.id;
+  status.name = job.spec.name;
+  status.state = job.state;
+  status.priority = job.spec.priority;
+  status.bits = job.spec.problem->size();
+  status.submitted_seconds = job.submitted_seconds;
+  status.started_seconds = job.started_seconds;
+  status.finished_seconds = job.finished_seconds;
+  status.checkpoint_path = job.checkpoint_path;
+  status.error = job.error;
+  const double now = clock_.seconds();
+  switch (job.state) {
+    case JobState::kQueued:
+      status.queue_seconds = now - job.submitted_seconds;
+      break;
+    case JobState::kRunning:
+      status.queue_seconds = job.started_seconds - job.submitted_seconds;
+      status.run_seconds = now - job.started_seconds;
+      break;
+    default:
+      // Terminal. A job cancelled while queued never started.
+      if (job.started_seconds > 0.0) {
+        status.queue_seconds = job.started_seconds - job.submitted_seconds;
+        status.run_seconds = job.finished_seconds - job.started_seconds;
+      } else {
+        status.queue_seconds = job.finished_seconds - job.submitted_seconds;
+      }
+  }
+  if (job.result != nullptr) {
+    status.best_energy = job.result->best_energy;
+    status.reached_target = job.result->reached_target;
+    status.total_flips = job.result->total_flips;
+    status.search_rate = job.result->search_rate;
+  }
+  return status;
+}
+
+JobStatus JobManager::status(JobId id) const {
+  std::lock_guard lock(mutex_);
+  return snapshot_locked(find_locked(id));
+}
+
+std::vector<JobStatus> JobManager::list() const {
+  std::lock_guard lock(mutex_);
+  std::vector<JobStatus> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(snapshot_locked(*job));
+  return out;
+}
+
+JobStatus JobManager::wait(JobId id, double timeout_seconds) {
+  std::unique_lock lock(mutex_);
+  const Job& job = find_locked(id);
+  const auto done = [&job] { return is_terminal(job.state); };
+  if (timeout_seconds > 0.0) {
+    state_changed_.wait_for(
+        lock, std::chrono::duration<double>(timeout_seconds), done);
+  } else {
+    state_changed_.wait(lock, done);
+  }
+  return snapshot_locked(job);
+}
+
+void JobManager::cancel_queued_locked(Job& job) {
+  job.state = JobState::kCancelled;
+  job.cancel_requested = true;
+  job.finished_seconds = clock_.seconds();
+  obs::add(m_cancelled_);
+}
+
+bool JobManager::cancel(JobId id) {
+  bool took_effect = false;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      throw JobNotFoundError("no such job id " + std::to_string(id));
+    }
+    Job& job = *it->second;
+    switch (job.state) {
+      case JobState::kQueued:
+        queue_.erase({-static_cast<std::int64_t>(job.spec.priority), id});
+        cancel_queued_locked(job);
+        set_queue_gauge_locked();
+        took_effect = true;
+        break;
+      case JobState::kRunning:
+        job.cancel_requested = true;
+        // The solver pointer is only live while the slot task is inside
+        // run(); nulled under this mutex before destruction, so this call
+        // can never reach a dead solver.
+        if (job.solver != nullptr) job.solver->request_stop();
+        took_effect = true;
+        break;
+      default:
+        took_effect = false;  // already terminal
+    }
+  }
+  if (took_effect) state_changed_.notify_all();
+  return took_effect;
+}
+
+AbsResult JobManager::result(JobId id) const {
+  std::lock_guard lock(mutex_);
+  const Job& job = find_locked(id);
+  ABSQ_CHECK(is_terminal(job.state),
+             "job " << id << " is still " << to_string(job.state));
+  ABSQ_CHECK(job.state != JobState::kFailed,
+             "job " << id << " failed: " << job.error);
+  ABSQ_CHECK(job.result != nullptr,
+             "job " << id << " was cancelled before it produced a result");
+  return *job.result;
+}
+
+std::size_t JobManager::queue_depth() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t JobManager::running_count() const {
+  std::lock_guard lock(mutex_);
+  return running_;
+}
+
+void JobManager::shutdown(Drain mode) {
+  {
+    std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+    if (mode == Drain::kCancel) {
+      // Queued jobs will never run; their drain tasks become no-ops.
+      while (!queue_.empty()) {
+        const JobId id = queue_.begin()->second;
+        queue_.erase(queue_.begin());
+        cancel_queued_locked(*jobs_.at(id));
+      }
+      for (auto& [id, job] : jobs_) {
+        if (job->state == JobState::kRunning) {
+          job->cancel_requested = true;
+          if (job->solver != nullptr) job->solver->request_stop();
+        }
+      }
+      set_queue_gauge_locked();
+    }
+  }
+  state_changed_.notify_all();
+  // Block until every slot task has retired (running jobs finish their
+  // graceful stop — final checkpoints included — or their full run under
+  // Drain::kWait).
+  slots_.wait_idle();
+}
+
+}  // namespace absq::serve

@@ -1,0 +1,167 @@
+// JobManager — the multi-tenant scheduler at the heart of absq_serve.
+//
+// Owns a bounded priority+FIFO admission queue and a fixed fleet of
+// solver slots (an existing ThreadPool sized to `solver_slots`). Every
+// submitted job enqueues one "drain" task into the pool; a task claims
+// the highest-priority queued job at the moment it runs, builds a fresh
+// AbsSolver for it from the configured template, and runs it to a stop
+// criterion. At most `solver_slots` jobs solve concurrently; the rest
+// wait in the queue, and a queue beyond `max_queue` rejects submissions
+// with the typed QueueFullError (backpressure, not failure).
+//
+// Cancellation: a queued job flips straight to cancelled; a running job
+// gets AbsSolver::request_stop(), ends at the solver's next host poll
+// with a final checkpoint (when enabled), and finishes as cancelled.
+//
+// Fault isolation: a job whose solver throws — a genuinely failed device
+// past its restart budget, a bad resume file — becomes `failed` with the
+// error recorded; the slot returns to the pool and the server lives on.
+// The per-job WatchdogConfig from the solver template means a device
+// failure inside one job degrades that job only (docs/robustness.md).
+//
+// Telemetry (all optional): absq_jobs_{submitted,completed,failed,
+// cancelled,rejected} counters, an absq_job_queue_depth gauge, and
+// absq_job_{queue,run}_ms latency histograms in the shared
+// MetricsRegistry, so one scrape covers the serving layer and every
+// solver underneath it.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+#include "serve/job.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace absq::serve {
+
+struct JobManagerConfig {
+  /// Jobs solving concurrently (worker threads in the slot pool).
+  std::size_t solver_slots = 1;
+  /// Bound on *queued* (not yet running) jobs; submissions beyond it are
+  /// rejected with QueueFullError.
+  std::size_t max_queue = 64;
+  /// Per-job solver template: device geometry, pool capacity, watchdog,
+  /// telemetry. seed / checkpoint / warm-start fields are overwritten per
+  /// job from its JobSpec.
+  AbsConfig solver;
+  /// Non-empty enables per-job crash-safe checkpoints `job-<id>.ck` in
+  /// this directory (must exist).
+  std::string checkpoint_dir;
+  double checkpoint_interval_seconds = 30.0;
+  /// Manager-level series (may alias solver.telemetry; null = off).
+  obs::Telemetry telemetry;
+};
+
+class JobManager {
+ public:
+  explicit JobManager(JobManagerConfig config);
+  /// Drains with Drain::kCancel semantics.
+  ~JobManager();
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  /// Admits a job. Throws QueueFullError when max_queue jobs are already
+  /// waiting, ShuttingDownError after shutdown() began, CheckError on an
+  /// invalid spec (null problem, unbounded stop criteria).
+  JobId submit(JobSpec spec);
+
+  /// Point-in-time snapshot; throws JobNotFoundError.
+  [[nodiscard]] JobStatus status(JobId id) const;
+  /// Snapshots of every job ever submitted, ordered by id.
+  [[nodiscard]] std::vector<JobStatus> list() const;
+
+  /// Blocks until the job reaches a terminal state or `timeout_seconds`
+  /// elapses (<= 0 waits forever); returns the status either way — the
+  /// caller checks is_terminal().
+  JobStatus wait(JobId id, double timeout_seconds = 0.0);
+
+  /// Requests cancellation. Returns true when it took effect (the job was
+  /// queued or running); false for already-terminal jobs. Throws
+  /// JobNotFoundError for unknown ids.
+  bool cancel(JobId id);
+
+  /// Full solver result of a done or cancelled job (copy — safe after the
+  /// job record changes). Throws JobNotFoundError, or CheckError when the
+  /// job is not terminal / failed without a result.
+  [[nodiscard]] AbsResult result(JobId id) const;
+
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] std::size_t running_count() const;
+
+  enum class Drain {
+    kCancel,  ///< cancel queued jobs, request_stop running ones (bounded)
+    kWait,    ///< let queued and running jobs run to their stop criteria
+  };
+  /// Stops admission, drains per `mode`, and blocks until every slot is
+  /// idle. Idempotent; later calls just wait.
+  void shutdown(Drain mode);
+
+ private:
+  struct Job {
+    JobId id = 0;
+    JobSpec spec;
+    JobState state = JobState::kQueued;
+    bool cancel_requested = false;
+    /// Live only while the slot task is inside run(); guarded by mutex_.
+    AbsSolver* solver = nullptr;
+    double submitted_seconds = 0.0;
+    double started_seconds = 0.0;
+    double finished_seconds = 0.0;
+    std::string checkpoint_path;
+    std::string error;
+    /// Present for kDone and kCancelled (partial result) jobs.
+    std::unique_ptr<AbsResult> result;
+  };
+
+  /// Slot task: claims and runs the best queued job (no-op if none left).
+  void run_one();
+  /// Builds the per-job solver config (checkpoint path, resume warm
+  /// start); may throw on a bad resume file.
+  AbsConfig job_config(const Job& job) const;
+  JobStatus snapshot_locked(const Job& job) const;
+  const Job& find_locked(JobId id) const;
+  void set_queue_gauge_locked() const;
+  /// Marks a queued job cancelled (caller already holds mutex_ and has
+  /// removed it from queue_).
+  void cancel_queued_locked(Job& job);
+
+  JobManagerConfig config_;
+  Stopwatch clock_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable state_changed_;
+  std::map<JobId, std::unique_ptr<Job>> jobs_;
+  /// Admission order: (-priority, id) — highest priority first, FIFO
+  /// within a level. Holds queued jobs only.
+  std::set<std::pair<std::int64_t, JobId>> queue_;
+  JobId next_id_ = 1;
+  std::size_t running_ = 0;
+  bool shutting_down_ = false;
+
+  // Manager telemetry series (null = off).
+  obs::Counter* m_submitted_ = nullptr;
+  obs::Counter* m_completed_ = nullptr;
+  obs::Counter* m_failed_ = nullptr;
+  obs::Counter* m_cancelled_ = nullptr;
+  obs::Counter* m_rejected_ = nullptr;
+  obs::Gauge* m_queue_depth_ = nullptr;
+  obs::Gauge* m_running_ = nullptr;
+  obs::Histogram* m_queue_ms_ = nullptr;
+  obs::Histogram* m_run_ms_ = nullptr;
+
+  /// The slot pool. Declared last so its destructor joins the workers
+  /// before any member they touch is torn down.
+  ThreadPool slots_;
+};
+
+}  // namespace absq::serve

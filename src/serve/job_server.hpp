@@ -1,0 +1,109 @@
+// JobServer — the TCP transport of the serving layer.
+//
+// Listens on a loopback POSIX socket and speaks the line-delimited JSON
+// protocol (serve/protocol.hpp): one accept thread, one reader thread per
+// connection. Reads poll with short timeouts so every thread notices a
+// stop request promptly; an idle connection past `idle_timeout_seconds`
+// is closed rather than holding a thread forever.
+//
+// The server itself never schedules work — every request line is handed to
+// handle_request_line against the shared JobManager, and every failure
+// (malformed JSON, unknown command, queue backpressure) is a one-line
+// `ok:false` reply. Nothing a client sends can kill the process.
+//
+// Shutdown choreography (shared by the `shutdown` command and SIGTERM in
+// absq_serve): request_shutdown() flips a latch that wait_shutdown()
+// observers see; the owner then calls stop() to close the listener and
+// join connection threads, and finally drains the JobManager itself.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "serve/job_manager.hpp"
+
+namespace absq::serve {
+
+struct JobServerConfig {
+  /// Port to bind on loopback; 0 picks an ephemeral port (see port()).
+  int port = 0;
+  /// Close a connection after this long with no complete request line.
+  double idle_timeout_seconds = 300.0;
+  /// Backs the `metrics` command (null = command replies `unavailable`).
+  const obs::MetricsRegistry* metrics = nullptr;
+};
+
+class JobServer {
+ public:
+  /// The manager must outlive the server.
+  JobServer(JobManager& manager, JobServerConfig config);
+  /// Calls stop().
+  ~JobServer();
+
+  JobServer(const JobServer&) = delete;
+  JobServer& operator=(const JobServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread. Throws CheckError when
+  /// the port cannot be bound.
+  void start();
+
+  /// The actual bound port (resolves port 0 requests).
+  [[nodiscard]] int port() const { return port_; }
+
+  /// Latches the shutdown request (from the `shutdown` command or a signal
+  /// handler's behalf). Idempotent; does not block.
+  void request_shutdown();
+  [[nodiscard]] bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  }
+  /// Blocks until request_shutdown() is called.
+  void wait_shutdown();
+
+  /// Closes the listener, wakes and joins every connection thread. Safe to
+  /// call twice; does NOT drain the JobManager — the owner does that after
+  /// the transport is quiet.
+  void stop();
+
+  /// Connections served so far (accepted, including already-closed ones).
+  [[nodiscard]] std::uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void serve_connection(Connection* connection);
+  /// Joins connections whose reader thread has finished (accept thread
+  /// housekeeping, so a long-lived server does not accumulate dead
+  /// threads).
+  void reap_finished_locked();
+
+  JobManager& manager_;
+  JobServerConfig config_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<std::uint64_t> connections_accepted_{0};
+
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+
+  std::mutex connections_mutex_;
+  std::list<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace absq::serve

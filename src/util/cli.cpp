@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -25,6 +26,7 @@ const char* kind_name(int kind) {
 CliParser::CliParser(std::string program_summary)
     : summary_(std::move(program_summary)) {
   add_flag("help", false, "print this help and exit");
+  add_flag("version", false, "print the release version and exit");
 }
 
 void CliParser::add_flag(const std::string& name, std::string default_value,
@@ -51,6 +53,12 @@ void CliParser::add_flag(const std::string& name, bool default_value,
   flags_[name] = Flag{Kind::kBool, text, text, std::move(help)};
 }
 
+void CliParser::fail_usage(const std::string& message) const {
+  std::fprintf(stderr, "error: %s\n\n", message.c_str());
+  print_help(stderr);
+  throw CliUsageError(message);
+}
+
 bool CliParser::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -74,23 +82,24 @@ bool CliParser::parse(int argc, const char* const* argv) {
       it = flags_.find(name.substr(3));
       if (it != flags_.end() && it->second.kind == Kind::kBool) negated = true;
     }
-    ABSQ_CHECK(it != flags_.end(), "unknown flag --" << name);
+    if (it == flags_.end()) fail_usage("unknown flag --" + name);
     Flag& flag = it->second;
 
     if (flag.kind == Kind::kBool) {
       if (!has_value) {
         flag.value = negated ? "false" : "true";
       } else {
-        ABSQ_CHECK(value == "true" || value == "false",
-                   "--" << name << " expects true/false, got '" << value
-                        << "'");
+        if (value != "true" && value != "false") {
+          fail_usage("--" + name + " expects true/false, got '" + value +
+                     "'");
+        }
         flag.value = value;
       }
       continue;
     }
 
     if (!has_value) {
-      ABSQ_CHECK(i + 1 < argc, "--" << name << " is missing a value");
+      if (i + 1 >= argc) fail_usage("--" + name + " is missing a value");
       value = argv[++i];
     }
 
@@ -99,24 +108,30 @@ bool CliParser::parse(int argc, const char* const* argv) {
       std::size_t pos = 0;
       if (flag.kind == Kind::kInt) {
         (void)std::stoll(value, &pos);
-        ABSQ_CHECK(pos == value.size(), "--" << name << ": trailing junk in '"
-                                             << value << "'");
+        if (pos != value.size()) {
+          fail_usage("--" + name + ": trailing junk in '" + value + "'");
+        }
       } else if (flag.kind == Kind::kDouble) {
         (void)std::stod(value, &pos);
-        ABSQ_CHECK(pos == value.size(), "--" << name << ": trailing junk in '"
-                                             << value << "'");
+        if (pos != value.size()) {
+          fail_usage("--" + name + ": trailing junk in '" + value + "'");
+        }
       }
     } catch (const std::invalid_argument&) {
-      ABSQ_CHECK(false, "--" << name << ": '" << value << "' is not a "
-                             << kind_name(static_cast<int>(flag.kind)));
+      fail_usage("--" + name + ": '" + value + "' is not a " +
+                 kind_name(static_cast<int>(flag.kind)));
     } catch (const std::out_of_range&) {
-      ABSQ_CHECK(false, "--" << name << ": '" << value << "' out of range");
+      fail_usage("--" + name + ": '" + value + "' out of range");
     }
     flag.value = std::move(value);
   }
 
   if (get_bool("help")) {
     print_help();
+    return false;
+  }
+  if (get_bool("version")) {
+    std::printf("absqubo %s\n", kVersion);
     return false;
   }
   return true;
@@ -147,13 +162,13 @@ bool CliParser::get_bool(const std::string& name) const {
   return find(name, Kind::kBool).value == "true";
 }
 
-void CliParser::print_help() const {
-  std::printf("%s\n\nFlags:\n", summary_.c_str());
+void CliParser::print_help(std::FILE* out) const {
+  std::fprintf(out, "%s\n\nFlags:\n", summary_.c_str());
   for (const auto& [name, flag] : flags_) {
-    std::printf("  --%-24s %s (%s, default: %s)\n", name.c_str(),
-                flag.help.c_str(), kind_name(static_cast<int>(flag.kind)),
-                flag.default_value.empty() ? "\"\""
-                                           : flag.default_value.c_str());
+    std::fprintf(out, "  --%-24s %s (%s, default: %s)\n", name.c_str(),
+                 flag.help.c_str(), kind_name(static_cast<int>(flag.kind)),
+                 flag.default_value.empty() ? "\"\""
+                                            : flag.default_value.c_str());
   }
 }
 

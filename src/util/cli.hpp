@@ -2,14 +2,38 @@
 // harnesses. Supports `--name value`, `--name=value` and boolean
 // `--name` / `--no-name` forms, prints a generated --help, and rejects
 // unknown flags so typos in sweep scripts fail loudly.
+//
+// Every tool shares the same conventions: `--help` prints usage to stdout
+// and exits 0, `--version` prints the release and exits 0, and any user
+// error (unknown flag, malformed value) prints the message plus usage to
+// stderr and exits 2 — tool mains catch CliUsageError and return
+// kUsageExitCode.
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "util/check.hpp"
+
 namespace absq {
+
+/// Release string printed by --version (matches the CMake project version).
+inline constexpr const char* kVersion = "1.0.0";
+
+/// Conventional exit code for command-line usage errors.
+inline constexpr int kUsageExitCode = 2;
+
+/// A user error on the command line (unknown flag, malformed value). By the
+/// time it is thrown, parse() has already printed the message and usage to
+/// stderr — the tool just exits with kUsageExitCode.
+class CliUsageError : public CheckError {
+ public:
+  explicit CliUsageError(const std::string& what) : CheckError(what) {}
+};
 
 class CliParser {
  public:
@@ -26,8 +50,10 @@ class CliParser {
                 std::string help);
   void add_flag(const std::string& name, bool default_value, std::string help);
 
-  /// Parses argv. Returns false (after printing help) when --help was given.
-  /// Throws CheckError on unknown flags or malformed values.
+  /// Parses argv. Returns false when --help (usage to stdout) or --version
+  /// was given — the tool should exit 0. Throws CliUsageError on unknown
+  /// flags or malformed values, after printing the error and usage to
+  /// stderr.
   bool parse(int argc, const char* const* argv);
 
   [[nodiscard]] std::string get_string(const std::string& name) const;
@@ -40,7 +66,8 @@ class CliParser {
     return positional_;
   }
 
-  void print_help() const;
+  void print_help() const { print_help(stdout); }
+  void print_help(std::FILE* out) const;
 
  private:
   enum class Kind { kString, kInt, kDouble, kBool };
@@ -53,6 +80,8 @@ class CliParser {
   };
 
   const Flag& find(const std::string& name, Kind expected) const;
+  /// Prints `message` and usage to stderr, then throws CliUsageError.
+  [[noreturn]] void fail_usage(const std::string& message) const;
 
   std::string summary_;
   std::map<std::string, Flag> flags_;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <type_traits>
+
 #include "util/check.hpp"
 
 namespace absq {
@@ -91,6 +93,42 @@ TEST(CliParser, NegativeAndScientificValues) {
 TEST(CliParser, HelpReturnsFalse) {
   CliParser parser("test");
   EXPECT_FALSE(parse(parser, {"--help"}));
+}
+
+TEST(CliParser, VersionReturnsFalse) {
+  // --version is handled like --help: print and tell the tool to exit 0.
+  CliParser parser("test");
+  EXPECT_FALSE(parse(parser, {"--version"}));
+}
+
+TEST(CliParser, VersionFlagIsRegisteredEverywhere) {
+  // The flag comes from the CliParser constructor, so every tool that uses
+  // the parser gets it without opting in.
+  CliParser parser("test");
+  ASSERT_TRUE(parse(parser, {}));
+  EXPECT_FALSE(parser.get_bool("version"));
+}
+
+TEST(CliParser, UsageErrorsAreTyped) {
+  // Tool mains key exit code 2 off CliUsageError specifically; all parse
+  // user errors must carry that type (and stay CheckError for callers
+  // that do not care).
+  CliParser unknown("test");
+  EXPECT_THROW(parse(unknown, {"--bogus", "1"}), CliUsageError);
+
+  CliParser missing("test");
+  missing.add_flag("n", std::int64_t{0}, "");
+  EXPECT_THROW(parse(missing, {"--n"}), CliUsageError);
+
+  CliParser malformed("test");
+  malformed.add_flag("n", std::int64_t{0}, "");
+  malformed.add_flag("rate", 0.0, "");
+  malformed.add_flag("fast", false, "");
+  EXPECT_THROW(parse(malformed, {"--n", "abc"}), CliUsageError);
+  EXPECT_THROW(parse(malformed, {"--rate", "half"}), CliUsageError);
+  EXPECT_THROW(parse(malformed, {"--fast=maybe"}), CliUsageError);
+
+  static_assert(std::is_base_of_v<CheckError, CliUsageError>);
 }
 
 TEST(CliParser, WrongTypeAccessorThrows) {

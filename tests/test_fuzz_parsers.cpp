@@ -151,5 +151,27 @@ TEST(FuzzParsers, PoolGarbageAndMutations) {
   }
 }
 
+TEST(FuzzParsers, EmptyAndHeaderOnlyPoolsAreTypedErrors) {
+  // An empty or header-only snapshot is a distinct, typed condition —
+  // "nothing to resume from" — not generic corruption (callers like the
+  // serving layer's per-job resume branch on it).
+  const std::string empty_cases[] = {"", "   \n\t\n", "pool 4 0\n"};
+  for (const std::string& text : empty_cases) {
+    std::istringstream in(text);
+    EXPECT_THROW((void)read_pool(in, 0), EmptyPoolError) << '"' << text
+                                                         << '"';
+  }
+  // A malformed header is still the generic CheckError, not EmptyPoolError.
+  std::istringstream corrupt("pool x y\n");
+  try {
+    (void)read_pool(corrupt, 0);
+    FAIL() << "corrupt header was accepted";
+  } catch (const EmptyPoolError&) {
+    FAIL() << "corrupt header misreported as an empty pool";
+  } catch (const CheckError&) {
+    // Expected: rejection as corruption.
+  }
+}
+
 }  // namespace
 }  // namespace absq

@@ -1,0 +1,275 @@
+// End-to-end tests of the TCP transport: real sockets on an ephemeral
+// loopback port, the Client library on one side and a JobServer-backed
+// JobManager on the other. TSan tier-1 target (scripts/check.sh).
+#include "serve/job_server.hpp"
+
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "problems/random.hpp"
+#include "qubo/io.hpp"
+#include "serve/client.hpp"
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+
+namespace absq::serve {
+namespace {
+
+JobManagerConfig small_manager_config(std::size_t slots = 2,
+                                      std::size_t max_queue = 8) {
+  JobManagerConfig config;
+  config.solver_slots = slots;
+  config.max_queue = max_queue;
+  config.solver.num_devices = 1;
+  config.solver.device.block_limit = 4;
+  config.solver.device.local_steps = 32;
+  config.solver.pool_capacity = 16;
+  return config;
+}
+
+std::string inline_problem(std::uint64_t seed = 5) {
+  std::ostringstream text;
+  write_qubo(text, random_qubo(24, seed));
+  return std::move(text).str();
+}
+
+Json submit_request(std::uint64_t max_flips = 20000) {
+  Json request = Json::object();
+  request.set("problem", inline_problem());
+  request.set("max_flips", max_flips);
+  return request;
+}
+
+/// Manager + started server on an ephemeral port.
+struct Fixture {
+  explicit Fixture(JobManagerConfig config = small_manager_config())
+      : manager(std::move(config)), server(manager, {}) {
+    server.start();
+  }
+  ~Fixture() {
+    server.stop();
+    manager.shutdown(JobManager::Drain::kCancel);
+  }
+  JobManager manager;
+  JobServer server;
+};
+
+/// A raw line-oriented connection, for speaking broken protocol on purpose
+/// (the Client class refuses to).
+class RawConnection {
+ public:
+  explicit RawConnection(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+        0)
+        << std::strerror(errno);
+  }
+  ~RawConnection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send_text(const std::string& text) {
+    ASSERT_EQ(::send(fd_, text.data(), text.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(text.size()));
+  }
+
+  std::string read_line() {
+    while (buffer_.find('\n') == std::string::npos) {
+      char chunk[1024];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+    const std::size_t newline = buffer_.find('\n');
+    std::string line = buffer_.substr(0, newline);
+    buffer_.erase(0, newline + 1);
+    return line;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+TEST(JobServer, EphemeralPortIsResolved) {
+  Fixture fixture;
+  EXPECT_GT(fixture.server.port(), 0);
+}
+
+TEST(JobServer, PingSubmitResultOverTcp) {
+  Fixture fixture;
+  Client client("127.0.0.1", fixture.server.port());
+  EXPECT_TRUE(client.ping());
+
+  Json request = submit_request();
+  request.set("name", "tcp-job");
+  const JobId id = client.submit(std::move(request));
+  const JobStatus status = client.wait(id, 30.0);
+  ASSERT_EQ(status.state, JobState::kDone);
+  EXPECT_EQ(status.name, "tcp-job");
+
+  const Json result = client.result(id);
+  EXPECT_EQ(result.at("energy").as_int(), status.best_energy);
+  EXPECT_EQ(result.at("solution").as_string().size(), 24u);
+
+  // The wire result matches the in-process result exactly.
+  const AbsResult local = fixture.manager.result(id);
+  EXPECT_EQ(local.best_energy, result.at("energy").as_int());
+  EXPECT_EQ(local.best.to_string(), result.at("solution").as_string());
+}
+
+TEST(JobServer, MalformedLinesGetRepliesAndConnectionSurvives) {
+  Fixture fixture;
+  RawConnection raw(fixture.server.port());
+  raw.send_text("this is not json\n");
+  Json reply = Json::parse(raw.read_line());
+  EXPECT_FALSE(reply.get_bool("ok", true));
+  EXPECT_EQ(reply.get_string("code", ""), "bad_request");
+
+  // Blank lines are ignored; the same connection still serves requests.
+  raw.send_text("\r\n\n{\"cmd\":\"ping\"}\n");
+  reply = Json::parse(raw.read_line());
+  EXPECT_TRUE(reply.get_bool("pong", false));
+
+  // ...and the server itself is alive for new connections.
+  Client client("127.0.0.1", fixture.server.port());
+  EXPECT_TRUE(client.ping());
+}
+
+TEST(JobServer, PipelinedRequestsInOneWrite) {
+  Fixture fixture;
+  RawConnection raw(fixture.server.port());
+  raw.send_text("{\"cmd\":\"ping\"}\n{\"cmd\":\"list\"}\n");
+  const Json first = Json::parse(raw.read_line());
+  const Json second = Json::parse(raw.read_line());
+  EXPECT_TRUE(first.get_bool("pong", false));
+  EXPECT_TRUE(second.get_bool("ok", false));
+  EXPECT_EQ(second.at("jobs").size(), 0u);
+}
+
+TEST(JobServer, ConcurrentClientsAllComplete) {
+  Fixture fixture;
+  constexpr int kClients = 8;
+  std::vector<std::thread> workers;
+  std::vector<JobState> states(kClients, JobState::kQueued);
+  workers.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    workers.emplace_back([&fixture, &states, c] {
+      Client client("127.0.0.1", fixture.server.port());
+      Json request = submit_request(10000);
+      request.set("seed", c + 1);
+      const JobId id = client.submit(std::move(request));
+      states[static_cast<std::size_t>(c)] = client.wait(id, 60.0).state;
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  for (const JobState state : states) {
+    EXPECT_EQ(state, JobState::kDone);
+  }
+  EXPECT_GE(fixture.server.connections_accepted(), 8u);
+}
+
+TEST(JobServer, CancelOverTheWire) {
+  Fixture fixture;
+  Client client("127.0.0.1", fixture.server.port());
+  Json request = submit_request();
+  request.set("max_flips", 0).set("seconds", 30.0);
+  const JobId id = client.submit(std::move(request));
+  while (client.status(id).state == JobState::kQueued) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  EXPECT_TRUE(client.cancel(id));
+  const JobStatus status = client.wait(id, 30.0);
+  EXPECT_EQ(status.state, JobState::kCancelled);
+  EXPECT_FALSE(client.cancel(id));  // already terminal
+}
+
+TEST(JobServer, BackpressureTravelsTyped) {
+  Fixture fixture(small_manager_config(1, 1));
+  Client client("127.0.0.1", fixture.server.port());
+  Json blocker = submit_request();
+  blocker.set("max_flips", 0).set("seconds", 30.0);
+  const JobId blocker_id = client.submit(std::move(blocker));
+  while (client.status(blocker_id).state == JobState::kQueued) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  (void)client.submit(submit_request());  // fills the queue
+  EXPECT_THROW((void)client.submit(submit_request()), QueueFullError);
+  EXPECT_TRUE(client.cancel(blocker_id));
+}
+
+TEST(JobServer, UnknownJobTravelsTyped) {
+  Fixture fixture;
+  Client client("127.0.0.1", fixture.server.port());
+  EXPECT_THROW((void)client.status(4242), JobNotFoundError);
+}
+
+TEST(JobServer, MetricsCommandScrapesSharedRegistry) {
+  obs::MetricsRegistry registry;
+  JobManagerConfig config = small_manager_config();
+  config.telemetry.metrics = &registry;
+  JobManager manager(config);
+  JobServerConfig server_config;
+  server_config.metrics = &registry;
+  JobServer server(manager, server_config);
+  server.start();
+  {
+    Client client("127.0.0.1", server.port());
+    const JobId id = client.submit(submit_request());
+    (void)client.wait(id, 30.0);
+    const std::string text = client.metrics();
+    EXPECT_NE(text.find("absq_jobs_submitted 1"), std::string::npos) << text;
+    EXPECT_NE(text.find("absq_jobs_completed 1"), std::string::npos) << text;
+  }
+  server.stop();
+  manager.shutdown(JobManager::Drain::kCancel);
+}
+
+TEST(JobServer, ShutdownCommandLatchesTheDrain) {
+  Fixture fixture;
+  EXPECT_FALSE(fixture.server.shutdown_requested());
+  Client client("127.0.0.1", fixture.server.port());
+  client.shutdown_server();
+  fixture.server.wait_shutdown();  // returns because the latch is set
+  EXPECT_TRUE(fixture.server.shutdown_requested());
+}
+
+TEST(JobServer, StopIsIdempotent) {
+  Fixture fixture;
+  {
+    Client client("127.0.0.1", fixture.server.port());
+    EXPECT_TRUE(client.ping());
+  }
+  fixture.server.stop();
+  fixture.server.stop();  // second stop is a no-op
+}
+
+TEST(JobServer, ClientConnectToDeadPortThrows) {
+  int port = 0;
+  {
+    Fixture fixture;
+    port = fixture.server.port();
+  }  // server gone, port closed
+  EXPECT_THROW((Client("127.0.0.1", port)), CheckError);
+}
+
+}  // namespace
+}  // namespace absq::serve

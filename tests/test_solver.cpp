@@ -241,6 +241,32 @@ TEST(AbsSolver, RequestStopCancelsARun) {
   EXPECT_EQ(result.best_energy, full_energy(w, result.best));
 }
 
+TEST(AbsSolver, RunAgainAfterRequestStopWorks) {
+  // The serving layer reuses solver instances across jobs, so a cancelled
+  // run must not poison the next one: the stop request is consumed by the
+  // cancelled run, and a fresh run() goes back to honouring its own stop
+  // criteria.
+  const WeightMatrix w = random_qubo(64, 21);
+  AbsSolver solver(w, small_config());
+  StopCriteria stop;
+  stop.time_limit_seconds = 60.0;
+  std::thread canceller([&solver] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    solver.request_stop();
+  });
+  const AbsResult cancelled = solver.run(stop);
+  canceller.join();
+  EXPECT_TRUE(cancelled.cancelled);
+
+  StopCriteria rerun_stop;
+  rerun_stop.max_flips = 2000;
+  rerun_stop.time_limit_seconds = 30.0;
+  const AbsResult rerun = solver.run(rerun_stop);
+  EXPECT_FALSE(rerun.cancelled);  // the old stop request was consumed
+  EXPECT_GT(rerun.total_flips, 0u);
+  EXPECT_EQ(rerun.best_energy, full_energy(w, rerun.best));
+}
+
 TEST(AbsSolver, RerunStartsFreshPoolButKeepsDevices) {
   const WeightMatrix w = random_qubo(32, 10);
   AbsSolver solver(w, small_config());

@@ -1,0 +1,241 @@
+// absq_client — command-line client of an absq_serve process.
+//
+// The first positional argument picks the action:
+//
+//   absq_client submit instance.qubo --port 7777 --seconds 5 --wait
+//   absq_client submit g.gset --format gset --target -11624 --name g1
+//   absq_client status 7 --port 7777
+//   absq_client wait 7 --timeout 30
+//   absq_client result 7 --out best.sol
+//   absq_client cancel 7
+//   absq_client list | ping | metrics | shutdown
+//
+// submit reads the instance locally and ships it inline (the server needs
+// no shared filesystem); --by-path sends the path instead for
+// server-local reading. With --wait the client blocks until the job is
+// terminal and prints the result.
+//
+// Exit codes: 0 success (job done / action accepted), 1 error, 2 usage,
+// 3 the awaited job failed, 4 wait timed out, 130 the awaited job was
+// cancelled.
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "qubo/io.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using absq::serve::JobId;
+using absq::serve::JobState;
+using absq::serve::JobStatus;
+using absq::serve::Json;
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ABSQ_CHECK(in.good(), "cannot open '" << path << "' for reading");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return std::move(text).str();
+}
+
+void print_status(const JobStatus& status) {
+  std::printf("job %" PRIu64 "%s%s%s: %s", status.id,
+              status.name.empty() ? "" : " (", status.name.c_str(),
+              status.name.empty() ? "" : ")",
+              absq::serve::to_string(status.state));
+  if (status.best_energy != absq::kUnevaluated) {
+    std::printf(", best %" PRId64 "%s", status.best_energy,
+                status.reached_target ? " (target reached)" : "");
+  }
+  if (status.state == JobState::kQueued) {
+    std::printf(", waited %.1f s", status.queue_seconds);
+  } else {
+    std::printf(", ran %.1f s", status.run_seconds);
+  }
+  if (!status.error.empty()) std::printf(" — %s", status.error.c_str());
+  std::printf("\n");
+}
+
+/// Fetches + prints the final result; returns the exit code for the
+/// terminal state (0 done / 3 failed / 130 cancelled).
+int report_result(absq::serve::Client& client, JobId id,
+                  const std::string& out_path) {
+  const Json reply = client.request([&] {
+    Json request = Json::object();
+    request.set("cmd", "result").set("id", id);
+    return request;
+  }());
+  const JobStatus status = absq::serve::job_from_json(reply.at("job"));
+  print_status(status);
+  if (!reply.get_bool("ok", false)) {
+    return status.state == JobState::kCancelled ? 130 : 3;
+  }
+  std::printf("energy:       %" PRId64 "\n", reply.at("energy").as_int());
+  std::printf("flips:        %" PRId64 "  (%.3g solutions/s)\n",
+              reply.get_int("total_flips", 0),
+              reply.get_double("search_rate", 0.0));
+  if (!out_path.empty()) {
+    absq::write_solution_file(
+        out_path,
+        absq::BitVector::from_string(reply.at("solution").as_string()),
+        reply.at("energy").as_int());
+    std::printf("solution written to %s\n", out_path.c_str());
+  }
+  return status.state == JobState::kCancelled ? 130 : 0;
+}
+
+JobId id_argument(const absq::CliParser& cli) {
+  ABSQ_CHECK(cli.positional().size() == 2,
+             "expected a job id, e.g. `absq_client status 7` (see --help)");
+  return static_cast<JobId>(std::stoull(cli.positional()[1]));
+}
+
+int run(int argc, char** argv) {
+  absq::CliParser cli(
+      "absq_client — talk to an absq_serve job server (first positional "
+      "argument picks the action: submit | status | wait | result | cancel "
+      "| list | ping | metrics | shutdown)");
+  cli.add_flag("host", std::string("127.0.0.1"), "server address");
+  cli.add_flag("port", std::int64_t{7777}, "server port");
+  cli.add_flag("format", std::string("qubo"),
+               "submit: instance format qubo | gset | tsplib | dimacs");
+  cli.add_flag("seconds", 0.0, "submit: wall-clock limit (0 = none)");
+  cli.add_flag("target", std::string(""),
+               "submit: stop at this energy (empty = none)");
+  cli.add_flag("max-flips", std::int64_t{0}, "submit: flip budget (0 = none)");
+  cli.add_flag("seed", std::int64_t{1}, "submit: solver seed");
+  cli.add_flag("priority", std::int64_t{0},
+               "submit: higher runs first (FIFO within a level)");
+  cli.add_flag("name", std::string(""), "submit: free-form job label");
+  cli.add_flag("resume", std::string(""),
+               "submit: server-local checkpoint file to warm-start from");
+  cli.add_flag("by-path", false,
+               "submit: send the instance path for server-local reading "
+               "instead of inlining the file contents");
+  cli.add_flag("wait", false, "submit: block until the job is terminal");
+  cli.add_flag("timeout", 0.0, "wait bound in seconds (0 = forever)");
+  cli.add_flag("out", std::string(""),
+               "result/wait: write the best solution to this file");
+  if (!cli.parse(argc, argv)) return 0;
+
+  ABSQ_CHECK(!cli.positional().empty(),
+             "expected an action: submit | status | wait | result | cancel "
+             "| list | ping | metrics | shutdown (see --help)");
+  const std::string action = cli.positional()[0];
+
+  absq::serve::Client client(cli.get_string("host"),
+                             static_cast<int>(cli.get_int("port")));
+
+  if (action == "ping") {
+    const bool alive = client.ping();
+    std::printf("%s\n", alive ? "pong" : "no reply");
+    return alive ? 0 : 1;
+  }
+  if (action == "list") {
+    const Json reply = client.list();
+    const Json& jobs = reply.at("jobs");
+    std::printf("%zu job(s), %" PRId64 " queued, %" PRId64 " running\n",
+                jobs.size(), reply.get_int("queue_depth", 0),
+                reply.get_int("running", 0));
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      print_status(absq::serve::job_from_json(jobs.at(i)));
+    }
+    return 0;
+  }
+  if (action == "metrics") {
+    std::printf("%s", client.metrics().c_str());
+    return 0;
+  }
+  if (action == "shutdown") {
+    client.shutdown_server();
+    std::printf("server draining\n");
+    return 0;
+  }
+  if (action == "status") {
+    print_status(client.status(id_argument(cli)));
+    return 0;
+  }
+  if (action == "cancel") {
+    const JobId id = id_argument(cli);
+    const bool took_effect = client.cancel(id);
+    print_status(client.status(id));
+    std::printf("%s\n", took_effect ? "cancel requested"
+                                    : "job was already terminal");
+    return 0;
+  }
+  if (action == "wait") {
+    const JobId id = id_argument(cli);
+    const JobStatus status = client.wait(id, cli.get_double("timeout"));
+    if (!absq::serve::is_terminal(status.state)) {
+      print_status(status);
+      std::fprintf(stderr, "absq_client: wait timed out\n");
+      return 4;
+    }
+    return report_result(client, id, cli.get_string("out"));
+  }
+  if (action == "result") {
+    return report_result(client, id_argument(cli), cli.get_string("out"));
+  }
+  ABSQ_CHECK(action == "submit", "unknown action '" << action
+                                                    << "' (see --help)");
+
+  ABSQ_CHECK(cli.positional().size() == 2,
+             "submit expects exactly one instance file (see --help)");
+  const std::string path = cli.positional()[1];
+  Json request = Json::object();
+  if (cli.get_bool("by-path")) {
+    request.set("file", path);
+  } else {
+    request.set("problem", slurp_file(path));
+  }
+  request.set("format", cli.get_string("format"));
+  if (const double seconds = cli.get_double("seconds"); seconds > 0.0) {
+    request.set("seconds", seconds);
+  }
+  if (const std::string target = cli.get_string("target"); !target.empty()) {
+    request.set("target", static_cast<std::int64_t>(std::stoll(target)));
+  }
+  if (const std::int64_t flips = cli.get_int("max-flips"); flips > 0) {
+    request.set("max_flips", flips);
+  }
+  request.set("seed", cli.get_int("seed"));
+  request.set("priority", cli.get_int("priority"));
+  if (const std::string name = cli.get_string("name"); !name.empty()) {
+    request.set("name", name);
+  }
+  if (const std::string resume = cli.get_string("resume"); !resume.empty()) {
+    request.set("resume_from", resume);
+  }
+
+  const JobId id = client.submit(std::move(request));
+  std::printf("submitted job %" PRIu64 "\n", id);
+  if (!cli.get_bool("wait")) return 0;
+
+  const JobStatus status = client.wait(id, cli.get_double("timeout"));
+  if (!absq::serve::is_terminal(status.state)) {
+    print_status(status);
+    std::fprintf(stderr, "absq_client: wait timed out\n");
+    return 4;
+  }
+  return report_result(client, id, cli.get_string("out"));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const absq::CliUsageError&) {
+    return absq::kUsageExitCode;  // parse already printed usage to stderr
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "absq_client: %s\n", error.what());
+    return 1;
+  }
+}

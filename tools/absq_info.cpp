@@ -78,6 +78,8 @@ int run(int argc, char** argv) {
 int main(int argc, char** argv) {
   try {
     return run(argc, argv);
+  } catch (const absq::CliUsageError&) {
+    return absq::kUsageExitCode;  // parse already printed usage to stderr
   } catch (const std::exception& error) {
     std::fprintf(stderr, "absq_info: %s\n", error.what());
     return 1;
