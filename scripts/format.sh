@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Formatting gate.
+#
+#   scripts/format.sh            rewrite files in place
+#   scripts/format.sh --check    verify only (exit 1 on any violation)
+#
+# Two layers:
+#   1. clang-format with the repo's .clang-format — when the tool exists.
+#      Toolchains without clang-format (the minimal CI/container image)
+#      skip this layer with a notice rather than failing, so the gate
+#      stays runnable everywhere; the CI format job uses an image that
+#      has it.
+#   2. Built-in hygiene checks that need no external tool and always run:
+#      no tabs in C++ sources, no trailing whitespace, no CRLF endings,
+#      every file ends with exactly one newline. In fix mode these are
+#      repaired in place.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MODE="fix"
+if [[ "${1:-}" == "--check" ]]; then
+  MODE="check"
+elif [[ -n "${1:-}" ]]; then
+  echo "usage: scripts/format.sh [--check]" >&2
+  exit 2
+fi
+
+mapfile -t FILES < <(git ls-files '*.cpp' '*.hpp')
+
+STATUS=0
+
+# --- layer 1: clang-format ---------------------------------------------------
+if command -v clang-format >/dev/null 2>&1; then
+  if [[ "$MODE" == "check" ]]; then
+    if ! clang-format --dry-run -Werror "${FILES[@]}"; then
+      echo "format.sh: clang-format violations (run scripts/format.sh)" >&2
+      STATUS=1
+    fi
+  else
+    clang-format -i "${FILES[@]}"
+  fi
+else
+  echo "format.sh: clang-format not found — skipping layer 1 (hygiene checks still run)"
+fi
+
+# --- layer 2: built-in hygiene ----------------------------------------------
+HYGIENE=0
+python3 - "$MODE" "${FILES[@]}" <<'PY' || HYGIENE=$?
+import sys
+
+mode, files = sys.argv[1], sys.argv[2:]
+failed = False
+
+for path in files:
+    with open(path, "rb") as f:
+        data = f.read()
+    problems = []
+    if b"\t" in data:
+        problems.append("tab character")
+    if b"\r" in data:
+        problems.append("CR line ending")
+    if any(line != line.rstrip() for line in data.decode("utf-8").split("\n")):
+        problems.append("trailing whitespace")
+    if data and not data.endswith(b"\n"):
+        problems.append("missing final newline")
+    if data.endswith(b"\n\n"):
+        problems.append("multiple final newlines")
+    if not problems:
+        continue
+    if mode == "check":
+        print(f"{path}: {', '.join(problems)}", file=sys.stderr)
+        failed = True
+    else:
+        text = data.decode("utf-8").replace("\r\n", "\n").replace("\r", "\n")
+        lines = [line.rstrip().replace("\t", "    ") for line in text.split("\n")]
+        while lines and lines[-1] == "":
+            lines.pop()
+        with open(path, "wb") as f:
+            f.write(("\n".join(lines) + "\n").encode("utf-8"))
+        print(f"{path}: fixed {', '.join(problems)}")
+
+if failed:
+    print("format.sh: hygiene violations (run scripts/format.sh)", file=sys.stderr)
+    sys.exit(1)
+PY
+if [[ $HYGIENE -ne 0 ]]; then
+  STATUS=1
+fi
+
+if [[ "$MODE" == "check" && $STATUS -eq 0 ]]; then
+  echo "format.sh: ${#FILES[@]} files clean"
+fi
+exit $STATUS

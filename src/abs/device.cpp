@@ -1,4 +1,8 @@
 #include "abs/device.hpp"
+// absq-lint: allow-file(relaxed-order) — flips_/iterations_/target_misses_
+// are monotonic statistics counters read independently of the data they
+// describe (Fig. 5 counter protocol), and the stop flag only needs
+// eventual visibility; none of them publish other memory.
 
 #include <algorithm>
 #include <string>

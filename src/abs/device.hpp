@@ -1,4 +1,6 @@
 // Device — one simulated GPU running many SearchBlocks (Section 3.2).
+// absq-lint: allow-file(relaxed-order) — see device.cpp: monotonic
+// statistics counters plus a visibility-only stop flag.
 //
 // The paper's GPU keeps `active_blocks` CUDA blocks resident (the Table 2
 // occupancy arithmetic) and lets each run its Step 2–5 loop asynchronously

@@ -8,7 +8,7 @@ namespace absq {
 BitIndex SearchBlock::staggered_offset() const {
   // Stagger window offsets across blocks so co-scheduled blocks with equal
   // l do not walk identical flip sequences.
-  return static_cast<BitIndex>((config_.block_id * 97) % w_->size());
+  return (config_.block_id * 97u) % w_->size();
 }
 
 SearchBlock::SearchBlock(const WeightMatrix& w, const Config& config)

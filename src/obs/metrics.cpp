@@ -46,8 +46,8 @@ std::string Labels::prometheus() const {
 
 void Histogram::observe(std::uint64_t v) {
   Shard& shard = shards_[thread_shard()];
-  const auto bucket = std::min<std::size_t>(
-      static_cast<std::size_t>(std::bit_width(v)), kBuckets - 1);
+  const std::uint64_t width = std::bit_width(v);
+  const auto bucket = std::min<std::size_t>(width, kBuckets - 1);
   shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
   shard.count.fetch_add(1, std::memory_order_relaxed);
   shard.sum.fetch_add(v, std::memory_order_relaxed);

@@ -130,7 +130,11 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
     if (e.arg_name != nullptr) {
       out += ",\"args\":{";
       append_json_string(out, e.arg_name);
-      out += ":" + std::to_string(e.arg_value) + "}";
+      // Built up piecewise: `"x" + std::to_string(...)` trips a GCC 12
+      // -Wrestrict false positive (PR105651) under -Werror.
+      out += ':';
+      out += std::to_string(e.arg_value);
+      out += '}';
     }
     out += i + 1 < events.size() ? "},\n" : "}\n";
   }

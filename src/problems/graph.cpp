@@ -111,10 +111,10 @@ WeightedGraph toroidal_neighborhood_graph(BitIndex rows, BitIndex cols,
     for (BitIndex c = 0; c < cols; ++c) {
       for (std::size_t ring = 0; ring < rings; ++ring) {
         const auto [dr, dc] = kOffsets[ring];
-        const BitIndex rr = static_cast<BitIndex>(
-            (r + static_cast<BitIndex>(dr + static_cast<int>(rows))) % rows);
-        const BitIndex cc = static_cast<BitIndex>(
-            (c + static_cast<BitIndex>(dc + static_cast<int>(cols))) % cols);
+        const BitIndex rr =
+            (r + static_cast<BitIndex>(dr + static_cast<int>(rows))) % rows;
+        const BitIndex cc =
+            (c + static_cast<BitIndex>(dc + static_cast<int>(cols))) % cols;
         edges.push_back(Edge{id(r, c), id(rr, cc), draw_weight(weights, rng)});
       }
     }

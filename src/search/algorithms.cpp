@@ -17,7 +17,7 @@ Energy instrumented_full_energy(const WeightMatrix& w, const BitVector& x,
     const auto row = w.row(i);
     for (const BitIndex j : set_bits) total += row[j];
   }
-  stats.ops += static_cast<std::uint64_t>(set_bits.size()) * set_bits.size();
+  stats.ops += std::uint64_t{set_bits.size()} * set_bits.size();
   ++stats.evaluated_solutions;
   return total;
 }

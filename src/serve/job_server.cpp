@@ -142,6 +142,7 @@ void JobServer::accept_loop() {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       break;
     }
+    // absq-lint: allow(relaxed-order) — monotonic statistic, no ordering.
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
 
     timeval timeout{};
@@ -181,7 +182,14 @@ void JobServer::serve_connection(Connection* connection) {
     if (n == 0) break;  // peer closed
     if (n < 0) {
       if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // EWOULDBLOCK aliases EAGAIN on Linux; comparing both trips
+      // -Wlogical-op, so only check the alias where it is distinct.
+      const bool would_block = errno == EAGAIN
+#if EWOULDBLOCK != EAGAIN
+                               || errno == EWOULDBLOCK
+#endif
+          ;
+      if (would_block) {
         idle_seconds += kPollMs / 1000.0;
         if (idle_seconds >= config_.idle_timeout_seconds) break;
         continue;

@@ -72,6 +72,7 @@ class JobServer {
 
   /// Connections served so far (accepted, including already-closed ones).
   [[nodiscard]] std::uint64_t connections_accepted() const {
+    // absq-lint: allow(relaxed-order) — monotonic statistic, no ordering.
     return connections_accepted_.load(std::memory_order_relaxed);
   }
 

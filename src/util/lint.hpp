@@ -1,0 +1,55 @@
+// absq_lint — the project-invariant checker behind `tools/absq_lint` and
+// tier 4 of scripts/analyze.sh.
+//
+// Generic analyzers (clang-tidy, sanitizers) cannot know this project's
+// rules: which files are allowed to use relaxed atomics, which functions
+// are hot paths that must never block, or that every error type has to
+// plug into the CheckError hierarchy so the serving layer can map it to a
+// wire code. Those invariants live here, as a small AST-lite scanner:
+// comments and literals are stripped, then each rule runs over the
+// remaining tokens. Findings carry stable diagnostic codes (ABSQ001…)
+// that the self-test (tests/test_lint.cpp) pins.
+//
+// Suppressions, both with a mandatory trailing rationale:
+//   // absq-lint: allow(<rule-name>) <why>        — this line + the next
+//   // absq-lint: allow-file(<rule-name>) <why>   — the whole file
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace absq::lint {
+
+/// One finding. `code` is stable across releases; tooling may key off it.
+struct Diagnostic {
+  std::string code;     ///< e.g. "ABSQ002"
+  std::string file;     ///< repo-relative path, forward slashes
+  std::size_t line = 0; ///< 1-based
+  std::string message;
+};
+
+/// Static description of a rule, for `absq_lint --list-rules` and docs.
+struct RuleInfo {
+  const char* code;    ///< "ABSQ001"
+  const char* name;    ///< suppression key, e.g. "naked-new"
+  const char* summary; ///< one line, what the rule enforces
+};
+
+/// All registered rules, in code order.
+const std::vector<RuleInfo>& rules();
+
+/// Lint one file. `path` must be repo-relative with forward slashes —
+/// several rules key off directory prefixes (e.g. src/obs/).
+std::vector<Diagnostic> lint_file(std::string_view path,
+                                  std::string_view content);
+
+/// Blank out comments and string/char literals (newlines kept so line
+/// numbers survive). Exposed for the self-test.
+std::string strip_comments_and_strings(std::string_view src);
+
+/// "file:line: [CODE] message" — the one format printed by the CLI.
+std::string format_diagnostic(const Diagnostic& d);
+
+}  // namespace absq::lint

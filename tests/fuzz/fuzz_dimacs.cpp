@@ -1,0 +1,19 @@
+// Fuzz target: the DIMACS CNF reader (problems/sat.cpp).
+// Property: parse or throw CheckError, never crash or hang.
+#include <sstream>
+#include <string>
+
+#include "fuzz_target.hpp"
+#include "problems/sat.hpp"
+#include "util/check.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    std::istringstream in(text);
+    (void)absq::read_dimacs(in);
+  } catch (const absq::CheckError&) {
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Fuzz target: the serving layer's strict JSON codec (serve/json.cpp) —
+// the first parser every byte from the network hits. Property: parse()
+// either returns a value or throws JsonError; a successful parse must
+// survive dump() → parse() round-tripping.
+#include <string>
+
+#include "fuzz_target.hpp"
+#include "serve/json.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const absq::serve::Json value = absq::serve::Json::parse(text);
+    // Round-trip: dump() of a parsed value is a single line that parses
+    // back. (Catches escaping bugs the parse alone would miss.)
+    const std::string dumped = value.dump();
+    if (dumped.find('\n') != std::string::npos) __builtin_trap();
+    (void)absq::serve::Json::parse(dumped);
+  } catch (const absq::serve::JsonError&) {
+    // Malformed input is rejected with the typed error — expected.
+  }
+  return 0;
+}

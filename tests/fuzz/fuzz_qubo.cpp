@@ -1,0 +1,25 @@
+// Fuzz target: the QUBO instance reader (qubo/io.cpp) plus the stored
+// solution reader — the parsers behind absq_solve/absq_serve file
+// submissions. Property: parse or throw CheckError, never crash or hang.
+#include <sstream>
+#include <string>
+
+#include "fuzz_target.hpp"
+#include "qubo/io.hpp"
+#include "util/check.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    std::istringstream in(text);
+    (void)absq::read_qubo(in);
+  } catch (const absq::CheckError&) {
+  }
+  try {
+    std::istringstream in(text);
+    (void)absq::read_solution(in);
+  } catch (const absq::CheckError&) {
+  }
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Shared declaration for the fuzz harnesses (tests/fuzz/fuzz_*.cpp).
+//
+// Each harness defines the libFuzzer entry point below. Under a compiler
+// with -fsanitize=fuzzer the real libFuzzer drives it; everywhere else
+// standalone_main.cpp supplies a main() that replays the checked-in
+// corpus and runs a deterministic mutation loop with the same flag
+// spelling (-runs=, -max_total_time=, -seed=, -max_len=), so one command
+// line works in both worlds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);

@@ -1,0 +1,19 @@
+// Fuzz target: the TSPLIB instance reader (problems/tsp.cpp).
+// Property: parse or throw CheckError, never crash or hang.
+#include <sstream>
+#include <string>
+
+#include "fuzz_target.hpp"
+#include "problems/tsp.hpp"
+#include "util/check.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    std::istringstream in(text);
+    (void)absq::read_tsplib(in);
+  } catch (const absq::CheckError&) {
+  }
+  return 0;
+}

@@ -1,0 +1,225 @@
+// Standalone fuzz driver — a main() for toolchains without libFuzzer.
+//
+// Replays every file of the checked-in corpus, then runs a bounded,
+// fully deterministic mutation loop over it: pick a corpus entry (or
+// start empty), apply 1–8 byte-level edits (flip, insert, delete,
+// duplicate, splice with another entry, truncate), feed the result to
+// LLVMFuzzerTestOneInput. Any crash, sanitizer report, or uncaught
+// exception aborts the process — exactly the signal libFuzzer gives.
+//
+// Flags (libFuzzer spelling, so scripts work under either driver):
+//   -runs=N            mutation iterations (default 100000)
+//   -max_total_time=S  wall-clock budget in seconds (default 0 = no cap)
+//   -seed=X            mutation RNG seed (default 1)
+//   -max_len=L         cap on generated input length (default 4096)
+//   positional args    corpus files or directories (recursed)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz_target.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// xorshift64* — deterministic across platforms, no <random> weight.
+class MutationRng {
+ public:
+  explicit MutationRng(std::uint64_t seed) : state_(seed | 1u) {}
+
+  std::uint64_t next() {
+    state_ ^= state_ >> 12u;
+    state_ ^= state_ << 25u;
+    state_ ^= state_ >> 27u;
+    return state_ * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform in [0, bound); bound must be nonzero.
+  std::size_t below(std::size_t bound) { return next() % bound; }
+
+ private:
+  std::uint64_t state_;
+};
+
+using Input = std::vector<std::uint8_t>;
+
+/// Bytes that tend to matter to text parsers; drawn by the mutator
+/// alongside fully random bytes.
+constexpr std::uint8_t kInteresting[] = {
+    0x00, 0xff, 0x7f, 0x80, '\n', '\r', '\t', ' ',  '"', '\\', '{',  '}',
+    '[',  ']',  ':',  ',',  '-',  '+',  '.',  'e',  'E', '0',  '1',  '9',
+    '#',  'p',  'q',  'c',  'n',  'f',  '\'', 0xc3, 0xe2, 0xf0,
+};
+
+std::uint8_t random_byte(MutationRng& rng) {
+  if (rng.below(2) == 0) {
+    return kInteresting[rng.below(sizeof(kInteresting))];
+  }
+  return static_cast<std::uint8_t>(rng.next() & 0xffu);
+}
+
+void mutate(Input* input, const std::vector<Input>& corpus, MutationRng& rng,
+            std::size_t max_len) {
+  const std::size_t edits = 1 + rng.below(8);
+  for (std::size_t e = 0; e < edits; ++e) {
+    switch (rng.below(6)) {
+      case 0:  // flip / overwrite one byte
+        if (!input->empty()) {
+          (*input)[rng.below(input->size())] = random_byte(rng);
+        }
+        break;
+      case 1:  // insert a few bytes
+        if (input->size() < max_len) {
+          const std::size_t at = rng.below(input->size() + 1);
+          const std::size_t count = 1 + rng.below(8);
+          Input bytes(count);
+          for (std::uint8_t& b : bytes) b = random_byte(rng);
+          input->insert(input->begin() + static_cast<std::ptrdiff_t>(at),
+                        bytes.begin(), bytes.end());
+        }
+        break;
+      case 2:  // delete a range
+        if (!input->empty()) {
+          const std::size_t at = rng.below(input->size());
+          const std::size_t count = 1 + rng.below(input->size() - at);
+          input->erase(input->begin() + static_cast<std::ptrdiff_t>(at),
+                       input->begin() +
+                           static_cast<std::ptrdiff_t>(at + count));
+        }
+        break;
+      case 3:  // duplicate a range in place
+        if (!input->empty() && input->size() < max_len) {
+          const std::size_t at = rng.below(input->size());
+          const std::size_t count =
+              1 + rng.below(std::min<std::size_t>(input->size() - at, 32));
+          const Input copy(input->begin() +
+                               static_cast<std::ptrdiff_t>(at),
+                           input->begin() +
+                               static_cast<std::ptrdiff_t>(at + count));
+          input->insert(input->begin() + static_cast<std::ptrdiff_t>(at),
+                        copy.begin(), copy.end());
+        }
+        break;
+      case 4:  // splice a slice of another corpus entry
+        if (!corpus.empty()) {
+          const Input& other = corpus[rng.below(corpus.size())];
+          if (!other.empty()) {
+            const std::size_t from = rng.below(other.size());
+            const std::size_t count = 1 + rng.below(other.size() - from);
+            const std::size_t at = rng.below(input->size() + 1);
+            input->insert(
+                input->begin() + static_cast<std::ptrdiff_t>(at),
+                other.begin() + static_cast<std::ptrdiff_t>(from),
+                other.begin() + static_cast<std::ptrdiff_t>(from + count));
+          }
+        }
+        break;
+      case 5:  // truncate
+        if (!input->empty()) {
+          input->resize(rng.below(input->size()));
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  if (input->size() > max_len) input->resize(max_len);
+}
+
+void load_corpus(const fs::path& path, std::vector<Input>* corpus) {
+  if (fs::is_directory(path)) {
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::recursive_directory_iterator(path)) {
+      if (entry.is_regular_file()) files.push_back(entry.path());
+    }
+    // Directory iteration order is unspecified; sort for determinism.
+    std::sort(files.begin(), files.end());
+    for (const fs::path& file : files) load_corpus(file, corpus);
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    std::fprintf(stderr, "fuzz: cannot read corpus entry %s\n",
+                 path.string().c_str());
+    std::exit(2);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  corpus->emplace_back(text.begin(), text.end());
+}
+
+bool parse_flag(const char* arg, const char* name, long long* value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  *value = std::atoll(arg + len);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long runs = 100000;
+  long long max_total_time = 0;
+  long long seed = 1;
+  long long max_len = 4096;
+  std::vector<Input> corpus;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (parse_flag(arg, "-runs=", &runs) ||
+        parse_flag(arg, "-max_total_time=", &max_total_time) ||
+        parse_flag(arg, "-seed=", &seed) ||
+        parse_flag(arg, "-max_len=", &max_len)) {
+      continue;
+    }
+    if (arg[0] == '-') {
+      // Ignore other libFuzzer flags so shared scripts keep working.
+      std::fprintf(stderr, "fuzz: ignoring unknown flag %s\n", arg);
+      continue;
+    }
+    load_corpus(arg, &corpus);
+  }
+
+  // Phase 1: corpus replay — every checked-in entry (including regression
+  // reproducers) must pass as-is.
+  for (const Input& entry : corpus) {
+    LLVMFuzzerTestOneInput(entry.data(), entry.size());
+  }
+  std::printf("fuzz: replayed %zu corpus entries\n", corpus.size());
+
+  // Phase 2: bounded deterministic mutation loop.
+  MutationRng rng(static_cast<std::uint64_t>(seed));
+  const auto start = std::chrono::steady_clock::now();
+  long long executed = 0;
+  for (; executed < runs; ++executed) {
+    if (max_total_time > 0 &&
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::steady_clock::now() - start)
+                .count() >= max_total_time) {
+      break;
+    }
+    Input input;
+    if (!corpus.empty() && rng.below(8) != 0) {
+      input = corpus[rng.below(corpus.size())];
+    }
+    mutate(&input, corpus, rng, static_cast<std::size_t>(max_len));
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::printf("fuzz: %lld mutated runs in %.1fs, no crashes\n", executed,
+              elapsed);
+  return 0;
+}

@@ -24,6 +24,7 @@ class CountingPolicy final : public SelectionPolicy {
       : counter_(counter) {}
 
   BitIndex select(const DeltaState& state, Rng& rng) override {
+    // absq-lint: allow(relaxed-order) — test-only call counter.
     counter_->fetch_add(1, std::memory_order_relaxed);
     return static_cast<BitIndex>(rng.below(state.size()));
   }

@@ -4,14 +4,20 @@
 // the library needs from untrusted instance files.)
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <functional>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "ga/pool_io.hpp"
 #include "problems/graph.hpp"
 #include "problems/sat.hpp"
 #include "problems/tsp.hpp"
 #include "qubo/io.hpp"
+#include "serve/json.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -149,6 +155,107 @@ TEST(FuzzParsers, PoolGarbageAndMutations) {
     expect_no_crash(mutate_document(document, rng),
                     [](std::istream& in) { return read_pool(in, 0); });
   }
+}
+
+// --- Regression pins from the sanitized fuzzing campaign (tests/fuzz/) ---
+//
+// The checked-in corpora under tests/fuzz/corpus/ double as the regression
+// suite: any input that ever crashed or hung a parser is added there, and
+// this test replays every entry through its parser in plain tier-1 builds
+// (the fuzz smoke tests replay them sanitized). The named cases below pin
+// the adversarial input *classes* the campaign exercises, so the
+// properties hold even where the corpus files churn.
+
+TEST(FuzzParsers, CorpusReplay) {
+  const std::filesystem::path root(ABSQ_FUZZ_CORPUS_DIR);
+  ASSERT_TRUE(std::filesystem::is_directory(root)) << root;
+  using ParseFn = std::function<void(std::istream&)>;
+  const std::vector<std::pair<std::string, ParseFn>> harnesses = {
+      {"fuzz_qubo", [](std::istream& in) { (void)read_qubo(in); }},
+      {"fuzz_gset", [](std::istream& in) { (void)read_gset(in); }},
+      {"fuzz_tsplib", [](std::istream& in) { (void)read_tsplib(in); }},
+      {"fuzz_dimacs", [](std::istream& in) { (void)read_dimacs(in); }},
+      // Protocol request lines are JSON documents, so both corpora replay
+      // through the codec (garbage entries must throw JsonError, a
+      // CheckError).
+      {"fuzz_json",
+       [](std::istream& in) {
+         std::stringstream buffer;
+         buffer << in.rdbuf();
+         (void)serve::Json::parse(buffer.str());
+       }},
+      {"fuzz_protocol",
+       [](std::istream& in) {
+         std::stringstream buffer;
+         buffer << in.rdbuf();
+         (void)serve::Json::parse(buffer.str());
+       }},
+  };
+  int replayed = 0;
+  for (const auto& [name, parse] : harnesses) {
+    ASSERT_TRUE(std::filesystem::is_directory(root / name)) << root / name;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(root / name)) {
+      if (!entry.is_regular_file()) continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      ASSERT_TRUE(in.good()) << entry.path();
+      try {
+        parse(in);
+      } catch (const CheckError&) {
+        // Rejection is the expected failure mode; anything else escapes
+        // and fails the test.
+      }
+      ++replayed;
+    }
+  }
+  EXPECT_GE(replayed, 30) << "corpus unexpectedly small — seeds missing?";
+}
+
+TEST(FuzzParsers, JsonDeepNestingIsTypedErrorNotStackOverflow) {
+  // Class: recursion-depth attacks. The codec must cut off at its depth
+  // limit with JsonError before the C++ recursion can exhaust the stack.
+  const std::string deep_array(5000, '[');
+  EXPECT_THROW((void)serve::Json::parse(deep_array), serve::JsonError);
+  std::string deep_object;
+  for (int i = 0; i < 5000; ++i) deep_object += "{\"k\":";
+  EXPECT_THROW((void)serve::Json::parse(deep_object), serve::JsonError);
+}
+
+TEST(FuzzParsers, HugeHeaderSizesAreRejectedBeforeAllocation) {
+  // Class: resource-exhaustion via declared sizes. Every reader caps the
+  // declared dimension (kMaxBits) before allocating anything quadratic.
+  const std::string cases[] = {
+      "qubo 99999999999\n",
+      "solution 99999999999 0\n",
+      "p cnf 99999999999 1\n1 0\n",
+  };
+  for (const std::string& text : cases) {
+    std::istringstream qubo_in(text);
+    if (text.rfind("qubo", 0) == 0) {
+      EXPECT_THROW((void)read_qubo(qubo_in), CheckError) << text;
+    } else if (text.rfind("solution", 0) == 0) {
+      EXPECT_THROW((void)read_solution(qubo_in), CheckError) << text;
+    } else {
+      EXPECT_THROW((void)read_dimacs(qubo_in), CheckError) << text;
+    }
+  }
+  std::istringstream gset_in("2000000000 1\n");
+  EXPECT_THROW((void)read_gset(gset_in), CheckError);
+  std::istringstream tsp_in(
+      "DIMENSION : 99999999999\nEDGE_WEIGHT_TYPE : EUC_2D\n"
+      "NODE_COORD_SECTION\nEOF\n");
+  EXPECT_THROW((void)read_tsplib(tsp_in), CheckError);
+}
+
+TEST(FuzzParsers, EmbeddedNulAndHighBytesDoNotConfuseParsers) {
+  // Class: binary bytes inside a text stream (the mutation driver inserts
+  // them constantly). Parse-or-CheckError, never a crash or foreign throw.
+  std::string nul_doc("qubo 4\n0 \0 1 2\n", 15);
+  expect_no_crash(nul_doc, [](std::istream& in) { return read_qubo(in); });
+  std::string high_doc = "p cnf 2 1\n\xff\xfe 0\n";
+  expect_no_crash(high_doc, [](std::istream& in) { return read_dimacs(in); });
+  EXPECT_THROW((void)serve::Json::parse(std::string("\xff\x00\x81", 3)),
+               serve::JsonError);
 }
 
 TEST(FuzzParsers, EmptyAndHeaderOnlyPoolsAreTypedErrors) {

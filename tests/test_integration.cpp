@@ -71,7 +71,7 @@ TEST(Integration, PartitionSolveFindsPerfectSplit) {
   const PartitionQubo qubo = partition_to_qubo(numbers);
 
   AbsConfig config = test_config();
-  config.device.local_steps = static_cast<std::uint64_t>(numbers.size());
+  config.device.local_steps = std::uint64_t{numbers.size()};
   AbsSolver solver(qubo.w, config);
   StopCriteria stop;
   // Perfect split for even totals, difference 1 otherwise.

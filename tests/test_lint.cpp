@@ -1,0 +1,314 @@
+// Self-test for the absq_lint invariant checker: every rule must fire on a
+// known-bad snippet with its stable diagnostic code, stay quiet on the
+// equivalent good code, and honour both suppression scopes. The codes
+// asserted here are pinned — tooling keys off them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/lint.hpp"
+
+namespace absq::lint {
+namespace {
+
+std::vector<std::string> codes(const std::vector<Diagnostic>& diagnostics) {
+  std::vector<std::string> out;
+  out.reserve(diagnostics.size());
+  for (const Diagnostic& d : diagnostics) out.push_back(d.code);
+  return out;
+}
+
+bool fires(std::string_view path, std::string_view content,
+           const std::string& code) {
+  const auto diagnostics = lint_file(path, content);
+  const auto c = codes(diagnostics);
+  return std::find(c.begin(), c.end(), code) != c.end();
+}
+
+// ---------------------------------------------------------------------------
+// ABSQ001 — naked new/delete
+// ---------------------------------------------------------------------------
+
+TEST(LintNakedNew, FiresOnNakedNewAndDelete) {
+  EXPECT_TRUE(fires("src/foo.cpp", "int* p = new int(3);\n", "ABSQ001"));
+  EXPECT_TRUE(fires("src/foo.cpp", "void f(int* p) { delete p; }\n",
+                    "ABSQ001"));
+  EXPECT_TRUE(fires("src/foo.cpp", "void f(int* p) { delete[] p; }\n",
+                    "ABSQ001"));
+}
+
+TEST(LintNakedNew, ReportsLineNumber) {
+  const auto diagnostics =
+      lint_file("src/foo.cpp", "int a;\nint b;\nint* p = new int;\n");
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].code, "ABSQ001");
+  EXPECT_EQ(diagnostics[0].line, 3u);
+  EXPECT_EQ(diagnostics[0].file, "src/foo.cpp");
+}
+
+TEST(LintNakedNew, IgnoresDeletedFunctionsAndOperatorOverloads) {
+  EXPECT_FALSE(fires("src/foo.hpp",
+                     "#pragma once\nstruct X { X(const X&) = delete; };\n",
+                     "ABSQ001"));
+  EXPECT_FALSE(fires("src/foo.hpp",
+                     "#pragma once\nstruct X {\n  X& operator=(X&&) =\n"
+                     "      delete;\n};\n",
+                     "ABSQ001"));
+  EXPECT_FALSE(fires("src/foo.cpp",
+                     "void* operator new(std::size_t n);\n"
+                     "void operator delete(void* p) noexcept;\n",
+                     "ABSQ001"));
+}
+
+TEST(LintNakedNew, IgnoresCommentsStringsAndIdentifiers) {
+  EXPECT_FALSE(fires("src/foo.cpp", "// a new day, delete nothing\n",
+                     "ABSQ001"));
+  EXPECT_FALSE(fires("src/foo.cpp",
+                     "const char* s = \"no new submissions\";\n", "ABSQ001"));
+  EXPECT_FALSE(fires("src/foo.cpp", "int renewed = new_value();\n",
+                     "ABSQ001"));
+}
+
+// ---------------------------------------------------------------------------
+// ABSQ002 — relaxed memory order
+// ---------------------------------------------------------------------------
+
+constexpr const char* kRelaxedSnippet =
+    "void f(std::atomic<int>& a) {\n"
+    "  a.fetch_add(1, std::memory_order_relaxed);\n"
+    "}\n";
+
+TEST(LintRelaxedOrder, FiresOutsideAllowedPaths) {
+  EXPECT_TRUE(fires("src/serve/foo.cpp", kRelaxedSnippet, "ABSQ002"));
+  EXPECT_TRUE(fires("tests/test_foo.cpp", kRelaxedSnippet, "ABSQ002"));
+}
+
+TEST(LintRelaxedOrder, AllowedInObsAndMailbox) {
+  EXPECT_FALSE(fires("src/obs/metrics.cpp", kRelaxedSnippet, "ABSQ002"));
+  EXPECT_FALSE(fires("src/sim/mailbox.cpp", kRelaxedSnippet, "ABSQ002"));
+  EXPECT_FALSE(fires("src/sim/mailbox.hpp", kRelaxedSnippet, "ABSQ002"));
+}
+
+// ---------------------------------------------------------------------------
+// ABSQ003 — blocking calls in hot paths
+// ---------------------------------------------------------------------------
+
+TEST(LintHotPath, FiresOnSleepInIterateBlock) {
+  const std::string body =
+      "void Device::iterate_block(std::size_t i, std::size_t w) {\n"
+      "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+      "}\n";
+  EXPECT_TRUE(fires("src/abs/device.cpp", body, "ABSQ003"));
+}
+
+TEST(LintHotPath, FiresOnPoolIoAndSocketCalls) {
+  const std::string pool =
+      "sim::ReportedSolution SearchBlock::iterate(const BitVector& t) {\n"
+      "  write_pool_file(path, pool);\n"
+      "}\n";
+  EXPECT_TRUE(fires("src/abs/search_block.cpp", pool, "ABSQ003"));
+  const std::string socket =
+      "void Device::run_shard(std::size_t w, const std::atomic<bool>* s) {\n"
+      "  ::send(fd, buffer, n, 0);\n"
+      "}\n";
+  EXPECT_TRUE(fires("src/abs/device.cpp", socket, "ABSQ003"));
+}
+
+TEST(LintHotPath, QuietOutsideHotFunctionsAndFiles) {
+  // Same call in a cold function of the same file: fine.
+  const std::string cold =
+      "void Device::start() {\n"
+      "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+      "}\n";
+  EXPECT_FALSE(fires("src/abs/device.cpp", cold, "ABSQ003"));
+  // Hot-looking function in a file the rule does not govern: fine.
+  const std::string other_file =
+      "void Device::iterate_block(std::size_t i, std::size_t w) {\n"
+      "  ::recv(fd, buffer, n, 0);\n"
+      "}\n";
+  EXPECT_FALSE(fires("src/serve/foo.cpp", other_file, "ABSQ003"));
+}
+
+TEST(LintHotPath, DeclarationDoesNotConfuseBodyTracking) {
+  const std::string decl_then_def =
+      "void Device::iterate_block(std::size_t, std::size_t);\n"
+      "void Device::iterate_block(std::size_t i, std::size_t w) {\n"
+      "  ::recv(fd, buffer, n, 0);\n"
+      "}\n";
+  EXPECT_TRUE(fires("src/abs/device.cpp", decl_then_def, "ABSQ003"));
+}
+
+// ---------------------------------------------------------------------------
+// ABSQ004 — error hierarchy
+// ---------------------------------------------------------------------------
+
+TEST(LintErrorHierarchy, FiresOnOrphanErrorTypes) {
+  EXPECT_TRUE(fires("src/foo.hpp", "#pragma once\nclass LostError {};\n",
+                    "ABSQ004"));
+  EXPECT_TRUE(fires("src/foo.hpp",
+                    "#pragma once\nclass BadError : public Widget {};\n",
+                    "ABSQ004"));
+  // std::exception is too broad — join a typed root instead.
+  EXPECT_TRUE(fires("src/foo.hpp",
+                    "#pragma once\n"
+                    "class VagueError : public std::exception {};\n",
+                    "ABSQ004"));
+  // Private inheritance breaks catch-by-base.
+  EXPECT_TRUE(fires("src/foo.hpp",
+                    "#pragma once\nclass HiddenError : CheckError {};\n",
+                    "ABSQ004"));
+}
+
+TEST(LintErrorHierarchy, AcceptsTypedHierarchy) {
+  EXPECT_FALSE(fires("src/foo.hpp",
+                     "#pragma once\n"
+                     "class FooError : public CheckError {\n"
+                     " public:\n"
+                     "  explicit FooError(const std::string& w);\n"
+                     "};\n",
+                     "ABSQ004"));
+  EXPECT_FALSE(fires("src/foo.hpp",
+                     "#pragma once\n"
+                     "class IoError : public std::runtime_error {};\n",
+                     "ABSQ004"));
+  EXPECT_FALSE(fires("src/foo.hpp",
+                     "#pragma once\nstruct WireError : JsonError {};\n",
+                     "ABSQ004"));
+}
+
+TEST(LintErrorHierarchy, IgnoresForwardDeclarationsAndOtherNames) {
+  EXPECT_FALSE(fires("src/foo.hpp", "#pragma once\nclass FooError;\n",
+                     "ABSQ004"));
+  EXPECT_FALSE(fires("src/foo.hpp", "#pragma once\nclass ErrorLog {};\n",
+                     "ABSQ004"));
+}
+
+// ---------------------------------------------------------------------------
+// ABSQ005 — include hygiene
+// ---------------------------------------------------------------------------
+
+TEST(LintIncludeHygiene, RequiresPragmaOnce) {
+  EXPECT_TRUE(fires("src/foo.hpp", "int x;\n", "ABSQ005"));
+  EXPECT_FALSE(fires("src/foo.hpp", "// banner comment\n#pragma once\n"
+                                    "int x;\n",
+                     "ABSQ005"));
+  // .cpp files are exempt.
+  EXPECT_FALSE(fires("src/foo.cpp", "int x;\n", "ABSQ005"));
+}
+
+TEST(LintIncludeHygiene, FiresOnUsingNamespaceInHeader) {
+  EXPECT_TRUE(fires("src/foo.hpp",
+                    "#pragma once\nusing namespace std;\n", "ABSQ005"));
+  EXPECT_FALSE(fires("src/foo.cpp", "using namespace std::chrono;\n",
+                     "ABSQ005"));
+  // Type aliases are fine.
+  EXPECT_FALSE(fires("src/foo.hpp",
+                     "#pragma once\nusing Energy = std::int64_t;\n",
+                     "ABSQ005"));
+}
+
+TEST(LintIncludeHygiene, FiresOnAngleProjectIncludesAndParentPaths) {
+  EXPECT_TRUE(fires("src/foo.hpp",
+                    "#pragma once\n#include <qubo/energy.hpp>\n",
+                    "ABSQ005"));
+  EXPECT_TRUE(fires("src/foo.hpp",
+                    "#pragma once\n#include \"../qubo/energy.hpp\"\n",
+                    "ABSQ005"));
+  EXPECT_FALSE(fires("src/foo.hpp",
+                     "#pragma once\n#include <vector>\n"
+                     "#include <gtest/gtest.h>\n"
+                     "#include \"qubo/energy.hpp\"\n",
+                     "ABSQ005"));
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+TEST(LintSuppressions, LineAllowCoversSameAndNextLine) {
+  const std::string same_line =
+      "void f(std::atomic<int>& a) {\n"
+      "  a.fetch_add(1, std::memory_order_relaxed);"
+      "  // absq-lint: allow(relaxed-order) stat only\n"
+      "}\n";
+  EXPECT_FALSE(fires("src/foo.cpp", same_line, "ABSQ002"));
+  const std::string line_above =
+      "void f(std::atomic<int>& a) {\n"
+      "  // absq-lint: allow(relaxed-order) stat only\n"
+      "  a.fetch_add(1, std::memory_order_relaxed);\n"
+      "}\n";
+  EXPECT_FALSE(fires("src/foo.cpp", line_above, "ABSQ002"));
+}
+
+TEST(LintSuppressions, LineAllowDoesNotLeakFurtherDown) {
+  const std::string leaky =
+      "// absq-lint: allow(relaxed-order) too far away\n"
+      "int x;\nint y;\n"
+      "void f(std::atomic<int>& a) {\n"
+      "  a.fetch_add(1, std::memory_order_relaxed);\n"
+      "}\n";
+  EXPECT_TRUE(fires("src/foo.cpp", leaky, "ABSQ002"));
+}
+
+TEST(LintSuppressions, FileAllowCoversWholeFileOneRuleOnly) {
+  const std::string content =
+      "// absq-lint: allow-file(relaxed-order) counters only\n"
+      "void f(std::atomic<int>& a) {\n"
+      "  a.fetch_add(1, std::memory_order_relaxed);\n"
+      "  int* p = new int;\n"
+      "}\n";
+  EXPECT_FALSE(fires("src/foo.cpp", content, "ABSQ002"));
+  EXPECT_TRUE(fires("src/foo.cpp", content, "ABSQ001"));  // not suppressed
+}
+
+// ---------------------------------------------------------------------------
+// Stripper + plumbing
+// ---------------------------------------------------------------------------
+
+TEST(LintStripper, PreservesLineStructure) {
+  const std::string src = "int a; // comment\n\"str\ning?\"\n/* b\nc */ int d;\n";
+  const std::string stripped = strip_comments_and_strings(src);
+  EXPECT_EQ(std::count(src.begin(), src.end(), '\n'),
+            std::count(stripped.begin(), stripped.end(), '\n'));
+  EXPECT_EQ(stripped.find("comment"), std::string::npos);
+  EXPECT_NE(stripped.find("int a;"), std::string::npos);
+  EXPECT_NE(stripped.find("int d;"), std::string::npos);
+}
+
+TEST(LintStripper, HandlesRawStringsAndCharLiterals) {
+  const std::string src =
+      "auto s = R\"json({\"new\": 1})json\";\n"
+      "char c = 'x';\nint kept = 1;\n";
+  const std::string stripped = strip_comments_and_strings(src);
+  EXPECT_EQ(stripped.find("new"), std::string::npos);
+  EXPECT_NE(stripped.find("kept"), std::string::npos);
+  EXPECT_FALSE(fires("src/foo.cpp", src, "ABSQ001"));
+}
+
+TEST(LintPlumbing, RuleTableIsStable) {
+  const auto& table = rules();
+  ASSERT_EQ(table.size(), 5u);
+  EXPECT_STREQ(table[0].code, "ABSQ001");
+  EXPECT_STREQ(table[0].name, "naked-new");
+  EXPECT_STREQ(table[1].code, "ABSQ002");
+  EXPECT_STREQ(table[2].code, "ABSQ003");
+  EXPECT_STREQ(table[3].code, "ABSQ004");
+  EXPECT_STREQ(table[4].code, "ABSQ005");
+}
+
+TEST(LintPlumbing, FormatIsGrepFriendly) {
+  const Diagnostic d{"ABSQ001", "src/foo.cpp", 7, "naked `new`"};
+  EXPECT_EQ(format_diagnostic(d), "src/foo.cpp:7: [ABSQ001] naked `new`");
+}
+
+TEST(LintPlumbing, DiagnosticsSortedByLine) {
+  const auto diagnostics = lint_file(
+      "src/foo.cpp", "int* q = new int;\nint x;\nint* p = new int;\n");
+  ASSERT_EQ(diagnostics.size(), 2u);
+  EXPECT_LT(diagnostics[0].line, diagnostics[1].line);
+}
+
+}  // namespace
+}  // namespace absq::lint

@@ -99,7 +99,9 @@ TEST_P(PoolCapacitySweep, InvariantsUnderRandomTraffic) {
     const Energy energy = rng.range(-200, 200);
     const bool duplicate = pool.contains(bits);
     const bool inserted = pool.insert(bits, energy);
-    if (duplicate) ASSERT_FALSE(inserted);
+    if (duplicate) {
+      ASSERT_FALSE(inserted);
+    }
     if (inserted && energy < best_accepted) best_accepted = energy;
     ASSERT_LE(pool.size(), capacity);
   }

@@ -122,7 +122,9 @@ TEST(SolutionPool, StressRandomOperationsPreserveInvariants) {
     const BitVector candidate = BitVector::random(10, rng);
     const Energy energy = rng.range(-1000, 1000);
     if (pool.insert(candidate, energy)) ++inserted;
-    if (op % 100 == 0) ASSERT_TRUE(pool.check_invariants()) << "op " << op;
+    if (op % 100 == 0) {
+      ASSERT_TRUE(pool.check_invariants()) << "op " << op;
+    }
   }
   EXPECT_TRUE(pool.check_invariants());
   EXPECT_EQ(pool.size(), 16u);

@@ -1,0 +1,109 @@
+// absq_lint — enforce the project invariants no generic analyzer knows
+// (see src/util/lint.hpp for the rule set and suppression syntax).
+//
+//   absq_lint                        # lint src/ tools/ tests/ bench/ examples/
+//   absq_lint src/serve tools/x.cpp  # lint specific dirs/files
+//   absq_lint --list-rules
+//
+// Exit codes: 0 clean, 1 findings, 2 usage error.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp";
+}
+
+void collect(const fs::path& root, const fs::path& arg,
+             std::vector<fs::path>* files) {
+  const fs::path resolved = arg.is_absolute() ? arg : root / arg;
+  if (fs::is_directory(resolved)) {
+    for (const auto& entry : fs::recursive_directory_iterator(resolved)) {
+      if (entry.is_regular_file() && lintable(entry.path())) {
+        files->push_back(entry.path());
+      }
+    }
+  } else if (fs::is_regular_file(resolved)) {
+    files->push_back(resolved);
+  } else {
+    throw absq::CliUsageError("no such file or directory: " + arg.string());
+  }
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  ABSQ_CHECK(in.good(), "cannot read " << path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int run(int argc, char** argv) {
+  absq::CliParser cli(
+      "absq_lint — project-invariant checker (tier 4 of the verification "
+      "gate)");
+  cli.add_flag("root", std::string("."),
+               "repository root; rule paths are resolved relative to it");
+  cli.add_flag("list-rules", false, "print the rule table and exit");
+  if (!cli.parse(argc, argv)) return 0;
+
+  if (cli.get_bool("list-rules")) {
+    for (const absq::lint::RuleInfo& rule : absq::lint::rules()) {
+      std::printf("%s  %-18s %s\n", rule.code, rule.name, rule.summary);
+    }
+    return 0;
+  }
+
+  const fs::path root = fs::canonical(cli.get_string("root"));
+  std::vector<std::string> args(cli.positional());
+  if (args.empty()) {
+    args = {"src", "tools", "tests", "bench", "examples"};
+  }
+
+  std::vector<fs::path> files;
+  for (const std::string& arg : args) collect(root, arg, &files);
+
+  std::size_t findings = 0;
+  for (const fs::path& file : files) {
+    // Rules key off repo-relative forward-slash paths (e.g. src/obs/…).
+    const std::string rel =
+        fs::relative(fs::canonical(file), root).generic_string();
+    const auto diagnostics = absq::lint::lint_file(rel, read_file(file));
+    for (const absq::lint::Diagnostic& d : diagnostics) {
+      std::printf("%s\n", absq::lint::format_diagnostic(d).c_str());
+    }
+    findings += diagnostics.size();
+  }
+
+  if (findings != 0) {
+    std::fprintf(stderr, "absq_lint: %zu finding%s\n", findings,
+                 findings == 1 ? "" : "s");
+    return 1;
+  }
+  std::printf("absq_lint: %zu files clean\n", files.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const absq::CliUsageError&) {
+    return absq::kUsageExitCode;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "absq_lint: %s\n", error.what());
+    return 1;
+  }
+}
