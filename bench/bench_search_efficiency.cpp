@@ -13,8 +13,12 @@
 //   ./bench/bench_search_efficiency [--steps 2000]
 #include <cstdio>
 
+#include "problems/maxcut.hpp"
 #include "problems/random.hpp"
+#include "qubo/delta_state.hpp"
+#include "qubo/kernel.hpp"
 #include "search/algorithms.hpp"
+#include "search/policy.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -75,5 +79,49 @@ int main(int argc, char** argv) {
       "  n × acceptance-rate + warm-up, i.e. O(n) with a small constant.\n"
       "  Algorithm 4's column is the paper's Theorem 1: every policy-driven\n"
       "  flip evaluates all n neighbours for n reads — exactly 1.0.\n");
+
+  // Sparse-kernel extension of the ladder: the CSR form still evaluates
+  // all n neighbours per flip (Theorem 1 holds unchanged) but only reads
+  // degree(k) matrix entries, so matrix reads per evaluated solution drop
+  // *below* 1.0 — to the instance density, modulo initialization warm-up.
+  std::printf("\nSparse kernel (Eq. 16 over CSR) on G-set instances, "
+              "m = %llu window-policy flips\n",
+              static_cast<unsigned long long>(steps));
+  std::printf("%-10s %6s %9s | %14s %14s\n", "instance", "bits", "density",
+              "dense Alg.4", "sparse Alg.4");
+  for (int i = 0; i < 62; ++i) std::putchar('-');
+  std::putchar('\n');
+  for (const auto& spec : absq::gset_catalog()) {
+    if (spec.name != "G1" && spec.name != "G22") continue;
+    const absq::WeightMatrix w =
+        absq::maxcut_to_qubo(absq::generate_gset_instance(spec, 77));
+
+    const auto run_alg4 = [&](absq::KernelOptions::Form form) {
+      absq::KernelOptions options;
+      options.form = form;
+      const absq::QuboKernel kernel(w, options);
+      absq::DeltaState state(kernel);
+      absq::WindowMinDeltaPolicy policy(16);
+      absq::Rng walk_rng(seed + 5);
+      for (std::uint64_t step = 0; step < steps; ++step) {
+        state.flip(policy.select(state, walk_rng));
+      }
+      return static_cast<double>(state.matrix_reads()) /
+             static_cast<double>(state.evaluated_solutions());
+    };
+    const double dense_eff = run_alg4(absq::KernelOptions::Form::kDenseSimd);
+    const double sparse_eff = run_alg4(absq::KernelOptions::Form::kSparse);
+    const absq::QuboKernel plan(
+        w, [] {
+          absq::KernelOptions o;
+          o.form = absq::KernelOptions::Form::kSparse;
+          return o;
+        }());
+    std::printf("%-10s %6u %8.2f%% | %14.3f %14.4f\n", spec.name.c_str(),
+                w.size(), plan.density() * 100.0, dense_eff, sparse_eff);
+  }
+  std::printf(
+      "\nEvaluated solutions are identical in both columns (same walk,\n"
+      "bit-identical kernels); only the matrix-read cost changes.\n");
   return 0;
 }

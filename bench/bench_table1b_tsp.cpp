@@ -47,12 +47,24 @@ int main(int argc, char** argv) {
         (1.0 + spec.paper_target_margin) * static_cast<double>(reference));
 
     const absq::TspQubo qubo = absq::tsp_to_qubo(tsp);
+    // Decode-contract check: with shift == 0 (every catalog stand-in fits
+    // 16-bit exactly) the energy↔length affine map must round-trip
+    // exactly; a nonzero shift means lossy quantization and is surfaced.
+    const absq::Energy target_energy = qubo.energy_for_length(target_length);
+    if (qubo.shift == 0) {
+      ABSQ_CHECK(qubo.length_for_energy(target_energy) == target_length,
+                 "energy_for_length/length_for_energy decode contract "
+                 "violated for " << spec.paper_name);
+    } else {
+      std::printf("%-12s note: build_scaled shift=%d (quantized energies)\n",
+                  spec.paper_name.c_str(), qubo.shift);
+    }
     absq::AbsConfig config;
     config.device.block_limit = 8;
     config.seed = seed + 3;
     config.ga.crossover_prob = 0.7;  // better on permutation structure
     const absq::bench::TtsSummary tts = absq::bench::averaged_tts(
-        qubo.w, config, qubo.energy_for_length(target_length), cap, trials);
+        qubo.w, config, target_energy, cap, trials);
 
     // When no trial reaches the target within the cap (expected for the
     // larger rows: the paper's times assume ~10³× this host's throughput),

@@ -14,27 +14,49 @@
 // measured device, so two runs (with and without the flag) quantify the
 // observability overhead on the flip hot path — recorded in
 // EXPERIMENTS.md, target < 2%.
+//
+// The closing section measures the sparse-kernel speedup on G-set-style
+// Max-Cut instances (dense-SIMD vs CSR kernel on the same device config) —
+// the ≥2× flips/s acceptance gate of the kernel rework. --report <path>
+// appends every measured row to a BenchReport JSONL file
+// (BENCH_throughput.json), which scripts/perfgate.sh diffs across commits.
 #include <cinttypes>
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "abs/device.hpp"
+#include "bench_util.hpp"
 #include "obs/telemetry.hpp"
+#include "problems/maxcut.hpp"
 #include "problems/random.hpp"
+#include "qubo/kernel.hpp"
 #include "sim/throughput_model.hpp"
 #include "util/cli.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
 
+struct Measured {
+  double solutions_per_sec = 0.0;
+  double flips_per_sec = 0.0;
+  std::uint64_t flips = 0;
+  double seconds = 0.0;
+};
+
 /// Measured CPU rate: synchronous block stepping, no targets (pure local
 /// search), `flips` committed flips minimum.
-double measured_rate(const absq::WeightMatrix& w, std::uint32_t bits_per_thread,
-                     std::uint64_t min_flips, absq::obs::Telemetry telemetry) {
+Measured measured_rate(const absq::WeightMatrix& w,
+                       std::uint32_t bits_per_thread, std::uint64_t min_flips,
+                       absq::obs::Telemetry telemetry,
+                       absq::KernelOptions kernel = {}) {
   absq::DeviceConfig config;
   config.bits_per_thread = bits_per_thread;
   config.block_limit = 4;  // CPU: rate is per-flip-dominated, blocks ≈ moot
   config.local_steps = 256;
   config.telemetry = telemetry;
+  config.kernel = kernel;
   absq::Device device(w, config);
   // Warm-up pass (page in the matrix).
   device.step_all_blocks_once();
@@ -43,9 +65,30 @@ double measured_rate(const absq::WeightMatrix& w, std::uint32_t bits_per_thread,
   while (device.total_flips() - start_flips < min_flips) {
     device.step_all_blocks_once();
   }
-  const double seconds = watch.seconds();
-  const auto flips = device.total_flips() - start_flips;
-  return static_cast<double>(flips) * w.size() / seconds;
+  Measured m;
+  m.seconds = watch.seconds();
+  m.flips = device.total_flips() - start_flips;
+  m.flips_per_sec = static_cast<double>(m.flips) / m.seconds;
+  m.solutions_per_sec = m.flips_per_sec * w.size();
+  return m;
+}
+
+void report_row(absq::bench::BenchReport& report, const std::string& row,
+                std::uint64_t seed, const absq::WeightMatrix& w,
+                const Measured& m, const std::string& kernel) {
+  absq::AbsResult result;
+  result.seconds = m.seconds;
+  result.total_flips = m.flips;
+  result.evaluated_solutions = m.flips * w.size();
+  result.search_rate = m.solutions_per_sec;
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", m.flips_per_sec);
+  // auto_form marks where the planner would pick sparse — the rows
+  // scripts/perfgate.sh holds to the ≥2× sparse-vs-dense gate.
+  report.add(row, seed, result, nullptr,
+             {{"kernel", kernel},
+              {"flips_per_sec", buffer},
+              {"auto_form", absq::to_string(absq::QuboKernel(w).form())}});
 }
 
 }  // namespace
@@ -61,7 +104,13 @@ int main(int argc, char** argv) {
   cli.add_flag("telemetry", false,
                "attach metrics registry + tracer to the measured devices "
                "(A/B the observability overhead)");
+  cli.add_flag("report", std::string{},
+               "append measured rows to this BenchReport JSONL file "
+               "(canonical name: BENCH_throughput.json)");
   if (!cli.parse(argc, argv)) return 0;
+
+  absq::bench::BenchReport report(cli.get_string("report"),
+                                  "bench_table2_throughput");
 
   // One registry/tracer across all rows, as a long-lived solver would use.
   absq::obs::MetricsRegistry registry;
@@ -119,11 +168,15 @@ int main(int argc, char** argv) {
          absq::sim::feasible_bits_per_thread_sweep(spec, n)) {
       const auto occ = absq::sim::compute_occupancy(spec, n, p);
       const double modeled = model.solutions_per_second(n, occ, 4);
-      const double measured = measured_rate(w, p, min_flips, telemetry);
+      const Measured measured = measured_rate(w, p, min_flips, telemetry);
       std::printf("%6u %5u %9u %10u | %9.3f | %12.3f %12.3e\n", n, p,
                   occ.threads_per_block, occ.active_blocks, paper_rate(n, p),
-                  modeled / 1e12, measured);
+                  modeled / 1e12, measured.solutions_per_sec);
       std::fflush(stdout);
+      report_row(report,
+                 "random-" + std::to_string(n) + "/p" + std::to_string(p),
+                 static_cast<std::uint64_t>(cli.get_int("seed")), w, measured,
+                 "dense-simd/64-bit (auto)");
     }
   }
   std::printf(
@@ -132,5 +185,51 @@ int main(int argc, char** argv) {
       "bandwidth estimate (see sim/throughput_model.hpp); the measured\n"
       "column is this host's CPU rate, where more bits/thread does not\n"
       "help because one core serializes all simulated blocks.\n");
+
+  // Sparse-kernel section: the same device configuration on G-set-style
+  // Max-Cut instances, dense-SIMD vs CSR kernel. Bit-identical search
+  // trajectories (pinned by the lockstep tests), so the ratio is a pure
+  // throughput statement — the ≥2× acceptance gate of the kernel rework.
+  std::printf("\nSparse (G-set) kernel comparison — dense-simd vs sparse, "
+              "same blocks\n");
+  std::printf("%-10s %6s %9s | %13s %13s | %7s\n", "instance", "bits",
+              "density", "dense flips/s", "sparse flips/s", "ratio");
+  for (int i = 0; i < 70; ++i) std::putchar('-');
+  std::putchar('\n');
+  for (const auto& gspec : absq::gset_catalog()) {
+    if (gspec.name != "G1" && gspec.name != "G22" && gspec.name != "G55") {
+      continue;
+    }
+    if (gspec.vertices > max_bits) {
+      std::printf("%-10s skipped (over --max-bits)\n", gspec.name.c_str());
+      continue;
+    }
+    const absq::WeightMatrix w =
+        absq::maxcut_to_qubo(absq::generate_gset_instance(gspec, 77));
+    absq::KernelOptions dense_kernel;
+    dense_kernel.form = absq::KernelOptions::Form::kDenseSimd;
+    absq::KernelOptions sparse_kernel;
+    sparse_kernel.form = absq::KernelOptions::Form::kSparse;
+    const Measured dense =
+        measured_rate(w, 16, min_flips, telemetry, dense_kernel);
+    const Measured sparse =
+        measured_rate(w, 16, min_flips, telemetry, sparse_kernel);
+    const absq::QuboKernel plan(w, sparse_kernel);
+    std::printf("%-10s %6u %8.2f%% | %13.3e %13.3e | %6.1fx\n",
+                gspec.name.c_str(), w.size(), plan.density() * 100.0,
+                dense.flips_per_sec, sparse.flips_per_sec,
+                sparse.flips_per_sec / dense.flips_per_sec);
+    std::fflush(stdout);
+    const std::string row = "gset-" + gspec.name;
+    report_row(report, row + "/dense-simd",
+               static_cast<std::uint64_t>(cli.get_int("seed")), w, dense,
+               "dense-simd/64-bit");
+    report_row(report, row + "/sparse",
+               static_cast<std::uint64_t>(cli.get_int("seed")), w, sparse,
+               plan.description());
+  }
+  std::printf(
+      "\nThe ratio column is the sparse-kernel speedup at equal search\n"
+      "trajectories; EXPERIMENTS.md records the measured crossover.\n");
   return 0;
 }

@@ -40,7 +40,8 @@ class BenchReport {
 
   void add(const std::string& row, std::uint64_t seed,
            const AbsResult& result,
-           const obs::MetricsRegistry* metrics = nullptr) {
+           const obs::MetricsRegistry* metrics = nullptr,
+           std::vector<std::pair<std::string, std::string>> extra = {}) {
     if (path_.empty()) return;
     std::ofstream out(path_, first_ ? std::ios::trunc : std::ios::app);
     ABSQ_CHECK(out.good(), "cannot open bench report '" << path_ << "'");
@@ -49,6 +50,7 @@ class BenchReport {
     meta.tool = bench_;
     meta.instance = row;
     meta.seed = seed;
+    meta.extra = std::move(extra);
     obs::write_run_report(out, meta, result, metrics);
   }
 

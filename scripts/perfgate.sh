@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# Perf gate over the BENCH_*.json trajectories (BenchReport JSONL).
+#
+#   usage: perfgate.sh <current.json> [<baseline.json>] [--strict]
+#
+# Two checks:
+#
+#   1. Sparse-kernel ratio gate (always on, always hard): within
+#      <current.json>, every G-set instance that has both a dense-simd and
+#      a sparse row AND whose rows are marked auto_form=sparse (the planner
+#      would pick the CSR kernel) must show sparse flips/s ≥ 2× dense-simd
+#      flips/s. Both rows come from the same run on the same host, so the
+#      ratio is host-independent — this is the kernel-rework acceptance
+#      criterion, and it tracks the planner policy: instances above the
+#      density crossover (e.g. G1 at 6%) are reported but not gated.
+#
+#   2. Snapshot regression diff (when <baseline.json> is given): any row
+#      present in both files whose search_rate dropped by more than 10%
+#      is flagged. Absolute rates are host-dependent, so this is warn-only
+#      by default; pass --strict (same-host comparisons, e.g. a perf lab
+#      box) to turn flags into failures.
+#
+# Rows are keyed "<instance>/<kernel-form>" (e.g. "gset-G22/sparse"); the
+# rate is the `search_rate` field of the result line — evaluated solutions
+# per second, the paper's metric.
+set -euo pipefail
+
+usage() {
+  sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//'
+  exit 2
+}
+
+current=""
+baseline=""
+strict=0
+for arg in "$@"; do
+  case "$arg" in
+    --strict) strict=1 ;;
+    --help|-h) usage ;;
+    *)
+      if [[ -z "$current" ]]; then current="$arg"
+      elif [[ -z "$baseline" ]]; then baseline="$arg"
+      else usage; fi
+      ;;
+  esac
+done
+[[ -n "$current" ]] || usage
+[[ -f "$current" ]] || { echo "perfgate: no such file: $current" >&2; exit 2; }
+
+# "<instance> <search_rate> <auto_form>" triples from a BenchReport JSONL
+# file: each meta line names the row (and carries the planner's auto_form
+# pick, "-" when absent), the following result line carries the rate.
+extract_rates() {
+  awk '
+    /"type":"meta"/ {
+      inst = ""
+      autoform = "-"
+      if (match($0, /"instance":"[^"]*"/)) {
+        inst = substr($0, RSTART + 12, RLENGTH - 13)
+      }
+      if (match($0, /"auto_form":"[^"]*"/)) {
+        autoform = substr($0, RSTART + 13, RLENGTH - 14)
+      }
+    }
+    /"type":"result"/ {
+      if (inst != "" && match($0, /"search_rate":[0-9.eE+-]+/)) {
+        print inst, substr($0, RSTART + 14, RLENGTH - 14), autoform
+        inst = ""
+      }
+    }
+  ' "$1"
+}
+
+fail=0
+
+# --- 1. sparse ≥ 2× dense-simd on every G-set instance ---------------------
+ratio_report=$(extract_rates "$current" | awk '
+  $1 ~ /^gset-[^\/]*\/dense-simd$/ { sub(/\/dense-simd$/, "", $1); dense[$1] = $2 }
+  $1 ~ /^gset-[^\/]*\/sparse$/ {
+    sub(/\/sparse$/, "", $1); sparse[$1] = $2; form[$1] = $3
+  }
+  END {
+    pairs = 0
+    for (inst in sparse) {
+      if (!(inst in dense) || dense[inst] <= 0) continue
+      ratio = sparse[inst] / dense[inst]
+      if (form[inst] != "sparse") {
+        printf "skip %s sparse/dense = %.2fx (planner picks %s here; not gated)\n",
+               inst, ratio, form[inst]
+        continue
+      }
+      ++pairs
+      status = (ratio >= 2.0) ? "ok" : "FAIL"
+      printf "%s %s sparse/dense = %.2fx (need >= 2x)\n", status, inst, ratio
+    }
+    if (pairs == 0) print "none no gated dense-simd/sparse G-set pairs in file"
+  }
+')
+echo "== sparse-kernel ratio gate ($current) =="
+echo "$ratio_report"
+if echo "$ratio_report" | grep -q '^FAIL'; then
+  echo "perfgate: sparse kernel is below the 2x acceptance ratio" >&2
+  fail=1
+fi
+
+# --- 2. >10% search_rate regression vs the committed snapshot --------------
+if [[ -n "$baseline" ]]; then
+  [[ -f "$baseline" ]] || { echo "perfgate: no such file: $baseline" >&2; exit 2; }
+  echo "== snapshot diff ($baseline -> $current, threshold -10%) =="
+  diff_report=$( (extract_rates "$baseline" | sed 's/^/B /';
+                  extract_rates "$current"  | sed 's/^/C /') | awk '
+    $1 == "B" { base[$2] = $3 }
+    $1 == "C" { cur[$2] = $3 }
+    END {
+      flagged = 0; compared = 0
+      for (inst in cur) {
+        if (!(inst in base) || base[inst] <= 0) continue
+        ++compared
+        change = (cur[inst] - base[inst]) / base[inst] * 100.0
+        if (change < -10.0) {
+          ++flagged
+          printf "REGRESSION %s %+.1f%% (%.3e -> %.3e sols/s)\n",
+                 inst, change, base[inst], cur[inst]
+        }
+      }
+      printf "compared %d rows, %d regressed more than 10%%\n", compared, flagged
+    }
+  ')
+  echo "$diff_report"
+  if echo "$diff_report" | grep -q '^REGRESSION'; then
+    if [[ "$strict" -eq 1 ]]; then
+      echo "perfgate: regressions above threshold (--strict)" >&2
+      fail=1
+    else
+      echo "perfgate: regressions flagged (warn-only; cross-host numbers" \
+           "drift — use --strict on a pinned host)"
+    fi
+  fi
+fi
+
+exit "$fail"

@@ -43,6 +43,7 @@ std::uint32_t Device::resolve_workers(const DeviceConfig& config) {
 Device::Device(const WeightMatrix& w, const DeviceConfig& config)
     : w_(&w),
       config_(config),
+      kernel_(std::make_unique<QuboKernel>(w, config.kernel)),
       occupancy_(sim::compute_occupancy(
           config.spec, w.size(),
           config.bits_per_thread != 0
@@ -80,6 +81,7 @@ Device::Device(const WeightMatrix& w, const DeviceConfig& config)
       block_config.stagnation_limit = config.stagnation_limit;
     }
     block_config.tracer = config.telemetry.tracer;
+    block_config.kernel = kernel_.get();
     blocks_.push_back(std::make_unique<SearchBlock>(w, block_config));
   }
 

@@ -37,6 +37,7 @@
 
 #include "abs/search_block.hpp"
 #include "obs/telemetry.hpp"
+#include "qubo/kernel.hpp"
 #include "qubo/weight_matrix.hpp"
 #include "sim/device_spec.hpp"
 #include "sim/mailbox.hpp"
@@ -72,6 +73,10 @@ struct DeviceConfig {
   bool adaptive = false;
   std::uint32_t stagnation_limit = 4;
   std::uint64_t seed = 1;
+  /// Flip-kernel plan options. The default auto-selects the cheapest
+  /// bit-identical form per instance (sparse CSR on sparse matrices,
+  /// vectorized dense otherwise); see qubo/kernel.hpp and docs/kernels.md.
+  KernelOptions kernel;
   /// Mailbox capacities. 0 = one slot per resident block.
   std::size_t target_capacity = 0;
   std::size_t solution_capacity = 0;
@@ -121,6 +126,9 @@ class Device {
   /// calling thread. Must not be mixed with start().
   void step_all_blocks_once();
 
+  /// The kernel plan all blocks of this device share.
+  [[nodiscard]] const QuboKernel& kernel() const { return *kernel_; }
+
   [[nodiscard]] const sim::Occupancy& occupancy() const { return occupancy_; }
   [[nodiscard]] std::uint32_t block_count() const {
     return static_cast<std::uint32_t>(blocks_.size());
@@ -162,6 +170,7 @@ class Device {
 
   const WeightMatrix* w_;
   DeviceConfig config_;
+  std::unique_ptr<QuboKernel> kernel_;  ///< plan shared by all blocks
   sim::Occupancy occupancy_;
   std::uint32_t workers_;
   std::vector<std::unique_ptr<SearchBlock>> blocks_;

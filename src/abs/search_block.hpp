@@ -32,6 +32,7 @@
 #include "obs/trace.hpp"
 #include "qubo/bit_vector.hpp"
 #include "qubo/delta_state.hpp"
+#include "qubo/kernel.hpp"
 #include "qubo/weight_matrix.hpp"
 #include "search/policy.hpp"
 #include "search/stats.hpp"
@@ -65,6 +66,10 @@ class SearchBlock {
     /// pid = device_id + 1, tid = block_id, so every block is a lane of
     /// its device's process in the trace viewer.
     obs::EventTracer* tracer = nullptr;
+    /// Kernel plan shared by the device's blocks (not owned; must outlive
+    /// the block). Null = the legacy dense scalar kernel. Every plan is
+    /// bit-identical, so this only changes the block's throughput.
+    const QuboKernel* kernel = nullptr;
   };
 
   /// The matrix is shared by all blocks and must outlive them.

@@ -37,14 +37,8 @@ BitVector uniform_crossover(const BitVector& a, const BitVector& b, Rng& rng) {
   const auto words_b = b.words();
   for (std::size_t w = 0; w < words_a.size(); ++w) {
     const std::uint64_t mask = rng();
-    const std::uint64_t word = (words_a[w] & mask) | (words_b[w] & ~mask);
-    // BitVector exposes no word mutation, so set each one-bit of the mixed
-    // word individually (both parents have zero tails, so `word` does too).
-    for (std::uint64_t diff = word; diff != 0; diff &= diff - 1) {
-      const auto bit = static_cast<BitIndex>(
-          w * 64 + static_cast<std::size_t>(std::countr_zero(diff)));
-      if (bit < child.size()) child.set(bit, true);
-    }
+    // One store per 64 bits; set_word masks any tail bits past size().
+    child.set_word(w, (words_a[w] & mask) | (words_b[w] & ~mask));
   }
   return child;
 }

@@ -294,7 +294,15 @@ TspQubo tsp_to_qubo(const TspInstance& tsp) {
     builder.add_linear(var(u, m - 1), tsp.distance(u, c - 1));
   }
 
-  qubo.w = builder.build();
+  // Exact build first; instances whose penalties overflow 16 bits fall
+  // back to the truncate-toward-zero quantization, recording the shift so
+  // callers can decode energies via the E_true ≈ E_scaled · 2^shift
+  // contract (exercised by bench_table1b_tsp).
+  try {
+    qubo.w = builder.build();
+  } catch (const CheckError&) {
+    qubo.w = builder.build_scaled(&qubo.shift);
+  }
   qubo.energy_scale = builder.energy_scale();
   return qubo;
 }

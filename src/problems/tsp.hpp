@@ -81,28 +81,37 @@ struct TspQubo {
   BitIndex cities = 0;        ///< c; bit count is (c−1)²
   Energy penalty = 0;         ///< A = 2·max_distance
   int energy_scale = 1;       ///< builder doubling factor (1 or 2)
+  /// build_scaled() quantization shift (0 = exact build). Nonzero only for
+  /// instances whose raw coefficients overflow the 16-bit weight range.
+  int shift = 0;
 
   /// Bit index of x_{u,j} (city u at position j), u, j < c−1.
   [[nodiscard]] BitIndex var(BitIndex u, BitIndex j) const {
     return u * (cities - 1) + j;
   }
 
-  /// Energy of a valid tour of length L: scale·(L − 2(c−1)A).
+  /// Energy of a valid tour of length L: scale·(L − 2(c−1)A), divided by
+  /// 2^shift (truncated toward zero, matching build_scaled). Exact when
+  /// shift == 0; with a nonzero shift the per-coefficient truncation makes
+  /// it approximate — treat as E_true ≈ E_scaled · 2^shift.
   [[nodiscard]] Energy energy_for_length(std::int64_t length) const {
-    return energy_scale *
-           (length - 2 * static_cast<Energy>(cities - 1) * penalty);
+    const Energy exact =
+        energy_scale * (length - 2 * static_cast<Energy>(cities - 1) * penalty);
+    return exact < 0 ? -(-exact >> shift) : exact >> shift;
   }
 
-  /// Inverse of energy_for_length for energies of *valid* assignments.
+  /// Inverse of energy_for_length for energies of *valid* assignments
+  /// (approximate when shift != 0, same caveat).
   [[nodiscard]] std::int64_t length_for_energy(Energy e) const {
-    return e / energy_scale +
+    return (e * (Energy{1} << shift)) / energy_scale +
            2 * static_cast<Energy>(cities - 1) * penalty;
   }
 };
 
-/// Builds the (c−1)²-bit QUBO. Requires 3 ≤ c and coefficients within the
-/// 16-bit weight range (throws otherwise; see build_scaled note in
-/// WeightMatrixBuilder for oversized instances).
+/// Builds the (c−1)²-bit QUBO. Requires 3 ≤ c. Instances whose raw
+/// coefficients fit the 16-bit weight range build exactly (shift == 0);
+/// oversized ones fall back to WeightMatrixBuilder::build_scaled and
+/// record the quantization shift in TspQubo::shift.
 [[nodiscard]] TspQubo tsp_to_qubo(const TspInstance& tsp);
 
 /// Decodes a QUBO assignment into a visiting order (all c cities, fixed

@@ -7,9 +7,15 @@
 
 namespace absq {
 
-BitVector::BitVector(BitIndex n) : size_(n), words_(word_count(n), 0) {}
+BitVector::BitVector(BitIndex n) : size_(n), words_(word_count(n), 0) {
+  ABSQ_CHECK(n <= kMaxBits,
+             "bit vector size " << n << " exceeds kMaxBits " << kMaxBits);
+}
 
 BitVector BitVector::from_string(const std::string& bits) {
+  ABSQ_CHECK(bits.size() <= kMaxBits,
+             "bit string length " << bits.size() << " exceeds kMaxBits "
+                                  << kMaxBits);
   BitVector v(static_cast<BitIndex>(bits.size()));
   for (std::size_t i = 0; i < bits.size(); ++i) {
     const char c = bits[i];

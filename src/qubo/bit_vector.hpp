@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "qubo/types.hpp"
+#include "util/check.hpp"
 
 namespace absq {
 
@@ -34,12 +35,19 @@ class BitVector {
   [[nodiscard]] BitIndex size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
 
+  // Accessors/mutators bounds-check under ABSQ_DCHECK: an out-of-range
+  // index would otherwise silently read or corrupt an adjacent word (or run
+  // off the vector entirely). The checks compile out in NDEBUG builds, so
+  // the release hot path is unchanged (confirmed via bench_kernels).
+
   /// Value of bit i as 0 or 1.
   [[nodiscard]] int get(BitIndex i) const {
+    ABSQ_DCHECK(i < size_, "bit index " << i << " out of range " << size_);
     return static_cast<int>((words_[i >> 6] >> (i & 63)) & 1u);
   }
 
   void set(BitIndex i, bool value) {
+    ABSQ_DCHECK(i < size_, "bit index " << i << " out of range " << size_);
     const std::uint64_t mask = 1ULL << (i & 63);
     if (value)
       words_[i >> 6] |= mask;
@@ -48,13 +56,31 @@ class BitVector {
   }
 
   /// Flips bit i in place (the flip_k primitive of Eq. 2).
-  void flip(BitIndex i) { words_[i >> 6] ^= 1ULL << (i & 63); }
+  void flip(BitIndex i) {
+    ABSQ_DCHECK(i < size_, "bit index " << i << " out of range " << size_);
+    words_[i >> 6] ^= 1ULL << (i & 63);
+  }
 
   /// Returns a copy with bit i flipped — flip_k(X) as a pure function.
   [[nodiscard]] BitVector with_flip(BitIndex i) const {
+    ABSQ_DCHECK(i < size_, "bit index " << i << " out of range " << size_);
     BitVector copy = *this;
     copy.flip(i);
     return copy;
+  }
+
+  /// Overwrites 64-bit word w (bits 64w … 64w+63). Bits at or beyond
+  /// size() are masked off, preserving the zero-tail invariant. This is the
+  /// word-wide mutation primitive of the GA uniform crossover.
+  void set_word(std::size_t w, std::uint64_t value) {
+    ABSQ_DCHECK(w < words_.size(),
+                "word index " << w << " out of range " << words_.size());
+    if (w + 1 == words_.size()) {
+      if (const BitIndex tail = size_ & 63; tail != 0) {
+        value &= (1ULL << tail) - 1;
+      }
+    }
+    words_[w] = value;
   }
 
   /// Number of set bits.

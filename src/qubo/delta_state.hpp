@@ -3,7 +3,7 @@
 // Holds the per-search state a CUDA block keeps in its register file:
 // the current solution X, its energy E(X), and the full difference vector
 // Δ_k(X) = E(flip_k(X)) − E(X) for every k. After any single-bit flip the
-// vector is repaired in one O(n) pass using Eq. (16)
+// vector is repaired using Eq. (16)
 //
 //     Δ_i(flip_k(X)) = Δ_i(X) + 2·W_ik·φ(x_i)·φ(x_k)     (i ≠ k)
 //     Δ_k(flip_k(X)) = −Δ_k(X)
@@ -11,12 +11,25 @@
 // which means every flip *re-evaluates all n neighbour energies* — the O(1)
 // amortized search efficiency of Theorem 1.
 //
+// The repair runs in one of three forms, planned per instance by QuboKernel
+// (see qubo/kernel.hpp and docs/kernels.md):
+//
+//   * dense        — the original fused single-pass O(n) loop (reference);
+//   * dense-simd   — O(n) split into vectorizable repair + argmin passes;
+//   * sparse       — O(degree(k)) CSR repair, with a tournament tree over Δ
+//                    keeping the fused argmin exact in O(degree·log n);
+//
+// each with Δ stored 64-bit or (opt-in, overflow-prechecked) 32-bit. All
+// form × width combinations are pinned bit-identical — same energies, same
+// Δ, same FlipOutcome including tie-breaks — by lockstep property tests, so
+// which one runs is purely a throughput decision.
+//
 // The class deliberately exposes the Δ vector read-only: every search
 // algorithm in this library (Algorithms 3–5, the ABS SearchBlock, the
-// baselines) makes its decisions by reading `deltas()` and commits them
-// exclusively through flip(), so the Eq. (16) invariant can never be
-// bypassed. The invariant itself is property-tested against the Eq. (4)
-// reference for thousands of random flip sequences.
+// baselines) makes its decisions by reading delta()/argmin_window() and
+// commits them exclusively through flip(), so the Eq. (16) invariant can
+// never be bypassed. The invariant itself is property-tested against the
+// Eq. (4) reference for thousands of random flip sequences.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +37,7 @@
 #include <vector>
 
 #include "qubo/bit_vector.hpp"
+#include "qubo/kernel.hpp"
 #include "qubo/types.hpp"
 #include "qubo/weight_matrix.hpp"
 
@@ -39,30 +53,53 @@ class DeltaState {
   };
 
   /// State for the all-zero vector: E(0) = 0 and Δ_i(0) = W_ii — the O(n)
-  /// initialization the paper performs in device Step 1.
+  /// initialization the paper performs in device Step 1. Uses the original
+  /// dense scalar kernel (the reference form).
   explicit DeltaState(const WeightMatrix& w);
 
   /// State for an arbitrary starting vector. Costs O(n²) (Eq. 4 per bit);
   /// used by baselines and tests, never by the ABS hot path.
   DeltaState(const WeightMatrix& w, const BitVector& x);
 
-  // The weight matrix is referenced, not copied: one matrix is shared by
-  // every search block. It must outlive the state.
+  /// Same two constructors, but running the form and Δ width the kernel
+  /// plan selected. The kernel (and the matrix it references) must outlive
+  /// the state; one plan is shared read-only by many states.
+  explicit DeltaState(const QuboKernel& kernel);
+  DeltaState(const QuboKernel& kernel, const BitVector& x);
+
+  // The weight matrix / kernel plan is referenced, not copied: one matrix
+  // is shared by every search block. It must outlive the state.
   DeltaState(const DeltaState&) = default;
   DeltaState& operator=(const DeltaState&) = delete;
 
   [[nodiscard]] BitIndex size() const { return x_.size(); }
   [[nodiscard]] const BitVector& bits() const { return x_; }
   [[nodiscard]] Energy energy() const { return energy_; }
-  [[nodiscard]] Energy delta(BitIndex i) const { return deltas_[i]; }
-  [[nodiscard]] std::span<const Energy> deltas() const { return deltas_; }
+
+  /// Δ_i(X) regardless of storage width.
+  [[nodiscard]] Energy delta(BitIndex i) const {
+    return width_ == DeltaWidth::kWide64
+               ? deltas_[i]
+               : static_cast<Energy>(deltas32_[i]);
+  }
+
+  /// The whole Δ vector. Only available in 64-bit width (the narrow mode
+  /// stores int32 and cannot alias it as Energy) — ABSQ_CHECKs otherwise.
+  /// Hot-path callers use delta()/argmin_window(), which work in any mode.
+  [[nodiscard]] std::span<const Energy> deltas() const;
+
+  /// First-in-traversal-order argmin of Δ over the wrapping window of `len`
+  /// bits starting at `offset % n` (strict improvement only, so the
+  /// earliest minimum wins — the exact tie-break of the Fig. 2 window
+  /// policy's linear scan). O(len) dense, O(log n) sparse. `len` ≤ n.
+  [[nodiscard]] BitIndex argmin_window(BitIndex offset, BitIndex len) const;
 
   /// E(flip_i(X)) without changing state — Eq. (5).
   [[nodiscard]] Energy energy_after_flip(BitIndex i) const {
-    return energy_ + deltas_[i];
+    return energy_ + delta(i);
   }
 
-  /// Flips bit k and repairs Δ in one O(n) pass. Returns the new energy.
+  /// Flips bit k and repairs Δ. Returns the new energy.
   Energy flip(BitIndex k);
 
   /// Flips bit k, repairs Δ, and — fused into the same pass, as in
@@ -70,10 +107,11 @@ class DeltaState {
   /// caller compares `best_neighbor_energy` against its incumbent and, on
   /// improvement, materializes the neighbour as bits().with_flip(bit).
   ///
-  /// Note: Algorithm 4 as printed compares E(X)+d_i with the pre-flip E(X);
-  /// the evaluated neighbours are those of the post-flip solution, so this
-  /// implementation uses the post-flip energy (the printed form is off by
-  /// Δ_k on every candidate).
+  /// The reported bit is the *leftmost* (lowest-index) argmin over i ≠ k,
+  /// in every kernel form — pinned by tests so dense, SIMD and sparse
+  /// kernels are interchangeable mid-run. For n == 1 the new solution has
+  /// no neighbour other than flipping k back, so that flip-back (bit k,
+  /// the pre-flip energy) is reported.
   FlipOutcome flip_tracked(BitIndex k);
 
   /// Number of flips applied since construction. One flip evaluates n
@@ -82,19 +120,77 @@ class DeltaState {
   [[nodiscard]] std::uint64_t flips() const { return flips_; }
 
   /// Total evaluated solutions: n per flip, plus the n from initialization.
+  /// Identical in every kernel form — the sparse kernel still *evaluates*
+  /// all n neighbours per flip (Theorem 1); it just pays fewer matrix
+  /// reads to do so.
   [[nodiscard]] std::uint64_t evaluated_solutions() const {
     return (flips_ + 1) * size();
   }
 
+  /// Matrix entries read since construction: n per dense flip, degree(k)
+  /// per sparse flip (plus the initialization cost). The honest "ops"
+  /// measure for search efficiency — evaluated-solutions per matrix read
+  /// exceeds 1 under the sparse kernel.
+  [[nodiscard]] std::uint64_t matrix_reads() const { return matrix_reads_; }
+
+  [[nodiscard]] KernelForm form() const { return form_; }
+  [[nodiscard]] DeltaWidth width() const { return width_; }
+
  private:
+  // Tournament (segment) tree over the Δ vector, used only by the sparse
+  // form: leftmost-min range queries in O(log n), point updates in
+  // O(log n). The combine prefers the left operand on equal values, so a
+  // range query returns exactly what a left-to-right strict-< scan would —
+  // the tie-break contract shared by all kernel forms.
+  struct MinTree {
+    struct Entry {
+      Energy val;
+      BitIndex idx;
+    };
+    BitIndex n = 0;
+    BitIndex m = 1;            // n padded to a power of two: the iterative
+                               // layout keeps leaves in index order, which
+                               // the non-commutative (tie-breaking) combine
+                               // requires
+    std::vector<Entry> nodes;  // leaves at [m, m + n)
+
+    void build(const DeltaState& s);
+    void update(BitIndex i, Energy v);
+    /// Leftmost min over [lo, hi); identity entry (idx == n) when empty.
+    [[nodiscard]] Entry query(BitIndex lo, BitIndex hi) const;
+  };
+
+  void init_zero_state();
+  void init_from_bits(const BitVector& x);
+
+  template <class D>
+  Energy flip_dense(D* deltas, BitIndex k);
+  template <class D>
+  FlipOutcome flip_tracked_dense_scalar(D* deltas, BitIndex k);
+  template <class D>
+  FlipOutcome flip_tracked_dense_simd(D* deltas, BitIndex k);
+  template <class D>
+  void repair_sparse(D* deltas, BitIndex k);
+  Energy flip_sparse(BitIndex k);
+  FlipOutcome flip_tracked_sparse(BitIndex k);
+
+  template <class D>
+  BitIndex argmin_span(const D* deltas, BitIndex offset, BitIndex len) const;
+
   const WeightMatrix* w_;
+  const SparseWeightMatrix* sparse_ = nullptr;  // non-null iff form_ sparse
   BitVector x_;
-  std::vector<Energy> deltas_;
-  // φ(x_i) ∈ {+1, −1} cached per bit so the O(n) repair loop reads a byte
+  std::vector<Energy> deltas_;         // 64-bit width
+  std::vector<std::int32_t> deltas32_; // 32-bit width (one of the two used)
+  // φ(x_i) ∈ {+1, −1} cached per bit so the repair loop reads a byte
   // instead of extracting a bit.
   std::vector<std::int8_t> signs_;
+  MinTree tree_;  // populated only by the sparse form
   Energy energy_ = 0;
   std::uint64_t flips_ = 0;
+  std::uint64_t matrix_reads_ = 0;
+  KernelForm form_ = KernelForm::kDenseScalar;
+  DeltaWidth width_ = DeltaWidth::kWide64;
 };
 
 }  // namespace absq

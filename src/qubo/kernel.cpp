@@ -1,0 +1,138 @@
+#include "qubo/kernel.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace absq {
+
+const char* to_string(KernelForm form) {
+  switch (form) {
+    case KernelForm::kDenseScalar:
+      return "dense";
+    case KernelForm::kDenseSimd:
+      return "dense-simd";
+    case KernelForm::kSparse:
+      return "sparse";
+  }
+  return "?";
+}
+
+const char* to_string(DeltaWidth width) {
+  switch (width) {
+    case DeltaWidth::kWide64:
+      return "64-bit";
+    case DeltaWidth::kNarrow32:
+      return "32-bit";
+  }
+  return "?";
+}
+
+KernelOptions::Form parse_kernel_form(const std::string& name) {
+  if (name == "auto") return KernelOptions::Form::kAuto;
+  if (name == "dense") return KernelOptions::Form::kDense;
+  if (name == "dense-simd") return KernelOptions::Form::kDenseSimd;
+  if (name == "sparse") return KernelOptions::Form::kSparse;
+  ABSQ_CHECK(false, "unknown kernel form '"
+                        << name << "' (expected auto|dense|dense-simd|sparse)");
+  return KernelOptions::Form::kAuto;  // unreachable
+}
+
+Energy QuboKernel::worst_case_delta_bound(const WeightMatrix& w) {
+  // Eq. (4): Δ_k(X) = φ(x_k)(2 Σ_{i≠k} W_ki x_i + W_kk). Over all X the
+  // inner sum ranges over subset sums of row k, so with P_k = Σ_{i≠k}
+  // max(W_ki, 0) and N_k = Σ_{i≠k} max(−W_ki, 0)
+  //
+  //     max_X |Δ_k(X)| = max(W_kk + 2 P_k,  2 N_k − W_kk)  =: B_k
+  //
+  // — exact (both extremes are reached by X selecting exactly the
+  // positive / the negative entries), and every Δ the repair loop ever
+  // stores is the Δ of some reachable state, so max_k B_k bounds the whole
+  // run. Tightness is pinned by enumeration tests on small instances.
+  Energy bound = 0;
+  const BitIndex n = w.size();
+  for (BitIndex k = 0; k < n; ++k) {
+    const auto row = w.row(k);
+    Energy pos = 0;
+    Energy neg = 0;
+    for (BitIndex i = 0; i < n; ++i) {
+      if (i == k) continue;
+      if (row[i] > 0) {
+        pos += row[i];
+      } else {
+        neg -= row[i];
+      }
+    }
+    const Energy diag = w.at(k, k);
+    bound = std::max({bound, diag + 2 * pos, 2 * neg - diag});
+  }
+  return bound;
+}
+
+QuboKernel::QuboKernel(const WeightMatrix& w, const KernelOptions& options)
+    : w_(&w), options_(options) {
+  const BitIndex n = w.size();
+  // One O(n²) analysis pass; instances are planned once and searched for
+  // billions of flips, so this never shows up in a profile.
+  for (BitIndex k = 0; k < n; ++k) {
+    const auto row = w.row(k);
+    for (BitIndex i = 0; i < n; ++i) {
+      if (row[i] != 0) ++nonzeros_;
+    }
+  }
+  delta_bound_ = worst_case_delta_bound(w);
+
+  switch (options.form) {
+    case KernelOptions::Form::kDense:
+      form_ = KernelForm::kDenseScalar;
+      break;
+    case KernelOptions::Form::kDenseSimd:
+      form_ = KernelForm::kDenseSimd;
+      break;
+    case KernelOptions::Form::kSparse:
+      form_ = KernelForm::kSparse;
+      break;
+    case KernelOptions::Form::kAuto:
+      form_ = (n >= options.sparse_min_bits &&
+               density() <= options.sparse_density_threshold)
+                  ? KernelForm::kSparse
+                  : KernelForm::kDenseSimd;
+      break;
+  }
+  if (form_ == KernelForm::kSparse) {
+    sparse_ = std::make_shared<const SparseWeightMatrix>(w);
+  }
+
+  if (options.narrow_delta) {
+    const Energy limit =
+        std::min<Energy>(options.narrow_limit,
+                         std::numeric_limits<std::int32_t>::max());
+    if (delta_bound_ <= limit) {
+      width_ = DeltaWidth::kNarrow32;
+    } else {
+      narrow_fallback_ = true;  // requested but provably unsafe → 64-bit
+    }
+  }
+}
+
+double QuboKernel::density() const {
+  const double n = static_cast<double>(w_->size());
+  if (n == 0.0) return 0.0;
+  return static_cast<double>(nonzeros_) / (n * n);
+}
+
+std::string QuboKernel::description() const {
+  std::ostringstream os;
+  os << to_string(form_) << '/' << to_string(width_);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", density() * 100.0);
+  os << " (n=" << w_->size() << ", density " << buf << "%, |delta|<="
+     << delta_bound_;
+  if (narrow_fallback_) os << ", narrow fallback";
+  os << ')';
+  return os.str();
+}
+
+}  // namespace absq

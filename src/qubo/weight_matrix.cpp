@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "qubo/sparse_matrix.hpp"
 #include "util/check.hpp"
 
 namespace absq {
@@ -67,13 +68,22 @@ bool WeightMatrixBuilder::any_odd_offdiagonal() const {
   return false;
 }
 
+// Quantizes one split coefficient by 2^shift, truncating toward zero for
+// both signs. Arithmetic >> would round negative values toward −∞, biasing
+// every negative coefficient of a quantized instance one ULP low (and even
+// pushing −(kMaxWeight+1)·2^s past kMinWeight) — the symmetric truncation
+// matches the documented E_true ≈ E_scaled · 2^shift decode contract.
+Energy WeightMatrixBuilder::quantize(Energy value, int shift) {
+  return value < 0 ? -(-value >> shift) : value >> shift;
+}
+
 WeightMatrix WeightMatrixBuilder::assemble(Energy scale, int shift) const {
   WeightMatrix w(n_);
   for (const auto& [k, c] : acc_) {
     const BitIndex i = static_cast<BitIndex>(k / n_);
     const BitIndex j = static_cast<BitIndex>(k % n_);
     const Energy scaled = c * scale;
-    const Energy v = ((i == j) ? scaled : scaled / 2) >> shift;
+    const Energy v = quantize((i == j) ? scaled : scaled / 2, shift);
     ABSQ_CHECK(v >= kMinWeight && v <= kMaxWeight,
                "coefficient of x_" << i << "·x_" << j << " = " << v
                                    << " exceeds 16-bit weight range; "
@@ -81,6 +91,23 @@ WeightMatrix WeightMatrixBuilder::assemble(Energy scale, int shift) const {
     w.set_symmetric(i, j, static_cast<Weight>(v));
   }
   return w;
+}
+
+SparseWeightMatrix WeightMatrixBuilder::build_sparse() const {
+  const Energy scale = any_odd_offdiagonal() ? 2 : 1;
+  energy_scale_ = static_cast<int>(scale);
+  std::vector<SparseWeightMatrix::Triplet> terms;
+  terms.reserve(acc_.size());
+  for (const auto& [k, c] : acc_) {
+    const BitIndex i = static_cast<BitIndex>(k / n_);
+    const BitIndex j = static_cast<BitIndex>(k % n_);
+    const Energy v = (i == j) ? c * scale : c * scale / 2;
+    ABSQ_CHECK(v >= kMinWeight && v <= kMaxWeight,
+               "coefficient of x_" << i << "·x_" << j << " = " << v
+                                   << " exceeds 16-bit weight range");
+    terms.push_back({i, j, static_cast<Weight>(v)});
+  }
+  return SparseWeightMatrix::from_triplets(n_, terms);
 }
 
 WeightMatrix WeightMatrixBuilder::build() const {

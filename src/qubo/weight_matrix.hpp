@@ -28,6 +28,8 @@
 
 namespace absq {
 
+class SparseWeightMatrix;
+
 class WeightMatrix {
  public:
   WeightMatrix() = default;
@@ -121,12 +123,18 @@ class WeightMatrixBuilder {
 
   /// Like build(), but right-shifts all coefficients by the smallest shift
   /// that brings them into 16-bit range, returning the shift used. Shifting
-  /// truncates, so this is a *lossy quantization*: the argmin of the scaled
-  /// instance may differ from the exact one when coefficients are not
-  /// divisible — callers must treat decoded energies as E_true ≈
-  /// E_scaled · 2^shift. Used by TSP conversions whose raw penalties can
-  /// exceed 16 bits.
+  /// truncates *toward zero* for both signs (so +c and −c quantize to ±v
+  /// with the same magnitude), making this a *lossy quantization*: the
+  /// argmin of the scaled instance may differ from the exact one when
+  /// coefficients are not divisible — callers must treat decoded energies
+  /// as E_true ≈ E_scaled · 2^shift. Used by TSP conversions whose raw
+  /// penalties can exceed 16 bits.
   [[nodiscard]] WeightMatrix build_scaled(int* shift_out = nullptr) const;
+
+  /// Builds the CSR form directly from the accumulated terms, without ever
+  /// materializing the n² dense array. Same range checks, coefficient
+  /// splitting, and energy_scale() contract as build().
+  [[nodiscard]] SparseWeightMatrix build_sparse() const;
 
   /// Factor build() multiplied the energy function by (1 or 2, see add()).
   /// Valid after build().
@@ -136,6 +144,8 @@ class WeightMatrixBuilder {
   /// Packed upper-triangle key for the sparse accumulator.
   [[nodiscard]] std::uint64_t key(BitIndex i, BitIndex j) const;
   [[nodiscard]] bool any_odd_offdiagonal() const;
+  /// value / 2^shift, truncated toward zero for both signs.
+  [[nodiscard]] static Energy quantize(Energy value, int shift);
   [[nodiscard]] WeightMatrix assemble(Energy scale, int shift) const;
 
   BitIndex n_;

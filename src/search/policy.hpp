@@ -57,16 +57,10 @@ class WindowMinDeltaPolicy final : public SelectionPolicy {
   BitIndex select(const DeltaState& state, Rng&) override {
     const BitIndex n = state.size();
     const BitIndex len = window_ < n ? window_ : n;
-    const auto deltas = state.deltas();
-    BitIndex best = offset_ % n;
-    Energy best_delta = deltas[best];
-    for (BitIndex step = 1; step < len; ++step) {
-      const BitIndex i = (offset_ + step) % n;
-      if (deltas[i] < best_delta) {
-        best_delta = deltas[i];
-        best = i;
-      }
-    }
+    // argmin_window replicates this policy's historical linear scan
+    // (wrapping, strict <, first-seen minimum) in whichever kernel form
+    // the state runs — O(log n) range queries under the sparse kernel.
+    const BitIndex best = state.argmin_window(offset_, len);
     offset_ = (offset_ + len) % n;
     return best;
   }
@@ -89,12 +83,7 @@ class WindowMinDeltaPolicy final : public SelectionPolicy {
 class GreedyMinDeltaPolicy final : public SelectionPolicy {
  public:
   BitIndex select(const DeltaState& state, Rng&) override {
-    const auto deltas = state.deltas();
-    BitIndex best = 0;
-    for (BitIndex i = 1; i < state.size(); ++i) {
-      if (deltas[i] < deltas[best]) best = i;
-    }
-    return best;
+    return state.argmin_window(0, state.size());
   }
 
   [[nodiscard]] std::unique_ptr<SelectionPolicy> clone() const override {
@@ -124,18 +113,17 @@ class SoftminWindowPolicy final : public SelectionPolicy {
   BitIndex select(const DeltaState& state, Rng& rng) override {
     const BitIndex n = state.size();
     const BitIndex len = window_ < n ? window_ : n;
-    const auto deltas = state.deltas();
 
     // Two passes: find the window minimum (for numerical stability), then
     // sample by cumulative weight.
-    Energy min_delta = deltas[offset_ % n];
+    Energy min_delta = state.delta(offset_ % n);
     for (BitIndex step = 1; step < len; ++step) {
-      min_delta = std::min(min_delta, deltas[(offset_ + step) % n]);
+      min_delta = std::min(min_delta, state.delta((offset_ + step) % n));
     }
     double total = 0.0;
     weights_.resize(len);
     for (BitIndex step = 0; step < len; ++step) {
-      const Energy d = deltas[(offset_ + step) % n];
+      const Energy d = state.delta((offset_ + step) % n);
       weights_[step] =
           std::exp(-static_cast<double>(d - min_delta) / temperature_);
       total += weights_[step];

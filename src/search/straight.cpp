@@ -1,6 +1,9 @@
 #include "search/straight.hpp"
 
-#include <utility>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <vector>
 
 #include "util/check.hpp"
 
@@ -11,25 +14,46 @@ SearchStats straight_search(DeltaState& state, const BitVector& target,
   ABSQ_CHECK(state.size() == target.size(), "state/target size mismatch");
   SearchStats stats;
 
-  // The set of bits still differing from the target; shrinks by exactly one
-  // element per flip.
-  std::vector<BitIndex> pending = state.bits().differing_bits(target);
+  // Word-wide XOR difference mask: bit b is set iff state and target still
+  // differ at b. Replaces the per-bit differing_bits() materialization —
+  // the traversal scans 64 candidates per word via countr_zero, and a flip
+  // clears exactly one bit, so no vector shuffling per step.
+  const std::span<const std::uint64_t> sw = state.bits().words();
+  const std::span<const std::uint64_t> tw = target.words();
+  std::vector<std::uint64_t> diff(sw.size());
+  std::uint64_t remaining = 0;
+  for (std::size_t wi = 0; wi < diff.size(); ++wi) {
+    diff[wi] = sw[wi] ^ tw[wi];
+    remaining += static_cast<std::uint64_t>(std::popcount(diff[wi]));
+  }
 
-  while (!pending.empty()) {
-    // Greedy rule of Algorithm 5: minimum Δ_k among differing bits.
-    const auto deltas = state.deltas();
-    std::size_t best_pos = 0;
-    for (std::size_t p = 1; p < pending.size(); ++p) {
-      if (deltas[pending[p]] < deltas[pending[best_pos]]) best_pos = p;
+  while (remaining > 0) {
+    // Greedy rule of Algorithm 5: minimum Δ_k among differing bits,
+    // ascending-index traversal (first-seen minimum wins ties).
+    Energy best_delta = std::numeric_limits<Energy>::max();
+    BitIndex k = 0;
+    for (std::size_t wi = 0; wi < diff.size(); ++wi) {
+      std::uint64_t word = diff[wi];
+      while (word != 0) {
+        const BitIndex b = static_cast<BitIndex>(
+            wi * 64 + static_cast<std::size_t>(std::countr_zero(word)));
+        word &= word - 1;
+        const Energy d = state.delta(b);
+        if (d < best_delta) {
+          best_delta = d;
+          k = b;
+        }
+      }
     }
-    const BitIndex k = pending[best_pos];
-    pending[best_pos] = pending.back();
-    pending.pop_back();
 
+    const std::uint64_t reads_before = state.matrix_reads();
     const auto outcome = state.flip_tracked(k);
+    diff[k >> 6] &= ~(1ULL << (k & 63));
+    --remaining;
     ++stats.flips;
     ++stats.accepted;
-    stats.ops += state.size();
+    // Honest per-flip cost: n matrix reads dense, degree(k) sparse.
+    stats.ops += state.matrix_reads() - reads_before;
     stats.evaluated_solutions += state.size();
     if (tracker.offer(state.bits(), outcome.energy)) ++stats.improvements;
     if (tracker.offer_neighbor(state.bits(), outcome.best_neighbor_bit,

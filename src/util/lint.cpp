@@ -127,6 +127,14 @@ const HotPathSpec kHotPaths[] = {
      "Device",
      {"iterate_block", "run_legacy_loop", "run_shard",
       "step_all_blocks_once"}},
+    // The flip kernels themselves — every form runs inside the loops above,
+    // once per flip.
+    {"src/qubo/delta_state.cpp",
+     "DeltaState",
+     {"flip", "flip_tracked", "flip_dense", "flip_sparse",
+      "flip_tracked_dense_scalar", "flip_tracked_dense_simd",
+      "flip_tracked_sparse", "repair_sparse", "argmin_window",
+      "argmin_span"}},
 };
 
 /// ABSQ003: calls that block (or do I/O) and therefore may not appear in a

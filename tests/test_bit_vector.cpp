@@ -171,6 +171,61 @@ TEST(BitVector, PopcountMatchesOnes) {
   }
 }
 
+TEST(BitVector, ConstructorRejectsOversizedVectors) {
+  EXPECT_THROW((void)BitVector(kMaxBits + 1), CheckError);
+  EXPECT_NO_THROW((void)BitVector(kMaxBits));
+}
+
+TEST(BitVector, FromStringRejectsOversizedStrings) {
+  EXPECT_THROW((void)BitVector::from_string(
+                   std::string(static_cast<std::size_t>(kMaxBits) + 1, '0')),
+               CheckError);
+  EXPECT_EQ(
+      BitVector::from_string(std::string(static_cast<std::size_t>(kMaxBits),
+                                         '0'))
+          .size(),
+      kMaxBits);
+}
+
+#ifndef NDEBUG
+// ABSQ_DCHECK bounds checks are active only in debug builds (they compile
+// out under NDEBUG so the Δ hot path pays nothing in release — confirmed by
+// bench_kernels). Both polarities: in-range succeeds, out-of-range throws.
+TEST(BitVector, DebugBoundsChecksCatchOutOfRangeAccess) {
+  BitVector v(70);
+  EXPECT_NO_THROW((void)v.get(69));
+  EXPECT_NO_THROW(v.set(69, true));
+  EXPECT_NO_THROW(v.flip(69));
+  EXPECT_NO_THROW((void)v.with_flip(69));
+
+  EXPECT_THROW((void)v.get(70), CheckError);
+  EXPECT_THROW(v.set(70, true), CheckError);
+  EXPECT_THROW(v.flip(70), CheckError);
+  EXPECT_THROW((void)v.with_flip(70), CheckError);
+  // Far out of range (would index a non-existent word, not just a tail bit).
+  EXPECT_THROW((void)v.get(1u << 20), CheckError);
+  EXPECT_THROW(v.set_word(2, 0), CheckError);
+}
+#endif
+
+TEST(BitVector, SetWordMasksTailBits) {
+  BitVector v(70);  // last word holds bits 64..69 → 6 live bits
+  v.set_word(0, ~0ULL);
+  v.set_word(1, ~0ULL);
+  EXPECT_EQ(v.popcount(), 70u);
+  EXPECT_EQ(v.words()[1], (1ULL << 6) - 1) << "tail bits must stay zero";
+
+  // Exact multiple of 64: no tail, the full word is live.
+  BitVector w(128);
+  w.set_word(1, ~0ULL);
+  EXPECT_EQ(w.popcount(), 64u);
+  EXPECT_EQ(w.words()[1], ~0ULL);
+
+  // Overwrite, not OR: clearing a word works too.
+  v.set_word(1, 0);
+  EXPECT_EQ(v.popcount(), 64u);
+}
+
 class BitVectorSizes : public ::testing::TestWithParam<BitIndex> {};
 
 TEST_P(BitVectorSizes, FlipAllBitsYieldsAllOnes) {

@@ -116,6 +116,23 @@ TEST(LintHotPath, FiresOnPoolIoAndSocketCalls) {
   EXPECT_TRUE(fires("src/abs/device.cpp", socket, "ABSQ003"));
 }
 
+TEST(LintHotPath, GovernsTheDeltaFlipKernels) {
+  // The Eq. (16) repair loops (all kernel forms) are the hottest code in
+  // the tree — any blocking call there is a defect.
+  const std::string sparse_kernel =
+      "Energy DeltaState::flip_sparse(BitIndex k) {\n"
+      "  std::this_thread::sleep_for(std::chrono::milliseconds(1));\n"
+      "}\n";
+  EXPECT_TRUE(fires("src/qubo/delta_state.cpp", sparse_kernel, "ABSQ003"));
+  const std::string simd_kernel =
+      "DeltaState::FlipOutcome DeltaState::flip_tracked_dense_simd(D* d,\n"
+      "                                                            BitIndex k) "
+      "{\n"
+      "  ::send(fd, buffer, n, 0);\n"
+      "}\n";
+  EXPECT_TRUE(fires("src/qubo/delta_state.cpp", simd_kernel, "ABSQ003"));
+}
+
 TEST(LintHotPath, QuietOutsideHotFunctionsAndFiles) {
   // Same call in a cold function of the same file: fine.
   const std::string cold =

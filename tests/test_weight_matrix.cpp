@@ -149,6 +149,43 @@ TEST(WeightMatrixBuilder, BuildScaledUsesZeroShiftWhenInRange) {
   EXPECT_EQ(w.at(0, 0), 100);
 }
 
+TEST(WeightMatrixBuilder, BuildScaledTruncatesTowardZeroForBothSigns) {
+  // ±c must quantize to ±v with the same magnitude at every shift. The
+  // coefficient is deliberately NOT divisible by any power of two (an
+  // arithmetic >> would round −c one ULP lower than −(c >> s) and break the
+  // symmetry). Each doubling of the coefficient raises the required shift
+  // by one, so the loop pins the contract at every shift level.
+  for (int level = 0; level < 8; ++level) {
+    const Energy magnitude = Energy{100001} << level;  // odd core value
+    WeightMatrixBuilder b(2);
+    b.add_linear(0, magnitude);
+    b.add_linear(1, -magnitude);
+    int shift = -1;
+    const WeightMatrix w = b.build_scaled(&shift);
+    ASSERT_GT(shift, 0) << "level " << level;
+    const Energy expected = magnitude >> shift;  // positive: plain shift
+    EXPECT_EQ(w.at(0, 0), expected) << "level " << level;
+    EXPECT_EQ(w.at(1, 1), -expected)
+        << "level " << level << ": negative coefficient must mirror the "
+        << "positive one exactly (truncation toward zero)";
+    EXPECT_LE(w.at(0, 0), kMaxWeight);
+    EXPECT_GE(w.at(1, 1), kMinWeight);
+  }
+}
+
+TEST(WeightMatrixBuilder, BuildScaledNegativeStaysInRange) {
+  // Regression guard for the floor-division bug: with arithmetic shift,
+  // −(kMaxWeight·2^s + r) floors to kMinWeight − ... candidates below the
+  // legal range. Truncation toward zero keeps |quantized| ≤ |exact|/2^s.
+  WeightMatrixBuilder b(2);
+  b.add_linear(0, -((Energy{kMaxWeight} << 3) + 7));
+  int shift = -1;
+  const WeightMatrix w = b.build_scaled(&shift);
+  EXPECT_EQ(shift, 3);
+  EXPECT_EQ(w.at(0, 0), -kMaxWeight);
+  EXPECT_GE(w.at(0, 0), kMinWeight);
+}
+
 TEST(WeightMatrixBuilder, MaxAbsCoefficientTracksAccumulation) {
   WeightMatrixBuilder b(3);
   EXPECT_EQ(b.max_abs_coefficient(), 0);

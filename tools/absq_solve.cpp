@@ -45,6 +45,7 @@
 #include "problems/tsp.hpp"
 #include "qubo/energy.hpp"
 #include "qubo/io.hpp"
+#include "qubo/kernel.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
 
@@ -81,6 +82,12 @@ int run(int argc, char** argv) {
                "0 = single legacy device thread)");
   cli.add_flag("pool", std::int64_t{128}, "solution pool capacity");
   cli.add_flag("adaptive", false, "enable adaptive window switching");
+  cli.add_flag("kernel", std::string("auto"),
+               "flip-kernel form: auto | dense | dense-simd | sparse "
+               "(all bit-identical; auto picks by instance density)");
+  cli.add_flag("delta32", false,
+               "opt into the 32-bit delta mode (falls back to 64-bit when "
+               "the worst-case overflow precheck fails)");
   cli.add_flag("seed", std::int64_t{1}, "solver seed");
   cli.add_flag("out", std::string(""), "write best solution to this file");
   cli.add_flag("print-trace", false, "print the improvement trace");
@@ -147,6 +154,15 @@ int run(int argc, char** argv) {
   config.device.local_steps =
       static_cast<std::uint64_t>(cli.get_int("local-steps"));
   config.device.adaptive = cli.get_bool("adaptive");
+  config.device.kernel.form =
+      absq::parse_kernel_form(cli.get_string("kernel"));
+  config.device.kernel.narrow_delta = cli.get_bool("delta32");
+  {
+    // Print the plan the devices will run (each device builds an identical
+    // plan from the same options).
+    const absq::QuboKernel plan(w, config.device.kernel);
+    std::printf("kernel: %s\n", plan.description().c_str());
+  }
   // -1 is the documented "auto" sentinel; anything else negative is a
   // typo that must not silently mean auto (or wrap through a cast).
   const std::int64_t threads = cli.get_int("threads");
