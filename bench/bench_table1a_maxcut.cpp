@@ -26,11 +26,15 @@ int main(int argc, char** argv) {
   cli.add_flag("max-bits", std::int64_t{10000}, "skip larger instances");
   cli.add_flag("seed", std::int64_t{2020}, "generator seed");
   cli.add_flag("blocks", std::int64_t{8}, "search blocks per device");
+  cli.add_flag("report", std::string(""),
+               "append machine-readable tts lines to this JSONL file");
   if (!cli.parse(argc, argv)) return 0;
 
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const int trials = static_cast<int>(cli.get_int("trials"));
   const double cap = cli.get_double("cap");
+  absq::bench::BenchReport report(cli.get_string("report"),
+                                  "bench_table1a_maxcut");
 
   std::printf("Table 1(a) — Max-Cut from G-set (stand-in graphs)\n");
   std::printf("%-5s %7s %7s %7s | %10s %9s | %10s %10s %-14s\n", "graph",
@@ -62,6 +66,7 @@ int main(int argc, char** argv) {
 
     const absq::bench::TtsSummary tts = absq::bench::averaged_tts(
         w, config, /*target=*/-target_cut, cap, trials);
+    report.add_tts(spec.name, seed, tts, /*target=*/-target_cut, cap);
     std::string cell = absq::bench::tts_cell(tts);
     if (tts.reached == 0) {
       // Report how close the capped trials got (cut = −energy).

@@ -21,11 +21,15 @@ int main(int argc, char** argv) {
   cli.add_flag("cap", 60.0, "per-trial wall-clock cap (s)");
   cli.add_flag("max-cities", std::int64_t{52}, "skip larger instances");
   cli.add_flag("seed", std::int64_t{1991}, "generator seed");
+  cli.add_flag("report", std::string(""),
+               "append machine-readable tts lines to this JSONL file");
   if (!cli.parse(argc, argv)) return 0;
 
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const int trials = static_cast<int>(cli.get_int("trials"));
   const double cap = cli.get_double("cap");
+  absq::bench::BenchReport report(cli.get_string("report"),
+                                  "bench_table1b_tsp");
 
   std::printf("Table 1(b) — TSP from TSPLIB (synthetic stand-ins)\n");
   std::printf("%-12s %6s %6s | %11s %8s | %9s %9s %-14s\n", "problem",
@@ -65,6 +69,7 @@ int main(int argc, char** argv) {
     config.ga.crossover_prob = 0.7;  // better on permutation structure
     const absq::bench::TtsSummary tts = absq::bench::averaged_tts(
         qubo.w, config, target_energy, cap, trials);
+    report.add_tts(spec.paper_name, seed, tts, target_energy, cap);
 
     // When no trial reaches the target within the cap (expected for the
     // larger rows: the paper's times assume ~10³× this host's throughput),

@@ -21,11 +21,15 @@ int main(int argc, char** argv) {
   cli.add_flag("max-bits", std::int64_t{16384},
                "skip larger instances (32768 needs 2 GiB + patience)");
   cli.add_flag("seed", std::int64_t{16}, "instance seed");
+  cli.add_flag("report", std::string(""),
+               "append machine-readable tts lines to this JSONL file");
   if (!cli.parse(argc, argv)) return 0;
 
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const int trials = static_cast<int>(cli.get_int("trials"));
   const double cap = cli.get_double("cap");
+  absq::bench::BenchReport report(cli.get_string("report"),
+                                  "bench_table1c_random");
 
   std::printf("Table 1(c) — synthetic random problems (16-bit weights)\n");
   std::printf("%7s | %14s %8s | %15s %15s %-14s\n", "bits", "paper E",
@@ -54,6 +58,7 @@ int main(int argc, char** argv) {
     config.seed = seed + 101;
     const absq::bench::TtsSummary tts =
         absq::bench::averaged_tts(w, config, target, cap, trials);
+    report.add_tts(std::to_string(spec.bits) + "b", seed, tts, target, cap);
 
     std::printf("%7u | %14" PRId64 " %8.4g | %15" PRId64 " %15" PRId64
                 " %-14s\n",

@@ -26,6 +26,14 @@
 
 namespace absq::bench {
 
+/// Averaged TTS over `trials` independent seeds (see averaged_tts below).
+struct TtsSummary {
+  int reached = 0;
+  int trials = 0;
+  double mean_seconds = 0.0;  ///< over reaching trials only
+  Energy best_achieved = 0;
+};
+
 /// Uniform machine-readable output of a bench run: every harness that
 /// produces AbsResults appends them through this sink (obs::write_run_report
 /// — the same JSONL schema absq_solve's --report emits), so BENCH_*.jsonl
@@ -52,6 +60,28 @@ class BenchReport {
     meta.seed = seed;
     meta.extra = std::move(extra);
     obs::write_run_report(out, meta, result, metrics);
+  }
+
+  /// One `tts` line per table row: the perf-trajectory rail's unit of
+  /// comparison. TtsSummary has no AbsResult behind it (it aggregates
+  /// `trials` runs), so it gets its own self-contained line type instead
+  /// of the meta/result pair; scripts/perfgate.sh diffs `mean_seconds`
+  /// between a committed snapshot (BENCH_tts.json) and a fresh run.
+  void add_tts(const std::string& row, std::uint64_t seed,
+               const TtsSummary& summary, Energy target,
+               double cap_seconds) {
+    if (path_.empty()) return;
+    std::ofstream out(path_, first_ ? std::ios::trunc : std::ios::app);
+    ABSQ_CHECK(out.good(), "cannot open bench report '" << path_ << "'");
+    first_ = false;
+    out << "{\"type\":\"tts\",\"bench\":\"" << obs::json_escape(bench_)
+        << "\",\"row\":\"" << obs::json_escape(row) << "\",\"seed\":" << seed
+        << ",\"trials\":" << summary.trials
+        << ",\"reached\":" << summary.reached
+        << ",\"mean_seconds\":" << obs::json_number(summary.mean_seconds)
+        << ",\"best_achieved\":" << summary.best_achieved
+        << ",\"target\":" << target
+        << ",\"cap_seconds\":" << obs::json_number(cap_seconds) << "}\n";
   }
 
  private:
@@ -128,14 +158,6 @@ inline TtsResult time_to_solution(const WeightMatrix& w,
   }
   return tts;
 }
-
-/// Averaged TTS over `trials` independent seeds.
-struct TtsSummary {
-  int reached = 0;
-  int trials = 0;
-  double mean_seconds = 0.0;  ///< over reaching trials only
-  Energy best_achieved = 0;
-};
 
 inline TtsSummary averaged_tts(const WeightMatrix& w, AbsConfig config,
                                Energy target, double cap_seconds,

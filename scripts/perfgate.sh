@@ -3,7 +3,8 @@
 #
 #   usage: perfgate.sh <current.json> [<baseline.json>] [--strict]
 #
-# Two checks:
+# Four checks (each section activates on the line types present in the
+# files, so one script gates kernel-throughput, TTS, and serving files):
 #
 #   1. Sparse-kernel ratio gate (always on, always hard): within
 #      <current.json>, every G-set instance that has both a dense-simd and
@@ -20,13 +21,24 @@
 #      by default; pass --strict (same-host comparisons, e.g. a perf lab
 #      box) to turn flags into failures.
 #
+#   3. TTS trajectory diff (when both files carry `tts` lines, e.g.
+#      BENCH_tts.json): per "<bench>/<row>" key, a row whose reached
+#      count dropped OR whose mean_seconds grew by more than 50% is
+#      flagged. TTS is noisier than throughput (it measures a stochastic
+#      search, not a kernel), hence the wider threshold; warn-only unless
+#      --strict.
+#
+#   4. Serve latency diff (when both files carry `serve` lines, e.g.
+#      BENCH_serve.json): per row, admission p99_ms growing by more than
+#      50% is flagged. Warn-only unless --strict.
+#
 # Rows are keyed "<instance>/<kernel-form>" (e.g. "gset-G22/sparse"); the
 # rate is the `search_rate` field of the result line — evaluated solutions
 # per second, the paper's metric.
 set -euo pipefail
 
 usage() {
-  sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//'
+  sed -n '2,37p' "$0" | sed 's/^# \{0,1\}//'
   exit 2
 }
 
@@ -134,6 +146,122 @@ if [[ -n "$baseline" ]]; then
     else
       echo "perfgate: regressions flagged (warn-only; cross-host numbers" \
            "drift — use --strict on a pinned host)"
+    fi
+  fi
+fi
+
+# "<bench>/<row> <reached> <mean_seconds>" triples from `tts` lines.
+extract_tts() {
+  awk '
+    /"type":"tts"/ {
+      bench = ""; row = ""; reached = ""; mean = ""
+      if (match($0, /"bench":"[^"]*"/)) {
+        bench = substr($0, RSTART + 9, RLENGTH - 10)
+      }
+      if (match($0, /"row":"[^"]*"/)) {
+        row = substr($0, RSTART + 7, RLENGTH - 8)
+      }
+      if (match($0, /"reached":[0-9]+/)) {
+        reached = substr($0, RSTART + 10, RLENGTH - 10)
+      }
+      if (match($0, /"mean_seconds":[0-9.eE+-]+/)) {
+        mean = substr($0, RSTART + 15, RLENGTH - 15)
+      }
+      if (bench != "" && row != "" && reached != "" && mean != "") {
+        print bench "/" row, reached, mean
+      }
+    }
+  ' "$1"
+}
+
+# --- 3. TTS trajectory diff (reached count + mean_seconds) -----------------
+if [[ -n "$baseline" ]] && grep -q '"type":"tts"' "$current" 2>/dev/null \
+    && grep -q '"type":"tts"' "$baseline" 2>/dev/null; then
+  echo "== tts diff ($baseline -> $current, threshold +50% / fewer reached) =="
+  tts_report=$( (extract_tts "$baseline" | sed 's/^/B /';
+                 extract_tts "$current"  | sed 's/^/C /') | awk '
+    $1 == "B" { base_reached[$2] = $3; base_mean[$2] = $4 }
+    $1 == "C" { cur_reached[$2] = $3; cur_mean[$2] = $4 }
+    END {
+      flagged = 0; compared = 0
+      for (row in cur_mean) {
+        if (!(row in base_mean)) continue
+        ++compared
+        if (cur_reached[row] < base_reached[row]) {
+          ++flagged
+          printf "REGRESSION %s reached %d -> %d trials\n",
+                 row, base_reached[row], cur_reached[row]
+          continue
+        }
+        # mean_seconds is only comparable when both sides reached.
+        if (base_reached[row] == 0 || base_mean[row] <= 0) continue
+        change = (cur_mean[row] - base_mean[row]) / base_mean[row] * 100.0
+        if (change > 50.0) {
+          ++flagged
+          printf "REGRESSION %s tts %+.1f%% (%.3fs -> %.3fs)\n",
+                 row, change, base_mean[row], cur_mean[row]
+        }
+      }
+      printf "compared %d rows, %d regressed\n", compared, flagged
+    }
+  ')
+  echo "$tts_report"
+  if echo "$tts_report" | grep -q '^REGRESSION'; then
+    if [[ "$strict" -eq 1 ]]; then
+      echo "perfgate: tts regressions above threshold (--strict)" >&2
+      fail=1
+    else
+      echo "perfgate: tts regressions flagged (warn-only; stochastic" \
+           "search on a shared host — use --strict on a pinned box)"
+    fi
+  fi
+fi
+
+# --- 4. serve admission-latency diff (p99_ms) ------------------------------
+if [[ -n "$baseline" ]] && grep -q '"type":"serve"' "$current" 2>/dev/null \
+    && grep -q '"type":"serve"' "$baseline" 2>/dev/null; then
+  echo "== serve diff ($baseline -> $current, threshold p99 +50%) =="
+  extract_serve() {
+    awk '
+      /"type":"serve"/ {
+        row = ""; p99 = ""
+        if (match($0, /"row":"[^"]*"/)) {
+          row = substr($0, RSTART + 7, RLENGTH - 8)
+        }
+        if (match($0, /"p99_ms":[0-9.eE+-]+/)) {
+          p99 = substr($0, RSTART + 9, RLENGTH - 9)
+        }
+        if (row != "" && p99 != "") print row, p99
+      }
+    ' "$1"
+  }
+  serve_report=$( (extract_serve "$baseline" | sed 's/^/B /';
+                   extract_serve "$current"  | sed 's/^/C /') | awk '
+    $1 == "B" { base[$2] = $3 }
+    $1 == "C" { cur[$2] = $3 }
+    END {
+      flagged = 0; compared = 0
+      for (row in cur) {
+        if (!(row in base) || base[row] <= 0) continue
+        ++compared
+        change = (cur[row] - base[row]) / base[row] * 100.0
+        if (change > 50.0) {
+          ++flagged
+          printf "REGRESSION %s p99 %+.1f%% (%.3fms -> %.3fms)\n",
+                 row, change, base[row], cur[row]
+        }
+      }
+      printf "compared %d rows, %d regressed\n", compared, flagged
+    }
+  ')
+  echo "$serve_report"
+  if echo "$serve_report" | grep -q '^REGRESSION'; then
+    if [[ "$strict" -eq 1 ]]; then
+      echo "perfgate: serve latency regressions above threshold (--strict)" >&2
+      fail=1
+    else
+      echo "perfgate: serve latency regressions flagged (warn-only;" \
+           "use --strict on a pinned host)"
     fi
   fi
 fi

@@ -3,9 +3,11 @@
 #
 # One absq_serve process must: accept 8 concurrent absq_client submissions
 # and complete them all with energies matching an equivalent absq_solve run
-# (same seed + stop criteria), honor a mid-run cancel, reject a submission
-# beyond --max-queue with the typed queue_full backpressure error, and
-# drain gracefully (exit 0, telemetry files written) on SIGTERM.
+# (same seed + stop criteria), honor a mid-run cancel, serve live
+# /metrics + /status + /healthz scrapes over its --http-port while a job
+# runs, reject a submission beyond --max-queue with the typed queue_full
+# backpressure error, and drain gracefully (exit 0, telemetry files
+# written, parseable JSONL logs) on SIGTERM.
 set -euo pipefail
 
 BIN="${1:?usage: serve_smoke.sh <build-dir>}"
@@ -50,6 +52,7 @@ TARGET="$(sed -n 's/^best energy:  \(-\?[0-9]*\).*/\1/p' "$WORK/reference.out")"
 # --- start the server --------------------------------------------------------
 "$SERVE" --port 0 --solvers 2 --max-queue 8 --checkpoint-dir "$WORK/ck" \
   --metrics "$WORK/serve.prom" --report "$WORK/serve.jsonl" \
+  --http-port 0 --log-level info --log-file "$WORK/serve.ndjson" \
   > "$WORK/serve.log" 2>&1 &
 SERVER_PID=$!
 PORT=""
@@ -61,6 +64,22 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 [[ -n "$PORT" ]] || fail "server never printed its port"
+HTTP_PORT="$(sed -n 's/^http on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+             "$WORK/serve.log")"
+[[ -n "$HTTP_PORT" ]] || fail "server never printed its http port"
+
+# GET an observability endpoint (curl when present, bash /dev/tcp
+# otherwise, so the test has no dependency beyond bash).
+http_get() {
+  if command -v curl > /dev/null 2>&1; then
+    curl -sf --max-time 10 "http://127.0.0.1:$HTTP_PORT$1"
+  else
+    exec 3<> "/dev/tcp/127.0.0.1/$HTTP_PORT"
+    printf 'GET %s HTTP/1.0\r\n\r\n' "$1" >&3
+    sed '1,/^\r\{0,1\}$/d' <&3
+    exec 3<&- 3>&-
+  fi
+}
 
 "$CLIENT" ping --port "$PORT" | grep -q pong || fail "server does not ping"
 
@@ -84,6 +103,24 @@ done
 VICTIM_ID="$(sed -n 's/^submitted job \([0-9]*\)$/\1/p' "$WORK/victim.out")"
 [[ -n "$VICTIM_ID" ]] || fail "could not parse the victim job id"
 sleep 0.5
+
+# --- live observability scrape (victim job is running right now) -------------
+http_get /healthz | grep -q "ok" || fail "/healthz did not answer ok"
+http_get /status > "$WORK/status.json"
+grep -q '"state":"running"' "$WORK/status.json" \
+  || fail "/status shows no running job while the victim solves"
+grep -q "\"id\":$VICTIM_ID" "$WORK/status.json" \
+  || fail "/status does not list the victim job"
+grep -q '"incumbent_energy"' "$WORK/status.json" \
+  || fail "/status lacks the incumbent energy of the running job"
+http_get /metrics > "$WORK/live.prom"
+grep -q "^absq_jobs_submitted " "$WORK/live.prom" \
+  || fail "/metrics lacks the manager series"
+grep -q "job=\"$VICTIM_ID\"" "$WORK/live.prom" \
+  || fail "/metrics lacks per-job labelled solver series"
+grep -q "^absq_http_requests_total " "$WORK/live.prom" \
+  || fail "/metrics lacks the exporter self-series"
+
 "$CLIENT" cancel "$VICTIM_ID" --port "$PORT" | grep -q "cancel requested" \
   || fail "cancel was not accepted"
 set +e
@@ -155,5 +192,14 @@ grep -q "absq_jobs_rejected 1" "$WORK/serve.prom" \
 
 # Per-job checkpoints were written for completed jobs.
 ls "$WORK"/ck/job-*.ck > /dev/null 2>&1 || fail "no per-job checkpoints"
+
+# Structured JSONL logs: admissions and job lifecycle were logged with the
+# job id stamped on each line.
+grep -q '"msg":"job admitted"' "$WORK/serve.ndjson" \
+  || fail "structured log lacks job-admitted lines"
+grep -q '"msg":"job started","job":' "$WORK/serve.ndjson" \
+  || fail "structured log lacks job-stamped lifecycle lines"
+grep -q '"msg":"job cancelled"' "$WORK/serve.ndjson" \
+  || fail "structured log lacks the cancel line"
 
 echo "serve_smoke: OK"

@@ -81,13 +81,15 @@ Device::Device(const WeightMatrix& w, const DeviceConfig& config)
       block_config.stagnation_limit = config.stagnation_limit;
     }
     block_config.tracer = config.telemetry.tracer;
+    block_config.trace_pid_base = config.telemetry.pid_base;
     block_config.kernel = kernel_.get();
     blocks_.push_back(std::make_unique<SearchBlock>(w, block_config));
   }
 
   // Resolve telemetry series once; the per-iteration path then pays only
   // relaxed atomic adds (or nothing when disabled).
-  const std::uint32_t trace_pid = config.device_id + 1;
+  const std::uint32_t trace_pid =
+      config.telemetry.pid_base + config.device_id + 1;
   if (config.telemetry.tracer != nullptr) {
     targets_.set_tracer(config.telemetry.tracer, trace_pid);
     solutions_.set_tracer(config.telemetry.tracer, trace_pid);
@@ -95,7 +97,8 @@ Device::Device(const WeightMatrix& w, const DeviceConfig& config)
   if (obs::MetricsRegistry* registry = config.telemetry.metrics;
       registry != nullptr) {
     const std::string device_label = std::to_string(config.device_id);
-    const obs::Labels device_labels{{"device", device_label}};
+    const obs::Labels device_labels =
+        config.telemetry.with({{"device", device_label}});
     m_iterations_ =
         &registry->counter("absq_device_iterations_total", device_labels);
     m_flips_ = &registry->counter("absq_device_flips_total", device_labels);
@@ -106,8 +109,8 @@ Device::Device(const WeightMatrix& w, const DeviceConfig& config)
     m_block_flips_.reserve(block_count);
     m_block_iterations_.reserve(block_count);
     for (std::uint32_t b = 0; b < block_count; ++b) {
-      const obs::Labels block_labels{{"device", device_label},
-                                     {"block", std::to_string(b)}};
+      const obs::Labels block_labels = config.telemetry.with(
+          {{"device", device_label}, {"block", std::to_string(b)}});
       m_block_flips_.push_back(
           &registry->counter("absq_block_flips_total", block_labels));
       m_block_iterations_.push_back(
@@ -192,7 +195,8 @@ void Device::iterate_block(std::size_t index, std::size_t worker) {
     obs::add(m_target_misses_);
     if (obs::EventTracer* tracer = config_.telemetry.tracer;
         tracer != nullptr) {
-      tracer->instant("target_miss", "device", config_.device_id + 1,
+      tracer->instant("target_miss", "device",
+                      config_.telemetry.pid_base + config_.device_id + 1,
                       static_cast<std::uint32_t>(index));
     }
   }

@@ -81,7 +81,8 @@ sim::ReportedSolution SearchBlock::iterate(const BitVector& target) {
   // Step 3: reset the incumbent so this iteration reports something new.
   tracker_.reset();
 
-  const std::uint32_t trace_pid = config_.device_id + 1;
+  const std::uint32_t trace_pid =
+      config_.trace_pid_base + config_.device_id + 1;
 
   // Step 4a: straight search C → T (flip count = Hamming distance).
   {

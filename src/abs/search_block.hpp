@@ -63,9 +63,12 @@ class SearchBlock {
     std::uint32_t stagnation_limit = 4;
     /// Optional event tracer (not owned; null = tracing disabled). The
     /// block emits one "straight" and one "local" span per iteration —
-    /// pid = device_id + 1, tid = block_id, so every block is a lane of
-    /// its device's process in the trace viewer.
+    /// pid = trace_pid_base + device_id + 1, tid = block_id, so every
+    /// block is a lane of its device's process in the trace viewer.
     obs::EventTracer* tracer = nullptr;
+    /// Trace pid offset (obs::Telemetry::pid_base) — strided per job by
+    /// the serving layer so concurrent jobs occupy disjoint pid ranges.
+    std::uint32_t trace_pid_base = 0;
     /// Kernel plan shared by the device's blocks (not owned; must outlive
     /// the block). Null = the legacy dense scalar kernel. Every plan is
     /// bit-identical, so this only changes the block's throughput.

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "ga/pool_io.hpp"
+#include "obs/log.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
 
@@ -55,25 +56,49 @@ AbsSolver::AbsSolver(const WeightMatrix& w, AbsConfig config)
     slot.device = make_device(d, /*incarnation=*/0);
   }
 
+  for (const auto& kv : config_.telemetry.labels.pairs()) {
+    if (kv.first == "job") {
+      // Best effort: a non-numeric job label leaves log lines unstamped.
+      try {
+        log_job_ = std::stoll(kv.second);
+      } catch (const std::exception&) {
+      }
+    }
+  }
+
   if (obs::MetricsRegistry* registry = config_.telemetry.metrics;
       registry != nullptr) {
-    m_reports_received_ = &registry->counter("absq_reports_received_total");
-    m_reports_inserted_ = &registry->counter("absq_reports_inserted_total");
+    const obs::Labels& base = config_.telemetry.labels;
+    m_reports_received_ =
+        &registry->counter("absq_reports_received_total", base);
+    m_reports_inserted_ =
+        &registry->counter("absq_reports_inserted_total", base);
     m_duplicates_ =
-        &registry->counter("absq_pool_duplicates_rejected_total");
-    m_evictions_ = &registry->counter("absq_pool_evictions_total");
-    m_targets_generated_ = &registry->counter("absq_targets_generated_total");
+        &registry->counter("absq_pool_duplicates_rejected_total", base);
+    m_evictions_ = &registry->counter("absq_pool_evictions_total", base);
+    m_targets_generated_ =
+        &registry->counter("absq_targets_generated_total", base);
     m_improvements_ =
-        &registry->counter("absq_incumbent_improvements_total");
-    m_pool_best_energy_ = &registry->gauge("absq_pool_best_energy");
-    m_pool_evaluated_ = &registry->gauge("absq_pool_evaluated");
-    m_device_failures_ = &registry->counter("absq_device_failures_total");
-    m_device_restarts_ = &registry->counter("absq_device_restarts_total");
-    m_checkpoints_ = &registry->counter("absq_checkpoints_written_total");
+        &registry->counter("absq_incumbent_improvements_total", base);
+    m_pool_best_energy_ = &registry->gauge("absq_pool_best_energy", base);
+    m_pool_evaluated_ = &registry->gauge("absq_pool_evaluated", base);
+    m_device_failures_ =
+        &registry->counter("absq_device_failures_total", base);
+    m_device_restarts_ =
+        &registry->counter("absq_device_restarts_total", base);
+    m_checkpoints_ =
+        &registry->counter("absq_checkpoints_written_total", base);
+    m_targets_dropped_ = &registry->counter(
+        "absq_mailbox_dropped_total",
+        config_.telemetry.with({{"mailbox", "targets"}}));
+    m_solutions_dropped_ = &registry->counter(
+        "absq_mailbox_dropped_total",
+        config_.telemetry.with({{"mailbox", "solutions"}}));
     m_device_health_.reserve(devices_.size());
     for (std::uint32_t d = 0; d < config_.num_devices; ++d) {
       m_device_health_.push_back(&registry->gauge(
-          "absq_device_health", obs::Labels{{"device", std::to_string(d)}}));
+          "absq_device_health",
+          config_.telemetry.with({{"device", std::to_string(d)}})));
     }
   }
 }
@@ -120,6 +145,20 @@ void AbsSolver::sync_pool_metrics() {
   synced_inserted_ = pool_.insertions();
   synced_duplicates_ = pool_.duplicates_rejected();
   synced_evictions_ = pool_.evictions();
+  // Mailbox overflow totals, delta-synced the same way (the mailboxes'
+  // dropped() counters are relaxed atomics, safe to read from the host).
+  std::uint64_t targets_dropped = 0;
+  std::uint64_t solutions_dropped = 0;
+  for (const auto& slot : devices_) {
+    targets_dropped +=
+        slot.retired_targets_dropped + slot.device->targets().dropped();
+    solutions_dropped +=
+        slot.retired_solutions_dropped + slot.device->solutions().dropped();
+  }
+  m_targets_dropped_->add(targets_dropped - synced_targets_dropped_);
+  m_solutions_dropped_->add(solutions_dropped - synced_solutions_dropped_);
+  synced_targets_dropped_ = targets_dropped;
+  synced_solutions_dropped_ = solutions_dropped;
   const Energy best = pool_.best_energy();
   if (best != kUnevaluated) {
     m_pool_best_energy_->set(static_cast<double>(best));
@@ -163,9 +202,14 @@ void AbsSolver::quarantine(std::size_t slot_index, DeviceHealth health,
   if (!m_device_health_.empty()) {
     m_device_health_[slot_index]->set(static_cast<double>(health));
   }
+  obs::log_warn("solver", "device quarantined",
+                {{"device", static_cast<std::int64_t>(slot_index)},
+                 {"health", to_string(health)},
+                 {"diagnosis", slot.failure}},
+                log_job_);
   if (obs::EventTracer* tracer = config_.telemetry.tracer;
       tracer != nullptr) {
-    tracer->instant("device_failed", "host", /*pid=*/0,
+    tracer->instant("device_failed", "host", config_.telemetry.pid_base,
                     /*tid=*/static_cast<std::uint32_t>(slot_index), "health",
                     static_cast<std::int64_t>(health));
   }
@@ -233,9 +277,16 @@ void AbsSolver::poll_device_health(AbsResult& result, double now) {
         m_device_health_[d]->set(
             static_cast<double>(DeviceHealth::kHealthy));
       }
+      obs::log_info("solver", "device restarted",
+                    {{"device", static_cast<std::int64_t>(d)},
+                     {"restart", static_cast<std::int64_t>(slot.restarts)},
+                     {"incarnation",
+                      static_cast<std::int64_t>(slot.incarnations)}},
+                    log_job_);
       if (obs::EventTracer* tracer = config_.telemetry.tracer;
           tracer != nullptr) {
-        tracer->instant("device_restarted", "host", /*pid=*/0,
+        tracer->instant("device_restarted", "host",
+                        config_.telemetry.pid_base,
                         /*tid=*/static_cast<std::uint32_t>(d), "restart",
                         slot.restarts);
       }
@@ -259,13 +310,18 @@ void AbsSolver::write_run_checkpoint(AbsResult& result, double now) {
     obs::add(m_checkpoints_);
     if (obs::EventTracer* tracer = config_.telemetry.tracer;
         tracer != nullptr) {
-      tracer->instant("checkpoint", "host", /*pid=*/0, /*tid=*/0, "written",
+      tracer->instant("checkpoint", "host", config_.telemetry.pid_base,
+                      /*tid=*/0, "written",
                       static_cast<std::int64_t>(result.checkpoints_written));
     }
-  } catch (const std::exception&) {
+  } catch (const std::exception& error) {
     // Durability degrades; the search must not. The previous snapshot is
     // still intact (atomic rename), so keep running and count the miss.
     ++result.checkpoints_failed;
+    obs::log_warn("solver", "checkpoint write failed",
+                  {{"path", config_.checkpoint_path},
+                   {"error", error.what()}},
+                  log_job_);
   }
 }
 
@@ -353,7 +409,8 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
       any_news = true;
 
       // One GA round for device d: drain, insert, breed replacements.
-      obs::TraceSpan round_span(tracer, "ga_round", "host", /*pid=*/0,
+      obs::TraceSpan round_span(tracer, "ga_round", "host",
+                                config_.telemetry.pid_base,
                                 /*tid=*/static_cast<std::uint32_t>(d));
 
       // Host Step 3: insert arrivals into the pool.
@@ -371,7 +428,7 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
             result.best_trace.emplace_back(watch.seconds(), energy);
             obs::add(m_improvements_);
             if (tracer != nullptr) {
-              tracer->instant("incumbent", "host", /*pid=*/0,
+              tracer->instant("incumbent", "host", config_.telemetry.pid_base,
                               /*tid=*/static_cast<std::uint32_t>(d), "energy",
                               energy);
             }
@@ -386,7 +443,7 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
       }
       obs::add(m_targets_generated_, arrivals.size());
       if (tracer != nullptr && !arrivals.empty()) {
-        tracer->instant("target_push", "host", /*pid=*/0,
+        tracer->instant("target_push", "host", config_.telemetry.pid_base,
                         /*tid=*/static_cast<std::uint32_t>(d), "targets",
                         static_cast<std::int64_t>(arrivals.size()));
       }
@@ -414,7 +471,8 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
                                w_->size() / window
                          : std::numeric_limits<double>::quiet_NaN();
         if (tracer != nullptr) {
-          tracer->instant("snapshot", "host", /*pid=*/0, /*tid=*/0, "flips",
+          tracer->instant("snapshot", "host", config_.telemetry.pid_base,
+                          /*tid=*/0, "flips",
                           static_cast<std::int64_t>(flips));
         }
         result.snapshots.push_back(snapshot);

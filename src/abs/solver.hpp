@@ -293,10 +293,17 @@ class AbsSolver {
   obs::Counter* m_device_failures_ = nullptr;
   obs::Counter* m_device_restarts_ = nullptr;
   obs::Counter* m_checkpoints_ = nullptr;
+  obs::Counter* m_targets_dropped_ = nullptr;    ///< mailbox="targets"
+  obs::Counter* m_solutions_dropped_ = nullptr;  ///< mailbox="solutions"
   std::vector<obs::Gauge*> m_device_health_;  ///< per slot; DeviceHealth value
   std::uint64_t synced_inserted_ = 0;
   std::uint64_t synced_duplicates_ = 0;
   std::uint64_t synced_evictions_ = 0;
+  std::uint64_t synced_targets_dropped_ = 0;
+  std::uint64_t synced_solutions_dropped_ = 0;
+  /// Job id parsed from the telemetry base labels ({job="<id>"}), stamped
+  /// onto this solver's log lines; -1 = standalone run, no job field.
+  std::int64_t log_job_ = -1;
 };
 
 }  // namespace absq

@@ -1,0 +1,151 @@
+// Structured logger — the narrative half of the observability layer.
+//
+// Counters say how much, traces say when; the log says *what happened* in
+// a form both humans and log pipelines can consume: one JSON object per
+// line (JSONL), with a fixed envelope
+//
+//   {"ts":1723180000.123,"level":"info","component":"serve",
+//    "msg":"job admitted","job":7,"queue_depth":3}
+//
+// plus free-form key/value fields. `ts` is wall-clock seconds since the
+// Unix epoch (millisecond precision); `job` is the per-tenant trace id the
+// serving layer stamps so one job's lines can be grepped out of a busy
+// server (the same id labels its metric series — docs/observability.md).
+//
+// Design constraints, in order:
+//   * a disabled level must cost one relaxed atomic load and a branch —
+//     logging sits on the host-loop control path (never the flip path);
+//   * emission is crash-consistent per line: the full line is formatted
+//     off-lock, then written under a mutex with one fwrite + flush, so
+//     concurrent writers never interleave partial lines;
+//   * no global constructors with side effects: the default sink is
+//     stderr, level kWarn, until a tool's --log-level/--log-file flags
+//     call configure().
+//
+// The process-wide Logger::global() is deliberate: library code (solver
+// watchdog, job manager, HTTP exporter) logs through it without threading
+// a sink through every config struct, and tools own its configuration.
+// Tests that need isolation construct their own Logger instance.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+
+namespace absq::obs {
+
+enum class LogLevel : std::uint8_t {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+[[nodiscard]] const char* to_string(LogLevel level);
+/// Parses "debug" | "info" | "warn" | "error" | "off" (the --log-level
+/// vocabulary). Throws CheckError on anything else.
+[[nodiscard]] LogLevel log_level_from_string(const std::string& text);
+
+/// One key/value field of a log line. Values keep their JSON type: the
+/// constructors cover the common cases so call sites read
+/// `{"queue_depth", depth}` without manual stringification.
+struct LogField {
+  enum class Kind : std::uint8_t { kString, kInt, kDouble, kBool };
+
+  LogField(std::string name, std::string value)
+      : key(std::move(name)), kind(Kind::kString), text(std::move(value)) {}
+  LogField(std::string name, const char* value)
+      : LogField(std::move(name), std::string(value)) {}
+  LogField(std::string name, std::int64_t value)
+      : key(std::move(name)), kind(Kind::kInt), integer(value) {}
+  LogField(std::string name, std::uint64_t value)
+      : key(std::move(name)),
+        kind(Kind::kInt),
+        integer(static_cast<std::int64_t>(value)) {}
+  LogField(std::string name, int value)
+      : LogField(std::move(name), static_cast<std::int64_t>(value)) {}
+  LogField(std::string name, double value)
+      : key(std::move(name)), kind(Kind::kDouble), number(value) {}
+  LogField(std::string name, bool value)
+      : key(std::move(name)), kind(Kind::kBool), boolean(value) {}
+
+  std::string key;
+  Kind kind = Kind::kString;
+  std::string text;
+  std::int64_t integer = 0;
+  double number = 0.0;
+  bool boolean = false;
+};
+
+class Logger {
+ public:
+  /// A fresh logger: level kWarn, sink stderr.
+  Logger() = default;
+  ~Logger();
+
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  /// The process-wide logger every instrumented component uses.
+  static Logger& global();
+
+  /// Sets the minimum emitted level (kOff silences everything).
+  void set_level(LogLevel level) {
+    level_.store(static_cast<std::uint8_t>(level),
+                 std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return static_cast<std::uint8_t>(level) >=
+           level_.load(std::memory_order_relaxed);
+  }
+
+  /// Redirects the sink to a file (append). Throws CheckError when the
+  /// file cannot be opened; the previous sink stays in place on failure.
+  void open_file(const std::string& path);
+  /// Redirects the sink to an already-open stream (not owned; e.g.
+  /// stderr, or a tmpfile in tests).
+  void set_stream(std::FILE* stream);
+
+  /// Emits one structured line if `level` clears the threshold. `job` < 0
+  /// omits the job field (standalone tools); >= 0 stamps it.
+  void log(LogLevel level, const char* component, const std::string& message,
+           std::initializer_list<LogField> fields = {},
+           std::int64_t job = -1);
+
+  /// Lines actually written (post level filter) since construction.
+  [[nodiscard]] std::uint64_t lines_written() const {
+    return lines_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint8_t> level_{
+      static_cast<std::uint8_t>(LogLevel::kWarn)};
+  std::atomic<std::uint64_t> lines_{0};
+  std::mutex sink_mutex_;
+  std::FILE* stream_ = nullptr;  ///< null = stderr
+  std::FILE* owned_ = nullptr;   ///< closed on destruction / re-open
+};
+
+/// Convenience wrappers over Logger::global() — the idiom at call sites:
+///   obs::log_info("serve", "job admitted", {{"queue_depth", depth}}, id);
+void log_debug(const char* component, const std::string& message,
+               std::initializer_list<LogField> fields = {},
+               std::int64_t job = -1);
+void log_info(const char* component, const std::string& message,
+              std::initializer_list<LogField> fields = {},
+              std::int64_t job = -1);
+void log_warn(const char* component, const std::string& message,
+              std::initializer_list<LogField> fields = {},
+              std::int64_t job = -1);
+void log_error(const char* component, const std::string& message,
+               std::initializer_list<LogField> fields = {},
+               std::int64_t job = -1);
+
+}  // namespace absq::obs

@@ -33,12 +33,33 @@ Labels& Labels::set(const std::string& key, std::string value) {
   return *this;
 }
 
+namespace {
+
+/// Prometheus label-value escaping (exposition-format grammar): backslash,
+/// double quote, and line feed must be escaped inside `label="..."` or the
+/// scrape is unparseable.
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string Labels::prometheus() const {
   if (kv_.empty()) return "";
   std::string out = "{";
   for (std::size_t i = 0; i < kv_.size(); ++i) {
     if (i != 0) out += ",";
-    out += kv_[i].first + "=\"" + kv_[i].second + "\"";
+    out += kv_[i].first + "=\"" + escape_label_value(kv_[i].second) + "\"";
   }
   out += "}";
   return out;

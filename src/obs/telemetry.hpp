@@ -17,9 +17,28 @@ namespace absq::obs {
 struct Telemetry {
   MetricsRegistry* metrics = nullptr;
   EventTracer* tracer = nullptr;
+  /// Base labels merged into every metric series registered through this
+  /// handle. The serving layer stamps {job="<id>"} here before handing the
+  /// telemetry to a job's solver, so a shared registry slices per tenant
+  /// on /metrics without the solver knowing it is multi-tenant.
+  Labels labels;
+  /// Trace pid offset: host spans emit at `pid_base`, device d at
+  /// `pid_base + d + 1`. The serving layer strides this per job so
+  /// concurrent jobs land in disjoint pid ranges of one shared tracer.
+  std::uint32_t pid_base = 0;
 
   [[nodiscard]] bool enabled() const {
     return metrics != nullptr || tracer != nullptr;
+  }
+
+  /// The base labels plus `extra` — the registration-time idiom for
+  /// component-scoped series: telemetry.with({{"device", "3"}}).
+  [[nodiscard]] Labels with(
+      std::initializer_list<std::pair<std::string, std::string>> extra)
+      const {
+    Labels merged = labels;
+    for (const auto& kv : extra) merged.set(kv.first, kv.second);
+    return merged;
   }
 };
 

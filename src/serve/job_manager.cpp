@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "ga/pool_io.hpp"
+#include "obs/log.hpp"
 #include "qubo/energy.hpp"
 #include "util/rng.hpp"
 
@@ -82,10 +83,16 @@ JobId JobManager::submit(JobSpec spec) {
     std::lock_guard lock(mutex_);
     if (shutting_down_) {
       obs::add(m_rejected_);
+      obs::log_warn("serve", "submission rejected",
+                    {{"reason", "shutting_down"}, {"name", spec.name}});
       throw ShuttingDownError("server is draining; submission rejected");
     }
     if (queue_.size() >= config_.max_queue) {
       obs::add(m_rejected_);
+      obs::log_warn("serve", "submission rejected",
+                    {{"reason", "queue_full"},
+                     {"name", spec.name},
+                     {"queue_depth", queue_.size()}});
       throw QueueFullError("job queue is full (" +
                            std::to_string(config_.max_queue) +
                            " waiting); retry later");
@@ -100,6 +107,14 @@ JobId JobManager::submit(JobSpec spec) {
           config_.checkpoint_dir + "/job-" + std::to_string(id) + ".ck";
     }
     queue_.insert({-static_cast<std::int64_t>(job->spec.priority), id});
+    obs::log_info("serve", "job admitted",
+                  {{"name", job->spec.name},
+                   {"priority",
+                    static_cast<std::int64_t>(job->spec.priority)},
+                   {"bits",
+                    static_cast<std::uint64_t>(job->spec.problem->size())},
+                   {"queue_depth", queue_.size()}},
+                  static_cast<std::int64_t>(id));
     jobs_.emplace(id, std::move(job));
     obs::add(m_submitted_);
     set_queue_gauge_locked();
@@ -117,6 +132,12 @@ AbsConfig JobManager::job_config(const Job& job) const {
   config.checkpoint_interval_seconds = config_.checkpoint_interval_seconds;
   config.warm_start = nullptr;
   config.elapsed_offset_seconds = 0.0;
+  // Per-tenant trace propagation: everything this job's solver emits —
+  // metric series, trace spans, log lines — carries {job="<id>"}, and its
+  // trace pids stride into a range no concurrent job shares.
+  config.telemetry.labels.set("job", std::to_string(job.id));
+  config.telemetry.pid_base =
+      static_cast<std::uint32_t>(job.id) * kJobTracePidStride;
   if (!job.spec.resume_from.empty()) {
     const RunCheckpoint checkpoint =
         read_checkpoint_file(job.spec.resume_from, config.pool_capacity);
@@ -141,6 +162,11 @@ void JobManager::run_one() {
       observe(m_queue_ms_,
               to_millis(job->started_seconds - job->submitted_seconds));
       set_queue_gauge_locked();
+      obs::log_info(
+          "serve", "job started",
+          {{"queue_seconds",
+            job->started_seconds - job->submitted_seconds}},
+          static_cast<std::int64_t>(job->id));
     }
   }
   // The claimed job can be gone already (cancelled while queued — its
@@ -190,6 +216,21 @@ void JobManager::run_one() {
       job->state = JobState::kFailed;
       job->error = error;
       obs::add(m_failed_);
+    }
+    if (job->state == JobState::kFailed) {
+      obs::log_error("serve", "job failed", {{"error", job->error}},
+                     static_cast<std::int64_t>(job->id));
+    } else {
+      const double best =
+          job->result != nullptr
+              ? static_cast<double>(job->result->best_energy)
+              : 0.0;
+      obs::log_info(
+          "serve", "job finished",
+          {{"state", to_string(job->state)},
+           {"best_energy", best},
+           {"run_seconds", job->finished_seconds - job->started_seconds}},
+          static_cast<std::int64_t>(job->id));
     }
     set_queue_gauge_locked();
   }
@@ -304,7 +345,11 @@ bool JobManager::cancel(JobId id) {
         took_effect = false;  // already terminal
     }
   }
-  if (took_effect) state_changed_.notify_all();
+  if (took_effect) {
+    obs::log_info("serve", "job cancelled", {},
+                  static_cast<std::int64_t>(id));
+    state_changed_.notify_all();
+  }
   return took_effect;
 }
 
@@ -333,6 +378,12 @@ std::size_t JobManager::running_count() const {
 void JobManager::shutdown(Drain mode) {
   {
     std::lock_guard lock(mutex_);
+    if (!shutting_down_) {
+      obs::log_info("serve", "shutdown requested",
+                    {{"mode", mode == Drain::kCancel ? "cancel" : "wait"},
+                     {"queued", queue_.size()},
+                     {"running", running_}});
+    }
     shutting_down_ = true;
     if (mode == Drain::kCancel) {
       // Queued jobs will never run; their drain tasks become no-ops.

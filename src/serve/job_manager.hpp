@@ -43,6 +43,12 @@
 
 namespace absq::serve {
 
+/// Trace-pid stride between jobs: job id j's solver emits host spans at
+/// pid j*stride and device d's spans at pid j*stride + d + 1, so the
+/// devices of concurrent jobs occupy disjoint pid ranges of the shared
+/// tracer (ids start at 1; pid 0 stays the serving process itself).
+inline constexpr std::uint32_t kJobTracePidStride = 1u << 8;
+
 struct JobManagerConfig {
   /// Jobs solving concurrently (worker threads in the slot pool).
   std::size_t solver_slots = 1;
@@ -97,6 +103,11 @@ class JobManager {
 
   [[nodiscard]] std::size_t queue_depth() const;
   [[nodiscard]] std::size_t running_count() const;
+  /// Concurrent-solve capacity (fixed at construction; the ctor clamps a
+  /// zero config to one slot, mirrored here).
+  [[nodiscard]] std::size_t solver_slots() const {
+    return config_.solver_slots > 0 ? config_.solver_slots : 1;
+  }
 
   enum class Drain {
     kCancel,  ///< cancel queued jobs, request_stop running ones (bounded)

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <regex>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -159,6 +161,53 @@ TEST(Prometheus, GoldenExport) {
 TEST(Prometheus, EmptyRegistryExportsNothing) {
   MetricsRegistry registry;
   EXPECT_EQ(to_prometheus(registry.scrape()), "");
+}
+
+TEST(Labels, PrometheusEscapesBackslashQuoteAndNewline) {
+  const Labels labels{{"path", "C:\\jobs\n\"best\" run"}};
+  EXPECT_EQ(labels.prometheus(),
+            "{path=\"C:\\\\jobs\\n\\\"best\\\" run\"}");
+}
+
+// Grammar check: every exported line must match the Prometheus text
+// exposition format even when label values carry the three characters the
+// format requires escaping (backslash, double quote, line feed). An
+// unescaped value splits a series across lines and poisons the scrape.
+TEST(Prometheus, ExportStaysParseableWithHostileLabelValues) {
+  MetricsRegistry registry;
+  registry
+      .counter("absq_jobs_total",
+               Labels{{"name", "line1\nline2"}, {"dir", "a\\b"}})
+      .add(3);
+  registry.gauge("absq_best", Labels{{"q", "say \"hi\""}}).set(1.5);
+  const std::string text = to_prometheus(registry.scrape());
+
+  // One line per TYPE comment + series — the embedded \n must not have
+  // produced an extra physical line.
+  //   # TYPE absq_best gauge / series / # TYPE absq_jobs_total counter /
+  //   series
+  const std::regex comment(R"(^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* \w+$)");
+  const std::regex series(
+      R"(^[a-zA-Z_:][a-zA-Z0-9_:]*)"
+      R"((\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*")"
+      R"((,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*")*\})?)"
+      R"( -?[0-9+.eE\-Ifna]+$)");
+  std::istringstream stream(text);
+  std::size_t series_lines = 0;
+  for (std::string line; std::getline(stream, line);) {
+    if (line.rfind("# TYPE", 0) == 0) {
+      EXPECT_TRUE(std::regex_match(line, comment)) << line;
+    } else {
+      EXPECT_TRUE(std::regex_match(line, series)) << line;
+      ++series_lines;
+    }
+  }
+  EXPECT_EQ(series_lines, 2u);
+
+  // Round-trip spot check of each escape.
+  EXPECT_NE(text.find(R"(name="line1\nline2")"), std::string::npos);
+  EXPECT_NE(text.find(R"(dir="a\\b")"), std::string::npos);
+  EXPECT_NE(text.find(R"(q="say \"hi\"")"), std::string::npos);
 }
 
 }  // namespace

@@ -26,15 +26,21 @@
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <string>
 #include <thread>
 
+#include "obs/http_exporter.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/job_manager.hpp"
 #include "serve/job_server.hpp"
 #include "serve/protocol.hpp"
+#include "serve/status.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
+#include "util/stopwatch.hpp"
 
 namespace {
 
@@ -84,6 +90,13 @@ int run(int argc, char** argv) {
                "write a Prometheus text scrape to this file at shutdown");
   cli.add_flag("report", std::string(""),
                "write a JSONL job-summary report to this file at shutdown");
+  cli.add_flag("http-port", std::int64_t{-1},
+               "serve GET /metrics /status /trace /healthz on this "
+               "127.0.0.1 port while running (0 = ephemeral, -1 = off)");
+  cli.add_flag("log-level", std::string("warn"),
+               "structured JSONL log threshold: debug|info|warn|error|off");
+  cli.add_flag("log-file", std::string(""),
+               "append structured log lines to this file (default stderr)");
   if (!cli.parse(argc, argv)) return 0;
 
   ABSQ_CHECK(cli.positional().empty(),
@@ -94,10 +107,23 @@ int run(int argc, char** argv) {
   ABSQ_CHECK(solvers >= 1, "--solvers must be at least 1");
   const std::int64_t max_queue = cli.get_int("max-queue");
   ABSQ_CHECK(max_queue >= 1, "--max-queue must be at least 1");
+  const std::int64_t http_port = cli.get_int("http-port");
+  ABSQ_CHECK(http_port >= -1 && http_port <= 65535,
+             "--http-port must be in [0, 65535], or -1 for off");
+
+  absq::obs::Logger::global().set_level(
+      absq::obs::log_level_from_string(cli.get_string("log-level")));
+  if (const std::string path = cli.get_string("log-file"); !path.empty()) {
+    absq::obs::Logger::global().open_file(path);
+  }
 
   // One registry for everything: manager-level job series plus every
   // per-job solver underneath share it, so one scrape covers the server.
   absq::obs::MetricsRegistry registry;
+  // The trace ring only fills (and its per-iteration spans only cost)
+  // when something can read it — i.e. when the HTTP surface is up.
+  absq::obs::EventTracer tracer;
+  absq::Stopwatch uptime;
 
   absq::serve::JobManagerConfig manager_config;
   manager_config.solver_slots = static_cast<std::size_t>(solvers);
@@ -122,6 +148,7 @@ int run(int argc, char** argv) {
   manager_config.solver.watchdog.restart_backoff_seconds =
       cli.get_double("restart-backoff");
   manager_config.solver.telemetry.metrics = &registry;
+  if (http_port >= 0) manager_config.solver.telemetry.tracer = &tracer;
 
   absq::serve::JobManager manager(manager_config);
 
@@ -132,12 +159,28 @@ int run(int argc, char** argv) {
   absq::serve::JobServer server(manager, server_config);
   server.start();
 
+  std::unique_ptr<absq::obs::HttpExporter> http;
+  if (http_port >= 0) {
+    absq::obs::HttpExporterConfig http_config;
+    http_config.port = static_cast<int>(http_port);
+    http_config.metrics = &registry;
+    http_config.tracer = &tracer;
+    http_config.status = [&manager, &registry, &uptime] {
+      return absq::serve::status_json(manager, &registry, uptime.seconds());
+    };
+    http = std::make_unique<absq::obs::HttpExporter>(std::move(http_config));
+    http->start();
+  }
+
   std::printf("absq_serve %s — %lld solver slot%s, queue bound %lld%s\n",
               absq::kVersion, static_cast<long long>(solvers),
               solvers == 1 ? "" : "s", static_cast<long long>(max_queue),
               manager_config.checkpoint_dir.empty() ? ""
                                                     : ", checkpoints on");
   std::printf("listening on 127.0.0.1:%d\n", server.port());
+  if (http != nullptr) {
+    std::printf("http on 127.0.0.1:%d\n", http->port());
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, handle_stop_signal);

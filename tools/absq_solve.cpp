@@ -38,6 +38,8 @@
 
 #include "abs/solver.hpp"
 #include "ga/pool_io.hpp"
+#include "obs/http_exporter.hpp"
+#include "obs/log.hpp"
 #include "obs/report.hpp"
 #include "problems/graph.hpp"
 #include "problems/maxcut.hpp"
@@ -115,7 +117,21 @@ int run(int argc, char** argv) {
                "restart budget per device for failed (thrown) devices");
   cli.add_flag("restart-backoff", 0.0,
                "seconds between a device failure and its restart");
+  cli.add_flag("http-port", std::int64_t{-1},
+               "serve GET /metrics /status /trace /healthz on this "
+               "127.0.0.1 port while solving (0 = ephemeral, -1 = off)");
+  cli.add_flag("log-level", std::string("warn"),
+               "structured JSONL log threshold: debug|info|warn|error|off");
+  cli.add_flag("log-file", std::string(""),
+               "append structured log lines to this file (default stderr)");
   if (!cli.parse(argc, argv)) return 0;
+
+  absq::obs::Logger::global().set_level(
+      absq::obs::log_level_from_string(cli.get_string("log-level")));
+  if (const std::string log_file = cli.get_string("log-file");
+      !log_file.empty()) {
+    absq::obs::Logger::global().open_file(log_file);
+  }
 
   ABSQ_CHECK(cli.positional().size() == 1,
              "exactly one instance file expected (see --help)");
@@ -197,19 +213,35 @@ int run(int argc, char** argv) {
                 checkpoint.elapsed_seconds, checkpoint.pool->best_energy());
   }
 
-  // Telemetry sinks, created only when an export was requested.
+  // Telemetry sinks, created when an export was requested — or when the
+  // live HTTP surface is up, which needs both to serve /metrics and
+  // /trace during the run.
   const std::string metrics_path = cli.get_string("metrics");
   const std::string trace_path = cli.get_string("trace");
   const std::string report_path = cli.get_string("report");
+  const std::int64_t http_port = cli.get_int("http-port");
+  ABSQ_CHECK(http_port >= -1 && http_port <= 65535,
+             "--http-port must be in [0, 65535], or -1 for off");
   std::unique_ptr<absq::obs::MetricsRegistry> registry;
   std::unique_ptr<absq::obs::EventTracer> tracer;
-  if (!metrics_path.empty() || !report_path.empty()) {
+  if (!metrics_path.empty() || !report_path.empty() || http_port >= 0) {
     registry = std::make_unique<absq::obs::MetricsRegistry>();
     config.telemetry.metrics = registry.get();
   }
-  if (!trace_path.empty()) {
+  if (!trace_path.empty() || http_port >= 0) {
     tracer = std::make_unique<absq::obs::EventTracer>();
     config.telemetry.tracer = tracer.get();
+  }
+  std::unique_ptr<absq::obs::HttpExporter> http;
+  if (http_port >= 0) {
+    absq::obs::HttpExporterConfig http_config;
+    http_config.port = static_cast<int>(http_port);
+    http_config.metrics = registry.get();
+    http_config.tracer = tracer.get();
+    http = std::make_unique<absq::obs::HttpExporter>(std::move(http_config));
+    http->start();
+    std::printf("http on 127.0.0.1:%d\n", http->port());
+    std::fflush(stdout);
   }
 
   absq::StopCriteria stop;
