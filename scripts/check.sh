@@ -2,7 +2,8 @@
 # The repo's one-command verification gate:
 #
 #   1. tier-1: configure + build everything, run the full ctest suite
-#      (includes the tools_smoke and crash_smoke end-to-end scripts);
+#      (includes the tools_smoke, crash_smoke, serve_smoke and chaos_smoke
+#      end-to-end scripts);
 #   2. race check: rebuild the concurrency-sensitive tests under
 #      ThreadSanitizer (cmake -DABSQ_SANITIZE=thread) and run them —
 #      the observability layer's lock-free counters and ring tracer,
@@ -22,8 +23,11 @@ JOBS="${1:-$(nproc)}"
 
 SANITIZE_TARGETS=(test_metrics test_trace test_mailbox test_device
                   test_solver test_thread_pool test_failpoint
-                  test_fault_tolerance test_protocol test_job_manager
-                  test_job_server)
+                  test_fault_tolerance test_protocol test_journal
+                  test_job_manager test_job_server)
+# The chaos harness (SIGKILL + --recover) also runs under both sanitizers,
+# against sanitized builds of the tools it drives.
+CHAOS_TOOLS=(absq_gen absq_serve absq_client)
 
 echo "== tier 1: build + ctest =="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
@@ -34,21 +38,27 @@ echo
 echo "== tier 2: ThreadSanitizer =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DABSQ_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS" --target "${SANITIZE_TARGETS[@]}"
+cmake --build build-tsan -j "$JOBS" \
+      --target "${SANITIZE_TARGETS[@]}" "${CHAOS_TOOLS[@]}"
 for test in "${SANITIZE_TARGETS[@]}"; do
   echo "-- tsan: $test"
   ./build-tsan/tests/"$test"
 done
+echo "-- tsan: chaos_smoke"
+./scripts/chaos_smoke.sh build-tsan
 
 echo
 echo "== tier 3: Address+UB Sanitizer =="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DABSQ_SANITIZE=address >/dev/null
-cmake --build build-asan -j "$JOBS" --target "${SANITIZE_TARGETS[@]}"
+cmake --build build-asan -j "$JOBS" \
+      --target "${SANITIZE_TARGETS[@]}" "${CHAOS_TOOLS[@]}"
 for test in "${SANITIZE_TARGETS[@]}"; do
   echo "-- asan: $test"
   ./build-asan/tests/"$test"
 done
+echo "-- asan: chaos_smoke"
+./scripts/chaos_smoke.sh build-asan
 
 echo
 echo "check.sh: all gates passed"

@@ -187,6 +187,12 @@ grep -q "absq_jobs_submitted 19" "$WORK/serve.prom" \
   || fail "metrics file lacks the submitted count"
 grep -q "absq_jobs_rejected 1" "$WORK/serve.prom" \
   || fail "metrics file lacks the rejected count"
+# The durability series exist and report a quiet life: this run never
+# crashed, so nothing was recovered and — crucially — nothing was lost.
+grep -q "absq_jobs_recovered_total 0" "$WORK/serve.prom" \
+  || fail "metrics file lacks the recovered-jobs series"
+grep -q "absq_jobs_lost_total 0" "$WORK/serve.prom" \
+  || fail "metrics file lacks the lost-jobs series"
 [[ "$(grep -c '"type":"job"' "$WORK/serve.jsonl")" == "19" ]] \
   || fail "report file does not list all 19 jobs"
 

@@ -314,6 +314,9 @@ void AbsSolver::write_run_checkpoint(AbsResult& result, double now) {
                       /*tid=*/0, "written",
                       static_cast<std::int64_t>(result.checkpoints_written));
     }
+    if (config_.on_checkpoint) {
+      config_.on_checkpoint(result.checkpoints_written);
+    }
   } catch (const std::exception& error) {
     // Durability degrades; the search must not. The previous snapshot is
     // still intact (atomic rename), so keep running and count the miss.

@@ -29,6 +29,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -102,6 +103,11 @@ struct AbsConfig {
   /// into the fresh pool at host Step 1 and preferred as initial targets.
   /// Shared ownership keeps the config copyable across devices/runs.
   std::shared_ptr<const SolutionPool> warm_start;
+  /// Called (from the host loop thread) after each *successful* crash-safe
+  /// checkpoint write, with the lifetime count of checkpoints this run has
+  /// written. The serve layer journals per-job `checkpointed` records
+  /// through this; null = no notification. Must not throw.
+  std::function<void(std::uint64_t)> on_checkpoint;
   /// > 0 enables periodic RunSnapshot collection at roughly this cadence.
   double snapshot_interval_seconds = 0.0;
   /// Observability sinks, propagated to every device (non-owning; default

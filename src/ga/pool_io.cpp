@@ -15,18 +15,20 @@
 #endif
 
 namespace absq {
-namespace {
 
-#ifdef ABSQ_HAVE_FSYNC
 /// Best-effort fsync of a path (file or directory). Durability belt and
 /// braces — a failed fsync degrades to ordinary buffered-write semantics.
-void fsync_path(const std::string& path, bool directory) {
+void fsync_path_best_effort(const std::string& path, bool directory) {
+#ifdef ABSQ_HAVE_FSYNC
   const int fd = ::open(path.c_str(), directory ? O_RDONLY : O_WRONLY);
   if (fd < 0) return;
   (void)::fsync(fd);
   (void)::close(fd);
-}
+#else
+  (void)path;
+  (void)directory;
 #endif
+}
 
 /// Writes via `writer` into `path + ".tmp"`, fsyncs, then renames over
 /// `path`. On any failure (including an injected pool_io.write fault) the
@@ -44,22 +46,17 @@ void atomic_write_file(const std::string& path,
     (void)std::remove(tmp.c_str());
     throw;
   }
-#ifdef ABSQ_HAVE_FSYNC
-  fsync_path(tmp, /*directory=*/false);
-#endif
+  fsync_path_best_effort(tmp, /*directory=*/false);
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     (void)std::remove(tmp.c_str());
     ABSQ_CHECK(false, "cannot rename '" << tmp << "' to '" << path << "'");
   }
-#ifdef ABSQ_HAVE_FSYNC
   const std::size_t slash = path.find_last_of('/');
-  fsync_path(slash == std::string::npos ? std::string(".")
-                                        : path.substr(0, slash + 1),
-             /*directory=*/true);
-#endif
+  fsync_path_best_effort(slash == std::string::npos
+                             ? std::string(".")
+                             : path.substr(0, slash + 1),
+                         /*directory=*/true);
 }
-
-}  // namespace
 
 void write_pool(std::ostream& out, const SolutionPool& pool) {
   const BitIndex bits = pool.empty() ? 0 : pool.entry(0).bits.size();

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -40,6 +41,20 @@
 #include "util/check.hpp"
 
 namespace absq {
+
+/// The PR-3 crash-safe write primitive, shared with the serve layer's job
+/// journal: `writer` streams into `path + ".tmp"`, the temp file is
+/// fsync'd and renamed over `path`, and the containing directory is
+/// fsync'd — a crash mid-write can never leave a torn destination. On any
+/// failure (including an injected `pool_io.write` fault) the temp file is
+/// removed and the previous `path` content is untouched.
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer);
+
+/// Best-effort fsync of a file or directory path (no-op on failure and on
+/// platforms without fsync) — the durability half of atomic_write_file,
+/// exposed for append-style writers that manage their own fds.
+void fsync_path_best_effort(const std::string& path, bool directory);
 
 /// An empty or header-only pool snapshot: the file exists and may even be
 /// well-formed, but holds no usable entries to resume from. Typed so

@@ -6,8 +6,15 @@
 //
 //     queued ──→ running ──→ done       (a stop criterion fired)
 //        │          ├──────→ failed     (solver threw; error recorded)
-//        │          └──────→ cancelled  (request_stop honoured mid-run)
-//        └─────────────────→ cancelled  (cancelled while still queued)
+//        │          ├──────→ cancelled  (request_stop honoured mid-run)
+//        │          └──────→ deadline   (TTL expired mid-run)
+//        ├─────────────────→ cancelled  (cancelled while still queued)
+//        └─────────────────→ deadline   (TTL expired while queued)
+//
+// A crash of the serving process does not lose jobs: every transition is
+// journaled (serve/journal.hpp) and a restart with recovery enabled
+// requeues / resumes / terminally marks each journaled job
+// (docs/robustness.md).
 //
 // Status snapshots are plain value types so they can be taken under the
 // manager lock and serialized into the wire protocol without touching live
@@ -34,6 +41,9 @@ enum class JobState : std::uint8_t {
   kDone = 2,
   kFailed = 3,
   kCancelled = 4,
+  /// Terminal: the job's TTL (JobSpec::deadline_seconds) expired before it
+  /// finished. Wire name "deadline".
+  kDeadlineExceeded = 5,
 };
 
 [[nodiscard]] const char* to_string(JobState state);
@@ -41,7 +51,8 @@ enum class JobState : std::uint8_t {
 [[nodiscard]] JobState job_state_from_string(const std::string& text);
 [[nodiscard]] inline bool is_terminal(JobState state) {
   return state == JobState::kDone || state == JobState::kFailed ||
-         state == JobState::kCancelled;
+         state == JobState::kCancelled ||
+         state == JobState::kDeadlineExceeded;
 }
 
 /// Backpressure: the bounded job queue is full. Typed so clients (and the
@@ -64,6 +75,14 @@ class JobNotFoundError : public CheckError {
   explicit JobNotFoundError(const std::string& what) : CheckError(what) {}
 };
 
+/// A client-side connect/read/write deadline expired — the server is hung
+/// or unreachable, not wrong. Typed so callers can distinguish "retry /
+/// give up cleanly" from a protocol violation.
+class TimeoutError : public CheckError {
+ public:
+  explicit TimeoutError(const std::string& what) : CheckError(what) {}
+};
+
 /// Everything a client supplies when submitting work.
 struct JobSpec {
   /// The instance. Shared ownership: the matrix must stay alive for the
@@ -77,6 +96,16 @@ struct JobSpec {
   std::string name;
   /// Optional path to a RunCheckpoint to warm-start from (per-job resume).
   std::string resume_from;
+  /// Optional client-supplied deduplication key: a submission whose key
+  /// matches a previously admitted job (terminal or not) returns that
+  /// job's id instead of creating new work, making resubmission after an
+  /// ambiguous failure safe. Empty = no deduplication.
+  std::string idempotency_key;
+  /// TTL in seconds counted from submission (wall clock — it keeps ticking
+  /// across a crash/recovery cycle). When it expires before the job
+  /// finishes, the manager cancels it into the terminal
+  /// JobState::kDeadlineExceeded. 0 = no deadline.
+  double deadline_seconds = 0.0;
 };
 
 /// Thread-safe point-in-time snapshot of one job. All timestamps are
@@ -101,6 +130,19 @@ struct JobStatus {
   std::string error;  ///< what() of the solver failure (kFailed only)
   /// Where this job's crash-safe checkpoints go ("" = checkpointing off).
   std::string checkpoint_path;
+  /// TTL from the spec (0 = none), echoed so clients see the deadline.
+  double deadline_seconds = 0.0;
+  /// True when this incarnation of the job was reconstructed from the
+  /// journal by crash recovery (requeued or checkpoint-resumed).
+  bool recovered = false;
+};
+
+/// What a submission did: the id to poll, and whether it was an existing
+/// job found via the spec's idempotency key rather than new work. Shared
+/// by JobManager::submit_full and the wire client.
+struct SubmitOutcome {
+  JobId id = 0;
+  bool deduplicated = false;
 };
 
 }  // namespace absq::serve

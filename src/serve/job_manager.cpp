@@ -1,11 +1,15 @@
 #include "serve/job_manager.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <utility>
 
 #include "ga/pool_io.hpp"
 #include "obs/log.hpp"
 #include "qubo/energy.hpp"
+#include "qubo/io.hpp"
 #include "util/rng.hpp"
 
 namespace absq::serve {
@@ -20,6 +24,15 @@ void observe(obs::Histogram* histogram, std::uint64_t value) {
   if (histogram != nullptr) histogram->observe(value);
 }
 
+/// Unix wall clock in seconds — the journal's TTL anchor. The manager's
+/// own Stopwatch is monotonic and restarts at zero with the process, so it
+/// cannot measure time that passed while the process was dead.
+double wall_seconds_now() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 const char* to_string(JobState state) {
@@ -29,6 +42,7 @@ const char* to_string(JobState state) {
     case JobState::kDone: return "done";
     case JobState::kFailed: return "failed";
     case JobState::kCancelled: return "cancelled";
+    case JobState::kDeadlineExceeded: return "deadline";
   }
   return "unknown";
 }
@@ -39,6 +53,7 @@ JobState job_state_from_string(const std::string& text) {
   if (text == "done") return JobState::kDone;
   if (text == "failed") return JobState::kFailed;
   if (text == "cancelled") return JobState::kCancelled;
+  if (text == "deadline") return JobState::kDeadlineExceeded;
   ABSQ_CHECK(false, "unknown job state '" << text << "'");
 }
 
@@ -53,14 +68,42 @@ JobManager::JobManager(JobManagerConfig config)
     m_failed_ = &registry->counter("absq_jobs_failed");
     m_cancelled_ = &registry->counter("absq_jobs_cancelled");
     m_rejected_ = &registry->counter("absq_jobs_rejected");
+    m_deadline_ = &registry->counter("absq_jobs_deadline_exceeded_total");
+    m_recovered_ = &registry->counter("absq_jobs_recovered_total");
+    m_lost_ = &registry->counter("absq_jobs_lost_total");
     m_queue_depth_ = &registry->gauge("absq_job_queue_depth");
     m_running_ = &registry->gauge("absq_jobs_running");
     m_queue_ms_ = &registry->histogram("absq_job_queue_ms");
     m_run_ms_ = &registry->histogram("absq_job_run_ms");
   }
+  if (!config_.checkpoint_dir.empty()) {
+    if (config_.recover) {
+      recover_from_journal();
+    } else {
+      // A leftover journal must never mix with this incarnation's records:
+      // fresh job ids start at 1 again and would alias the old ones. Set
+      // it aside (kept for forensics) and start clean.
+      const std::string path = journal_path();
+      if (std::ifstream(path).good()) {
+        const std::string stale = path + ".stale";
+        (void)std::remove(stale.c_str());
+        (void)std::rename(path.c_str(), stale.c_str());
+        obs::log_warn("serve", "stale job journal set aside",
+                      {{"path", path}, {"stale", stale}});
+      }
+      journal_ = std::make_unique<Journal>(path);
+    }
+  }
+  // Started last: the deadline thread only ever sees a fully constructed
+  // (and, with recover, fully reconstructed) job table.
+  deadline_thread_ = std::thread([this] { deadline_loop(); });
 }
 
 JobManager::~JobManager() { shutdown(Drain::kCancel); }
+
+std::string JobManager::journal_path() const {
+  return config_.checkpoint_dir + "/jobs.journal";
+}
 
 void JobManager::set_queue_gauge_locked() const {
   if (m_queue_depth_ != nullptr) {
@@ -71,16 +114,265 @@ void JobManager::set_queue_gauge_locked() const {
   }
 }
 
-JobId JobManager::submit(JobSpec spec) {
-  ABSQ_CHECK(spec.problem != nullptr, "job has no problem matrix");
-  ABSQ_CHECK(spec.problem->size() > 0, "job problem is empty");
-  ABSQ_CHECK(spec.stop.bounded(),
-             "job needs at least one stop criterion (target / seconds / "
-             "max_flips) or it would hold a solver slot forever");
+JournalRecord JobManager::submitted_record_locked(const Job& job) const {
+  JournalRecord record;
+  record.event = JournalEvent::kSubmitted;
+  record.id = job.id;
+  record.name = job.spec.name;
+  record.seed = job.spec.seed;
+  record.priority = job.spec.priority;
+  record.idempotency_key = job.spec.idempotency_key;
+  record.deadline_seconds = job.spec.deadline_seconds;
+  record.submitted_wall_seconds = job.submitted_wall_seconds;
+  record.time_limit_seconds = job.spec.stop.time_limit_seconds;
+  record.target_energy = job.spec.stop.target_energy;
+  record.max_flips = job.spec.stop.max_flips;
+  record.problem_file = job.problem_file;
+  record.resume_from = job.spec.resume_from;
+  return record;
+}
 
+JournalRecord JobManager::terminal_record_locked(const Job& job) const {
+  JournalRecord record;
+  record.event = JournalEvent::kTerminal;
+  record.id = job.id;
+  record.state = job.state;
+  record.error = job.error;
+  if (job.result != nullptr) {
+    record.has_result = true;
+    record.solution = job.result->best.to_string();
+    record.energy = job.result->best_energy;
+    record.reached_target = job.result->reached_target;
+    record.total_flips = job.result->total_flips;
+    record.run_seconds = job.result->seconds;
+  }
+  return record;
+}
+
+void JobManager::journal_append_quietly(const JournalRecord& record) const {
+  if (journal_ == nullptr) return;
+  try {
+    journal_->append(record);
+  } catch (const JournalError& failure) {
+    // For non-admission transitions the in-memory state is the truth: a
+    // dying disk degrades durability of the *next* crash, not serving.
+    obs::log_error("serve", "journal append failed",
+                   {{"event", to_string(record.event)},
+                    {"error", failure.what()}},
+                   static_cast<std::int64_t>(record.id));
+  }
+}
+
+void JobManager::recover_from_journal() {
+  const std::string path = journal_path();
+  const JournalReplay replay = Journal::replay_file(path);
+  if (!replay.clean) {
+    obs::log_warn("serve", "journal replay stopped at torn record",
+                  {{"issue", replay.issue},
+                   {"valid_records", replay.records.size()}});
+  }
+  journal_ = std::make_unique<Journal>(path);
+  if (replay.records.empty()) return;
+
+  // Fold the history into one verdict per job id.
+  struct Folded {
+    JournalRecord submitted;
+    bool has_submitted = false;
+    bool started = false;
+    std::optional<JournalRecord> terminal;
+  };
+  std::map<JobId, Folded> folded;
+  JobId max_id = 0;
+  for (const JournalRecord& record : replay.records) {
+    max_id = std::max(max_id, record.id);
+    Folded& fold = folded[record.id];
+    switch (record.event) {
+      case JournalEvent::kSubmitted:
+        fold.submitted = record;
+        fold.has_submitted = true;
+        break;
+      case JournalEvent::kStarted:
+        fold.started = true;
+        break;
+      case JournalEvent::kCheckpointed:
+        break;
+      case JournalEvent::kTerminal:
+        fold.terminal = record;
+        break;
+    }
+  }
+
+  const double now = clock_.seconds();
+  const double wall_now = wall_seconds_now();
+  std::vector<JournalRecord> compacted;
+  std::size_t requeued_tasks = 0;
+  for (auto& [id, fold] : folded) {
+    // A started/terminal record whose submitted record fell past a torn
+    // tail carries no respawn recipe — there is nothing to rebuild.
+    if (!fold.has_submitted) continue;
+    auto job = std::make_unique<Job>();
+    job->id = id;
+    job->recovered = true;
+    job->spec.name = fold.submitted.name;
+    job->spec.seed = fold.submitted.seed;
+    job->spec.priority = fold.submitted.priority;
+    job->spec.idempotency_key = fold.submitted.idempotency_key;
+    job->spec.deadline_seconds = fold.submitted.deadline_seconds;
+    job->spec.stop.time_limit_seconds = fold.submitted.time_limit_seconds;
+    job->spec.stop.target_energy = fold.submitted.target_energy;
+    job->spec.stop.max_flips = fold.submitted.max_flips;
+    job->spec.resume_from = fold.submitted.resume_from;
+    job->submitted_wall_seconds = fold.submitted.submitted_wall_seconds;
+    job->submitted_seconds = now;
+    job->problem_file = fold.submitted.problem_file;
+    job->checkpoint_path =
+        config_.checkpoint_dir + "/job-" + std::to_string(id) + ".ck";
+    if (!job->spec.idempotency_key.empty()) {
+      idempotency_[job->spec.idempotency_key] = id;
+    }
+
+    if (fold.terminal.has_value()) {
+      // Finished before the crash: restore the outcome, solution included.
+      const JournalRecord& outcome = *fold.terminal;
+      job->state = outcome.state;
+      job->error = outcome.error;
+      job->finished_seconds = now;
+      if (outcome.has_result) {
+        auto result = std::make_unique<AbsResult>();
+        result->best = BitVector::from_string(outcome.solution);
+        result->best_energy = outcome.energy;
+        result->reached_target = outcome.reached_target;
+        result->total_flips = outcome.total_flips;
+        result->seconds = outcome.run_seconds;
+        result->cancelled = outcome.state != JobState::kDone;
+        job->result = std::move(result);
+      }
+      ++recovery_.terminal;
+      compacted.push_back(fold.submitted);
+      compacted.push_back(outcome);
+      jobs_.emplace(id, std::move(job));
+      continue;
+    }
+
+    // Live work. The TTL kept ticking (wall clock) while we were down.
+    if (fold.submitted.deadline_seconds > 0.0) {
+      const double remaining =
+          fold.submitted.deadline_seconds -
+          (wall_now - fold.submitted.submitted_wall_seconds);
+      if (remaining <= 0.0) {
+        job->state = JobState::kDeadlineExceeded;
+        job->error = "deadline exceeded while the server was down";
+        job->finished_seconds = now;
+        ++recovery_.expired;
+        obs::add(m_deadline_);
+        obs::log_warn("serve", "recovered job expired", {},
+                      static_cast<std::int64_t>(id));
+        compacted.push_back(fold.submitted);
+        compacted.push_back(terminal_record_locked(*job));
+        jobs_.emplace(id, std::move(job));
+        continue;
+      }
+      job->deadline_at = now + remaining;
+    }
+
+    // The problem spool must load, or the job is unrecoverable: fail it
+    // loudly (typed, queryable, counted) — never drop it silently.
+    try {
+      ABSQ_CHECK(!job->problem_file.empty(),
+                 "journal record carries no problem spool");
+      job->spec.problem =
+          std::make_shared<WeightMatrix>(read_qubo_file(job->problem_file));
+    } catch (const std::exception& failure) {
+      job->state = JobState::kFailed;
+      job->error =
+          std::string("unrecoverable after crash: ") + failure.what();
+      job->finished_seconds = now;
+      ++recovery_.lost;
+      obs::add(m_lost_);
+      obs::add(m_failed_);
+      obs::log_error("serve", "job lost in crash",
+                     {{"error", job->error}},
+                     static_cast<std::int64_t>(id));
+      compacted.push_back(fold.submitted);
+      compacted.push_back(terminal_record_locked(*job));
+      jobs_.emplace(id, std::move(job));
+      continue;
+    }
+
+    // Resume from the per-job crash checkpoint when one exists and
+    // parses; otherwise requeue from the recipe alone. A torn checkpoint
+    // only costs the progress, never the job.
+    bool resumed = false;
+    if (fold.started) {
+      try {
+        (void)read_checkpoint_file(job->checkpoint_path,
+                                   config_.solver.pool_capacity);
+        job->spec.resume_from = job->checkpoint_path;
+        resumed = true;
+      } catch (const std::exception&) {
+      }
+    }
+    job->state = JobState::kQueued;
+    if (resumed) {
+      ++recovery_.resumed;
+    } else {
+      ++recovery_.requeued;
+    }
+    obs::add(m_recovered_);
+    obs::log_info("serve", "job recovered",
+                  {{"mode", resumed ? "resumed" : "requeued"},
+                   {"name", job->spec.name}},
+                  static_cast<std::int64_t>(id));
+    compacted.push_back(submitted_record_locked(*job));
+    queue_.insert(
+        {-static_cast<std::int64_t>(job->spec.priority), id});
+    jobs_.emplace(id, std::move(job));
+    ++requeued_tasks;
+  }
+  next_id_ = max_id + 1;
+  // Collapse the replayed history into the compacted journal before any
+  // requeued job can append fresh records.
+  journal_->rewrite(compacted);
+  set_queue_gauge_locked();
+  obs::log_info(
+      "serve", "journal recovery complete",
+      {{"resumed", recovery_.resumed},
+       {"requeued", recovery_.requeued},
+       {"expired", recovery_.expired},
+       {"lost", recovery_.lost},
+       {"terminal", recovery_.terminal}});
+  for (std::size_t i = 0; i < requeued_tasks; ++i) {
+    slots_.submit([this] { run_one(); });
+  }
+}
+
+JobId JobManager::submit(JobSpec spec) {
+  return submit_full(std::move(spec)).id;
+}
+
+SubmitOutcome JobManager::submit_full(JobSpec spec) {
+  ABSQ_CHECK(spec.deadline_seconds >= 0.0,
+             "job deadline_seconds must be >= 0");
   JobId id = 0;
   {
     std::lock_guard lock(mutex_);
+    // Idempotency wins over every other admission outcome: a duplicate of
+    // an already-admitted key is not new work, so it is answered even
+    // when the queue is full or the manager is draining.
+    if (!spec.idempotency_key.empty()) {
+      const auto hit = idempotency_.find(spec.idempotency_key);
+      if (hit != idempotency_.end()) {
+        obs::log_info("serve", "submission deduplicated",
+                      {{"key", spec.idempotency_key}},
+                      static_cast<std::int64_t>(hit->second));
+        return {hit->second, true};
+      }
+    }
+    ABSQ_CHECK(spec.problem != nullptr, "job has no problem matrix");
+    ABSQ_CHECK(spec.problem->size() > 0, "job problem is empty");
+    ABSQ_CHECK(spec.stop.bounded(),
+               "job needs at least one stop criterion (target / seconds / "
+               "max_flips) or it would hold a solver slot forever");
     if (shutting_down_) {
       obs::add(m_rejected_);
       obs::log_warn("serve", "submission rejected",
@@ -102,11 +394,43 @@ JobId JobManager::submit(JobSpec spec) {
     job->id = id;
     job->spec = std::move(spec);
     job->submitted_seconds = clock_.seconds();
+    job->submitted_wall_seconds = wall_seconds_now();
+    if (job->spec.deadline_seconds > 0.0) {
+      job->deadline_at =
+          job->submitted_seconds + job->spec.deadline_seconds;
+    }
     if (!config_.checkpoint_dir.empty()) {
       job->checkpoint_path =
           config_.checkpoint_dir + "/job-" + std::to_string(id) + ".ck";
     }
+    if (journal_ != nullptr) {
+      // Write-ahead: the problem spool and the submitted record must be
+      // durable BEFORE the submission is acknowledged. Either failure
+      // aborts the admission (the id is burned, never reused) with a
+      // typed JournalError the protocol maps to `internal`.
+      job->problem_file = config_.checkpoint_dir + "/job-" +
+                          std::to_string(id) + ".problem";
+      try {
+        atomic_write_file(job->problem_file, [&job](std::ostream& out) {
+          write_qubo(out, *job->spec.problem, "absq job spool");
+        });
+        journal_->append(submitted_record_locked(*job));
+      } catch (const JournalError&) {
+        obs::add(m_rejected_);
+        obs::log_error("serve", "submission rejected",
+                       {{"reason", "journal_append_failed"},
+                        {"name", job->spec.name}});
+        throw;
+      } catch (const std::exception& failure) {
+        obs::add(m_rejected_);
+        throw JournalError(std::string("cannot spool job problem: ") +
+                           failure.what());
+      }
+    }
     queue_.insert({-static_cast<std::int64_t>(job->spec.priority), id});
+    if (!job->spec.idempotency_key.empty()) {
+      idempotency_[job->spec.idempotency_key] = id;
+    }
     obs::log_info("serve", "job admitted",
                   {{"name", job->spec.name},
                    {"priority",
@@ -119,10 +443,12 @@ JobId JobManager::submit(JobSpec spec) {
     obs::add(m_submitted_);
     set_queue_gauge_locked();
   }
+  // The earliest pending deadline may have moved.
+  deadline_cv_.notify_all();
   // One drain task per admission: whichever slot runs it claims the best
   // queued job at that moment, so priorities reorder behind busy slots.
   slots_.submit([this] { run_one(); });
-  return id;
+  return {id, false};
 }
 
 AbsConfig JobManager::job_config(const Job& job) const {
@@ -144,6 +470,18 @@ AbsConfig JobManager::job_config(const Job& job) const {
     config.warm_start = checkpoint.pool;
     config.elapsed_offset_seconds = checkpoint.elapsed_seconds;
     config.seed = mix64(checkpoint.seed + 1);
+  }
+  if (journal_ != nullptr) {
+    // Journal every durable checkpoint so recovery knows a crash-time
+    // resume point exists. Runs on the solver's host thread; must not
+    // throw (journal_append_quietly never does).
+    const JobId id = job.id;
+    config.on_checkpoint = [this, id](std::uint64_t) {
+      JournalRecord record;
+      record.event = JournalEvent::kCheckpointed;
+      record.id = id;
+      journal_append_quietly(record);
+    };
   }
   return config;
 }
@@ -169,10 +507,17 @@ void JobManager::run_one() {
           static_cast<std::int64_t>(job->id));
     }
   }
-  // The claimed job can be gone already (cancelled while queued — its
-  // entry left the queue with the cancellation): this task has nothing
-  // to do, and the slot goes back to the pool.
+  // The claimed job can be gone already (cancelled or expired while
+  // queued — its entry left the queue with that transition): this task
+  // has nothing to do, and the slot goes back to the pool.
   if (job == nullptr) return;
+
+  {
+    JournalRecord started;
+    started.event = JournalEvent::kStarted;
+    started.id = job->id;
+    journal_append_quietly(started);
+  }
 
   std::unique_ptr<AbsResult> result;
   std::string error;
@@ -182,9 +527,11 @@ void JobManager::run_one() {
     {
       std::lock_guard lock(mutex_);
       job->solver = &solver;
-      // A cancel that raced the claim: forward it before the run begins
-      // so the solver exits at its first host poll.
-      if (job->cancel_requested) solver.request_stop();
+      // A cancel or deadline that raced the claim: forward it before the
+      // run begins so the solver exits at its first host poll.
+      if (job->cancel_requested || job->deadline_exceeded) {
+        solver.request_stop();
+      }
     }
     AbsResult run_result = solver.run(job->spec.stop);
     result = std::make_unique<AbsResult>(std::move(run_result));
@@ -196,6 +543,8 @@ void JobManager::run_one() {
     job->solver = nullptr;
   }
 
+  JournalRecord terminal;
+  bool have_terminal = false;
   {
     std::lock_guard lock(mutex_);
     job->finished_seconds = clock_.seconds();
@@ -204,9 +553,23 @@ void JobManager::run_one() {
             to_millis(job->finished_seconds - job->started_seconds));
     if (result != nullptr) {
       const bool cancelled = result->cancelled;
+      // An explicit user cancel outranks a racing deadline; a deadline
+      // stop keeps the partial result, like a cancel does.
+      const bool deadline =
+          cancelled && job->deadline_exceeded && !job->cancel_requested;
       job->result = std::move(result);
-      job->state = cancelled ? JobState::kCancelled : JobState::kDone;
-      obs::add(cancelled ? m_cancelled_ : m_completed_);
+      if (deadline) {
+        job->state = JobState::kDeadlineExceeded;
+        job->error = "deadline exceeded mid-run";
+        obs::add(m_deadline_);
+      } else {
+        job->state = cancelled ? JobState::kCancelled : JobState::kDone;
+        obs::add(cancelled ? m_cancelled_ : m_completed_);
+      }
+    } else if (job->deadline_exceeded && !job->cancel_requested) {
+      job->state = JobState::kDeadlineExceeded;
+      job->error = "deadline exceeded before the solver reported";
+      obs::add(m_deadline_);
     } else if (job->cancel_requested) {
       // A cancel so early that the solver never produced a report ends as
       // a clean cancellation, not a failure.
@@ -233,8 +596,77 @@ void JobManager::run_one() {
           static_cast<std::int64_t>(job->id));
     }
     set_queue_gauge_locked();
+    if (journal_ != nullptr) {
+      terminal = terminal_record_locked(*job);
+      have_terminal = true;
+    }
   }
+  if (have_terminal) journal_append_quietly(terminal);
   state_changed_.notify_all();
+}
+
+void JobManager::deadline_loop() {
+  std::unique_lock lock(mutex_);
+  while (!deadline_stop_) {
+    // Earliest deadline that can still fire: queued jobs with a TTL, or
+    // running ones not yet told to stop.
+    double next = 0.0;
+    for (const auto& [id, job] : jobs_) {
+      if (job->deadline_at <= 0.0 || is_terminal(job->state)) continue;
+      if (job->state == JobState::kRunning && job->deadline_exceeded) {
+        continue;  // already stopping; run_one() finishes it
+      }
+      if (next == 0.0 || job->deadline_at < next) next = job->deadline_at;
+    }
+    if (next == 0.0) {
+      deadline_cv_.wait(lock);
+      continue;
+    }
+    const double now = clock_.seconds();
+    if (now < next) {
+      deadline_cv_.wait_for(lock,
+                            std::chrono::duration<double>(next - now));
+      continue;  // re-scan: the deadline set may have changed meanwhile
+    }
+    std::vector<JournalRecord> terminals;
+    bool expired_any = false;
+    for (auto& [id, entry] : jobs_) {
+      Job& job = *entry;
+      if (job.deadline_at <= 0.0 || now < job.deadline_at) continue;
+      if (job.state == JobState::kQueued) {
+        queue_.erase(
+            {-static_cast<std::int64_t>(job.spec.priority), job.id});
+        job.state = JobState::kDeadlineExceeded;
+        job.error = "deadline exceeded while queued";
+        job.finished_seconds = now;
+        obs::add(m_deadline_);
+        obs::log_warn("serve", "job deadline exceeded",
+                      {{"state", "queued"}},
+                      static_cast<std::int64_t>(job.id));
+        if (journal_ != nullptr) {
+          terminals.push_back(terminal_record_locked(job));
+        }
+        expired_any = true;
+      } else if (job.state == JobState::kRunning &&
+                 !job.deadline_exceeded) {
+        job.deadline_exceeded = true;
+        if (job.solver != nullptr) job.solver->request_stop();
+        obs::log_warn("serve", "job deadline exceeded",
+                      {{"state", "running"}},
+                      static_cast<std::int64_t>(job.id));
+      }
+    }
+    set_queue_gauge_locked();
+    if (expired_any) {
+      // Journal fsyncs and waiter wakeups happen off the manager lock.
+      lock.unlock();
+      for (const JournalRecord& record : terminals) {
+        journal_append_quietly(record);
+      }
+      state_changed_.notify_all();
+      lock.lock();
+    }
+  }
 }
 
 const JobManager::Job& JobManager::find_locked(JobId id) const {
@@ -251,12 +683,14 @@ JobStatus JobManager::snapshot_locked(const Job& job) const {
   status.name = job.spec.name;
   status.state = job.state;
   status.priority = job.spec.priority;
-  status.bits = job.spec.problem->size();
+  status.bits = job.spec.problem != nullptr ? job.spec.problem->size() : 0;
   status.submitted_seconds = job.submitted_seconds;
   status.started_seconds = job.started_seconds;
   status.finished_seconds = job.finished_seconds;
   status.checkpoint_path = job.checkpoint_path;
   status.error = job.error;
+  status.deadline_seconds = job.spec.deadline_seconds;
+  status.recovered = job.recovered;
   const double now = clock_.seconds();
   switch (job.state) {
     case JobState::kQueued:
@@ -319,6 +753,8 @@ void JobManager::cancel_queued_locked(Job& job) {
 
 bool JobManager::cancel(JobId id) {
   bool took_effect = false;
+  JournalRecord terminal;
+  bool have_terminal = false;
   {
     std::lock_guard lock(mutex_);
     auto it = jobs_.find(id);
@@ -331,6 +767,10 @@ bool JobManager::cancel(JobId id) {
         queue_.erase({-static_cast<std::int64_t>(job.spec.priority), id});
         cancel_queued_locked(job);
         set_queue_gauge_locked();
+        if (journal_ != nullptr) {
+          terminal = terminal_record_locked(job);
+          have_terminal = true;
+        }
         took_effect = true;
         break;
       case JobState::kRunning:
@@ -345,6 +785,7 @@ bool JobManager::cancel(JobId id) {
         took_effect = false;  // already terminal
     }
   }
+  if (have_terminal) journal_append_quietly(terminal);
   if (took_effect) {
     obs::log_info("serve", "job cancelled", {},
                   static_cast<std::int64_t>(id));
@@ -376,6 +817,7 @@ std::size_t JobManager::running_count() const {
 }
 
 void JobManager::shutdown(Drain mode) {
+  std::vector<JournalRecord> terminals;
   {
     std::lock_guard lock(mutex_);
     if (!shutting_down_) {
@@ -386,11 +828,17 @@ void JobManager::shutdown(Drain mode) {
     }
     shutting_down_ = true;
     if (mode == Drain::kCancel) {
-      // Queued jobs will never run; their drain tasks become no-ops.
+      // Queued jobs will never run; their drain tasks become no-ops. The
+      // cancellations are journaled so a later recovery does not requeue
+      // jobs this clean shutdown already settled.
       while (!queue_.empty()) {
         const JobId id = queue_.begin()->second;
         queue_.erase(queue_.begin());
-        cancel_queued_locked(*jobs_.at(id));
+        Job& job = *jobs_.at(id);
+        cancel_queued_locked(job);
+        if (journal_ != nullptr) {
+          terminals.push_back(terminal_record_locked(job));
+        }
       }
       for (auto& [id, job] : jobs_) {
         if (job->state == JobState::kRunning) {
@@ -401,11 +849,25 @@ void JobManager::shutdown(Drain mode) {
       set_queue_gauge_locked();
     }
   }
+  for (const JournalRecord& record : terminals) {
+    journal_append_quietly(record);
+  }
   state_changed_.notify_all();
   // Block until every slot task has retired (running jobs finish their
   // graceful stop — final checkpoints included — or their full run under
-  // Drain::kWait).
+  // Drain::kWait). The deadline thread stays alive through the drain so
+  // TTLs still fire on jobs running to completion under Drain::kWait.
   slots_.wait_idle();
+  std::thread reaper;
+  {
+    std::lock_guard lock(mutex_);
+    deadline_stop_ = true;
+    // Claimed under the lock so concurrent shutdown() calls cannot both
+    // join it.
+    reaper = std::move(deadline_thread_);
+  }
+  deadline_cv_.notify_all();
+  if (reaper.joinable()) reaper.join();
 }
 
 }  // namespace absq::serve

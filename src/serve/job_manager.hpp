@@ -13,6 +13,29 @@
 // gets AbsSolver::request_stop(), ends at the solver's next host poll
 // with a final checkpoint (when enabled), and finishes as cancelled.
 //
+// Durability (checkpoint_dir set): every state transition is appended to
+// the write-ahead job journal (serve/journal.hpp) and each submitted
+// problem is spooled to `job-<id>.problem`, both in the checkpoint dir.
+// The journal append happens *before* a submission is acknowledged, so a
+// crash — SIGKILL included — can never lose an accepted job: a restart
+// with `recover = true` replays the journal, requeues jobs that never
+// started, resumes started jobs from their per-job PR-3 checkpoints,
+// re-marks terminal jobs (done jobs keep their best solution, which the
+// terminal record carries inline), expires jobs whose TTL passed while
+// the process was down, and typed-fails the unrecoverable rest — then
+// compacts the journal.
+//
+// Idempotency: a JobSpec may carry a client-chosen idempotency_key; a
+// second submission with the same key returns the existing job's id
+// (SubmitOutcome::deduplicated) instead of duplicating work, so clients
+// can safely resubmit after an ambiguous failure. Keys survive recovery.
+//
+// Deadlines: deadline_seconds > 0 gives a job a TTL anchored at its
+// submission *wall clock* (it keeps ticking across a crash). A dedicated
+// deadline thread expires queued jobs directly and request_stop()s
+// running ones; either way the job ends in the terminal
+// JobState::kDeadlineExceeded.
+//
 // Fault isolation: a job whose solver throws — a genuinely failed device
 // past its restart budget, a bad resume file — becomes `failed` with the
 // error recorded; the slot returns to the pool and the server lives on.
@@ -33,11 +56,13 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "obs/telemetry.hpp"
 #include "serve/job.hpp"
+#include "serve/journal.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -59,12 +84,29 @@ struct JobManagerConfig {
   /// telemetry. seed / checkpoint / warm-start fields are overwritten per
   /// job from its JobSpec.
   AbsConfig solver;
-  /// Non-empty enables per-job crash-safe checkpoints `job-<id>.ck` in
+  /// Non-empty enables per-job crash-safe checkpoints `job-<id>.ck`, the
+  /// write-ahead job journal `jobs.journal` and per-job problem spools in
   /// this directory (must exist).
   std::string checkpoint_dir;
   double checkpoint_interval_seconds = 30.0;
+  /// With a checkpoint_dir: replay the journal found there at startup and
+  /// reconstruct every journaled job (see class comment). When false, a
+  /// leftover journal is set aside as `jobs.journal.stale` so fresh job
+  /// ids cannot alias the previous incarnation's records.
+  bool recover = false;
   /// Manager-level series (may alias solver.telemetry; null = off).
   obs::Telemetry telemetry;
+};
+
+/// Crash-recovery census, fixed once the constructor returns.
+struct RecoveryStats {
+  std::size_t resumed = 0;   ///< requeued with a checkpoint warm start
+  std::size_t requeued = 0;  ///< requeued from scratch (never checkpointed)
+  std::size_t expired = 0;   ///< TTL passed while the process was down
+  std::size_t lost = 0;      ///< unrecoverable — typed-failed, never silent
+  std::size_t terminal = 0;  ///< already finished before the crash
+  /// Jobs brought back as live work.
+  [[nodiscard]] std::size_t recovered() const { return resumed + requeued; }
 };
 
 class JobManager {
@@ -78,8 +120,22 @@ class JobManager {
 
   /// Admits a job. Throws QueueFullError when max_queue jobs are already
   /// waiting, ShuttingDownError after shutdown() began, CheckError on an
-  /// invalid spec (null problem, unbounded stop criteria).
+  /// invalid spec (null problem, unbounded stop criteria), JournalError
+  /// when the journal append failed (the job was NOT accepted).
   JobId submit(JobSpec spec);
+
+  /// submit(), but reporting idempotency deduplication: when the spec's
+  /// idempotency_key matches a known job, that job's id is returned with
+  /// deduplicated = true and nothing new is admitted (not even when the
+  /// queue is full or the manager is draining — the original admission
+  /// already happened).
+  SubmitOutcome submit_full(JobSpec spec);
+
+  /// The crash-recovery census (all zeros unless config.recover found a
+  /// journal to replay).
+  [[nodiscard]] const RecoveryStats& recovery_stats() const {
+    return recovery_;
+  }
 
   /// Point-in-time snapshot; throws JobNotFoundError.
   [[nodiscard]] JobStatus status(JobId id) const;
@@ -123,14 +179,26 @@ class JobManager {
     JobSpec spec;
     JobState state = JobState::kQueued;
     bool cancel_requested = false;
+    /// Set by the deadline thread on a running job; the slot task folds
+    /// the resulting request_stop() into kDeadlineExceeded, not cancelled.
+    bool deadline_exceeded = false;
+    /// This incarnation was reconstructed from the journal.
+    bool recovered = false;
     /// Live only while the slot task is inside run(); guarded by mutex_.
     AbsSolver* solver = nullptr;
     double submitted_seconds = 0.0;
     double started_seconds = 0.0;
     double finished_seconds = 0.0;
+    /// Submission wall clock (unix seconds) — the journal's TTL anchor.
+    double submitted_wall_seconds = 0.0;
+    /// Absolute deadline on the manager clock (0 = none).
+    double deadline_at = 0.0;
     std::string checkpoint_path;
+    /// Spooled problem file backing journal replay ("" = journal off).
+    std::string problem_file;
     std::string error;
-    /// Present for kDone and kCancelled (partial result) jobs.
+    /// Present for kDone, kCancelled and kDeadlineExceeded (partial
+    /// result) jobs.
     std::unique_ptr<AbsResult> result;
   };
 
@@ -146,18 +214,43 @@ class JobManager {
   /// removed it from queue_).
   void cancel_queued_locked(Job& job);
 
+  // --- durability ---------------------------------------------------------
+  /// Journal path inside the checkpoint dir.
+  [[nodiscard]] std::string journal_path() const;
+  /// The submitted-record recipe for `job` (journal + compaction).
+  JournalRecord submitted_record_locked(const Job& job) const;
+  /// The terminal-record outcome for `job` (must be terminal).
+  JournalRecord terminal_record_locked(const Job& job) const;
+  /// Appends when journaling is on; a failure is logged, never thrown —
+  /// used for transitions where the in-memory truth must win (started /
+  /// checkpointed / terminal).
+  void journal_append_quietly(const JournalRecord& record) const;
+  /// Replays + reconstructs + compacts; fills recovery_. Ctor-only.
+  void recover_from_journal();
+  /// Deadline-thread body: expires queued jobs, stops running ones.
+  void deadline_loop();
+
   JobManagerConfig config_;
   Stopwatch clock_;
 
   mutable std::mutex mutex_;
   std::condition_variable state_changed_;
+  /// Wakes the deadline thread when the earliest deadline may have moved.
+  std::condition_variable deadline_cv_;
   std::map<JobId, std::unique_ptr<Job>> jobs_;
   /// Admission order: (-priority, id) — highest priority first, FIFO
   /// within a level. Holds queued jobs only.
   std::set<std::pair<std::int64_t, JobId>> queue_;
+  /// idempotency_key → job id, for every key ever admitted (terminal jobs
+  /// included: resubmitting a finished key returns the finished job).
+  std::map<std::string, JobId> idempotency_;
   JobId next_id_ = 1;
   std::size_t running_ = 0;
   bool shutting_down_ = false;
+  bool deadline_stop_ = false;
+
+  std::unique_ptr<Journal> journal_;
+  RecoveryStats recovery_;
 
   // Manager telemetry series (null = off).
   obs::Counter* m_submitted_ = nullptr;
@@ -165,10 +258,17 @@ class JobManager {
   obs::Counter* m_failed_ = nullptr;
   obs::Counter* m_cancelled_ = nullptr;
   obs::Counter* m_rejected_ = nullptr;
+  obs::Counter* m_deadline_ = nullptr;
+  obs::Counter* m_recovered_ = nullptr;
+  obs::Counter* m_lost_ = nullptr;
   obs::Gauge* m_queue_depth_ = nullptr;
   obs::Gauge* m_running_ = nullptr;
   obs::Histogram* m_queue_ms_ = nullptr;
   obs::Histogram* m_run_ms_ = nullptr;
+
+  /// Expires TTLs; joined by shutdown(). Started after recovery so it
+  /// only ever sees a fully reconstructed job table.
+  std::thread deadline_thread_;
 
   /// The slot pool. Declared last so its destructor joins the workers
   /// before any member they touch is torn down.

@@ -13,6 +13,7 @@
 
 #include "serve/protocol.hpp"
 #include "util/check.hpp"
+#include "util/failpoint.hpp"
 
 namespace absq::serve {
 namespace {
@@ -142,6 +143,13 @@ void JobServer::accept_loop() {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       break;
     }
+    // Fault-injection site: a flaky accept path drops the fresh
+    // connection on the floor — the client sees a reset, exactly like an
+    // accept interrupted by a crash.
+    if (fail::triggered("serve.accept")) {
+      close_quietly(fd);
+      continue;
+    }
     // absq-lint: allow(relaxed-order) — monotonic statistic, no ordering.
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
 
@@ -178,6 +186,9 @@ void JobServer::serve_connection(Connection* connection) {
   bool open = true;
   while (open && !stopping_.load(std::memory_order_acquire)) {
     char chunk[4096];
+    // Fault-injection site: a read that dies mid-request (peer reset from
+    // the client's point of view).
+    if (fail::triggered("serve.read")) break;
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n == 0) break;  // peer closed
     if (n < 0) {
@@ -207,7 +218,12 @@ void JobServer::serve_connection(Connection* connection) {
       if (line.empty()) continue;
       const ProtocolReply outcome =
           handle_request_line(manager_, line, config_.metrics);
-      if (!send_all(fd, outcome.reply.dump() + "\n")) open = false;
+      // Fault-injection site: the reply is dropped after the request took
+      // effect — the ambiguous-outcome case idempotent retries exist for.
+      if (fail::triggered("serve.write") ||
+          !send_all(fd, outcome.reply.dump() + "\n")) {
+        open = false;
+      }
       if (outcome.shutdown) request_shutdown();
     }
   }

@@ -1,0 +1,310 @@
+#include "serve/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "ga/pool_io.hpp"
+#include "serve/json.hpp"
+#include "util/failpoint.hpp"
+
+namespace absq::serve {
+namespace {
+
+constexpr const char* kHeader = "absq-journal 1";
+constexpr const char* kRecordTag = "absq-wal1";
+
+/// Plain table-driven CRC-32 (IEEE 802.3 polynomial). Strong enough to
+/// tell a torn or bit-flipped record from a valid one; no zlib needed.
+std::uint32_t crc32(const std::string& data) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xffffffffu;
+  for (const char byte : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(byte)) & 0xffu] ^
+          (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+std::string crc32_hex(const std::string& data) {
+  static const char* digits = "0123456789abcdef";
+  const std::uint32_t crc = crc32(data);
+  std::string hex(8, '0');
+  for (int i = 0; i < 8; ++i) {
+    hex[static_cast<std::size_t>(7 - i)] = digits[(crc >> (4 * i)) & 0xfu];
+  }
+  return hex;
+}
+
+JournalEvent event_from_string(const std::string& text) {
+  if (text == "submitted") return JournalEvent::kSubmitted;
+  if (text == "started") return JournalEvent::kStarted;
+  if (text == "checkpointed") return JournalEvent::kCheckpointed;
+  if (text == "terminal") return JournalEvent::kTerminal;
+  throw JsonError("unknown journal event '" + text + "'");
+}
+
+Json record_to_json(const JournalRecord& record) {
+  Json json = Json::object();
+  json.set("event", to_string(record.event));
+  json.set("id", record.id);
+  switch (record.event) {
+    case JournalEvent::kSubmitted:
+      json.set("name", record.name);
+      json.set("seed", record.seed);
+      json.set("priority", static_cast<std::int64_t>(record.priority));
+      if (!record.idempotency_key.empty()) {
+        json.set("key", record.idempotency_key);
+      }
+      if (record.deadline_seconds > 0.0) {
+        json.set("deadline", record.deadline_seconds);
+      }
+      json.set("wall", record.submitted_wall_seconds);
+      if (record.time_limit_seconds > 0.0) {
+        json.set("seconds", record.time_limit_seconds);
+      }
+      if (record.target_energy.has_value()) {
+        json.set("target", *record.target_energy);
+      }
+      if (record.max_flips > 0) json.set("max_flips", record.max_flips);
+      json.set("problem_file", record.problem_file);
+      if (!record.resume_from.empty()) {
+        json.set("resume_from", record.resume_from);
+      }
+      break;
+    case JournalEvent::kStarted:
+    case JournalEvent::kCheckpointed:
+      break;
+    case JournalEvent::kTerminal:
+      json.set("state", to_string(record.state));
+      if (!record.error.empty()) json.set("error", record.error);
+      if (record.has_result) {
+        json.set("solution", record.solution);
+        json.set("energy", record.energy);
+        json.set("reached_target", record.reached_target);
+        json.set("total_flips", record.total_flips);
+        json.set("run_seconds", record.run_seconds);
+      }
+      break;
+  }
+  return json;
+}
+
+JournalRecord record_from_json(const Json& json) {
+  JournalRecord record;
+  record.event = event_from_string(json.at("event").as_string());
+  record.id = static_cast<JobId>(json.at("id").as_int());
+  switch (record.event) {
+    case JournalEvent::kSubmitted:
+      record.name = json.get_string("name", "");
+      record.seed = static_cast<std::uint64_t>(json.get_int("seed", 1));
+      record.priority = static_cast<int>(json.get_int("priority", 0));
+      record.idempotency_key = json.get_string("key", "");
+      record.deadline_seconds = json.get_double("deadline", 0.0);
+      record.submitted_wall_seconds = json.get_double("wall", 0.0);
+      record.time_limit_seconds = json.get_double("seconds", 0.0);
+      if (json.has("target")) {
+        record.target_energy = json.at("target").as_int();
+      }
+      record.max_flips =
+          static_cast<std::uint64_t>(json.get_int("max_flips", 0));
+      record.problem_file = json.get_string("problem_file", "");
+      record.resume_from = json.get_string("resume_from", "");
+      break;
+    case JournalEvent::kStarted:
+    case JournalEvent::kCheckpointed:
+      break;
+    case JournalEvent::kTerminal:
+      record.state = job_state_from_string(json.at("state").as_string());
+      record.error = json.get_string("error", "");
+      record.has_result = json.has("solution");
+      if (record.has_result) {
+        record.solution = json.at("solution").as_string();
+        record.energy = json.at("energy").as_int();
+        record.reached_target = json.get_bool("reached_target", false);
+        record.total_flips =
+            static_cast<std::uint64_t>(json.get_int("total_flips", 0));
+        record.run_seconds = json.get_double("run_seconds", 0.0);
+      }
+      break;
+  }
+  return record;
+}
+
+}  // namespace
+
+const char* to_string(JournalEvent event) {
+  switch (event) {
+    case JournalEvent::kSubmitted: return "submitted";
+    case JournalEvent::kStarted: return "started";
+    case JournalEvent::kCheckpointed: return "checkpointed";
+    case JournalEvent::kTerminal: return "terminal";
+  }
+  return "unknown";
+}
+
+std::string Journal::encode(const JournalRecord& record) {
+  const std::string payload = record_to_json(record).dump();
+  std::string line = kRecordTag;
+  line += ' ';
+  line += crc32_hex(payload);
+  line += ' ';
+  line += payload;
+  return line;
+}
+
+Journal::Journal(std::string path) : path_(std::move(path)) {
+  open_for_append();
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Journal::open_for_append() {
+  const int fd =
+      ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (fd < 0) {
+    throw JournalError("cannot open journal '" + path_ +
+                       "': " + std::strerror(errno));
+  }
+  fd_ = fd;
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size == 0) {
+    const std::string header = std::string(kHeader) + "\n";
+    if (::write(fd, header.data(), header.size()) !=
+        static_cast<ssize_t>(header.size())) {
+      const std::string reason = std::strerror(errno);
+      ::close(fd);
+      fd_ = -1;
+      throw JournalError("cannot write journal header to '" + path_ +
+                         "': " + reason);
+    }
+    (void)::fsync(fd);
+    // A freshly created journal must itself survive a crash: persist the
+    // directory entry too.
+    const std::size_t slash = path_.find_last_of('/');
+    fsync_path_best_effort(slash == std::string::npos
+                               ? std::string(".")
+                               : path_.substr(0, slash + 1),
+                           /*directory=*/true);
+  }
+}
+
+void Journal::append(const JournalRecord& record) {
+  // Fault-injection site: a throw here models a disk that went away (or a
+  // crash) before the record became durable — the caller must not
+  // acknowledge the transition.
+  if (fail::triggered("journal.append")) {
+    throw JournalError("injected fault at fail point 'journal.append'");
+  }
+  const std::string line = encode(record) + "\n";
+  // One write(2) call: on a crash mid-append the kernel leaves either
+  // nothing or a prefix of this line — both are detected at replay.
+  ssize_t written = -1;
+  do {
+    written = ::write(fd_, line.data(), line.size());
+  } while (written < 0 && errno == EINTR);
+  if (written != static_cast<ssize_t>(line.size())) {
+    throw JournalError("journal append to '" + path_ +
+                       "' failed: " + std::strerror(errno));
+  }
+  if (::fsync(fd_) != 0) {
+    throw JournalError("journal fsync of '" + path_ +
+                       "' failed: " + std::strerror(errno));
+  }
+}
+
+void Journal::rewrite(const std::vector<JournalRecord>& records) {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  atomic_write_file(path_, [&records](std::ostream& out) {
+    out << kHeader << '\n';
+    for (const JournalRecord& record : records) {
+      out << encode(record) << '\n';
+    }
+  });
+  open_for_append();
+}
+
+JournalReplay Journal::replay_file(const std::string& path) {
+  JournalReplay replay;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return replay;  // no journal: empty, clean
+  std::ostringstream slurp;
+  slurp << in.rdbuf();
+  const std::string text = std::move(slurp).str();
+  if (text.empty()) return replay;
+
+  std::size_t cursor = 0;
+  bool saw_header = false;
+  while (cursor < text.size()) {
+    const std::size_t newline = text.find('\n', cursor);
+    if (newline == std::string::npos) {
+      // Torn tail: an append died mid-write. Everything before this
+      // partial line is trustworthy; the tail is not.
+      replay.clean = false;
+      replay.issue = "journal ends in a partial record (torn write)";
+      return replay;
+    }
+    const std::string line = text.substr(cursor, newline - cursor);
+    cursor = newline + 1;
+    if (!saw_header) {
+      if (line != kHeader) {
+        replay.clean = false;
+        replay.issue = "not a job journal (bad header)";
+        return replay;
+      }
+      saw_header = true;
+      continue;
+    }
+    if (line.empty()) continue;
+    // Frame: "absq-wal1 <crc8> <json>".
+    const std::string prefix = std::string(kRecordTag) + ' ';
+    if (line.size() < prefix.size() + 9 ||
+        line.compare(0, prefix.size(), prefix) != 0 ||
+        line[prefix.size() + 8] != ' ') {
+      replay.clean = false;
+      replay.issue = "malformed journal record frame";
+      return replay;
+    }
+    const std::string crc_text = line.substr(prefix.size(), 8);
+    const std::string payload = line.substr(prefix.size() + 9);
+    if (crc32_hex(payload) != crc_text) {
+      replay.clean = false;
+      replay.issue = "journal record checksum mismatch (corrupt record)";
+      return replay;
+    }
+    try {
+      replay.records.push_back(record_from_json(Json::parse(payload)));
+    } catch (const CheckError& error) {
+      // CRC-valid but semantically unparsable (version skew): stop here
+      // rather than trusting anything after an ununderstood record.
+      replay.clean = false;
+      replay.issue = std::string("unparsable journal record: ") +
+                     error.what();
+      return replay;
+    }
+  }
+  return replay;
+}
+
+}  // namespace absq::serve

@@ -1,0 +1,149 @@
+// Write-ahead job journal — the durability backbone of the serve layer.
+//
+// The JobManager appends one record per job state transition so that a
+// crash of the serving process (SIGKILL included) loses no acknowledged
+// work: on restart, replaying the journal reconstructs every job and the
+// manager requeues / checkpoint-resumes / terminally marks each one
+// (docs/robustness.md).
+//
+// File format (`<checkpoint-dir>/jobs.journal`):
+//
+//     absq-journal 1
+//     absq-wal1 <crc32-hex8> <json-record>
+//     absq-wal1 <crc32-hex8> <json-record>
+//     ...
+//
+// Each record is one line: a fixed tag, the CRC-32 of the JSON payload,
+// and the payload itself (serve/json.hpp — single-line by construction).
+// Appends are a single write(2) followed by fsync(2), so a record is
+// either fully on disk or detectably torn; the CRC plus the trailing
+// newline let replay stop *cleanly at the last valid record* instead of
+// propagating garbage. Compaction (rewrite()) reuses the PR-3 atomic
+// temp+fsync+rename primitive, so the journal file itself can never be
+// half-replaced.
+//
+// Record events mirror the job state machine:
+//
+//   submitted     full respawn recipe: id, name, seed, priority, stop
+//                 criteria, idempotency key, TTL + submission wall clock,
+//                 the spooled problem file, and any client resume path
+//   started       the job claimed a solver slot
+//   checkpointed  the job's solver wrote a crash-safe RunCheckpoint
+//   terminal      final state (+ error, or the best solution inline so a
+//                 done job's result survives the process)
+//
+// The problem itself is not inlined in the journal: submit() spools it to
+// `job-<id>.problem` (canonical qubo text, atomic write) and the record
+// references that file.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qubo/energy.hpp"
+#include "serve/job.hpp"
+
+namespace absq::serve {
+
+/// A journal write failed (open/append/fsync, or an injected
+/// `journal.append` fault). Typed so the protocol layer can answer
+/// `internal` — the submission was NOT durably accepted — instead of
+/// blaming the request.
+class JournalError : public CheckError {
+ public:
+  explicit JournalError(const std::string& what) : CheckError(what) {}
+};
+
+enum class JournalEvent : std::uint8_t {
+  kSubmitted = 0,
+  kStarted = 1,
+  kCheckpointed = 2,
+  kTerminal = 3,
+};
+
+[[nodiscard]] const char* to_string(JournalEvent event);
+
+/// One journal line. A flat union of the per-event fields: submitted
+/// records fill the respawn recipe, terminal records fill the outcome;
+/// started/checkpointed carry only the id.
+struct JournalRecord {
+  JournalEvent event = JournalEvent::kSubmitted;
+  JobId id = 0;
+
+  // --- submitted ------------------------------------------------------------
+  std::string name;
+  std::uint64_t seed = 1;
+  int priority = 0;
+  std::string idempotency_key;
+  double deadline_seconds = 0.0;  ///< TTL (0 = none)
+  /// Submission wall clock (unix seconds) — the TTL anchor that survives
+  /// process death; monotonic clocks do not.
+  double submitted_wall_seconds = 0.0;
+  double time_limit_seconds = 0.0;
+  std::optional<Energy> target_energy;
+  std::uint64_t max_flips = 0;
+  std::string problem_file;  ///< spooled canonical-qubo problem
+  std::string resume_from;   ///< client-requested warm start, if any
+
+  // --- terminal -------------------------------------------------------------
+  JobState state = JobState::kQueued;
+  std::string error;
+  bool has_result = false;  ///< solution/energy fields below are valid
+  std::string solution;     ///< best bit string of a done/cancelled job
+  Energy energy = 0;
+  bool reached_target = false;
+  std::uint64_t total_flips = 0;
+  double run_seconds = 0.0;
+};
+
+/// Outcome of replaying a journal file.
+struct JournalReplay {
+  std::vector<JournalRecord> records;
+  /// False when replay stopped early: a torn/corrupt record was found and
+  /// everything from it on was discarded. `issue` says why.
+  bool clean = true;
+  std::string issue;
+};
+
+class Journal {
+ public:
+  /// Opens `path` for appending, writing the header first when the file is
+  /// new or empty. Throws JournalError when the file cannot be opened.
+  explicit Journal(std::string path);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Appends one record: a single write + fsync. Throws JournalError on
+  /// failure (including the `journal.append` fail point) — the caller must
+  /// treat the transition as NOT durable.
+  void append(const JournalRecord& record);
+
+  /// Compaction: atomically replaces the whole journal with exactly
+  /// `records` (temp + fsync + rename), then reopens for appending.
+  /// Recovery uses this to collapse a replayed history into one record
+  /// per live job.
+  void rewrite(const std::vector<JournalRecord>& records);
+
+  /// Replays a journal file. A missing file is an empty, clean replay.
+  /// Replay stops at the first torn or corrupt record (clean = false) —
+  /// everything before it is returned, nothing after it is trusted.
+  [[nodiscard]] static JournalReplay replay_file(const std::string& path);
+
+  /// One encoded journal line, without the trailing newline (exposed for
+  /// the torn-write tests, which carve files at every byte boundary).
+  [[nodiscard]] static std::string encode(const JournalRecord& record);
+
+ private:
+  void open_for_append();
+
+  std::string path_;
+  int fd_ = -1;
+};
+
+}  // namespace absq::serve

@@ -46,14 +46,20 @@ JobSpec spec_from_request(const Json& request) {
   spec.priority = static_cast<int>(priority);
   spec.name = request.get_string("name", "");
   spec.resume_from = request.get_string("resume_from", "");
+  spec.idempotency_key = request.get_string("idempotency_key", "");
+  spec.deadline_seconds = request.get_double("deadline_seconds", 0.0);
   return spec;
 }
 
 Json handle_submit(JobManager& manager, const Json& request) {
-  const JobId id = manager.submit(spec_from_request(request));
+  const SubmitOutcome outcome =
+      manager.submit_full(spec_from_request(request));
   Json reply = ok_reply();
-  reply.set("id", id);
-  reply.set("state", to_string(JobState::kQueued));
+  reply.set("id", outcome.id);
+  reply.set("deduplicated", outcome.deduplicated);
+  reply.set("state", to_string(outcome.deduplicated
+                                   ? manager.status(outcome.id).state
+                                   : JobState::kQueued));
   reply.set("queue_depth",
             static_cast<std::int64_t>(manager.queue_depth()));
   return reply;
@@ -185,6 +191,8 @@ Json job_to_json(const JobStatus& status) {
   json.set("search_rate", status.search_rate);
   json.set("error", status.error);
   json.set("checkpoint_path", status.checkpoint_path);
+  json.set("deadline_seconds", status.deadline_seconds);
+  json.set("recovered", status.recovered);
   return json;
 }
 
@@ -209,6 +217,8 @@ JobStatus job_from_json(const Json& json) {
   status.search_rate = json.get_double("search_rate", 0.0);
   status.error = json.get_string("error", "");
   status.checkpoint_path = json.get_string("checkpoint_path", "");
+  status.deadline_seconds = json.get_double("deadline_seconds", 0.0);
+  status.recovered = json.get_bool("recovered", false);
   return status;
 }
 
@@ -248,6 +258,12 @@ ProtocolReply handle_request_line(JobManager& manager,
     outcome.reply = error_reply("shutting_down", error.what());
   } catch (const JobNotFoundError& error) {
     outcome.reply = error_reply("not_found", error.what());
+  } catch (const JournalError& error) {
+    // The write-ahead append failed: the job was NOT durably accepted.
+    // The server (not the request) is at fault, so the code is internal —
+    // the client may safely resubmit (idempotency-keyed or not, nothing
+    // was admitted).
+    outcome.reply = error_reply("internal", error.what());
   } catch (const CheckError& error) {
     // JsonError, unparsable problems, missing/mistyped fields.
     outcome.reply = error_reply("bad_request", error.what());

@@ -8,7 +8,9 @@
 //   ------------------------------------------------------------------
 //   {"cmd":"ping"}                           {"ok":true,"pong":true}
 //   {"cmd":"submit","problem":"qubo 4\n...", {"ok":true,"id":7,
-//     "seconds":5,"target":-12,...}            "state":"queued",...}
+//     "seconds":5,"target":-12,                 "state":"queued",
+//     "idempotency_key":"k1",                   "deduplicated":false,...}
+//     "deadline_seconds":30,...}
 //   {"cmd":"status","id":7}                  {"ok":true,"job":{...}}
 //   {"cmd":"result","id":7}                  {"ok":true,"job":{...},
 //                                              "solution":"0101...",...}
@@ -21,6 +23,12 @@
 // unparsable problem), queue_full (typed backpressure — retry later),
 // shutting_down, not_found, not_done, internal. A malformed request is a
 // *reply*, never a dropped connection and never a server death.
+//
+// Durability on the wire: a submit may carry an `idempotency_key` (a
+// resubmission with a known key returns the original job's id with
+// `"deduplicated":true`) and a `deadline_seconds` TTL. A failed
+// write-ahead journal append surfaces as code `internal`: the job was NOT
+// accepted and the submit is safe to repeat.
 //
 // The dispatcher lives here, decoupled from sockets, so the whole protocol
 // is unit-testable in-process (tests/test_protocol.cpp) and the TCP layer

@@ -46,6 +46,18 @@ std::string status_json(const JobManager& manager,
   body.set("queue_depth", manager.queue_depth());
   body.set("running", manager.running_count());
   body.set("solver_slots", manager.solver_slots());
+  if (const RecoveryStats& recovery = manager.recovery_stats();
+      recovery.recovered() + recovery.expired + recovery.lost +
+          recovery.terminal >
+      0) {
+    Json recovered = Json::object();
+    recovered.set("resumed", recovery.resumed);
+    recovered.set("requeued", recovery.requeued);
+    recovered.set("expired", recovery.expired);
+    recovered.set("lost", recovery.lost);
+    recovered.set("terminal", recovery.terminal);
+    body.set("recovery", std::move(recovered));
+  }
 
   Json jobs = Json::array();
   for (const JobStatus& status : manager.list()) {

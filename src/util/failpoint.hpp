@@ -32,6 +32,14 @@
 //   mailbox.solution_push drops the pushed report (counted in dropped())
 //   pool_io.write         thrown mid-serialization of pool/checkpoint
 //                         files (simulates a crash during a write)
+//   journal.append        thrown before a job-journal record is written —
+//                         the submission must NOT be acknowledged
+//   serve.accept          drops a freshly accepted connection (client
+//                         sees a reset before any request)
+//   serve.read            kills the connection before a recv (request
+//                         lost mid-flight)
+//   serve.write           drops the reply after the request took effect —
+//                         the ambiguous outcome idempotent retries solve
 #pragma once
 
 #include <atomic>

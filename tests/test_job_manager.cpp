@@ -15,7 +15,10 @@
 #include "obs/metrics.hpp"
 #include "problems/random.hpp"
 #include "qubo/energy.hpp"
+#include "qubo/io.hpp"
 #include "serve/job.hpp"
+#include "serve/journal.hpp"
+#include "util/failpoint.hpp"
 
 namespace absq::serve {
 namespace {
@@ -267,6 +270,309 @@ TEST(JobManager, DrainWaitLetsQueuedJobsFinish) {
   manager.shutdown(JobManager::Drain::kWait);
   EXPECT_EQ(manager.status(a).state, JobState::kDone);
   EXPECT_EQ(manager.status(b).state, JobState::kDone);
+}
+
+// --- durability: idempotency, deadlines, WAL, crash recovery --------------
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A journaled submitted record matching quick_job(), as the crashed
+/// process would have written it. The TTL anchor can be pushed into the
+/// past with `wall_offset` to simulate downtime.
+JournalRecord recipe(JobId id, const std::string& dir,
+                     double deadline = 0.0, double wall_offset = 0.0) {
+  JournalRecord record;
+  record.event = JournalEvent::kSubmitted;
+  record.id = id;
+  record.name = "crashed-" + std::to_string(id);
+  record.seed = 5;
+  record.time_limit_seconds = 30.0;
+  record.max_flips = 20000;
+  record.deadline_seconds = deadline;
+  record.submitted_wall_seconds = wall_now() - wall_offset;
+  record.problem_file = dir + "/job-" + std::to_string(id) + ".problem";
+  return record;
+}
+
+TEST(JobManager, IdempotentResubmissionReturnsTheOriginalJob) {
+  JobManager manager(small_config(1, 1));
+  JobSpec first = long_job();
+  first.idempotency_key = "alpha";
+  const SubmitOutcome original = manager.submit_full(std::move(first));
+  EXPECT_FALSE(original.deduplicated);
+  wait_until_running(manager, original.id);
+
+  // Duplicate of an in-flight key: same id, nothing new admitted.
+  JobSpec in_flight = long_job();
+  in_flight.idempotency_key = "alpha";
+  const SubmitOutcome dup = manager.submit_full(std::move(in_flight));
+  EXPECT_TRUE(dup.deduplicated);
+  EXPECT_EQ(dup.id, original.id);
+
+  // Deduplication outranks backpressure: with the queue full, a known key
+  // is still answered while fresh work is rejected.
+  const JobId filler = manager.submit(quick_job());
+  EXPECT_THROW((void)manager.submit(quick_job()), QueueFullError);
+  JobSpec full_queue = long_job();
+  full_queue.idempotency_key = "alpha";
+  EXPECT_TRUE(manager.submit_full(std::move(full_queue)).deduplicated);
+
+  EXPECT_TRUE(manager.cancel(original.id));
+  (void)manager.wait(original.id, 30.0);
+  (void)manager.wait(filler, 30.0);
+
+  // A terminal key still deduplicates — resubmitting finished work
+  // returns the finished job instead of solving again.
+  JobSpec after = quick_job();
+  after.idempotency_key = "alpha";
+  const SubmitOutcome settled = manager.submit_full(std::move(after));
+  EXPECT_TRUE(settled.deduplicated);
+  EXPECT_EQ(settled.id, original.id);
+  manager.shutdown(JobManager::Drain::kWait);
+}
+
+TEST(JobManager, DeadlineExpiresAQueuedJob) {
+  obs::MetricsRegistry registry;
+  JobManagerConfig config = small_config(1, 8);
+  config.telemetry.metrics = &registry;
+  JobManager manager(config);
+
+  const JobId blocker = manager.submit(long_job());
+  wait_until_running(manager, blocker);
+  JobSpec doomed = quick_job();
+  doomed.deadline_seconds = 0.2;
+  const JobId queued = manager.submit(std::move(doomed));
+
+  const JobStatus status = manager.wait(queued, 30.0);
+  EXPECT_EQ(status.state, JobState::kDeadlineExceeded);
+  EXPECT_DOUBLE_EQ(status.deadline_seconds, 0.2);
+  EXPECT_NE(status.error.find("queued"), std::string::npos) << status.error;
+  EXPECT_FALSE(manager.cancel(queued));  // already terminal
+
+  EXPECT_TRUE(manager.cancel(blocker));
+  (void)manager.wait(blocker, 30.0);
+  manager.shutdown(JobManager::Drain::kWait);
+  const std::string text = obs::to_prometheus(registry.scrape());
+  EXPECT_NE(text.find("absq_jobs_deadline_exceeded_total 1"),
+            std::string::npos)
+      << text;
+}
+
+TEST(JobManager, DeadlineStopsARunningJob) {
+  JobManager manager(small_config());
+  JobSpec doomed = long_job();
+  doomed.deadline_seconds = 0.3;
+  const JobId id = manager.submit(std::move(doomed));
+  const JobStatus status = manager.wait(id, 30.0);
+  EXPECT_EQ(status.state, JobState::kDeadlineExceeded);
+  EXPECT_NE(status.error.find("mid-run"), std::string::npos) << status.error;
+  // The partial result survives, like a cancelled job's.
+  const AbsResult result = manager.result(id);
+  EXPECT_TRUE(result.cancelled);
+  manager.shutdown(JobManager::Drain::kWait);
+}
+
+TEST(JobManager, WalFailureRejectsTheSubmissionAtomically) {
+  const std::string dir = fresh_dir("absq_jm_wal");
+  JobManagerConfig config = small_config();
+  config.checkpoint_dir = dir;
+  JobManager manager(config);
+
+  fail::Registry::instance().arm_from_directives("journal.append=once");
+  EXPECT_THROW((void)manager.submit(quick_job()), JournalError);
+  fail::Registry::instance().disarm_all();
+
+  // The failed submission left no trace: no job, no queue entry, and the
+  // journal replays to nothing but live history.
+  EXPECT_TRUE(manager.list().empty());
+  EXPECT_EQ(manager.queue_depth(), 0u);
+  const JobId id = manager.submit(quick_job());
+  EXPECT_EQ(manager.wait(id, 30.0).state, JobState::kDone);
+  manager.shutdown(JobManager::Drain::kWait);
+}
+
+TEST(JobManager, RecoveryRequeuesAJobThatNeverStarted) {
+  const std::string dir = fresh_dir("absq_jm_rec_requeue");
+  write_qubo_file(dir + "/job-1.problem", *small_problem());
+  {
+    Journal journal(dir + "/jobs.journal");
+    journal.append(recipe(1, dir));
+  }
+  obs::MetricsRegistry registry;
+  JobManagerConfig config = small_config();
+  config.checkpoint_dir = dir;
+  config.recover = true;
+  config.telemetry.metrics = &registry;
+  JobManager manager(config);
+
+  EXPECT_EQ(manager.recovery_stats().requeued, 1u);
+  EXPECT_EQ(manager.recovery_stats().lost, 0u);
+  const JobStatus status = manager.wait(1, 30.0);
+  EXPECT_EQ(status.state, JobState::kDone);
+  EXPECT_TRUE(status.recovered);
+  EXPECT_EQ(status.name, "crashed-1");
+  manager.shutdown(JobManager::Drain::kWait);
+
+  const std::string text = obs::to_prometheus(registry.scrape());
+  EXPECT_NE(text.find("absq_jobs_recovered_total 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("absq_jobs_lost_total 0"), std::string::npos) << text;
+}
+
+TEST(JobManager, RecoveryResumesAStartedJobFromItsCheckpoint) {
+  const std::string dir = fresh_dir("absq_jm_rec_resume");
+
+  // A first manager incarnation runs a checkpointing job so a genuine
+  // job-1.ck and job-1.problem land on disk...
+  {
+    JobManagerConfig config = small_config();
+    config.checkpoint_dir = dir;
+    config.checkpoint_interval_seconds = 3600.0;  // final write only
+    JobManager manager(config);
+    const JobId id = manager.submit(quick_job());
+    ASSERT_EQ(manager.wait(id, 30.0).state, JobState::kDone);
+    manager.shutdown(JobManager::Drain::kWait);
+    ASSERT_TRUE(std::filesystem::exists(dir + "/job-1.ck"));
+  }
+
+  // ...then the journal is replaced with a crashed history: submitted +
+  // started, no terminal record (the terminal record died with the
+  // process).
+  std::filesystem::remove(dir + "/jobs.journal");
+  {
+    Journal journal(dir + "/jobs.journal");
+    journal.append(recipe(1, dir));
+    JournalRecord started;
+    started.event = JournalEvent::kStarted;
+    started.id = 1;
+    journal.append(started);
+  }
+
+  JobManagerConfig config = small_config();
+  config.checkpoint_dir = dir;
+  config.recover = true;
+  JobManager manager(config);
+  EXPECT_EQ(manager.recovery_stats().resumed, 1u);
+  const JobStatus status = manager.wait(1, 30.0);
+  EXPECT_EQ(status.state, JobState::kDone);
+  EXPECT_TRUE(status.recovered);
+  manager.shutdown(JobManager::Drain::kWait);
+}
+
+TEST(JobManager, RecoveryRestoresTerminalJobsWithTheirSolutions) {
+  const std::string dir = fresh_dir("absq_jm_rec_terminal");
+  const std::string solution(32, '1');
+  {
+    Journal journal(dir + "/jobs.journal");
+    JournalRecord submitted = recipe(7, dir, /*deadline=*/0.0);
+    submitted.idempotency_key = "beta";
+    journal.append(submitted);
+    JournalRecord terminal;
+    terminal.event = JournalEvent::kTerminal;
+    terminal.id = 7;
+    terminal.state = JobState::kDone;
+    terminal.has_result = true;
+    terminal.solution = solution;
+    terminal.energy = -42;
+    terminal.total_flips = 999;
+    terminal.run_seconds = 1.5;
+    journal.append(terminal);
+  }
+  JobManagerConfig config = small_config();
+  config.checkpoint_dir = dir;
+  config.recover = true;
+  JobManager manager(config);
+
+  EXPECT_EQ(manager.recovery_stats().terminal, 1u);
+  const JobStatus status = manager.status(7);
+  EXPECT_EQ(status.state, JobState::kDone);
+  const AbsResult result = manager.result(7);
+  EXPECT_EQ(result.best.to_string(), solution);
+  EXPECT_EQ(result.best_energy, -42);
+  EXPECT_EQ(result.total_flips, 999u);
+
+  // Idempotency keys survive recovery: resubmitting the settled key
+  // returns the settled job instead of solving again.
+  JobSpec again = quick_job();
+  again.idempotency_key = "beta";
+  const SubmitOutcome settled = manager.submit_full(std::move(again));
+  EXPECT_TRUE(settled.deduplicated);
+  EXPECT_EQ(settled.id, 7u);
+  // Fresh ids start past every journaled id — no aliasing.
+  EXPECT_EQ(manager.submit(quick_job()), 8u);
+  manager.shutdown(JobManager::Drain::kWait);
+}
+
+TEST(JobManager, RecoveryExpiresAJobWhoseTtlPassedWhileDown) {
+  const std::string dir = fresh_dir("absq_jm_rec_expired");
+  write_qubo_file(dir + "/job-3.problem", *small_problem());
+  {
+    Journal journal(dir + "/jobs.journal");
+    journal.append(recipe(3, dir, /*deadline=*/1.0, /*wall_offset=*/60.0));
+  }
+  JobManagerConfig config = small_config();
+  config.checkpoint_dir = dir;
+  config.recover = true;
+  JobManager manager(config);
+
+  EXPECT_EQ(manager.recovery_stats().expired, 1u);
+  const JobStatus status = manager.status(3);
+  EXPECT_EQ(status.state, JobState::kDeadlineExceeded);
+  EXPECT_NE(status.error.find("down"), std::string::npos) << status.error;
+  manager.shutdown(JobManager::Drain::kWait);
+}
+
+TEST(JobManager, RecoveryFailsAJobWithAnUnreadableSpoolLoudly) {
+  const std::string dir = fresh_dir("absq_jm_rec_lost");
+  obs::MetricsRegistry registry;
+  {
+    Journal journal(dir + "/jobs.journal");
+    journal.append(recipe(4, dir));  // job-4.problem never written
+  }
+  JobManagerConfig config = small_config();
+  config.checkpoint_dir = dir;
+  config.recover = true;
+  config.telemetry.metrics = &registry;
+  JobManager manager(config);
+
+  EXPECT_EQ(manager.recovery_stats().lost, 1u);
+  const JobStatus status = manager.status(4);
+  EXPECT_EQ(status.state, JobState::kFailed);
+  EXPECT_NE(status.error.find("unrecoverable"), std::string::npos)
+      << status.error;
+  manager.shutdown(JobManager::Drain::kWait);
+  const std::string text = obs::to_prometheus(registry.scrape());
+  EXPECT_NE(text.find("absq_jobs_lost_total 1"), std::string::npos) << text;
+}
+
+TEST(JobManager, StaleJournalIsSetAsideWithoutRecover) {
+  const std::string dir = fresh_dir("absq_jm_stale");
+  write_qubo_file(dir + "/job-1.problem", *small_problem());
+  {
+    Journal journal(dir + "/jobs.journal");
+    journal.append(recipe(1, dir));
+  }
+  JobManagerConfig config = small_config();
+  config.checkpoint_dir = dir;  // recover stays false
+  JobManager manager(config);
+
+  // The old journal was set aside, not replayed: no jobs, fresh ids.
+  EXPECT_TRUE(std::filesystem::exists(dir + "/jobs.journal.stale"));
+  EXPECT_TRUE(manager.list().empty());
+  EXPECT_EQ(manager.recovery_stats().recovered(), 0u);
+  EXPECT_EQ(manager.submit(quick_job()), 1u);
+  manager.shutdown(JobManager::Drain::kWait);
 }
 
 }  // namespace

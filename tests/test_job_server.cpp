@@ -22,6 +22,7 @@
 #include "serve/client.hpp"
 #include "serve/json.hpp"
 #include "serve/protocol.hpp"
+#include "util/failpoint.hpp"
 
 namespace absq::serve {
 namespace {
@@ -269,6 +270,127 @@ TEST(JobServer, ClientConnectToDeadPortThrows) {
     port = fixture.server.port();
   }  // server gone, port closed
   EXPECT_THROW((Client("127.0.0.1", port)), CheckError);
+}
+
+// --- resilience: timeouts, retries, durability over the wire --------------
+
+/// Fast-failing retry policy so the fault-injection tests stay quick.
+ClientConfig quick_retry_config() {
+  ClientConfig config;
+  config.read_timeout_seconds = 5.0;
+  config.max_retries = 3;
+  config.backoff_initial_seconds = 0.01;
+  config.backoff_max_seconds = 0.05;
+  return config;
+}
+
+TEST(JobServer, SilentServerYieldsTypedTimeout) {
+  // A listener that accepts into its backlog but never replies: the
+  // client connects fine, then every read runs into its timeout.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 8), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(
+      ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const int port = ntohs(addr.sin_port);
+
+  ClientConfig config = quick_retry_config();
+  config.read_timeout_seconds = 0.1;
+  config.max_retries = 1;
+  Client client("127.0.0.1", port, config);
+  Json ping = Json::object();
+  ping.set("cmd", "ping");
+  // Idempotent, so the timeout IS retried — and when every attempt times
+  // out, the typed TimeoutError reaches the caller.
+  EXPECT_THROW((void)client.request_retry(ping, /*idempotent=*/true),
+               TimeoutError);
+  ::close(listener);
+}
+
+TEST(JobServer, DeduplicatedSubmitTravelsTheWire) {
+  Fixture fixture;
+  Client client("127.0.0.1", fixture.server.port());
+  Json request = submit_request();
+  request.set("idempotency_key", "wire-dedup");
+  const SubmitOutcome first = client.submit_full(request);
+  EXPECT_FALSE(first.deduplicated);
+  const SubmitOutcome second = client.submit_full(request);
+  EXPECT_TRUE(second.deduplicated);
+  EXPECT_EQ(second.id, first.id);
+  EXPECT_EQ(client.wait(first.id, 30.0).state, JobState::kDone);
+}
+
+TEST(JobServer, IdempotentSubmitRetriesAcrossADroppedConnection) {
+  Fixture fixture;
+  Client client("127.0.0.1", fixture.server.port(), quick_retry_config());
+  // The next server-side read drops the connection before reading the
+  // request — exactly the ambiguous window where a client cannot know
+  // whether its submit landed.
+  fail::Registry::instance().arm_from_directives("serve.read=once");
+  Json request = submit_request();
+  request.set("idempotency_key", "retry-key");
+  SubmitOutcome outcome;
+  EXPECT_NO_THROW(outcome = client.submit_full(std::move(request)));
+  EXPECT_GE(fail::Registry::instance().hits("serve.read"), 1u);
+  fail::Registry::instance().disarm_all();
+  EXPECT_EQ(client.wait(outcome.id, 30.0).state, JobState::kDone);
+}
+
+TEST(JobServer, UnkeyedSubmitFailsFastOnADroppedConnection) {
+  Fixture fixture;
+  Client client("127.0.0.1", fixture.server.port(), quick_retry_config());
+  fail::Registry::instance().arm_from_directives("serve.read=once");
+  // No idempotency key, so no auto-retry: after an ambiguous failure the
+  // caller must decide (the request may or may not have been admitted).
+  EXPECT_THROW((void)client.submit(submit_request()), CheckError);
+  fail::Registry::instance().disarm_all();
+}
+
+TEST(JobServer, DroppedReplyIsRetriedForIdempotentRequests) {
+  Fixture fixture;
+  Client client("127.0.0.1", fixture.server.port(), quick_retry_config());
+  // The server processes the ping but the reply write is dropped and the
+  // connection closed; the idempotent request is simply asked again.
+  fail::Registry::instance().arm_from_directives("serve.write=once");
+  EXPECT_TRUE(client.ping());
+  EXPECT_GE(fail::Registry::instance().hits("serve.write"), 1u);
+  fail::Registry::instance().disarm_all();
+}
+
+TEST(JobServer, AcceptFaultDropsOneConnectionNotTheServer) {
+  Fixture fixture;
+  fail::Registry::instance().arm_from_directives("serve.accept=once");
+  // The first accepted connection is closed immediately; the client's
+  // first request fails and the retry path dials a fresh connection.
+  Client client("127.0.0.1", fixture.server.port(), quick_retry_config());
+  EXPECT_TRUE(client.ping());
+  EXPECT_GE(fail::Registry::instance().hits("serve.accept"), 1u);
+  fail::Registry::instance().disarm_all();
+}
+
+TEST(JobServer, DeadlineTravelsTheWire) {
+  Fixture fixture(small_manager_config(1, 8));
+  Client client("127.0.0.1", fixture.server.port());
+  Json blocker = submit_request();
+  blocker.set("max_flips", 0).set("seconds", 30.0);
+  const JobId blocker_id = client.submit(std::move(blocker));
+  while (client.status(blocker_id).state == JobState::kQueued) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Json doomed = submit_request();
+  doomed.set("deadline_seconds", 0.2);
+  const JobId id = client.submit(std::move(doomed));
+  const JobStatus status = client.wait(id, 30.0);
+  EXPECT_EQ(status.state, JobState::kDeadlineExceeded);
+  EXPECT_DOUBLE_EQ(status.deadline_seconds, 0.2);
+  EXPECT_TRUE(client.cancel(blocker_id));
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -14,6 +15,7 @@
 #include "qubo/io.hpp"
 #include "serve/job_manager.hpp"
 #include "serve/json.hpp"
+#include "util/failpoint.hpp"
 
 namespace absq::serve {
 namespace {
@@ -327,6 +329,97 @@ TEST(Protocol, JobStatusRoundTripsThroughJson) {
   const Json encoded = job_to_json(fresh);
   EXPECT_TRUE(encoded.at("best_energy").is_null());
   EXPECT_EQ(job_from_json(encoded).best_energy, kUnevaluated);
+
+  // The durability fields travel too, deadline state included.
+  JobStatus durable;
+  durable.id = 2;
+  durable.state = JobState::kDeadlineExceeded;
+  durable.deadline_seconds = 7.5;
+  durable.recovered = true;
+  const JobStatus durable_decoded = job_from_json(job_to_json(durable));
+  EXPECT_EQ(durable_decoded.state, JobState::kDeadlineExceeded);
+  EXPECT_DOUBLE_EQ(durable_decoded.deadline_seconds, 7.5);
+  EXPECT_TRUE(durable_decoded.recovered);
+}
+
+TEST(Protocol, IdempotencyKeyDeduplicatesOverTheWire) {
+  JobManager manager(small_manager_config());
+  Json request = submit_request();
+  request.set("idempotency_key", "wire-key");
+  const ProtocolReply first = handle_request_line(manager, request.dump());
+  ASSERT_TRUE(first.reply.get_bool("ok", false)) << first.reply.dump();
+  EXPECT_FALSE(first.reply.get_bool("deduplicated", true));
+  const JobId id = static_cast<JobId>(first.reply.at("id").as_int());
+
+  const ProtocolReply second = handle_request_line(manager, request.dump());
+  ASSERT_TRUE(second.reply.get_bool("ok", false)) << second.reply.dump();
+  EXPECT_TRUE(second.reply.get_bool("deduplicated", false));
+  EXPECT_EQ(static_cast<JobId>(second.reply.at("id").as_int()), id);
+  // A deduplicated reply reports the job's CURRENT state, which may
+  // already be past "queued".
+  EXPECT_NO_THROW((void)job_state_from_string(
+      second.reply.get_string("state", "")));
+  (void)manager.wait(id, 30.0);
+  manager.shutdown(JobManager::Drain::kWait);
+}
+
+TEST(Protocol, DeadlineSecondsTravelsIntoTheSpec) {
+  JobManagerConfig config = small_manager_config(1, 8);
+  JobManager manager(config);
+  Json blocker = submit_request();
+  blocker.set("max_flips", 0).set("seconds", 30.0);
+  const ProtocolReply running =
+      handle_request_line(manager, blocker.dump());
+  ASSERT_TRUE(running.reply.get_bool("ok", false));
+  const JobId blocker_id =
+      static_cast<JobId>(running.reply.at("id").as_int());
+
+  Json doomed = submit_request();
+  doomed.set("deadline_seconds", 0.2);
+  const ProtocolReply queued = handle_request_line(manager, doomed.dump());
+  ASSERT_TRUE(queued.reply.get_bool("ok", false));
+  const JobId id = static_cast<JobId>(queued.reply.at("id").as_int());
+
+  const JobStatus status = manager.wait(id, 30.0);
+  EXPECT_EQ(status.state, JobState::kDeadlineExceeded);
+
+  // The deadline travels back out through status replies as text state
+  // "deadline" plus the TTL itself.
+  Json status_request = Json::object();
+  status_request.set("cmd", "status").set("id", id);
+  const ProtocolReply reply =
+      handle_request_line(manager, status_request.dump());
+  EXPECT_EQ(reply.reply.at("job").get_string("state", ""), "deadline");
+  EXPECT_DOUBLE_EQ(
+      reply.reply.at("job").at("deadline_seconds").as_double(), 0.2);
+
+  EXPECT_TRUE(manager.cancel(blocker_id));
+  (void)manager.wait(blocker_id, 30.0);
+  manager.shutdown(JobManager::Drain::kWait);
+}
+
+TEST(Protocol, JournalFailureAnswersInternalNotBadRequest) {
+  const std::string dir = ::testing::TempDir() + "absq_proto_wal";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  JobManagerConfig config = small_manager_config();
+  config.checkpoint_dir = dir;
+  JobManager manager(config);
+
+  fail::Registry::instance().arm_from_directives("journal.append=once");
+  const ProtocolReply outcome =
+      handle_request_line(manager, submit_request().dump());
+  fail::Registry::instance().disarm_all();
+
+  EXPECT_FALSE(outcome.reply.get_bool("ok", true));
+  EXPECT_EQ(outcome.reply.get_string("code", ""), "internal");
+  // Nothing was admitted.
+  Json list_request = Json::object();
+  list_request.set("cmd", "list");
+  const ProtocolReply listed =
+      handle_request_line(manager, list_request.dump());
+  EXPECT_EQ(listed.reply.at("jobs").size(), 0u);
+  manager.shutdown(JobManager::Drain::kWait);
 }
 
 }  // namespace

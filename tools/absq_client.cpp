@@ -116,6 +116,13 @@ int run(int argc, char** argv) {
   cli.add_flag("name", std::string(""), "submit: free-form job label");
   cli.add_flag("resume", std::string(""),
                "submit: server-local checkpoint file to warm-start from");
+  cli.add_flag("idempotency-key", std::string(""),
+               "submit: deduplication key — resubmitting the same key "
+               "returns the original job instead of new work, and makes "
+               "the submit safe to auto-retry");
+  cli.add_flag("deadline", 0.0,
+               "submit: TTL in seconds; past it the job ends in the "
+               "terminal state `deadline` (0 = none)");
   cli.add_flag("by-path", false,
                "submit: send the instance path for server-local reading "
                "instead of inlining the file contents");
@@ -213,9 +220,21 @@ int run(int argc, char** argv) {
   if (const std::string resume = cli.get_string("resume"); !resume.empty()) {
     request.set("resume_from", resume);
   }
+  if (const std::string key = cli.get_string("idempotency-key");
+      !key.empty()) {
+    request.set("idempotency_key", key);
+  }
+  if (const double deadline = cli.get_double("deadline"); deadline > 0.0) {
+    request.set("deadline_seconds", deadline);
+  }
 
-  const JobId id = client.submit(std::move(request));
-  std::printf("submitted job %" PRIu64 "\n", id);
+  const absq::serve::SubmitOutcome outcome =
+      client.submit_full(std::move(request));
+  const JobId id = outcome.id;
+  // chaos_smoke.sh parses the "(deduplicated)" marker to assert that
+  // resubmitting an in-flight key returned the original job.
+  std::printf("submitted job %" PRIu64 "%s\n", id,
+              outcome.deduplicated ? " (deduplicated)" : "");
   if (!cli.get_bool("wait")) return 0;
 
   const JobStatus status = client.wait(id, cli.get_double("timeout"));

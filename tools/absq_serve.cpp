@@ -81,6 +81,10 @@ int run(int argc, char** argv) {
                "existing directory");
   cli.add_flag("checkpoint-interval", 30.0,
                "periodic checkpoint cadence in seconds");
+  cli.add_flag("recover", false,
+               "replay the job journal in --checkpoint-dir at startup: "
+               "requeue never-started jobs, resume started ones from their "
+               "checkpoints, re-mark finished ones");
   cli.add_flag("idle-timeout", 300.0,
                "close a client connection idle for this many seconds");
   cli.add_flag("drain", true,
@@ -131,6 +135,9 @@ int run(int argc, char** argv) {
   manager_config.checkpoint_dir = cli.get_string("checkpoint-dir");
   manager_config.checkpoint_interval_seconds =
       cli.get_double("checkpoint-interval");
+  manager_config.recover = cli.get_bool("recover");
+  ABSQ_CHECK(!manager_config.recover || !manager_config.checkpoint_dir.empty(),
+             "--recover needs --checkpoint-dir (the journal lives there)");
   manager_config.telemetry.metrics = &registry;
   manager_config.solver.num_devices =
       static_cast<std::uint32_t>(cli.get_int("devices"));
@@ -177,6 +184,15 @@ int run(int argc, char** argv) {
               solvers == 1 ? "" : "s", static_cast<long long>(max_queue),
               manager_config.checkpoint_dir.empty() ? ""
                                                     : ", checkpoints on");
+  if (manager_config.recover) {
+    const absq::serve::RecoveryStats& recovered = manager.recovery_stats();
+    // scripts/chaos_smoke.sh parses this line.
+    std::printf(
+        "recovery: resumed=%zu requeued=%zu expired=%zu lost=%zu "
+        "terminal=%zu\n",
+        recovered.resumed, recovered.requeued, recovered.expired,
+        recovered.lost, recovered.terminal);
+  }
   std::printf("listening on 127.0.0.1:%d\n", server.port());
   if (http != nullptr) {
     std::printf("http on 127.0.0.1:%d\n", http->port());
