@@ -1,0 +1,121 @@
+// Diverse ABS vs classic ABS on the stalled Table 1(b) row.
+//
+// ulysses16 is the committed perf-trajectory's hardest small TSP row: the
+// classic solver never reaches the +0% target within the cap (reached=0 in
+// BENCH_tts.json). This harness races the classic configuration against
+// the Diverse-ABS configuration (island pools + block portfolio + adaptive
+// controller) on the same instance, seeds, and time budget, and emits both
+// as config-tagged tts rows so scripts/perfgate.sh can track that the
+// diverse configuration's reached count / best-achieved gap never regress.
+//
+//   ./bench/bench_islands [--trials 2] [--cap 10] [--report BENCH_tts.json]
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "portfolio/portfolio.hpp"
+#include "problems/tsp.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+/// The catalog row this harness focuses on (must stay in sync with
+/// bench_table1b_tsp's committed baseline).
+constexpr const char* kRow = "ulysses16";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  absq::CliParser cli("Diverse ABS vs classic ABS on the stalled "
+                      "Table 1(b) TSP row");
+  cli.add_flag("trials", std::int64_t{2}, "TTS trials per configuration");
+  cli.add_flag("cap", 10.0, "per-trial wall-clock cap (s)");
+  cli.add_flag("seed", std::int64_t{1991}, "generator seed");
+  cli.add_flag("islands", std::int64_t{2}, "island pools (diverse config)");
+  cli.add_flag("portfolio", std::string("min-delta,sa,multistart"),
+               "block portfolio of the diverse config");
+  cli.add_flag("migration-interval", std::int64_t{8},
+               "GA rounds between elite ring migrations (diverse config)");
+  cli.add_flag("report", std::string(""),
+               "append machine-readable tts lines to this JSONL file");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const int trials = static_cast<int>(cli.get_int("trials"));
+  const double cap = cli.get_double("cap");
+  absq::bench::BenchReport report(cli.get_string("report"),
+                                  "bench_islands");
+
+  const absq::TspSpec* spec = nullptr;
+  for (const auto& candidate : absq::tsp_catalog()) {
+    if (candidate.paper_name == kRow) spec = &candidate;
+  }
+  ABSQ_CHECK(spec != nullptr, "catalog row '" << kRow << "' not found");
+
+  const absq::TspInstance tsp = absq::generate_tsp_instance(*spec, seed);
+  const std::int64_t reference = absq::exact_tsp_length(tsp);
+  const auto target_length = static_cast<std::int64_t>(
+      (1.0 + spec->paper_target_margin) * static_cast<double>(reference));
+  const absq::TspQubo qubo = absq::tsp_to_qubo(tsp);
+  const absq::Energy target_energy = qubo.energy_for_length(target_length);
+
+  std::printf("Diverse ABS on %s — %u cities, %u bits, target %" PRId64
+              " (energy %" PRId64 "), cap %.3gs × %d trials\n\n",
+              kRow, spec->cities, qubo.w.size(), target_length,
+              target_energy, cap, trials);
+
+  // Classic: bench_table1b_tsp's exact configuration.
+  absq::AbsConfig classic;
+  classic.device.block_limit = 8;
+  classic.seed = seed + 3;
+  classic.ga.crossover_prob = 0.7;
+
+  // Diverse: same block count and budget, plus islands + portfolio +
+  // controller.
+  absq::AbsConfig diverse = classic;
+  diverse.portfolio.islands =
+      static_cast<std::uint32_t>(cli.get_int("islands"));
+  diverse.portfolio.algorithms =
+      absq::portfolio::parse_portfolio(cli.get_string("portfolio"));
+  diverse.portfolio.controller = true;
+  diverse.portfolio.migration_interval =
+      static_cast<std::uint64_t>(cli.get_int("migration-interval"));
+  const std::string diverse_tag =
+      "islands=" + std::to_string(diverse.portfolio.islands) +
+      ";portfolio=" +
+      absq::portfolio::portfolio_to_string(
+          diverse.portfolio.algorithm_list());
+
+  std::printf("%-22s %8s %14s %10s\n", "config", "reached", "best energy",
+              "mean s");
+  absq::bench::print_rule(60);
+
+  const absq::bench::TtsSummary classic_tts = absq::bench::averaged_tts(
+      qubo.w, classic, target_energy, cap, trials);
+  report.add_tts(std::string(kRow) + "/baseline", seed, classic_tts,
+                 target_energy, cap, "classic");
+  std::printf("%-22s %4d/%-3d %14" PRId64 " %10s\n", "classic",
+              classic_tts.reached, classic_tts.trials,
+              classic_tts.best_achieved,
+              absq::bench::tts_cell(classic_tts).c_str());
+
+  const absq::bench::TtsSummary diverse_tts = absq::bench::averaged_tts(
+      qubo.w, diverse, target_energy, cap, trials);
+  report.add_tts(std::string(kRow) + "/diverse", seed, diverse_tts,
+                 target_energy, cap, diverse_tag);
+  std::printf("%-22s %4d/%-3d %14" PRId64 " %10s\n", "diverse",
+              diverse_tts.reached, diverse_tts.trials,
+              diverse_tts.best_achieved,
+              absq::bench::tts_cell(diverse_tts).c_str());
+
+  const absq::Energy gap_classic = classic_tts.best_achieved - target_energy;
+  const absq::Energy gap_diverse = diverse_tts.best_achieved - target_energy;
+  std::printf("\nbest-found gap to target: classic %+" PRId64
+              ", diverse %+" PRId64 " (%s)\n",
+              gap_classic, gap_diverse,
+              gap_diverse < gap_classic       ? "diverse ahead"
+              : gap_diverse == gap_classic    ? "tied"
+                                              : "classic ahead");
+  return 0;
+}

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "portfolio/portfolio.hpp"
 #include "problems/tsp.hpp"
 #include "util/cli.hpp"
 
@@ -21,6 +22,11 @@ int main(int argc, char** argv) {
   cli.add_flag("cap", 60.0, "per-trial wall-clock cap (s)");
   cli.add_flag("max-cities", std::int64_t{52}, "skip larger instances");
   cli.add_flag("seed", std::int64_t{1991}, "generator seed");
+  cli.add_flag("islands", std::int64_t{1},
+               "Diverse-ABS island pools (1 = classic single pool)");
+  cli.add_flag("portfolio", std::string(""),
+               "Diverse-ABS block portfolio, e.g. min-delta,sa,multistart "
+               "(empty = classic min-delta)");
   cli.add_flag("report", std::string(""),
                "append machine-readable tts lines to this JSONL file");
   if (!cli.parse(argc, argv)) return 0;
@@ -30,6 +36,27 @@ int main(int argc, char** argv) {
   const double cap = cli.get_double("cap");
   absq::bench::BenchReport report(cli.get_string("report"),
                                   "bench_table1b_tsp");
+
+  // The Diverse-ABS overrides tag every emitted tts row so perfgate
+  // compares classic and diverse trajectories separately.
+  absq::portfolio::PortfolioConfig portfolio_config;
+  portfolio_config.islands =
+      static_cast<std::uint32_t>(cli.get_int("islands"));
+  if (const std::string portfolio = cli.get_string("portfolio");
+      !portfolio.empty()) {
+    portfolio_config.algorithms = absq::portfolio::parse_portfolio(portfolio);
+    if (portfolio_config.algorithm_list().size() > 1 ||
+        portfolio_config.islands > 1) {
+      portfolio_config.controller = true;
+    }
+  }
+  std::string config_tag;
+  if (portfolio_config.diverse()) {
+    config_tag = "islands=" + std::to_string(portfolio_config.islands) +
+                 ";portfolio=" +
+                 absq::portfolio::portfolio_to_string(
+                     portfolio_config.algorithm_list());
+  }
 
   std::printf("Table 1(b) — TSP from TSPLIB (synthetic stand-ins)\n");
   std::printf("%-12s %6s %6s | %11s %8s | %9s %9s %-14s\n", "problem",
@@ -67,9 +94,11 @@ int main(int argc, char** argv) {
     config.device.block_limit = 8;
     config.seed = seed + 3;
     config.ga.crossover_prob = 0.7;  // better on permutation structure
+    config.portfolio = portfolio_config;
     const absq::bench::TtsSummary tts = absq::bench::averaged_tts(
         qubo.w, config, target_energy, cap, trials);
-    report.add_tts(spec.paper_name, seed, tts, target_energy, cap);
+    report.add_tts(spec.paper_name, seed, tts, target_energy, cap,
+                   config_tag);
 
     // When no trial reaches the target within the cap (expected for the
     // larger rows: the paper's times assume ~10³× this host's throughput),

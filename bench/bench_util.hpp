@@ -67,9 +67,12 @@ class BenchReport {
   /// `trials` runs), so it gets its own self-contained line type instead
   /// of the meta/result pair; scripts/perfgate.sh diffs `mean_seconds`
   /// between a committed snapshot (BENCH_tts.json) and a fresh run.
+  /// `config` tags the row with the solver configuration that produced it
+  /// ("" = the classic single-pool solver) so perfgate.sh can diff
+  /// baseline-vs-diverse rows of the same instance independently.
   void add_tts(const std::string& row, std::uint64_t seed,
                const TtsSummary& summary, Energy target,
-               double cap_seconds) {
+               double cap_seconds, const std::string& config = "") {
     if (path_.empty()) return;
     std::ofstream out(path_, first_ ? std::ios::trunc : std::ios::app);
     ABSQ_CHECK(out.good(), "cannot open bench report '" << path_ << "'");
@@ -81,7 +84,11 @@ class BenchReport {
         << ",\"mean_seconds\":" << obs::json_number(summary.mean_seconds)
         << ",\"best_achieved\":" << summary.best_achieved
         << ",\"target\":" << target
-        << ",\"cap_seconds\":" << obs::json_number(cap_seconds) << "}\n";
+        << ",\"cap_seconds\":" << obs::json_number(cap_seconds);
+    if (!config.empty()) {
+      out << ",\"config\":\"" << obs::json_escape(config) << "\"";
+    }
+    out << "}\n";
   }
 
  private:

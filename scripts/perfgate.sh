@@ -266,4 +266,66 @@ if [[ -n "$baseline" ]] && grep -q '"type":"serve"' "$current" 2>/dev/null \
   fi
 fi
 
+# --- 5. diverse-config trajectory diff (always warn-only) ------------------
+# Config-tagged tts rows (bench_islands, diverse bench_table1b runs) track
+# the Diverse-ABS acceptance criterion: on the stalled rows the diverse
+# configuration's reached count must never drop and its best-achieved
+# energy must never worsen vs the committed snapshot. Stochastic search on
+# unpinned hosts, so this section never hard-fails — it exists to make a
+# diverse-search regression loud in CI logs.
+if [[ -n "$baseline" ]] && grep -q '"type":"tts".*"config"' "$current" 2>/dev/null \
+    && grep -q '"type":"tts".*"config"' "$baseline" 2>/dev/null; then
+  echo "== diverse tts diff ($baseline -> $current, warn-only) =="
+  extract_diverse_tts() {
+    awk '
+      /"type":"tts"/ && /"config"/ {
+        bench = ""; row = ""; reached = ""; best = ""
+        if (match($0, /"bench":"[^"]*"/)) {
+          bench = substr($0, RSTART + 9, RLENGTH - 10)
+        }
+        if (match($0, /"row":"[^"]*"/)) {
+          row = substr($0, RSTART + 7, RLENGTH - 8)
+        }
+        if (match($0, /"reached":[0-9]+/)) {
+          reached = substr($0, RSTART + 10, RLENGTH - 10)
+        }
+        if (match($0, /"best_achieved":-?[0-9]+/)) {
+          best = substr($0, RSTART + 16, RLENGTH - 16)
+        }
+        if (bench != "" && row != "" && reached != "" && best != "") {
+          print bench "/" row, reached, best
+        }
+      }
+    ' "$1"
+  }
+  diverse_report=$( (extract_diverse_tts "$baseline" | sed 's/^/B /';
+                     extract_diverse_tts "$current"  | sed 's/^/C /') | awk '
+    $1 == "B" { base_reached[$2] = $3; base_best[$2] = $4 }
+    $1 == "C" { cur_reached[$2] = $3; cur_best[$2] = $4 }
+    END {
+      flagged = 0; compared = 0
+      for (row in cur_reached) {
+        if (!(row in base_reached)) continue
+        ++compared
+        if (cur_reached[row] + 0 < base_reached[row] + 0) {
+          ++flagged
+          printf "WARN %s reached %d -> %d trials\n",
+                 row, base_reached[row], cur_reached[row]
+        }
+        # Lower energy is better: a higher best_achieved is a regression.
+        if (cur_best[row] + 0 > base_best[row] + 0) {
+          ++flagged
+          printf "WARN %s best_achieved %d -> %d (worsened)\n",
+                 row, base_best[row], cur_best[row]
+        }
+      }
+      printf "compared %d diverse rows, %d flagged\n", compared, flagged
+    }
+  ')
+  echo "$diverse_report"
+  if echo "$diverse_report" | grep -q '^WARN'; then
+    echo "perfgate: diverse-config trajectory flagged (warn-only by design)"
+  fi
+fi
+
 exit "$fail"

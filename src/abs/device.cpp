@@ -80,6 +80,11 @@ Device::Device(const WeightMatrix& w, const DeviceConfig& config)
       block_config.adaptive_windows = ladder;
       block_config.stagnation_limit = config.stagnation_limit;
     }
+    if (!config.algorithm_schedule.empty()) {
+      block_config.algorithm =
+          config.algorithm_schedule[b % config.algorithm_schedule.size()];
+      block_config.algorithm_options = config.algorithm_options;
+    }
     block_config.tracer = config.telemetry.tracer;
     block_config.trace_pid_base = config.telemetry.pid_base;
     block_config.kernel = kernel_.get();
@@ -224,6 +229,12 @@ void Device::step_all_blocks_once() {
 
 std::uint64_t Device::total_evaluated() const {
   return total_flips() * w_->size();
+}
+
+std::uint64_t Device::total_algorithm_switches() const {
+  std::uint64_t total = 0;
+  for (const auto& block : blocks_) total += block->algorithm_switches();
+  return total;
 }
 
 void Device::run_legacy_loop(const std::atomic<bool>* stop_flag) {

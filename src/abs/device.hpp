@@ -72,6 +72,12 @@ struct DeviceConfig {
   /// `stagnation_limit` iterations advance their window along the ladder.
   bool adaptive = false;
   std::uint32_t stagnation_limit = 4;
+  /// Diverse-ABS portfolio: initial Step 4b member assigned to block b is
+  /// algorithm_schedule[b % size]. Empty = every block runs the legacy
+  /// windowed min-Δ search (bit-identical to the pre-portfolio device).
+  std::vector<portfolio::BlockAlgorithmKind> algorithm_schedule;
+  /// Tuning knobs shared by all non-default portfolio members.
+  portfolio::AlgorithmOptions algorithm_options;
   std::uint64_t seed = 1;
   /// Flip-kernel plan options. The default auto-selects the cheapest
   /// bit-identical form per instance (sparse CSR on sparse matrices,
@@ -156,6 +162,18 @@ class Device {
   [[nodiscard]] const SearchBlock& block(std::size_t i) const {
     return *blocks_[i];
   }
+
+  /// Asks block `block` to switch its Step 4b portfolio member at its next
+  /// iteration — the adaptive controller's reallocation hook. Thread-safe
+  /// (a single atomic slot per block; the latest request wins).
+  void request_block_algorithm(std::uint32_t block,
+                               portfolio::BlockAlgorithmKind kind) {
+    blocks_[block]->request_algorithm(kind);
+  }
+
+  /// Times any block actually changed its portfolio member. Host-read:
+  /// only meaningful while the device is stopped.
+  [[nodiscard]] std::uint64_t total_algorithm_switches() const;
 
  private:
   static std::uint32_t effective_block_count(const sim::Occupancy& occupancy,

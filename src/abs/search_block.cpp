@@ -26,35 +26,55 @@ BitIndex SearchBlock::staggered_offset() const {
   return (config_.block_id * 97u) % w_->size();
 }
 
+std::unique_ptr<SelectionPolicy> SearchBlock::make_min_delta_policy() {
+  if (config_.policy_prototype != nullptr) {
+    current_window_ = 0;  // unknown for custom policies
+    return config_.policy_prototype->clone();
+  }
+  BitIndex window = config_.window;
+  if (!config_.adaptive_windows.empty()) {
+    window = config_.adaptive_windows[ladder_index_];
+  }
+  current_window_ = window;
+  return std::make_unique<WindowMinDeltaPolicy>(window, staggered_offset());
+}
+
+void SearchBlock::set_algorithm(portfolio::BlockAlgorithmKind kind) {
+  if (kind == portfolio::BlockAlgorithmKind::kMinDelta) {
+    auto algorithm =
+        std::make_unique<portfolio::MinDeltaAlgorithm>(make_min_delta_policy());
+    min_delta_ = algorithm.get();
+    algorithm_ = std::move(algorithm);
+  } else {
+    min_delta_ = nullptr;
+    current_window_ = 0;
+    algorithm_ = portfolio::make_block_algorithm(
+        kind, config_.algorithm_options, nullptr);
+  }
+  kind_ = kind;
+}
+
 SearchBlock::SearchBlock(const WeightMatrix& w, const Config& config)
     : w_(&w),
       config_(config),
       state_(make_block_state(w, config)),
       rng_(Rng(config.seed).split(config.block_id)) {
   ABSQ_CHECK(config.local_steps >= 1, "local_steps must be at least 1");
-  if (config_.policy_prototype != nullptr) {
-    policy_ = config_.policy_prototype->clone();
-    current_window_ = 0;  // unknown for custom policies
-  } else {
-    BitIndex window = config_.window;
-    if (!config_.adaptive_windows.empty()) {
-      ABSQ_CHECK(config_.stagnation_limit >= 1,
-                 "stagnation_limit must be at least 1");
-      // Start each block at its own ladder rung.
-      ladder_index_ = config_.block_id % config_.adaptive_windows.size();
-      window = config_.adaptive_windows[ladder_index_];
-    }
-    policy_ =
-        std::make_unique<WindowMinDeltaPolicy>(window, staggered_offset());
-    current_window_ = window;
+  if (config_.policy_prototype == nullptr &&
+      !config_.adaptive_windows.empty()) {
+    ABSQ_CHECK(config_.stagnation_limit >= 1,
+               "stagnation_limit must be at least 1");
+    // Start each block at its own ladder rung.
+    ladder_index_ = config_.block_id % config_.adaptive_windows.size();
   }
+  set_algorithm(config_.algorithm);
   stats_.ops += state_.matrix_reads();  // Step 1 initialization (diagonal)
   stats_.evaluated_solutions += state_.size() + 1;
 }
 
 void SearchBlock::adapt_on_stagnation(Energy reported_energy) {
   if (config_.adaptive_windows.empty() ||
-      config_.policy_prototype != nullptr) {
+      config_.policy_prototype != nullptr || min_delta_ == nullptr) {
     return;
   }
   if (!any_report_ || reported_energy < best_reported_) {
@@ -70,13 +90,24 @@ void SearchBlock::adapt_on_stagnation(Energy reported_energy) {
   ++policy_switches_;
   ladder_index_ = (ladder_index_ + 1) % config_.adaptive_windows.size();
   current_window_ = config_.adaptive_windows[ladder_index_];
-  policy_ =
-      std::make_unique<WindowMinDeltaPolicy>(current_window_,
-                                             staggered_offset());
+  min_delta_->set_policy(std::make_unique<WindowMinDeltaPolicy>(
+      current_window_, staggered_offset()));
 }
 
 sim::ReportedSolution SearchBlock::iterate(const BitVector& target) {
   ABSQ_CHECK(target.size() == state_.size(), "target size mismatch");
+
+  // Apply a pending controller reallocation before this iteration starts,
+  // so the whole Step 4b phase runs one member.
+  const std::uint8_t requested = requested_algorithm_.exchange(
+      kNoAlgorithmRequest, std::memory_order_acq_rel);
+  if (requested != kNoAlgorithmRequest) {
+    const auto kind = static_cast<portfolio::BlockAlgorithmKind>(requested);
+    if (kind != kind_) {
+      set_algorithm(kind);
+      ++algorithm_switches_;
+    }
+  }
 
   // Step 3: reset the incumbent so this iteration reports something new.
   tracker_.reset();
@@ -94,28 +125,13 @@ sim::ReportedSolution SearchBlock::iterate(const BitVector& target) {
                  static_cast<std::int64_t>(stats_.flips - flips_before));
   }
 
-  // Step 4b: fixed-length forced-flip local search from T.
+  // Step 4b: fixed-length local search from T, run by the active
+  // portfolio member.
   {
     obs::TraceSpan span(config_.tracer, "local", "search", trace_pid,
                         config_.block_id);
     span.set_arg("flips", static_cast<std::int64_t>(config_.local_steps));
-    for (std::uint64_t step = 0; step < config_.local_steps; ++step) {
-      const BitIndex k = policy_->select(state_, rng_);
-      const std::uint64_t reads_before = state_.matrix_reads();
-      const auto outcome = state_.flip_tracked(k);
-      ++stats_.flips;
-      ++stats_.accepted;
-      // Matrix reads actually paid: n dense, degree(k) sparse. The flip
-      // still evaluates all n neighbours either way (Theorem 1), so under
-      // the sparse kernel efficiency() exceeds the dense kernel's O(1).
-      stats_.ops += state_.matrix_reads() - reads_before;
-      stats_.evaluated_solutions += state_.size();
-      if (tracker_.offer(state_.bits(), outcome.energy)) ++stats_.improvements;
-      if (tracker_.offer_neighbor(state_.bits(), outcome.best_neighbor_bit,
-                                  outcome.best_neighbor_energy)) {
-        ++stats_.improvements;
-      }
-    }
+    algorithm_->step(state_, tracker_, stats_, rng_, config_.local_steps);
   }
   ++iterations_;
 

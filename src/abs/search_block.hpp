@@ -6,30 +6,37 @@
 //   Step 3:  resets its best-found incumbent (premature-convergence guard:
 //            already-reported solutions are not reported again),
 //   Step 4a: runs a straight search from its current solution C to T,
-//   Step 4b: runs the forced-flip local search for a fixed number of
-//            flips, ending at C′ — the start of the next iteration,
+//   Step 4b: runs its portfolio member's local search for a fixed number
+//            of steps, ending at C′ — the start of the next iteration,
 //   Step 5:  reports the best solution found during Steps 4a+4b.
 //
 // Because C′ feeds the next straight search, the Δ state is never rebuilt:
 // the block achieves the O(1) search efficiency of Theorem 1 for its entire
 // lifetime.
 //
-// The Step 4b bit-selection is pluggable. By default each block runs the
-// paper's windowed min-Δ policy (Fig. 2) with its own window length l — the
-// temperature analogue, so a device runs a parallel-tempering-like ladder.
-// Two extensions from the paper's future-work section are built in:
+// The Step 4b search is one member of the Diverse-ABS portfolio
+// (portfolio/block_algorithm.hpp). By default each block runs the paper's
+// windowed min-Δ policy (Fig. 2) with its own window length l — the
+// temperature analogue, so a device runs a parallel-tempering-like ladder —
+// and that default is bit-identical to the pre-portfolio solver. Three
+// extensions are built in:
 //   * an arbitrary SelectionPolicy prototype can be stamped onto blocks
-//     ("each CUDA block would perform different algorithms"), and
-//   * adaptive mode: a block whose reports stagnate for a configurable
-//     number of iterations advances its window length along a ladder
-//     ("... and possibly they are changed automatically").
+//     ("each CUDA block would perform different algorithms"),
+//   * adaptive mode: a min-Δ block whose reports stagnate for a
+//     configurable number of iterations advances its window length along a
+//     ladder ("... and possibly they are changed automatically"), and
+//   * the portfolio: a block can run SA-scheduled acceptance or Lewis-2017
+//     multi-start instead, and the adaptive controller can re-assign the
+//     member at runtime through the lock-free request_algorithm handoff.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "portfolio/block_algorithm.hpp"
 #include "qubo/bit_vector.hpp"
 #include "qubo/delta_state.hpp"
 #include "qubo/kernel.hpp"
@@ -54,13 +61,20 @@ class SearchBlock {
     /// Seed for the RNG handed to the policy.
     std::uint64_t seed = 1;
     /// Optional custom policy; cloned per block when set (the default
-    /// windowed min-Δ policy is used otherwise). Not owned.
+    /// windowed min-Δ policy is used otherwise). Not owned. Only the
+    /// min-Δ portfolio member uses it.
     const SelectionPolicy* policy_prototype = nullptr;
     /// Non-empty enables adaptive mode: on stagnation the block's window
     /// advances through this ladder (ignored when policy_prototype set).
     std::vector<BitIndex> adaptive_windows;
     /// Iterations without a best-report improvement before adapting.
     std::uint32_t stagnation_limit = 4;
+    /// Initial portfolio member for Step 4b (Diverse ABS). kMinDelta is
+    /// the legacy solver.
+    portfolio::BlockAlgorithmKind algorithm =
+        portfolio::BlockAlgorithmKind::kMinDelta;
+    /// Tuning knobs of the non-default members.
+    portfolio::AlgorithmOptions algorithm_options;
     /// Optional event tracer (not owned; null = tracing disabled). The
     /// block emits one "straight" and one "local" span per iteration —
     /// pid = trace_pid_base + device_id + 1, tid = block_id, so every
@@ -89,7 +103,8 @@ class SearchBlock {
   [[nodiscard]] const Config& config() const { return config_; }
 
   /// Window length currently in use (== config().window unless adaptive
-  /// mode has switched it; 0 when a custom policy prototype is active).
+  /// mode has switched it; 0 when a custom policy prototype or a
+  /// non-min-Δ portfolio member is active).
   [[nodiscard]] BitIndex current_window() const { return current_window_; }
 
   /// Times adaptive mode advanced the ladder.
@@ -97,19 +112,53 @@ class SearchBlock {
     return policy_switches_;
   }
 
+  /// Asks the block to switch its Step 4b portfolio member at the start
+  /// of its next iteration — the controller's reallocation primitive.
+  /// Thread-safe against a concurrently iterating device worker (a single
+  /// atomic slot: the latest request wins).
+  void request_algorithm(portfolio::BlockAlgorithmKind kind) {
+    requested_algorithm_.store(static_cast<std::uint8_t>(kind),
+                               std::memory_order_release);
+  }
+
+  /// Current portfolio member. Read from the owning worker thread, or
+  /// from the host only while the device is stopped.
+  [[nodiscard]] portfolio::BlockAlgorithmKind algorithm_kind() const {
+    return kind_;
+  }
+
+  /// Times a request_algorithm handoff actually changed the member.
+  [[nodiscard]] std::uint64_t algorithm_switches() const {
+    return algorithm_switches_;
+  }
+
   /// Lifetime totals across all iterations.
   [[nodiscard]] const SearchStats& stats() const { return stats_; }
   [[nodiscard]] std::uint64_t iterations() const { return iterations_; }
 
  private:
+  /// Sentinel for "no pending algorithm request".
+  static constexpr std::uint8_t kNoAlgorithmRequest = 0xff;
+
   [[nodiscard]] BitIndex staggered_offset() const;
   void adapt_on_stagnation(Energy reported_energy);
+  /// The min-Δ member's selection policy at the current ladder rung /
+  /// prototype (updates current_window_ as a side effect).
+  [[nodiscard]] std::unique_ptr<SelectionPolicy> make_min_delta_policy();
+  /// Replaces the active portfolio member.
+  void set_algorithm(portfolio::BlockAlgorithmKind kind);
 
   const WeightMatrix* w_;
   Config config_;
   DeltaState state_;
   BestTracker tracker_;
-  std::unique_ptr<SelectionPolicy> policy_;
+  std::unique_ptr<portfolio::BlockAlgorithm> algorithm_;
+  /// Non-null iff algorithm_ is the min-Δ member (the ladder's hook).
+  portfolio::MinDeltaAlgorithm* min_delta_ = nullptr;
+  portfolio::BlockAlgorithmKind kind_ =
+      portfolio::BlockAlgorithmKind::kMinDelta;
+  std::atomic<std::uint8_t> requested_algorithm_{kNoAlgorithmRequest};
+  std::uint64_t algorithm_switches_ = 0;
   BitIndex current_window_ = 0;
   std::size_t ladder_index_ = 0;
   Energy best_reported_ = 0;

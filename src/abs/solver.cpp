@@ -41,6 +41,41 @@ AbsSolver::AbsSolver(const WeightMatrix& w, AbsConfig config)
       pool_(config_.pool_capacity),
       rng_(config_.seed) {
   ABSQ_CHECK(config_.num_devices >= 1, "need at least one device");
+
+  // Diverse ABS: build the island pools and the (island, algorithm)
+  // controller before the devices, so the initial block striping can be
+  // baked into every device's algorithm schedule.
+  diverse_ = config_.portfolio.diverse();
+  if (diverse_) {
+    portfolio::IslandSet::Config island_config;
+    island_config.islands = config_.portfolio.islands;
+    island_config.pool_capacity = config_.pool_capacity;
+    island_config.ga = config_.ga;
+    island_config.diversify_ga = config_.portfolio.diversify_ga;
+    island_config.migration_interval =
+        config_.portfolio.islands > 1
+            ? config_.portfolio.effective_migration_interval()
+            : 0;
+    island_config.migration_k = config_.portfolio.migration_k;
+    island_config.seed = config_.seed;
+    island_config.telemetry = config_.telemetry;
+    islands_ = std::make_unique<portfolio::IslandSet>(island_config);
+
+    portfolio::AdaptiveController::Config controller_config;
+    controller_config.islands = config_.portfolio.islands;
+    controller_config.algorithms = config_.portfolio.algorithm_list();
+    controller_config.enabled = config_.portfolio.controller;
+    controller_config.credit_decay = config_.portfolio.credit_decay;
+    controller_config.softmax_temperature =
+        config_.portfolio.softmax_temperature;
+    controller_config.exploration_floor = config_.portfolio.exploration_floor;
+    controller_config.realloc_interval = config_.portfolio.realloc_interval;
+    controller_config.seed = config_.seed;
+    controller_config.telemetry = config_.telemetry;
+    controller_ =
+        std::make_unique<portfolio::AdaptiveController>(controller_config);
+  }
+
   devices_.resize(config_.num_devices);
   for (std::uint32_t d = 0; d < config_.num_devices; ++d) {
     DeviceSlot& slot = devices_[d];
@@ -53,7 +88,23 @@ AbsSolver::AbsSolver(const WeightMatrix& w, AbsConfig config)
       slot.config.threads_per_device = std::max(
           1u, std::thread::hardware_concurrency() / config_.num_devices);
     }
+    if (diverse_) {
+      // Stripe the arms across blocks so block b of device d starts on arm
+      // (d + b) % num_arms — exactly the assignment register_block records.
+      const std::uint32_t num_arms = controller_->num_arms();
+      slot.config.algorithm_schedule.resize(num_arms);
+      for (std::uint32_t j = 0; j < num_arms; ++j) {
+        slot.config.algorithm_schedule[j] =
+            controller_->arm((d + j) % num_arms).algorithm;
+      }
+      slot.config.algorithm_options = config_.portfolio.options;
+    }
     slot.device = make_device(d, /*incarnation=*/0);
+    if (diverse_) {
+      for (std::uint32_t b = 0; b < slot.device->block_count(); ++b) {
+        (void)controller_->register_block(d, b);
+      }
+    }
   }
 
   for (const auto& kv : config_.telemetry.labels.pairs()) {
@@ -127,6 +178,71 @@ void AbsSolver::retire_device_counters(DeviceSlot& slot) {
   slot.retired_target_misses += slot.device->target_misses();
   slot.retired_targets_dropped += slot.device->targets().dropped();
   slot.retired_solutions_dropped += slot.device->solutions().dropped();
+  slot.retired_algorithm_switches += slot.device->total_algorithm_switches();
+}
+
+Energy AbsSolver::current_best_energy() const {
+  return diverse_ ? islands_->best_energy() : pool_.best_energy();
+}
+
+std::size_t AbsSolver::current_evaluated() const {
+  return diverse_ ? islands_->evaluated_count() : pool_.evaluated_count();
+}
+
+const SolutionPool::Entry& AbsSolver::current_best() const {
+  return diverse_ ? islands_->best() : pool_.best();
+}
+
+bool AbsSolver::insert_report(std::uint32_t device, std::uint32_t block,
+                              const BitVector& bits, Energy energy) {
+  if (!diverse_) return pool_.insert(bits, energy);
+  const std::uint32_t arm = controller_->arm_of(device, block);
+  const bool inserted =
+      islands_->insert(controller_->arm(arm).island, bits, energy);
+  if (inserted) controller_->credit_insert(arm);
+  return inserted;
+}
+
+const BitVector& AbsSolver::stock_target(std::uint32_t device,
+                                         std::uint32_t block) {
+  if (!diverse_) {
+    // With a warm start its entries (sorted best-first) go out first.
+    const std::size_t index =
+        config_.warm_start != nullptr && block < pool_.size()
+            ? block
+            : rng_.below(pool_.size());
+    return pool_.entry(index).bits;
+  }
+  const std::uint32_t arm = controller_->arm_of(device, block);
+  return islands_->random_member(controller_->arm(arm).island);
+}
+
+SolutionPool AbsSolver::merged_pool() const {
+  // Best-first across all islands; duplicates collapse on insert, so the
+  // checkpoint (and the final result pool view) is a classic single pool.
+  SolutionPool merged(config_.pool_capacity);
+  for (std::uint32_t i = 0; i < islands_->count(); ++i) {
+    const SolutionPool& pool = islands_->pool(i);
+    for (std::size_t rank = 0; rank < pool.size(); ++rank) {
+      const SolutionPool::Entry& entry = pool.entry(rank);
+      if (entry.energy == kUnevaluated) break;  // sorted: rest unevaluated
+      (void)merged.insert(entry.bits, entry.energy);
+    }
+  }
+  return merged;
+}
+
+void AbsSolver::reapply_algorithms(std::size_t slot_index) {
+  // A rebuilt device incarnation starts on the *initial* striping baked
+  // into its config; replay the controller's current assignments on top.
+  if (!diverse_) return;
+  DeviceSlot& slot = devices_[slot_index];
+  for (std::uint32_t b = 0; b < slot.device->block_count(); ++b) {
+    const std::uint32_t arm =
+        controller_->arm_of(static_cast<std::uint32_t>(slot_index), b);
+    slot.device->request_block_algorithm(b,
+                                         controller_->arm(arm).algorithm);
+  }
 }
 
 std::uint64_t AbsSolver::flips_across_devices() const {
@@ -139,12 +255,25 @@ std::uint64_t AbsSolver::flips_across_devices() const {
 
 void AbsSolver::sync_pool_metrics() {
   if (m_reports_inserted_ == nullptr) return;
-  m_reports_inserted_->add(pool_.insertions() - synced_inserted_);
-  m_duplicates_->add(pool_.duplicates_rejected() - synced_duplicates_);
-  m_evictions_->add(pool_.evictions() - synced_evictions_);
-  synced_inserted_ = pool_.insertions();
-  synced_duplicates_ = pool_.duplicates_rejected();
-  synced_evictions_ = pool_.evictions();
+  std::uint64_t insertions = pool_.insertions();
+  std::uint64_t duplicates = pool_.duplicates_rejected();
+  std::uint64_t evictions = pool_.evictions();
+  if (diverse_) {
+    insertions = duplicates = evictions = 0;
+    for (std::uint32_t i = 0; i < islands_->count(); ++i) {
+      const SolutionPool& pool = islands_->pool(i);
+      insertions += pool.insertions();
+      duplicates += pool.duplicates_rejected();
+      evictions += pool.evictions();
+    }
+    islands_->sync_metrics();
+  }
+  m_reports_inserted_->add(insertions - synced_inserted_);
+  m_duplicates_->add(duplicates - synced_duplicates_);
+  m_evictions_->add(evictions - synced_evictions_);
+  synced_inserted_ = insertions;
+  synced_duplicates_ = duplicates;
+  synced_evictions_ = evictions;
   // Mailbox overflow totals, delta-synced the same way (the mailboxes'
   // dropped() counters are relaxed atomics, safe to read from the host).
   std::uint64_t targets_dropped = 0;
@@ -159,11 +288,11 @@ void AbsSolver::sync_pool_metrics() {
   m_solutions_dropped_->add(solutions_dropped - synced_solutions_dropped_);
   synced_targets_dropped_ = targets_dropped;
   synced_solutions_dropped_ = solutions_dropped;
-  const Energy best = pool_.best_energy();
+  const Energy best = current_best_energy();
   if (best != kUnevaluated) {
     m_pool_best_energy_->set(static_cast<double>(best));
   }
-  m_pool_evaluated_->set(static_cast<double>(pool_.evaluated_count()));
+  m_pool_evaluated_->set(static_cast<double>(current_evaluated()));
 }
 
 void AbsSolver::salvage_drain(DeviceSlot& slot, AbsResult& result,
@@ -174,7 +303,8 @@ void AbsSolver::salvage_drain(DeviceSlot& slot, AbsResult& result,
     ++result.reports_received;
     obs::add(m_reports_received_);
     const Energy energy = report.energy;
-    if (pool_.insert(report.bits, energy)) {
+    if (insert_report(slot.config.device_id, report.block_id, report.bits,
+                      energy)) {
       ++result.reports_inserted;
       if (result.best_trace.empty() ||
           energy < result.best_trace.back().second) {
@@ -265,10 +395,12 @@ void AbsSolver::poll_device_health(AbsResult& result, double now) {
       slot.seen_counter = 0;
       slot.last_iterations = 0;
       slot.last_progress_time = now;
+      reapply_algorithms(d);
       slot.device->start();
       for (std::uint32_t b = 0; b < slot.device->block_count(); ++b) {
         slot.device->targets().push(
-            pool_.entry(rng_.below(pool_.size())).bits);
+            diverse_ ? stock_target(static_cast<std::uint32_t>(d), b)
+                     : pool_.entry(rng_.below(pool_.size())).bits);
         ++result.targets_generated;
       }
       obs::add(m_targets_generated_, slot.device->block_count());
@@ -303,7 +435,11 @@ void AbsSolver::write_run_checkpoint(AbsResult& result, double now) {
     checkpoint.device_flips.push_back(slot.retired_flips +
                                       slot.device->total_flips());
   }
-  checkpoint.pool = std::make_shared<const SolutionPool>(pool_);
+  // Diverse runs checkpoint the merged best-first view of all islands, so
+  // a resume (or a downgraded config) can warm-start a classic pool.
+  checkpoint.pool = diverse_
+                        ? std::make_shared<const SolutionPool>(merged_pool())
+                        : std::make_shared<const SolutionPool>(pool_);
   try {
     write_checkpoint_file(config_.checkpoint_path, checkpoint);
     ++result.checkpoints_written;
@@ -335,6 +471,9 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
   AbsResult result;
   const std::uint64_t flips_at_start = flips_across_devices();
 
+  const std::uint64_t reassignments_at_start =
+      diverse_ ? controller_->reassignments() : 0;
+
   // Revive slots left unhealthy by a previous run: the device object may
   // hold dead workers, so it is rebuilt from the weight matrix.
   for (std::size_t d = 0; d < devices_.size(); ++d) {
@@ -344,6 +483,7 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
       slot.device->stop();
       retire_device_counters(slot);
       slot.device = make_device(d, ++slot.incarnations);
+      reapply_algorithms(d);
       slot.health = DeviceHealth::kHealthy;
       slot.failure.clear();
       if (!m_device_health_.empty()) {
@@ -353,9 +493,13 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
     }
   }
 
-  // Host Step 1: random pool, energies unknown; stock the target buffers
+  // Host Step 1: random pool(s), energies unknown; stock the target buffers
   // with the random population so every block starts on GA-chosen ground.
-  pool_.initialize_random(w_->size(), rng_);
+  if (diverse_) {
+    islands_->initialize_random(w_->size());
+  } else {
+    pool_.initialize_random(w_->size(), rng_);
+  }
   synced_inserted_ = 0;
   synced_duplicates_ = 0;
   synced_evictions_ = 0;
@@ -365,7 +509,14 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
       const auto& entry = config_.warm_start->entry(i);
       ABSQ_CHECK(entry.bits.size() == w_->size(),
                  "warm-start pool is for a different instance size");
-      (void)pool_.insert(entry.bits, entry.energy);
+      if (diverse_) {
+        // Round-robin so every island shares the resumed elite.
+        (void)islands_->insert(static_cast<std::uint32_t>(
+                                   i % islands_->count()),
+                               entry.bits, entry.energy);
+      } else {
+        (void)pool_.insert(entry.bits, entry.energy);
+      }
     }
   }
   for (auto& slot : devices_) {
@@ -375,11 +526,7 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
     // its entries (sorted best-first in the pool) go out first.
     for (std::uint32_t b = 0; b < device.block_count(); ++b) {
       result.targets_generated += 1;
-      const std::size_t index =
-          config_.warm_start != nullptr && b < pool_.size()
-              ? b
-              : rng_.below(pool_.size());
-      device.targets().push(pool_.entry(index).bits);
+      device.targets().push(stock_target(slot.config.device_id, b));
     }
     obs::add(m_targets_generated_, device.block_count());
   }
@@ -424,12 +571,19 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
       for (auto& report : arrivals) {
         ++result.reports_received;
         const Energy energy = report.energy;
-        if (pool_.insert(report.bits, energy)) {
+        if (insert_report(slot.config.device_id, report.block_id,
+                          report.bits, energy)) {
           ++result.reports_inserted;
           if (result.best_trace.empty() ||
               energy < result.best_trace.back().second) {
             result.best_trace.emplace_back(watch.seconds(), energy);
             obs::add(m_improvements_);
+            if (diverse_) {
+              // The incumbent moved: weight this arm's credit heavily.
+              controller_->credit_improvement(
+                  controller_->arm_of(slot.config.device_id,
+                                      report.block_id));
+            }
             if (tracer != nullptr) {
               tracer->instant("incumbent", "host", config_.telemetry.pid_base,
                               /*tid=*/static_cast<std::uint32_t>(d), "energy",
@@ -439,9 +593,19 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
         }
       }
 
-      // Host Step 4: breed as many fresh targets as solutions arrived.
+      // Host Step 4: breed as many fresh targets as solutions arrived. In
+      // diverse mode each replacement is bred from the island of the
+      // arriving report's arm, with that island's own operators and stream.
       for (std::size_t i = 0; i < arrivals.size(); ++i) {
-        slot.device->targets().push(generate_target(pool_, config_.ga, rng_));
+        if (diverse_) {
+          const std::uint32_t arm = controller_->arm_of(
+              slot.config.device_id, arrivals[i].block_id);
+          slot.device->targets().push(
+              islands_->breed(controller_->arm(arm).island));
+        } else {
+          slot.device->targets().push(
+              generate_target(pool_, config_.ga, rng_));
+        }
         ++result.targets_generated;
       }
       obs::add(m_targets_generated_, arrivals.size());
@@ -451,6 +615,22 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
                         static_cast<std::int64_t>(arrivals.size()));
       }
       sync_pool_metrics();
+
+      // Diverse-ABS round clock: one drained device = one GA round. The
+      // island ring migrates and the controller reallocates on their own
+      // cadences over this clock.
+      if (diverse_) {
+        (void)islands_->note_round();
+        (void)controller_->note_round(
+            [this](std::uint32_t device, std::uint32_t block,
+                   std::uint32_t arm) {
+              DeviceSlot& target_slot = devices_[device];
+              if (target_slot.health == DeviceHealth::kHealthy) {
+                target_slot.device->request_block_algorithm(
+                    block, controller_->arm(arm).algorithm);
+              }
+            });
+      }
     }
 
     // Watchdog: failure capture, stall detection, bounded restarts.
@@ -463,8 +643,8 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
         const std::uint64_t flips = flips_across_devices() - flips_at_start;
         RunSnapshot snapshot;
         snapshot.seconds = now;
-        snapshot.best_energy = pool_.best_energy();
-        snapshot.pool_evaluated = pool_.evaluated_count();
+        snapshot.best_energy = current_best_energy();
+        snapshot.pool_evaluated = current_evaluated();
         snapshot.total_flips = flips;
         // An empty observation window (first snapshot of a continuation,
         // or a poll racing the grid) yields NaN, not a nonsense rate.
@@ -507,7 +687,7 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
       done = true;
     }
     if (stop.target_energy.has_value() &&
-        pool_.best_energy() <= *stop.target_energy) {
+        current_best_energy() <= *stop.target_energy) {
       result.reached_target = true;
       done = true;
     }
@@ -547,7 +727,10 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
     for (auto& report : slot.device->solutions().drain()) {
       ++result.reports_received;
       obs::add(m_reports_received_);
-      if (pool_.insert(report.bits, report.energy)) ++result.reports_inserted;
+      if (insert_report(slot.config.device_id, report.block_id, report.bits,
+                        report.energy)) {
+        ++result.reports_inserted;
+      }
     }
     result.solutions_dropped += slot.retired_solutions_dropped +
                                 slot.device->solutions().dropped();
@@ -555,14 +738,21 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
         slot.retired_targets_dropped + slot.device->targets().dropped();
   }
   sync_pool_metrics();
-  result.duplicates_rejected = pool_.duplicates_rejected();
-  result.pool_evictions = pool_.evictions();
+  if (diverse_) {
+    for (std::uint32_t i = 0; i < islands_->count(); ++i) {
+      result.duplicates_rejected += islands_->pool(i).duplicates_rejected();
+      result.pool_evictions += islands_->pool(i).evictions();
+    }
+  } else {
+    result.duplicates_rejected = pool_.duplicates_rejected();
+    result.pool_evictions = pool_.evictions();
+  }
   if (stop.target_energy.has_value() &&
-      pool_.best_energy() <= *stop.target_energy) {
+      current_best_energy() <= *stop.target_energy) {
     result.reached_target = true;
   }
 
-  if (pool_.evaluated_count() == 0) {
+  if (current_evaluated() == 0) {
     // Nothing was ever reported. If that is because every device died,
     // surface the original fault rather than a misleading configuration
     // hint.
@@ -577,7 +767,7 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
       }
     }
   }
-  ABSQ_CHECK(pool_.evaluated_count() > 0,
+  ABSQ_CHECK(current_evaluated() > 0,
              "run ended before any device reported — raise the time limit");
   for (auto& slot : devices_) {
     Device& device = *slot.device;
@@ -593,6 +783,8 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
         slot.retired_targets_dropped + device.targets().dropped();
     summary.solutions_dropped =
         slot.retired_solutions_dropped + device.solutions().dropped();
+    summary.algorithm_switches =
+        slot.retired_algorithm_switches + device.total_algorithm_switches();
     summary.health = slot.health;
     summary.restarts = slot.restarts;
     summary.failure = slot.failure;
@@ -601,8 +793,27 @@ AbsResult AbsSolver::run(const StopCriteria& stop) {
     }
     result.devices.push_back(summary);
   }
-  result.best = pool_.best().bits;
-  result.best_energy = pool_.best().energy;
+  if (diverse_) {
+    result.migrations = islands_->migrations();
+    result.migration_events = islands_->migration_events();
+    result.controller_reassignments =
+        controller_->reassignments() - reassignments_at_start;
+    result.islands.reserve(islands_->count());
+    for (std::uint32_t i = 0; i < islands_->count(); ++i) {
+      IslandSummary summary;
+      summary.island_id = i;
+      summary.best_energy = islands_->pool(i).best_energy();
+      summary.pool_evaluated = islands_->pool(i).evaluated_count();
+      summary.inserts = islands_->inserts(i);
+      for (const auto& event : islands_->migration_log()) {
+        if (event.to == i) ++summary.migrations_in;
+      }
+      summary.blocks = controller_->blocks_on_island(i);
+      result.islands.push_back(summary);
+    }
+  }
+  result.best = current_best().bits;
+  result.best_energy = current_best().energy;
   result.total_flips = flips_across_devices() - flips_at_start;
   result.evaluated_solutions = result.total_flips * w_->size();
   result.search_rate = result.seconds > 0.0

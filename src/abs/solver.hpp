@@ -40,6 +40,9 @@
 #include "ga/operators.hpp"
 #include "ga/solution_pool.hpp"
 #include "obs/telemetry.hpp"
+#include "portfolio/controller.hpp"
+#include "portfolio/island.hpp"
+#include "portfolio/portfolio.hpp"
 #include "qubo/bit_vector.hpp"
 #include "qubo/weight_matrix.hpp"
 
@@ -110,6 +113,11 @@ struct AbsConfig {
   std::function<void(std::uint64_t)> on_checkpoint;
   /// > 0 enables periodic RunSnapshot collection at roughly this cadence.
   double snapshot_interval_seconds = 0.0;
+  /// Diverse ABS (docs/algorithms.md): island pools, the per-block search
+  /// portfolio, and the adaptive (pool, algorithm) controller. The default
+  /// (1 island, min-Δ only, controller off) leaves the solver bit-identical
+  /// to the single-pool protocol above — the lockstep test pins this.
+  portfolio::PortfolioConfig portfolio;
   /// Observability sinks, propagated to every device (non-owning; default
   /// = disabled). The solver adds host-side series (pool churn, GA
   /// breeding, incumbent gauges) and trace spans for host rounds. The
@@ -140,9 +148,23 @@ struct DeviceSummary {
   std::uint64_t solutions_dropped = 0;  ///< solution-mailbox overwrites
   DeviceHealth health = DeviceHealth::kHealthy;  ///< state at run end
   std::uint32_t restarts = 0;  ///< successful watchdog restarts this run
+  /// Times any of the device's blocks changed its portfolio member on a
+  /// controller request (0 outside diverse mode).
+  std::uint64_t algorithm_switches = 0;
   /// what() of the captured exception (or the stall diagnosis) for an
   /// unhealthy device; empty while healthy.
   std::string failure;
+};
+
+/// Per-island accounting attached to diverse-mode results (empty vector on
+/// classic single-pool runs).
+struct IslandSummary {
+  std::uint32_t island_id = 0;
+  Energy best_energy = 0;  ///< kUnevaluated when nothing reported
+  std::size_t pool_evaluated = 0;
+  std::uint64_t inserts = 0;        ///< reports this island's pool accepted
+  std::uint64_t migrations_in = 0;  ///< elites received over the ring
+  std::uint32_t blocks = 0;         ///< blocks assigned at run end
 };
 
 /// One periodic observation of a running solve (see
@@ -188,6 +210,12 @@ struct AbsResult {
   std::vector<std::pair<double, Energy>> best_trace;
   /// Per-device breakdown (the Fig. 8 fairness data).
   std::vector<DeviceSummary> devices;
+  /// Diverse mode only: per-island breakdown, ring-migration totals, and
+  /// controller activity. All empty/zero on classic runs.
+  std::vector<IslandSummary> islands;
+  std::uint64_t migrations = 0;        ///< elites copied over the ring
+  std::uint64_t migration_events = 0;  ///< times the ring migration ran
+  std::uint64_t controller_reassignments = 0;
   /// Periodic observations, when enabled.
   std::vector<RunSnapshot> snapshots;
 
@@ -220,6 +248,14 @@ class AbsSolver {
   void request_stop() { stop_requested_.store(true); }
 
   [[nodiscard]] const SolutionPool& pool() const { return pool_; }
+  /// Diverse mode only (null otherwise): the island pools / controller.
+  /// Host-loop state — read between runs or from the host thread.
+  [[nodiscard]] const portfolio::IslandSet* islands() const {
+    return islands_.get();
+  }
+  [[nodiscard]] const portfolio::AdaptiveController* controller() const {
+    return controller_.get();
+  }
   [[nodiscard]] std::uint32_t num_devices() const {
     return static_cast<std::uint32_t>(devices_.size());
   }
@@ -254,6 +290,7 @@ class AbsSolver {
     std::uint64_t retired_target_misses = 0;
     std::uint64_t retired_targets_dropped = 0;
     std::uint64_t retired_solutions_dropped = 0;
+    std::uint64_t retired_algorithm_switches = 0;
   };
 
   std::uint64_t flips_across_devices() const;
@@ -279,10 +316,38 @@ class AbsSolver {
   void poll_device_health(AbsResult& result, double now);
   /// Writes a run checkpoint (atomic); failures are counted, not fatal.
   void write_run_checkpoint(AbsResult& result, double now);
+  /// Best evaluated energy of the run's pool(s) — islands in diverse mode.
+  [[nodiscard]] Energy current_best_energy() const;
+  /// Evaluated entries across the run's pool(s).
+  [[nodiscard]] std::size_t current_evaluated() const;
+  /// The globally best entry across the run's pool(s).
+  [[nodiscard]] const SolutionPool::Entry& current_best() const;
+  /// Inserts one report into the right pool (the island of the reporting
+  /// block's arm in diverse mode), crediting the controller. Returns true
+  /// when the pool accepted it.
+  bool insert_report(std::uint32_t device, std::uint32_t block,
+                     const BitVector& bits, Energy energy);
+  /// A target-stocking bit vector for block `block` of device `device`
+  /// (its arm's island pool in diverse mode).
+  [[nodiscard]] const BitVector& stock_target(std::uint32_t device,
+                                              std::uint32_t block);
+  /// Diverse mode: the merged best-first view of all island pools (the
+  /// checkpoint payload, capped at pool_capacity).
+  [[nodiscard]] SolutionPool merged_pool() const;
+  /// Re-applies the controller's current (possibly reallocated) member
+  /// assignments to a freshly built device incarnation.
+  void reapply_algorithms(std::size_t slot_index);
 
   const WeightMatrix* w_;
   AbsConfig config_;
   SolutionPool pool_;
+  /// Diverse mode (portfolio.diverse()): the island pools and the
+  /// (island, algorithm) controller; null on classic runs. The controller
+  /// exists even with portfolio.controller == false — it carries the
+  /// static block → arm striping the report router needs.
+  std::unique_ptr<portfolio::IslandSet> islands_;
+  std::unique_ptr<portfolio::AdaptiveController> controller_;
+  bool diverse_ = false;
   std::vector<DeviceSlot> devices_;
   Rng rng_;
   std::atomic<bool> stop_requested_{false};

@@ -11,6 +11,11 @@ SyncAbsRunner::SyncAbsRunner(const WeightMatrix& w, AbsConfig config)
       pool_(config_.pool_capacity),
       rng_(config_.seed) {
   ABSQ_CHECK(config_.num_devices >= 1, "need at least one device");
+  // The deterministic runner predates Diverse ABS and keeps the single-pool
+  // protocol; diverse configs need the full AbsSolver host loop.
+  ABSQ_CHECK(!config_.portfolio.diverse(),
+             "SyncAbsRunner does not support Diverse ABS configs "
+             "(islands/portfolio/controller) — use AbsSolver");
   devices_.reserve(config_.num_devices);
   for (std::uint32_t d = 0; d < config_.num_devices; ++d) {
     DeviceConfig device_config = config_.device;

@@ -90,7 +90,11 @@ void write_run_report(std::ostream& out, const RunReportMeta& meta,
     out << result.failed_devices[i];
   }
   out << "],\"checkpoints_written\":" << result.checkpoints_written
-      << ",\"checkpoints_failed\":" << result.checkpoints_failed << "}\n";
+      << ",\"checkpoints_failed\":" << result.checkpoints_failed
+      << ",\"migrations\":" << result.migrations
+      << ",\"migration_events\":" << result.migration_events
+      << ",\"controller_reassignments\":" << result.controller_reassignments
+      << "}\n";
 
   for (const auto& device : result.devices) {
     out << "{\"type\":\"device\",\"device\":" << device.device_id
@@ -101,9 +105,20 @@ void write_run_report(std::ostream& out, const RunReportMeta& meta,
         << ",\"target_misses\":" << device.target_misses
         << ",\"targets_dropped\":" << device.targets_dropped
         << ",\"solutions_dropped\":" << device.solutions_dropped
+        << ",\"algorithm_switches\":" << device.algorithm_switches
         << ",\"health\":" << quoted(to_string(device.health))
         << ",\"restarts\":" << device.restarts
         << ",\"failure\":" << quoted(device.failure) << "}\n";
+  }
+
+  // Diverse-ABS runs: one line per island pool (absent on classic runs).
+  for (const auto& island : result.islands) {
+    out << "{\"type\":\"island\",\"island\":" << island.island_id
+        << ",\"best_energy\":" << energy_json(island.best_energy)
+        << ",\"pool_evaluated\":" << island.pool_evaluated
+        << ",\"inserts\":" << island.inserts
+        << ",\"migrations_in\":" << island.migrations_in
+        << ",\"blocks\":" << island.blocks << "}\n";
   }
 
   for (const auto& [seconds, energy] : result.best_trace) {

@@ -1,0 +1,78 @@
+// PortfolioConfig — the Diverse-ABS knobs of AbsConfig.
+//
+// Three orthogonal extensions over the single-pool, single-algorithm ABS
+// of the base paper (all off by default, preserving the legacy solver
+// bit-for-bit):
+//
+//   * islands:    N independently seeded solution pools with diversified
+//                 GA operators, connected by periodic ring migration of
+//                 elites (portfolio/island.hpp);
+//   * algorithms: the per-block search portfolio (block_algorithm.hpp) —
+//                 blocks are striped across the (island, algorithm) arms;
+//   * controller: the adaptive bandit reallocating blocks toward the arms
+//                 that are currently producing pool improvements
+//                 (portfolio/controller.hpp).
+//
+// `diverse()` is the single predicate the solver branches on: when false,
+// AbsSolver runs the exact legacy host loop (same RNG stream, same flip
+// sequence — pinned by the lockstep test).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "portfolio/block_algorithm.hpp"
+
+namespace absq::portfolio {
+
+struct PortfolioConfig {
+  /// Number of island pools. 1 = the legacy single pool.
+  std::uint32_t islands = 1;
+  /// Portfolio members; blocks are striped across islands × algorithms.
+  /// Empty = {kMinDelta} (the legacy portfolio).
+  std::vector<BlockAlgorithmKind> algorithms;
+  /// Tuning knobs shared by every non-default member.
+  AlgorithmOptions options;
+  /// Vary each island's GA operator mix (crossover/mutation/selection/
+  /// random-reseed rates) on a deterministic per-island schedule; false =
+  /// every island runs AbsConfig::ga verbatim.
+  bool diversify_ga = true;
+  /// GA rounds between elite ring migrations. 0 = auto (64) when
+  /// islands > 1; ignored with a single island.
+  std::uint64_t migration_interval = 0;
+  /// Elites copied per island per migration.
+  std::uint32_t migration_k = 2;
+  /// Enables the adaptive (island, algorithm) controller: per-arm
+  /// improvement credit, blocks reallocated by credit-weighted softmax
+  /// with an exploration floor.
+  bool controller = false;
+  /// Per-round multiplicative credit decay (EWMA memory).
+  double credit_decay = 0.9;
+  /// Softmax temperature over arm credits (higher = flatter).
+  double softmax_temperature = 4.0;
+  /// Exploration floor ε: every arm keeps at least ε/num_arms of the
+  /// assignment probability, so no member ever starves.
+  double exploration_floor = 0.1;
+  /// GA rounds between controller reallocation passes.
+  std::uint64_t realloc_interval = 16;
+
+  /// The algorithm list with the empty-means-legacy default applied.
+  [[nodiscard]] std::vector<BlockAlgorithmKind> algorithm_list() const {
+    if (algorithms.empty()) return {BlockAlgorithmKind::kMinDelta};
+    return algorithms;
+  }
+
+  /// The resolved migration cadence (auto default applied).
+  [[nodiscard]] std::uint64_t effective_migration_interval() const {
+    return migration_interval != 0 ? migration_interval : 64;
+  }
+
+  /// True when anything departs from the legacy single-pool min-Δ solver.
+  [[nodiscard]] bool diverse() const {
+    if (islands > 1 || controller) return true;
+    const auto list = algorithm_list();
+    return list.size() != 1 || list[0] != BlockAlgorithmKind::kMinDelta;
+  }
+};
+
+}  // namespace absq::portfolio

@@ -106,6 +106,14 @@ struct JobSpec {
   /// finishes, the manager cancels it into the terminal
   /// JobState::kDeadlineExceeded. 0 = no deadline.
   double deadline_seconds = 0.0;
+  /// Diverse-ABS overrides (0 / empty = the server's configured solver
+  /// defaults). `islands` picks the island-pool count; `portfolio` is a
+  /// comma-separated member list ("min-delta,sa,multistart" — more than
+  /// one member also enables the adaptive controller);
+  /// `migration_interval` sets the elite ring-migration cadence.
+  std::uint32_t islands = 0;
+  std::string portfolio;
+  std::uint64_t migration_interval = 0;
 };
 
 /// Thread-safe point-in-time snapshot of one job. All timestamps are

@@ -129,6 +129,9 @@ JournalRecord JobManager::submitted_record_locked(const Job& job) const {
   record.max_flips = job.spec.stop.max_flips;
   record.problem_file = job.problem_file;
   record.resume_from = job.spec.resume_from;
+  record.islands = job.spec.islands;
+  record.portfolio = job.spec.portfolio;
+  record.migration_interval = job.spec.migration_interval;
   return record;
 }
 
@@ -222,6 +225,9 @@ void JobManager::recover_from_journal() {
     job->spec.stop.target_energy = fold.submitted.target_energy;
     job->spec.stop.max_flips = fold.submitted.max_flips;
     job->spec.resume_from = fold.submitted.resume_from;
+    job->spec.islands = fold.submitted.islands;
+    job->spec.portfolio = fold.submitted.portfolio;
+    job->spec.migration_interval = fold.submitted.migration_interval;
     job->submitted_wall_seconds = fold.submitted.submitted_wall_seconds;
     job->submitted_seconds = now;
     job->problem_file = fold.submitted.problem_file;
@@ -464,6 +470,21 @@ AbsConfig JobManager::job_config(const Job& job) const {
   config.telemetry.labels.set("job", std::to_string(job.id));
   config.telemetry.pid_base =
       static_cast<std::uint32_t>(job.id) * kJobTracePidStride;
+  // Per-job Diverse-ABS overrides (0 / empty = server solver defaults).
+  if (job.spec.islands > 0) config.portfolio.islands = job.spec.islands;
+  if (!job.spec.portfolio.empty()) {
+    config.portfolio.algorithms =
+        portfolio::parse_portfolio(job.spec.portfolio);
+    // A submitted portfolio with more than one member implies the adaptive
+    // controller: the client asked for diversity, so the bandit steers it.
+    if (config.portfolio.algorithm_list().size() > 1 ||
+        config.portfolio.islands > 1) {
+      config.portfolio.controller = true;
+    }
+  }
+  if (job.spec.migration_interval > 0) {
+    config.portfolio.migration_interval = job.spec.migration_interval;
+  }
   if (!job.spec.resume_from.empty()) {
     const RunCheckpoint checkpoint =
         read_checkpoint_file(job.spec.resume_from, config.pool_capacity);

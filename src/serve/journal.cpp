@@ -87,6 +87,15 @@ Json record_to_json(const JournalRecord& record) {
       if (!record.resume_from.empty()) {
         json.set("resume_from", record.resume_from);
       }
+      if (record.islands > 0) {
+        json.set("islands", static_cast<std::int64_t>(record.islands));
+      }
+      if (!record.portfolio.empty()) {
+        json.set("portfolio", record.portfolio);
+      }
+      if (record.migration_interval > 0) {
+        json.set("migration_interval", record.migration_interval);
+      }
       break;
     case JournalEvent::kStarted:
     case JournalEvent::kCheckpointed:
@@ -126,6 +135,11 @@ JournalRecord record_from_json(const Json& json) {
           static_cast<std::uint64_t>(json.get_int("max_flips", 0));
       record.problem_file = json.get_string("problem_file", "");
       record.resume_from = json.get_string("resume_from", "");
+      record.islands =
+          static_cast<std::uint32_t>(json.get_int("islands", 0));
+      record.portfolio = json.get_string("portfolio", "");
+      record.migration_interval = static_cast<std::uint64_t>(
+          json.get_int("migration_interval", 0));
       break;
     case JournalEvent::kStarted:
     case JournalEvent::kCheckpointed:

@@ -86,6 +86,11 @@ struct JournalRecord {
   std::uint64_t max_flips = 0;
   std::string problem_file;  ///< spooled canonical-qubo problem
   std::string resume_from;   ///< client-requested warm start, if any
+  /// Diverse-ABS overrides (0 / empty = server defaults; absent in the
+  /// journal of older builds, so decode defaults keep old journals valid).
+  std::uint32_t islands = 0;
+  std::string portfolio;
+  std::uint64_t migration_interval = 0;
 
   // --- terminal -------------------------------------------------------------
   JobState state = JobState::kQueued;

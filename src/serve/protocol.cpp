@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "portfolio/block_algorithm.hpp"
 #include "problems/maxcut.hpp"
 #include "problems/sat.hpp"
 #include "problems/tsp.hpp"
@@ -48,6 +49,17 @@ JobSpec spec_from_request(const Json& request) {
   spec.resume_from = request.get_string("resume_from", "");
   spec.idempotency_key = request.get_string("idempotency_key", "");
   spec.deadline_seconds = request.get_double("deadline_seconds", 0.0);
+  const std::int64_t islands = request.get_int("islands", 0);
+  ABSQ_CHECK(islands >= 0 && islands <= 64,
+             "islands must be in [0, 64], got " << islands);
+  spec.islands = static_cast<std::uint32_t>(islands);
+  spec.portfolio = request.get_string("portfolio", "");
+  if (!spec.portfolio.empty()) {
+    // Validate at admission so a typo fails the submit, not the run.
+    (void)portfolio::parse_portfolio(spec.portfolio);
+  }
+  spec.migration_interval =
+      static_cast<std::uint64_t>(request.get_int("migration_interval", 0));
   return spec;
 }
 

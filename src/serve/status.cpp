@@ -40,6 +40,12 @@ std::string status_json(const JobManager& manager,
       find_family(snapshot, "absq_device_health");
   const obs::MetricsSnapshot::Family* device_restarts =
       find_family(snapshot, "absq_device_restarts_total");
+  const obs::MetricsSnapshot::Family* island_best =
+      find_family(snapshot, "absq_island_best_energy");
+  const obs::MetricsSnapshot::Family* island_blocks =
+      find_family(snapshot, "absq_island_blocks");
+  const obs::MetricsSnapshot::Family* island_migrations =
+      find_family(snapshot, "absq_island_migrations_total");
 
   Json body = Json::object();
   body.set("uptime_seconds", uptime_seconds);
@@ -105,6 +111,37 @@ std::string status_json(const JobManager& manager,
             job.set("device_restarts", series.counter_value);
           }
         }
+      }
+      // Diverse-ABS jobs: one row per island (best energy, blocks
+      // currently assigned, elites received over the migration ring).
+      if (island_best != nullptr) {
+        Json islands = Json::array();
+        for (const auto& series : island_best->series) {
+          if (label_value(series.labels, "job") != id_text) continue;
+          const std::string island_id =
+              label_value(series.labels, "island");
+          Json island = Json::object();
+          island.set("island", island_id);
+          island.set("best_energy", series.gauge_value);
+          if (island_blocks != nullptr) {
+            for (const auto& blocks : island_blocks->series) {
+              if (label_value(blocks.labels, "job") == id_text &&
+                  label_value(blocks.labels, "island") == island_id) {
+                island.set("blocks", blocks.gauge_value);
+              }
+            }
+          }
+          if (island_migrations != nullptr) {
+            for (const auto& migrations : island_migrations->series) {
+              if (label_value(migrations.labels, "job") == id_text &&
+                  label_value(migrations.labels, "island") == island_id) {
+                island.set("migrations_in", migrations.counter_value);
+              }
+            }
+          }
+          islands.push(std::move(island));
+        }
+        if (islands.size() > 0) job.set("islands", std::move(islands));
       }
     }
     jobs.push(std::move(job));

@@ -135,6 +135,15 @@ const HotPathSpec kHotPaths[] = {
       "flip_tracked_dense_scalar", "flip_tracked_dense_simd",
       "flip_tracked_sparse", "repair_sparse", "argmin_window",
       "argmin_span"}},
+    // Every BlockAlgorithm::step is a Step-4b inner loop — one call per
+    // iteration, flips per call — and inherits SearchBlock's constraints.
+    {"src/portfolio/block_algorithm.cpp",
+     "MinDeltaAlgorithm",
+     {"step"}},
+    {"src/portfolio/block_algorithm.cpp", "SaAlgorithm", {"step"}},
+    {"src/portfolio/block_algorithm.cpp",
+     "MultiStartAlgorithm",
+     {"step", "restart"}},
 };
 
 /// ABSQ003: calls that block (or do I/O) and therefore may not appear in a

@@ -39,6 +39,9 @@ JournalRecord submitted_record(JobId id) {
   record.max_flips = 777;
   record.problem_file = "ck/job-" + std::to_string(id) + ".problem";
   record.resume_from = "warm.ck";
+  record.islands = 3;
+  record.portfolio = "min-delta,sa";
+  record.migration_interval = 16;
   return record;
 }
 
@@ -117,6 +120,9 @@ TEST(Journal, AppendedRecordsRoundTripAllFields) {
   EXPECT_EQ(submitted.max_flips, 777u);
   EXPECT_EQ(submitted.problem_file, "ck/job-7.problem");
   EXPECT_EQ(submitted.resume_from, "warm.ck");
+  EXPECT_EQ(submitted.islands, 3u);
+  EXPECT_EQ(submitted.portfolio, "min-delta,sa");
+  EXPECT_EQ(submitted.migration_interval, 16u);
 
   EXPECT_EQ(replay.records[1].event, JournalEvent::kStarted);
   EXPECT_EQ(replay.records[2].event, JournalEvent::kCheckpointed);
@@ -130,6 +136,33 @@ TEST(Journal, AppendedRecordsRoundTripAllFields) {
   EXPECT_TRUE(terminal.reached_target);
   EXPECT_EQ(terminal.total_flips, 123456u);
   EXPECT_DOUBLE_EQ(terminal.run_seconds, 1.75);
+}
+
+TEST(Journal, RecordsWithoutDiverseFieldsDecodeToDefaults) {
+  // Journals written before the Diverse-ABS fields existed (or for
+  // classic jobs) carry no islands/portfolio/migration_interval keys:
+  // the encoder omits defaults and the decoder restores them.
+  JournalRecord classic;
+  classic.event = JournalEvent::kSubmitted;
+  classic.id = 9;
+  classic.problem_file = "ck/job-9.problem";
+  const std::string line = Journal::encode(classic);
+  EXPECT_EQ(line.find("islands"), std::string::npos);
+  EXPECT_EQ(line.find("portfolio"), std::string::npos);
+  EXPECT_EQ(line.find("migration_interval"), std::string::npos);
+
+  const std::string path = temp_path("classic.journal");
+  std::filesystem::remove(path);
+  {
+    Journal journal(path);
+    journal.append(classic);
+  }
+  const JournalReplay replay = Journal::replay_file(path);
+  ASSERT_TRUE(replay.clean) << replay.issue;
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0].islands, 0u);
+  EXPECT_EQ(replay.records[0].portfolio, "");
+  EXPECT_EQ(replay.records[0].migration_interval, 0u);
 }
 
 TEST(Journal, FailedTerminalRecordCarriesErrorNotResult) {

@@ -133,6 +133,33 @@ TEST(LintHotPath, GovernsTheDeltaFlipKernels) {
   EXPECT_TRUE(fires("src/qubo/delta_state.cpp", simd_kernel, "ABSQ003"));
 }
 
+TEST(LintHotPath, GovernsTheBlockAlgorithmPortfolio) {
+  // Every BlockAlgorithm::step is a Step-4b inner loop; all three portfolio
+  // members (and the multi-start restart helper) are governed.
+  const std::string sa_step =
+      "void SaAlgorithm::step(DeltaState& state, BestTracker& tracker,\n"
+      "                       SearchStats& stats, Rng& rng, std::uint64_t n) "
+      "{\n"
+      "  std::this_thread::sleep_for(std::chrono::milliseconds(1));\n"
+      "}\n";
+  EXPECT_TRUE(
+      fires("src/portfolio/block_algorithm.cpp", sa_step, "ABSQ003"));
+  const std::string restart =
+      "void MultiStartAlgorithm::restart(DeltaState& state,\n"
+      "                                  BestTracker& tracker, Rng& rng) {\n"
+      "  std::printf(\"restarting\\n\");\n"
+      "}\n";
+  EXPECT_TRUE(
+      fires("src/portfolio/block_algorithm.cpp", restart, "ABSQ003"));
+  // A cold helper in the same file stays ungoverned.
+  const std::string cold =
+      "void SaAlgorithm::describe() {\n"
+      "  std::printf(\"sa\\n\");\n"
+      "}\n";
+  EXPECT_FALSE(
+      fires("src/portfolio/block_algorithm.cpp", cold, "ABSQ003"));
+}
+
 TEST(LintHotPath, QuietOutsideHotFunctionsAndFiles) {
   // Same call in a cold function of the same file: fine.
   const std::string cold =

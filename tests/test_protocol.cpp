@@ -243,6 +243,37 @@ TEST(Protocol, SubmitValidation) {
   EXPECT_EQ(outcome.reply.get_string("code", ""), "bad_request");
 }
 
+TEST(Protocol, DiverseSubmitFieldsValidateAndRunToResult) {
+  JobManager manager(small_manager_config());
+  // A bad portfolio or an out-of-range island count fails at admission.
+  Json bad_portfolio = submit_request();
+  bad_portfolio.set("portfolio", "sa,frobnicate");
+  ProtocolReply outcome =
+      handle_request_line(manager, bad_portfolio.dump());
+  EXPECT_EQ(outcome.reply.get_string("code", ""), "bad_request");
+  Json bad_islands = submit_request();
+  bad_islands.set("islands", std::int64_t{1000});
+  outcome = handle_request_line(manager, bad_islands.dump());
+  EXPECT_EQ(outcome.reply.get_string("code", ""), "bad_request");
+
+  // A valid diverse submission runs to a verifiable result.
+  Json diverse = submit_request();
+  diverse.set("islands", std::int64_t{2})
+      .set("portfolio", "min-delta,sa")
+      .set("migration_interval", std::int64_t{4});
+  const ProtocolReply submitted =
+      handle_request_line(manager, diverse.dump());
+  ASSERT_TRUE(submitted.reply.get_bool("ok", false))
+      << submitted.reply.dump();
+  const JobId id = static_cast<JobId>(submitted.reply.at("id").as_int());
+  (void)manager.wait(id, 30.0);
+  Json result = Json::object();
+  result.set("cmd", "result").set("id", id);
+  const ProtocolReply done = handle_request_line(manager, result.dump());
+  ASSERT_TRUE(done.reply.get_bool("ok", false)) << done.reply.dump();
+  EXPECT_LT(done.reply.at("energy").as_int(), 0);
+}
+
 TEST(Protocol, CancelAndList) {
   JobManagerConfig config = small_manager_config(1, 4);
   JobManager manager(config);

@@ -94,7 +94,8 @@ TEST(RunReport, EmitsAllLineTypesWithCorrectContent) {
             "{\"type\":\"device\",\"device\":0,\"workers\":2,"
             "\"flips\":1000,\"iterations\":9,\"reports\":0,"
             "\"target_misses\":0,\"targets_dropped\":0,"
-            "\"solutions_dropped\":0,\"health\":\"healthy\","
+            "\"solutions_dropped\":0,\"algorithm_switches\":0,"
+            "\"health\":\"healthy\","
             "\"restarts\":0,\"failure\":\"\"}");
   EXPECT_EQ(lines[3],
             "{\"type\":\"improvement\",\"seconds\":0.25,\"energy\":-100}");

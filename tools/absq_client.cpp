@@ -120,6 +120,13 @@ int run(int argc, char** argv) {
                "submit: deduplication key — resubmitting the same key "
                "returns the original job instead of new work, and makes "
                "the submit safe to auto-retry");
+  cli.add_flag("islands", std::int64_t{0},
+               "submit: island pool count (0 = server default)");
+  cli.add_flag("portfolio", std::string(""),
+               "submit: comma-separated block algorithms "
+               "(min-delta,sa,multistart; empty = server default)");
+  cli.add_flag("migration-interval", std::int64_t{0},
+               "submit: GA rounds between elite migrations (0 = default)");
   cli.add_flag("deadline", 0.0,
                "submit: TTL in seconds; past it the job ends in the "
                "terminal state `deadline` (0 = none)");
@@ -226,6 +233,17 @@ int run(int argc, char** argv) {
   }
   if (const double deadline = cli.get_double("deadline"); deadline > 0.0) {
     request.set("deadline_seconds", deadline);
+  }
+  if (const std::int64_t islands = cli.get_int("islands"); islands > 0) {
+    request.set("islands", islands);
+  }
+  if (const std::string portfolio = cli.get_string("portfolio");
+      !portfolio.empty()) {
+    request.set("portfolio", portfolio);
+  }
+  if (const std::int64_t interval = cli.get_int("migration-interval");
+      interval > 0) {
+    request.set("migration_interval", interval);
   }
 
   const absq::serve::SubmitOutcome outcome =

@@ -38,6 +38,7 @@
 
 #include "abs/solver.hpp"
 #include "ga/pool_io.hpp"
+#include "portfolio/block_algorithm.hpp"
 #include "obs/http_exporter.hpp"
 #include "obs/log.hpp"
 #include "obs/report.hpp"
@@ -84,6 +85,15 @@ int run(int argc, char** argv) {
                "0 = single legacy device thread)");
   cli.add_flag("pool", std::int64_t{128}, "solution pool capacity");
   cli.add_flag("adaptive", false, "enable adaptive window switching");
+  cli.add_flag("islands", std::int64_t{1},
+               "independently seeded island pools with ring migration "
+               "(1 = single shared pool, the classic ABS)");
+  cli.add_flag("portfolio", std::string(""),
+               "comma-separated block-search portfolio: "
+               "min-delta | sa | multistart (empty = min-delta only; more "
+               "than one member also enables the adaptive controller)");
+  cli.add_flag("migration-interval", std::int64_t{0},
+               "GA rounds between elite ring migrations (0 = auto)");
   cli.add_flag("kernel", std::string("auto"),
                "flip-kernel form: auto | dense | dense-simd | sparse "
                "(all bit-identical; auto picks by instance density)");
@@ -191,6 +201,29 @@ int run(int argc, char** argv) {
   }
   config.pool_capacity = static_cast<std::size_t>(cli.get_int("pool"));
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const std::int64_t islands = cli.get_int("islands");
+  ABSQ_CHECK(islands >= 1 && islands <= 64,
+             "--islands must be in [1, 64], got " << islands);
+  config.portfolio.islands = static_cast<std::uint32_t>(islands);
+  if (const std::string portfolio = cli.get_string("portfolio");
+      !portfolio.empty()) {
+    config.portfolio.algorithms = absq::portfolio::parse_portfolio(portfolio);
+    if (config.portfolio.algorithm_list().size() > 1 ||
+        config.portfolio.islands > 1) {
+      config.portfolio.controller = true;
+    }
+  }
+  config.portfolio.migration_interval =
+      static_cast<std::uint64_t>(cli.get_int("migration-interval"));
+  if (config.portfolio.diverse()) {
+    std::printf("diverse: %u island%s, portfolio %s, controller %s\n",
+                config.portfolio.islands,
+                config.portfolio.islands == 1 ? "" : "s",
+                absq::portfolio::portfolio_to_string(
+                    config.portfolio.algorithm_list())
+                    .c_str(),
+                config.portfolio.controller ? "on" : "off");
+  }
   config.snapshot_interval_seconds = cli.get_double("snapshot-interval");
   config.checkpoint_path = cli.get_string("checkpoint");
   config.checkpoint_interval_seconds = cli.get_double("checkpoint-interval");
@@ -290,6 +323,19 @@ int run(int argc, char** argv) {
                   dev.restarts == 1 ? "" : "s",
                   dev.failure.empty() ? "recovered" : dev.failure.c_str());
     }
+  }
+  for (const auto& island : result.islands) {
+    std::printf("island %u:     best %" PRId64 ", %zu pool entries, %" PRIu64
+                " inserts, %" PRIu64 " migrations in, %u blocks\n",
+                island.island_id, island.best_energy, island.pool_evaluated,
+                island.inserts, island.migrations_in, island.blocks);
+  }
+  if (result.migrations > 0 || result.migration_events > 0 ||
+      result.controller_reassignments > 0) {
+    std::printf("diverse:      %" PRIu64 " elites migrated over %" PRIu64
+                " ring rounds, %" PRIu64 " controller reassignments\n",
+                result.migrations, result.migration_events,
+                result.controller_reassignments);
   }
   if (!result.failed_devices.empty()) {
     std::printf("degraded run: %zu of %u device(s) quarantined\n",
