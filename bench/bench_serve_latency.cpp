@@ -23,7 +23,7 @@
 #include <thread>
 #include <vector>
 
-#include "obs/report.hpp"
+#include "obs/json_text.hpp"
 #include "problems/random.hpp"
 #include "qubo/io.hpp"
 #include "serve/client.hpp"

@@ -19,7 +19,8 @@
 
 #include "abs/solver.hpp"
 #include "baselines/solvers.hpp"
-#include "obs/report.hpp"
+#include "abs/report.hpp"
+#include "obs/json_text.hpp"
 #include "qubo/weight_matrix.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
@@ -54,12 +55,12 @@ class BenchReport {
     std::ofstream out(path_, first_ ? std::ios::trunc : std::ios::app);
     ABSQ_CHECK(out.good(), "cannot open bench report '" << path_ << "'");
     first_ = false;
-    obs::RunReportMeta meta;
+    RunReportMeta meta;
     meta.tool = bench_;
     meta.instance = row;
     meta.seed = seed;
     meta.extra = std::move(extra);
-    obs::write_run_report(out, meta, result, metrics);
+    write_run_report(out, meta, result, metrics);
   }
 
   /// One `tts` line per table row: the perf-trajectory rail's unit of

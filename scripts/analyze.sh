@@ -16,7 +16,12 @@
 #      it. The profile and baseline are maintained regardless.
 #   C. absq_lint — the project-invariant checker (naked new/delete,
 #      relaxed-atomics policy, hot-path blocking calls, error hierarchy,
-#      include hygiene), zero findings.
+#      include hygiene, plus the graph rules: module layering against
+#      lint_layers.toml, transitive blocking calls, lock-order cycles,
+#      atomic-ordering audit), zero findings. Runs twice: human-readable
+#      text, then SARIF into build-analyze/absq_lint.sarif (CI uploads it
+#      for code-scanning annotations). Budget: the lint pass must finish
+#      in under 2 seconds.
 #   D. header standalone compile — every src/ header must compile as its
 #      own translation unit, pinning the include-what-you-use property
 #      absq_lint's include rules approximate.
@@ -51,8 +56,18 @@ else
 fi
 
 echo
-echo "== stage C: absq_lint (project invariants) =="
-./build-analyze/tools/absq_lint --root .
+echo "== stage C: absq_lint (project invariants + graph rules) =="
+LINT_START=$(date +%s%N)
+./build-analyze/tools/absq_lint --root . --fail-on=error
+./build-analyze/tools/absq_lint --root . --format=sarif --fail-on=never \
+    > build-analyze/absq_lint.sarif
+LINT_ELAPSED_MS=$((($(date +%s%N) - LINT_START) / 1000000))
+echo "absq_lint: 2 passes in ${LINT_ELAPSED_MS} ms (SARIF:" \
+     "build-analyze/absq_lint.sarif)"
+if [[ $LINT_ELAPSED_MS -gt 2000 ]]; then
+  echo "analyze.sh: absq_lint exceeded its 2 s budget" >&2
+  FAILED=1
+fi
 
 echo
 echo "== stage D: header standalone compile =="

@@ -43,6 +43,49 @@ fi
 "$BIN/tools/absq_solve" "$WORK/f.cnf" --format dimacs --seconds 0.5 \
   | grep -q "violated clauses" || fail "absq_solve (dimacs) printed no count"
 
+# --- absq_lint ---------------------------------------------------------------
+# Outputs are captured to files first — grep -q on a live pipe kills the
+# tool with SIGPIPE, which pipefail then reports as a failure.
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+# Clean tree: exit 0 with the rule total in the summary.
+"$BIN/tools/absq_lint" --root "$REPO_ROOT" > "$WORK/lint.txt"
+grep -q "files clean (9 rules)" "$WORK/lint.txt" \
+  || fail "absq_lint clean run did not print the 9-rule summary"
+# SARIF output is a 2.1.0 document.
+"$BIN/tools/absq_lint" --root "$REPO_ROOT" --format=sarif \
+  > "$WORK/lint.sarif"
+grep -q '"version":"2.1.0"' "$WORK/lint.sarif" \
+  || fail "absq_lint --format=sarif did not emit a SARIF 2.1.0 document"
+# Findings carry per-rule counts in the (stderr) summary; --fail-on=never
+# keeps the exit at 0.
+LINT_FIXTURE="$WORK/lint_fixture"
+mkdir -p "$LINT_FIXTURE/src/qubo"
+printf 'int* p = new int;\nint* q = new int;\n' \
+  > "$LINT_FIXTURE/src/qubo/bad.cpp"
+"$BIN/tools/absq_lint" --root "$LINT_FIXTURE" --fail-on=never src \
+  > "$WORK/lint_fixture.txt" 2>&1
+grep -q "ABSQ001:2" "$WORK/lint_fixture.txt" \
+  || fail "absq_lint summary lacks per-rule counts"
+if "$BIN/tools/absq_lint" --root "$LINT_FIXTURE" src > /dev/null 2>&1; then
+  fail "absq_lint did not fail on findings with the default --fail-on=error"
+fi
+# Unknown flags and bad enum values are usage errors: exit 2.
+set +e
+"$BIN/tools/absq_lint" --bogus > /dev/null 2>&1
+code=$?
+set -e
+[[ "$code" == "2" ]] || fail "absq_lint --bogus exited $code, expected 2"
+set +e
+"$BIN/tools/absq_lint" --root "$REPO_ROOT" --format=yaml > /dev/null 2>&1
+code=$?
+set -e
+[[ "$code" == "2" ]] || fail "absq_lint --format=yaml exited $code, expected 2"
+# The graph dump emits all three digraphs.
+"$BIN/tools/absq_lint" --root "$REPO_ROOT" --graph-dump=dot \
+  > "$WORK/lint.dot"
+[[ "$(grep -c '^digraph' "$WORK/lint.dot")" == "3" ]] \
+  || fail "absq_lint --graph-dump=dot did not emit 3 digraphs"
+
 # --- failure paths -----------------------------------------------------------
 if "$BIN/tools/absq_solve" /nonexistent.qubo --seconds 0.1 \
     > /dev/null 2>&1; then

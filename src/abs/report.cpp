@@ -1,45 +1,15 @@
-#include "obs/report.hpp"
+#include "abs/report.hpp"
 
-#include <cmath>
-#include <cstdio>
 #include <fstream>
 
 #include "ga/solution_pool.hpp"
+#include "obs/json_text.hpp"
 #include "util/check.hpp"
 
-namespace absq::obs {
+namespace absq {
 
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buffer;
-        } else {
-          out += c;
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-std::string json_number(double value) {
-  if (!std::isfinite(value)) return "null";
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-  return buffer;
-}
+using obs::json_escape;
+using obs::json_number;
 
 namespace {
 
@@ -60,7 +30,7 @@ std::string energy_json(Energy energy) {
 
 void write_run_report(std::ostream& out, const RunReportMeta& meta,
                       const AbsResult& result,
-                      const MetricsRegistry* metrics) {
+                      const obs::MetricsRegistry* metrics) {
   out << "{\"type\":\"meta\",\"tool\":" << quoted(meta.tool)
       << ",\"instance\":" << quoted(meta.instance)
       << ",\"seed\":" << meta.seed;
@@ -136,7 +106,7 @@ void write_run_report(std::ostream& out, const RunReportMeta& meta,
   }
 
   if (metrics != nullptr) {
-    const MetricsSnapshot scrape = metrics->scrape();
+    const obs::MetricsSnapshot scrape = metrics->scrape();
     for (const auto& family : scrape.families) {
       for (const auto& series : family.series) {
         out << "{\"type\":\"metric\",\"name\":" << quoted(family.name)
@@ -149,14 +119,14 @@ void write_run_report(std::ostream& out, const RunReportMeta& meta,
         }
         out << "}";
         switch (family.kind) {
-          case MetricsSnapshot::Kind::kCounter:
+          case obs::MetricsSnapshot::Kind::kCounter:
             out << ",\"kind\":\"counter\",\"value\":" << series.counter_value;
             break;
-          case MetricsSnapshot::Kind::kGauge:
+          case obs::MetricsSnapshot::Kind::kGauge:
             out << ",\"kind\":\"gauge\",\"value\":"
                 << json_number(series.gauge_value);
             break;
-          case MetricsSnapshot::Kind::kHistogram: {
+          case obs::MetricsSnapshot::Kind::kHistogram: {
             out << ",\"kind\":\"histogram\",\"count\":" << series.count
                 << ",\"sum\":" << series.sum << ",\"buckets\":[";
             // [le, count] pairs for non-empty buckets only.
@@ -183,11 +153,11 @@ void write_run_report(std::ostream& out, const RunReportMeta& meta,
 
 void write_run_report_file(const std::string& path, const RunReportMeta& meta,
                            const AbsResult& result,
-                           const MetricsRegistry* metrics) {
+                           const obs::MetricsRegistry* metrics) {
   std::ofstream out(path, std::ios::trunc);
   ABSQ_CHECK(out.good(), "cannot open report file '" << path << "'");
   write_run_report(out, meta, result, metrics);
   ABSQ_CHECK(out.good(), "write to report file '" << path << "' failed");
 }
 
-}  // namespace absq::obs
+}  // namespace absq

@@ -13,6 +13,11 @@
 // The same sink serves absq_solve's --report flag and the bench
 // harnesses (bench_util.hpp), so all BENCH/run trajectories share one
 // format.
+//
+// Lives in abs/ (not obs/): the report serializes AbsResult, so the sink
+// belongs to the layer that owns that type — obs/ must stay below abs/ in
+// the module DAG (lint_layers.toml). The JSON text primitives it uses are
+// in obs/json_text.hpp.
 #pragma once
 
 #include <ostream>
@@ -23,13 +28,7 @@
 #include "abs/solver.hpp"
 #include "obs/metrics.hpp"
 
-namespace absq::obs {
-
-/// JSON string-escape (quotes, backslashes, control characters).
-[[nodiscard]] std::string json_escape(const std::string& text);
-
-/// A double as a JSON value: "null" when non-finite.
-[[nodiscard]] std::string json_number(double value);
+namespace absq {
 
 struct RunReportMeta {
   std::string tool;      ///< producing binary, e.g. "absq_solve"
@@ -43,11 +42,11 @@ struct RunReportMeta {
 /// lines); scrape happens at call time.
 void write_run_report(std::ostream& out, const RunReportMeta& meta,
                       const AbsResult& result,
-                      const MetricsRegistry* metrics = nullptr);
+                      const obs::MetricsRegistry* metrics = nullptr);
 
 /// Convenience: opens `path` (truncating) and writes the report.
 void write_run_report_file(const std::string& path, const RunReportMeta& meta,
                            const AbsResult& result,
-                           const MetricsRegistry* metrics = nullptr);
+                           const obs::MetricsRegistry* metrics = nullptr);
 
-}  // namespace absq::obs
+}  // namespace absq

@@ -14,7 +14,7 @@
 #include <cstring>
 
 #include "obs/log.hpp"
-#include "obs/report.hpp"  // json_number
+#include "obs/json_text.hpp"
 #include "util/check.hpp"
 
 namespace absq::obs {
@@ -169,8 +169,10 @@ std::string HttpExporter::default_status_body() const {
   std::string body = "{\"uptime_seconds\":";
   body += json_number(monotonic_seconds() - started_monotonic_);
   body += ",\"requests_served\":";
+  // absq-lint: allow(atomic-audit) status snapshot read of a stat counter
   body += std::to_string(requests_.load(std::memory_order_relaxed));
   body += ",\"connections_accepted\":";
+  // absq-lint: allow(atomic-audit) status snapshot read of a stat counter
   body += std::to_string(accepted_.load(std::memory_order_relaxed));
   body += "}";
   return body;
@@ -194,6 +196,7 @@ void HttpExporter::enqueue_response(Connection& connection, int code,
 
 void HttpExporter::respond(Connection& connection, const std::string& method,
                            const std::string& target, bool keep_alive) {
+  // absq-lint: allow(atomic-audit) single-writer stat on the exporter thread
   requests_.fetch_add(1, std::memory_order_relaxed);
   if (m_requests_ != nullptr) m_requests_->add();
 
@@ -279,6 +282,7 @@ void HttpExporter::handle_buffered_requests(Connection& connection,
     if (head_end == std::string::npos) {
       if (connection.inbox.size() > config_.max_request_bytes) {
         if (m_rejected_ != nullptr) m_rejected_->add();
+        // absq-lint: allow(atomic-audit) single-writer stat, exporter thread
         requests_.fetch_add(1, std::memory_order_relaxed);
         enqueue_response(connection, 431, "text/plain; charset=utf-8",
                          "request head too large\n", /*keep_alive=*/false);
@@ -298,6 +302,7 @@ void HttpExporter::handle_buffered_requests(Connection& connection,
         sp1 == std::string::npos ? std::string::npos
                                  : request_line.find(' ', sp1 + 1);
     if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      // absq-lint: allow(atomic-audit) single-writer stat, exporter thread
       requests_.fetch_add(1, std::memory_order_relaxed);
       enqueue_response(connection, 400, "text/plain; charset=utf-8",
                        "malformed request line\n", /*keep_alive=*/false);
@@ -356,6 +361,7 @@ void HttpExporter::loop() {
       while (true) {
         const int fd = ::accept(listen_fd_, nullptr, nullptr);
         if (fd < 0) break;
+        // absq-lint: allow(atomic-audit) single-writer stat, exporter thread
         accepted_.fetch_add(1, std::memory_order_relaxed);
         set_nonblocking(fd);
         if (connections_.size() >= config_.max_connections) {

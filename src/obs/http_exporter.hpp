@@ -88,10 +88,12 @@ class HttpExporter {
 
   /// Requests fully parsed and answered (any status code).
   [[nodiscard]] std::uint64_t requests_served() const {
+    // absq-lint: allow(atomic-audit) cold read of a monotonic stat counter
     return requests_.load(std::memory_order_relaxed);
   }
   /// Connections ever accepted (including 503-rejected ones).
   [[nodiscard]] std::uint64_t connections_accepted() const {
+    // absq-lint: allow(atomic-audit) cold read of a monotonic stat counter
     return accepted_.load(std::memory_order_relaxed);
   }
 

@@ -1,0 +1,48 @@
+// JSON text primitives shared by every hand-rolled JSON writer in the
+// observability layer (structured log lines, /status bodies, run reports,
+// bench rows). Header-only and std-only on purpose: obs/ sits directly
+// above util/ in the module DAG (lint_layers.toml), so nothing here may
+// pull in serve::Json or any higher layer.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace absq::obs {
+
+/// JSON string-escape (quotes, backslashes, control characters).
+[[nodiscard]] inline std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+/// A double as a JSON value: "null" when non-finite (JSON has no NaN).
+[[nodiscard]] inline std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace absq::obs

@@ -3,7 +3,7 @@
 #include <chrono>
 #include <cstring>
 
-#include "obs/report.hpp"  // json_escape / json_number
+#include "obs/json_text.hpp"
 #include "util/check.hpp"
 
 namespace absq::obs {
@@ -117,6 +117,7 @@ void Logger::log(LogLevel level, const char* component,
   std::FILE* out = stream_ != nullptr ? stream_ : stderr;
   std::fwrite(line.data(), 1, line.size(), out);
   std::fflush(out);
+  // absq-lint: allow(atomic-audit) monotonic line counter under sink_mutex_
   lines_.fetch_add(1, std::memory_order_relaxed);
 }
 

@@ -93,16 +93,21 @@ class Logger {
   /// The process-wide logger every instrumented component uses.
   static Logger& global();
 
-  /// Sets the minimum emitted level (kOff silences everything).
+  /// Sets the minimum emitted level (kOff silences everything). The level
+  /// gate is a racy-read config flag: a stale read emits or drops at most
+  /// one line, so relaxed is safe on both sides.
   void set_level(LogLevel level) {
     level_.store(static_cast<std::uint8_t>(level),
+                 // absq-lint: allow(atomic-audit) racy-read config gate
                  std::memory_order_relaxed);
   }
   [[nodiscard]] LogLevel level() const {
+    // absq-lint: allow(atomic-audit) racy-read config gate (see set_level)
     return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
   }
   [[nodiscard]] bool enabled(LogLevel level) const {
     return static_cast<std::uint8_t>(level) >=
+           // absq-lint: allow(atomic-audit) racy-read config gate
            level_.load(std::memory_order_relaxed);
   }
 
@@ -121,6 +126,7 @@ class Logger {
 
   /// Lines actually written (post level filter) since construction.
   [[nodiscard]] std::uint64_t lines_written() const {
+    // absq-lint: allow(atomic-audit) cold read of a monotonic stat counter
     return lines_.load(std::memory_order_relaxed);
   }
 

@@ -78,6 +78,7 @@ std::array<std::uint64_t, Histogram::kBuckets> Histogram::buckets() const {
   std::array<std::uint64_t, kBuckets> totals{};
   for (const auto& shard : shards_) {
     for (std::size_t b = 0; b < kBuckets; ++b) {
+      // absq-lint: allow(atomic-audit) scrape-side sum over relaxed shards
       totals[b] += shard.buckets[b].load(std::memory_order_relaxed);
     }
   }
@@ -95,6 +96,7 @@ std::uint64_t Histogram::count() const {
 std::uint64_t Histogram::sum() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
+    // absq-lint: allow(atomic-audit) scrape-side sum over relaxed shards
     total += shard.sum.load(std::memory_order_relaxed);
   }
   return total;

@@ -96,6 +96,7 @@ class Counter {
   [[nodiscard]] std::uint64_t value() const {
     std::uint64_t total = 0;
     for (const auto& cell : cells_) {
+      // absq-lint: allow(atomic-audit) scrape-side sum over relaxed shards
       total += cell.value.load(std::memory_order_relaxed);
     }
     return total;
@@ -108,8 +109,10 @@ class Counter {
 /// Last-written double value.
 class Gauge {
  public:
+  // absq-lint: allow(atomic-audit) last-writer-wins sample; no ordering use
   void set(double v) { value_.store(v, std::memory_order_relaxed); }
   [[nodiscard]] double value() const {
+    // absq-lint: allow(atomic-audit) cold read of a last-writer-wins sample
     return value_.load(std::memory_order_relaxed);
   }
 

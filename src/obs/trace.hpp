@@ -76,9 +76,11 @@ class EventTracer {
 
   /// Events ever recorded / lost to ring overwrites.
   [[nodiscard]] std::uint64_t recorded() const {
+    // absq-lint: allow(atomic-audit) cold read of a monotonic stat counter
     return recorded_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t dropped() const {
+    // absq-lint: allow(atomic-audit) cold read of a monotonic stat counter
     return dropped_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::size_t capacity() const {

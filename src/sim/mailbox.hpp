@@ -65,12 +65,14 @@ class TargetBuffer {
 
   /// Total targets ever pushed (monotonic).
   [[nodiscard]] std::uint64_t pushed() const {
+    // absq-lint: allow(atomic-audit) host-side read of the Fig. 5 counter
     return pushed_.load(std::memory_order_relaxed);
   }
 
   /// Targets lost to overwrites — reported in run statistics so a
   /// misconfigured (device-starved) run is visible.
   [[nodiscard]] std::uint64_t dropped() const {
+    // absq-lint: allow(atomic-audit) host-side read of a monotonic stat
     return dropped_.load(std::memory_order_relaxed);
   }
 
@@ -132,12 +134,14 @@ class SolutionBuffer {
 
   /// The global counter the host polls (total solutions ever pushed).
   [[nodiscard]] std::uint64_t counter() const {
+    // absq-lint: allow(atomic-audit) host-side read of the Fig. 5 counter
     return pushed_.load(std::memory_order_relaxed);
   }
 
   /// Solutions lost to overwrites — reported in run statistics so a
   /// misconfigured (host-starved) run is visible.
   [[nodiscard]] std::uint64_t dropped() const {
+    // absq-lint: allow(atomic-audit) host-side read of a monotonic stat
     return dropped_.load(std::memory_order_relaxed);
   }
 

@@ -193,6 +193,9 @@ bool Registry::fire(const char* name, std::optional<std::uint64_t> scope) {
                             std::chrono::duration<double>(stall_seconds));
   while (std::chrono::steady_clock::now() < deadline &&
          stall_epoch_.load(std::memory_order_acquire) == epoch_at_fire) {
+    // Deliberate fault injection: the stall IS the fault; disarmed
+    // failpoints cost one relaxed load on hot paths and never reach here.
+    // absq-lint: allow(transitive-blocking) sliced cancellable stall by design
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   return false;

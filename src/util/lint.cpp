@@ -52,51 +52,6 @@ std::size_t find_word(std::string_view text, std::string_view word,
 }
 
 // ---------------------------------------------------------------------------
-// Suppressions
-// ---------------------------------------------------------------------------
-
-struct Suppressions {
-  // rule name -> lines on which it is allowed (the annotated line and the
-  // one after it, so a standalone comment line covers the code below).
-  std::vector<std::pair<std::string, std::size_t>> line_allows;
-  std::vector<std::string> file_allows;
-
-  [[nodiscard]] bool allowed(std::string_view rule, std::size_t line) const {
-    for (const std::string& r : file_allows) {
-      if (r == rule) return true;
-    }
-    return std::any_of(line_allows.begin(), line_allows.end(),
-                       [&](const auto& a) {
-                         return a.first == rule &&
-                                (a.second == line || a.second + 1 == line);
-                       });
-  }
-};
-
-/// Parse `absq-lint: allow(rule)` / `allow-file(rule)` annotations from the
-/// raw (un-stripped) source — they live in comments by design.
-Suppressions collect_suppressions(std::string_view src) {
-  Suppressions out;
-  static constexpr std::string_view kTag = "absq-lint: allow";
-  for (std::size_t pos = src.find(kTag); pos != std::string_view::npos;
-       pos = src.find(kTag, pos + 1)) {
-    std::size_t cursor = pos + kTag.size();
-    const bool file_scope = starts_with(src.substr(cursor), "-file");
-    if (file_scope) cursor += 5;
-    if (cursor >= src.size() || src[cursor] != '(') continue;
-    const std::size_t close = src.find(')', cursor);
-    if (close == std::string_view::npos) continue;
-    std::string rule(src.substr(cursor + 1, close - cursor - 1));
-    if (file_scope) {
-      out.file_allows.push_back(std::move(rule));
-    } else {
-      out.line_allows.emplace_back(std::move(rule), line_of(src, pos));
-    }
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
 // Rule configuration
 // ---------------------------------------------------------------------------
 
@@ -110,51 +65,6 @@ constexpr std::array<std::string_view, 0> kRaiiWrapperFiles{};
 /// (paper Fig. 5). Everything else needs an inline allow with a rationale.
 constexpr std::array<std::string_view, 2> kRelaxedAllowedPrefixes{
     "src/obs/", "src/sim/mailbox."};
-
-/// ABSQ003: hot-path functions that must never block. The per-iteration
-/// call chain of the bulk search: SearchBlock's search loop and the Device
-/// scheduling loops that drive it.
-struct HotPathSpec {
-  std::string_view file;       // exact repo-relative path
-  std::string_view class_name; // qualifier before ::
-  std::vector<std::string_view> functions;
-};
-const HotPathSpec kHotPaths[] = {
-    {"src/abs/search_block.cpp",
-     "SearchBlock",
-     {"iterate", "adapt_on_stagnation", "staggered_offset"}},
-    {"src/abs/device.cpp",
-     "Device",
-     {"iterate_block", "run_legacy_loop", "run_shard",
-      "step_all_blocks_once"}},
-    // The flip kernels themselves — every form runs inside the loops above,
-    // once per flip.
-    {"src/qubo/delta_state.cpp",
-     "DeltaState",
-     {"flip", "flip_tracked", "flip_dense", "flip_sparse",
-      "flip_tracked_dense_scalar", "flip_tracked_dense_simd",
-      "flip_tracked_sparse", "repair_sparse", "argmin_window",
-      "argmin_span"}},
-    // Every BlockAlgorithm::step is a Step-4b inner loop — one call per
-    // iteration, flips per call — and inherits SearchBlock's constraints.
-    {"src/portfolio/block_algorithm.cpp",
-     "MinDeltaAlgorithm",
-     {"step"}},
-    {"src/portfolio/block_algorithm.cpp", "SaAlgorithm", {"step"}},
-    {"src/portfolio/block_algorithm.cpp",
-     "MultiStartAlgorithm",
-     {"step", "restart"}},
-};
-
-/// ABSQ003: calls that block (or do I/O) and therefore may not appear in a
-/// hot path. Matched as whole words on comment/literal-stripped text.
-constexpr std::string_view kBlockingTokens[] = {
-    "sleep_for",        "sleep_until", "usleep",   "nanosleep",
-    "recv",             "send",        "accept",   "connect",
-    "write_pool_file",  "read_pool_file", "ofstream", "ifstream",
-    "fstream",          "fopen",       "fwrite",   "fprintf",
-    "printf",           "cout",        "cerr",     "getline",
-};
 
 /// ABSQ004: std bases that count as "typed" roots of the hierarchy.
 constexpr std::string_view kStdTypedBases[] = {
@@ -178,6 +88,23 @@ const std::vector<RuleInfo> kRules = {
     {"ABSQ005", "include-hygiene",
      "headers start with #pragma once, no `using namespace`, project "
      "headers included by quoted path without ../"},
+    // ABSQ006–ABSQ009 are whole-project graph rules; their engines live in
+    // util/lint_graph.cpp and run through lint_project(), not lint_file().
+    {"ABSQ006", "layering",
+     "module dependencies follow the checked-in layering DAG "
+     "(lint_layers.toml); violations name the offending include/call edge"},
+    {"ABSQ007", "transitive-blocking",
+     "no blocking call reachable from a hot-path root through the call "
+     "graph (ABSQ003 explored transitively, suppressions honoured at any "
+     "frame)"},
+    {"ABSQ008", "lock-order",
+     "lock acquisition order is globally consistent: the graph of "
+     "mutex-held-while-acquiring edges (including through calls) is "
+     "acyclic"},
+    {"ABSQ009", "atomic-audit",
+     "memory_order_relaxed only in functions reachable from a hot-path "
+     "root (the lock-cheap telemetry design) or at sites annotated with a "
+     "rationale"},
 };
 
 struct Context {
@@ -290,7 +217,7 @@ std::pair<std::size_t, std::size_t> find_function_body(
 }
 
 void check_hot_paths(const Context& ctx) {
-  for (const HotPathSpec& spec : kHotPaths) {
+  for (const HotPathRoot& spec : hot_path_roots()) {
     if (ctx.path != spec.file) continue;
     for (std::string_view function : spec.functions) {
       std::string qualified(spec.class_name);
@@ -300,7 +227,7 @@ void check_hot_paths(const Context& ctx) {
           find_function_body(ctx.stripped, qualified, 0);
       if (begin == std::string_view::npos) continue;
       const std::string_view body = ctx.stripped.substr(begin, end - begin);
-      for (std::string_view token : kBlockingTokens) {
+      for (std::string_view token : blocking_tokens()) {
         for (std::size_t pos = find_word(body, token, 0);
              pos != std::string_view::npos;
              pos = find_word(body, token, pos + 1)) {
@@ -444,6 +371,76 @@ void check_include_hygiene(const Context& ctx) {
 
 const std::vector<RuleInfo>& rules() { return kRules; }
 
+Suppressions collect_suppressions(std::string_view src) {
+  Suppressions out;
+  static constexpr std::string_view kTag = "absq-lint: allow";
+  for (std::size_t pos = src.find(kTag); pos != std::string_view::npos;
+       pos = src.find(kTag, pos + 1)) {
+    std::size_t cursor = pos + kTag.size();
+    const bool file_scope = starts_with(src.substr(cursor), "-file");
+    if (file_scope) cursor += 5;
+    if (cursor >= src.size() || src[cursor] != '(') continue;
+    const std::size_t close = src.find(')', cursor);
+    if (close == std::string_view::npos) continue;
+    std::string rule(src.substr(cursor + 1, close - cursor - 1));
+    if (file_scope) {
+      out.file_allows.push_back(std::move(rule));
+    } else {
+      out.line_allows.emplace_back(std::move(rule), line_of(src, pos));
+    }
+  }
+  return out;
+}
+
+const std::vector<HotPathRoot>& hot_path_roots() {
+  // The per-iteration call chain of the bulk search: SearchBlock's search
+  // loop and the Device scheduling loops that drive it. ABSQ003 scans
+  // exactly these bodies; ABSQ007/ABSQ009 explore the call graph from them.
+  static const std::vector<HotPathRoot> kHotPaths = {
+      {"src/abs/search_block.cpp",
+       "SearchBlock",
+       {"iterate", "adapt_on_stagnation", "staggered_offset"}},
+      {"src/abs/device.cpp",
+       "Device",
+       {"iterate_block", "run_legacy_loop", "run_shard",
+        "step_all_blocks_once"}},
+      // The flip kernels themselves — every form runs inside the loops
+      // above, once per flip.
+      {"src/qubo/delta_state.cpp",
+       "DeltaState",
+       {"flip", "flip_tracked", "flip_dense", "flip_sparse",
+        "flip_tracked_dense_scalar", "flip_tracked_dense_simd",
+        "flip_tracked_sparse", "repair_sparse", "argmin_window",
+        "argmin_span"}},
+      // Every BlockAlgorithm::step is a Step-4b inner loop — one call per
+      // iteration, flips per call — and inherits SearchBlock's constraints.
+      {"src/portfolio/block_algorithm.cpp", "MinDeltaAlgorithm", {"step"}},
+      {"src/portfolio/block_algorithm.cpp", "SaAlgorithm", {"step"}},
+      {"src/portfolio/block_algorithm.cpp",
+       "MultiStartAlgorithm",
+       {"step", "restart"}},
+      // The mailbox shard protocol (paper Fig. 5) runs once per iteration
+      // on the device workers.
+      {"src/sim/mailbox.cpp", "TargetBuffer", {"push", "poll"}},
+      {"src/sim/mailbox.cpp", "SolutionBuffer", {"push"}},
+  };
+  return kHotPaths;
+}
+
+const std::vector<std::string_view>& blocking_tokens() {
+  // Matched as whole words on comment/literal-stripped text.
+  static const std::vector<std::string_view> kBlockingTokens = {
+      "sleep_for",       "sleep_until",    "usleep",   "nanosleep",
+      "recv",            "send",           "accept",   "connect",
+      "write_pool_file", "read_pool_file", "ofstream", "ifstream",
+      "fstream",         "fopen",          "fwrite",   "fprintf",
+      "printf",          "cout",           "cerr",     "getline",
+      "fflush",          "fread",          "fgets",    "system",
+      "popen",
+  };
+  return kBlockingTokens;
+}
+
 std::string strip_comments_and_strings(std::string_view src) {
   std::string out(src);
   enum class State : std::uint8_t {
@@ -570,6 +567,87 @@ std::vector<Diagnostic> lint_file(std::string_view path,
 std::string format_diagnostic(const Diagnostic& d) {
   std::ostringstream os;
   os << d.file << ':' << d.line << ": [" << d.code << "] " << d.message;
+  return os.str();
+}
+
+std::vector<std::pair<std::string, std::size_t>> count_by_rule(
+    const std::vector<Diagnostic>& diagnostics) {
+  std::vector<std::pair<std::string, std::size_t>> out;
+  for (const RuleInfo& rule : rules()) out.emplace_back(rule.code, 0);
+  for (const Diagnostic& d : diagnostics) {
+    const auto it = std::find_if(out.begin(), out.end(), [&](const auto& e) {
+      return e.first == d.code;
+    });
+    if (it != out.end()) {
+      ++it->second;
+    } else {
+      out.emplace_back(d.code, 1);  // future-proof: unknown code still counted
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Minimal JSON string escape for the SARIF writer (util cannot depend on
+/// serve::Json — see to_sarif's declaration).
+std::string json_quote(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<Diagnostic>& diagnostics) {
+  std::ostringstream os;
+  os << "{\"$schema\":"
+        "\"https://json.schemastore.org/sarif-2.1.0.json\","
+        "\"version\":\"2.1.0\",\"runs\":[{"
+        "\"tool\":{\"driver\":{"
+        "\"name\":\"absq_lint\",\"version\":\"1.0.0\","
+        "\"rules\":[";
+  bool first = true;
+  for (const RuleInfo& rule : rules()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"id\":" << json_quote(rule.code)
+       << ",\"name\":" << json_quote(rule.name)
+       << ",\"shortDescription\":{\"text\":" << json_quote(rule.summary)
+       << "}}";
+  }
+  os << "]}},\"results\":[";
+  first = true;
+  for (const Diagnostic& d : diagnostics) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ruleId\":" << json_quote(d.code)
+       << ",\"level\":\"error\",\"message\":{\"text\":"
+       << json_quote(d.message)
+       << "},\"locations\":[{\"physicalLocation\":{"
+          "\"artifactLocation\":{\"uri\":"
+       << json_quote(d.file)
+       << "},\"region\":{\"startLine\":" << d.line << "}}}]}";
+  }
+  os << "]}]}";
   return os.str();
 }
 

@@ -15,9 +15,11 @@
 //   // absq-lint: allow-file(<rule-name>) <why>   — the whole file
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace absq::lint {
@@ -40,6 +42,47 @@ struct RuleInfo {
 /// All registered rules, in code order.
 const std::vector<RuleInfo>& rules();
 
+/// Parsed `absq-lint: allow(rule)` / `allow-file(rule)` annotations of one
+/// file. The graph rules (ABSQ006–ABSQ009) honour suppressions at any call
+/// frame, so the per-file structure is part of the public index.
+struct Suppressions {
+  // rule name -> lines on which it is allowed (the annotated line and the
+  // one after it, so a standalone comment line covers the code below).
+  std::vector<std::pair<std::string, std::size_t>> line_allows;
+  std::vector<std::string> file_allows;
+
+  [[nodiscard]] bool allowed(std::string_view rule, std::size_t line) const {
+    for (const std::string& r : file_allows) {
+      if (r == rule) return true;
+    }
+    return std::any_of(line_allows.begin(), line_allows.end(),
+                       [&](const auto& a) {
+                         return a.first == rule &&
+                                (a.second == line || a.second + 1 == line);
+                       });
+  }
+};
+
+/// Parses suppression annotations from raw (un-stripped) source — they
+/// live in comments by design.
+Suppressions collect_suppressions(std::string_view src);
+
+/// One ABSQ003/ABSQ007 hot-path root: functions whose per-iteration call
+/// chain must never block.
+struct HotPathRoot {
+  std::string_view file;        ///< exact repo-relative path
+  std::string_view class_name;  ///< qualifier before ::
+  std::vector<std::string_view> functions;
+};
+
+/// The hot-path root set shared by ABSQ003 (direct, token-level) and
+/// ABSQ007/ABSQ009 (transitive, through the call graph).
+const std::vector<HotPathRoot>& hot_path_roots();
+
+/// Calls that block (or do I/O) and may not appear on a hot path — the
+/// token list shared by ABSQ003 and ABSQ007.
+const std::vector<std::string_view>& blocking_tokens();
+
 /// Lint one file. `path` must be repo-relative with forward slashes —
 /// several rules key off directory prefixes (e.g. src/obs/).
 std::vector<Diagnostic> lint_file(std::string_view path,
@@ -51,5 +94,15 @@ std::string strip_comments_and_strings(std::string_view src);
 
 /// "file:line: [CODE] message" — the one format printed by the CLI.
 std::string format_diagnostic(const Diagnostic& d);
+
+/// Per-rule finding counts, in rule-code order, for the summary line.
+std::vector<std::pair<std::string, std::size_t>> count_by_rule(
+    const std::vector<Diagnostic>& diagnostics);
+
+/// The full findings set as a SARIF 2.1.0 document (one run, one driver,
+/// every registered rule listed, one result per diagnostic). Plain string
+/// building — lint stays in util/, which depends on nothing, so it cannot
+/// use serve::Json; the self-test parses the output back with it instead.
+std::string to_sarif(const std::vector<Diagnostic>& diagnostics);
 
 }  // namespace absq::lint

@@ -129,6 +129,10 @@ TEST(CliParser, UsageErrorsAreTyped) {
   EXPECT_THROW(parse(malformed, {"--fast=maybe"}), CliUsageError);
 
   static_assert(std::is_base_of_v<CheckError, CliUsageError>);
+
+  // The exit code those mains map CliUsageError to is part of the CLI
+  // contract (scripts key off it — e.g. absq_lint --bogus must exit 2).
+  EXPECT_EQ(kUsageExitCode, 2);
 }
 
 TEST(CliParser, WrongTypeAccessorThrows) {

@@ -8,7 +8,9 @@
 #include <string>
 #include <vector>
 
+#include "serve/json.hpp"
 #include "util/lint.hpp"
+#include "util/lint_graph.hpp"
 
 namespace absq::lint {
 namespace {
@@ -333,13 +335,21 @@ TEST(LintStripper, HandlesRawStringsAndCharLiterals) {
 
 TEST(LintPlumbing, RuleTableIsStable) {
   const auto& table = rules();
-  ASSERT_EQ(table.size(), 5u);
+  ASSERT_EQ(table.size(), 9u);
   EXPECT_STREQ(table[0].code, "ABSQ001");
   EXPECT_STREQ(table[0].name, "naked-new");
   EXPECT_STREQ(table[1].code, "ABSQ002");
   EXPECT_STREQ(table[2].code, "ABSQ003");
   EXPECT_STREQ(table[3].code, "ABSQ004");
   EXPECT_STREQ(table[4].code, "ABSQ005");
+  EXPECT_STREQ(table[5].code, "ABSQ006");
+  EXPECT_STREQ(table[5].name, "layering");
+  EXPECT_STREQ(table[6].code, "ABSQ007");
+  EXPECT_STREQ(table[6].name, "transitive-blocking");
+  EXPECT_STREQ(table[7].code, "ABSQ008");
+  EXPECT_STREQ(table[7].name, "lock-order");
+  EXPECT_STREQ(table[8].code, "ABSQ009");
+  EXPECT_STREQ(table[8].name, "atomic-audit");
 }
 
 TEST(LintPlumbing, FormatIsGrepFriendly) {
@@ -352,6 +362,538 @@ TEST(LintPlumbing, DiagnosticsSortedByLine) {
       "src/foo.cpp", "int* q = new int;\nint x;\nint* p = new int;\n");
   ASSERT_EQ(diagnostics.size(), 2u);
   EXPECT_LT(diagnostics[0].line, diagnostics[1].line);
+}
+
+TEST(LintPlumbing, CountByRuleListsEveryRuleThenCounts) {
+  const std::vector<Diagnostic> diagnostics = {
+      {"ABSQ003", "a.cpp", 1, "m"},
+      {"ABSQ003", "b.cpp", 2, "m"},
+      {"ABSQ007", "c.cpp", 3, "m"},
+  };
+  const auto counts = count_by_rule(diagnostics);
+  ASSERT_EQ(counts.size(), rules().size());
+  for (const auto& [code, count] : counts) {
+    if (code == "ABSQ003") {
+      EXPECT_EQ(count, 2u);
+    } else if (code == "ABSQ007") {
+      EXPECT_EQ(count, 1u);
+    } else {
+      EXPECT_EQ(count, 0u) << code;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The project indexer (lint_graph.hpp)
+// ---------------------------------------------------------------------------
+
+TEST(LintIndex, ModuleOfStripsSrcPrefix) {
+  EXPECT_EQ(module_of("src/qubo/energy.hpp"), "qubo");
+  EXPECT_EQ(module_of("qubo/energy.hpp"), "qubo");  // include-target form
+  EXPECT_EQ(module_of("tools/absq_lint.cpp"), "tools");
+  EXPECT_EQ(module_of("tests/test_lint.cpp"), "tests");
+  EXPECT_EQ(module_of("same_dir.hpp"), "");  // no module — same-dir include
+}
+
+TEST(LintIndex, ExtractsFunctionsWithScope) {
+  ProjectIndex index;
+  index.add_file("src/qubo/foo.cpp",
+                 "namespace absq::qubo {\n"
+                 "int free_fn(int x) { return x; }\n"
+                 "class Widget {\n"
+                 " public:\n"
+                 "  void inline_method() { helper(); }\n"
+                 "};\n"
+                 "void Widget::out_of_line(int y) { free_fn(y); }\n"
+                 "}  // namespace absq::qubo\n");
+  const FunctionDef* free_fn = index.find_function("", "free_fn");
+  ASSERT_NE(free_fn, nullptr);
+  EXPECT_EQ(free_fn->line, 2u);
+  const FunctionDef* method = index.find_function("Widget", "inline_method");
+  ASSERT_NE(method, nullptr);  // class scope from the enclosing body
+  const FunctionDef* out = index.find_function("Widget", "out_of_line");
+  ASSERT_NE(out, nullptr);  // class scope from the Widget:: qualifier
+  // Namespace names recorded for qualified-call resolution.
+  const FileIndex* file = index.file("src/qubo/foo.cpp");
+  ASSERT_NE(file, nullptr);
+  EXPECT_NE(std::find(file->namespaces.begin(), file->namespaces.end(),
+                      "qubo"),
+            file->namespaces.end());
+}
+
+TEST(LintIndex, ExtractsIncludeEdgesFromRawText) {
+  ProjectIndex index;
+  index.add_file("src/search/foo.cpp",
+                 "#include \"qubo/energy.hpp\"\n"
+                 "#include <vector>\n"
+                 "// #include \"serve/json.hpp\" — commented out\n"
+                 "#include \"util/check.hpp\"\n");
+  const FileIndex* file = index.file("src/search/foo.cpp");
+  ASSERT_NE(file, nullptr);
+  ASSERT_EQ(file->includes.size(), 2u);  // angle + commented ones skipped
+  EXPECT_EQ(file->includes[0].target, "qubo/energy.hpp");
+  EXPECT_EQ(file->includes[0].line, 1u);
+  EXPECT_EQ(file->includes[1].target, "util/check.hpp");
+}
+
+TEST(LintIndex, ResolvesQualifiedMemberAndPlainCalls) {
+  ProjectIndex index;
+  index.add_file("src/a.cpp",
+                 "namespace fail {\n"
+                 "void triggered() {}\n"
+                 "}\n"
+                 "void Device::step() {}\n"
+                 "void Other::step() {}\n"
+                 "void caller() {\n"
+                 "  fail::triggered();\n"
+                 "  Device::step();\n"
+                 "  box.step();\n"
+                 "  triggered();\n"
+                 "}\n");
+  const FunctionDef* caller = index.find_function("", "caller");
+  ASSERT_NE(caller, nullptr);
+  ASSERT_EQ(caller->calls.size(), 4u);
+
+  // Namespace-qualified → the free function.
+  auto r = index.resolve(*caller, caller->calls[0]);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0]->name, "triggered");
+
+  // Class-qualified → exactly that class's method.
+  r = index.resolve(*caller, caller->calls[1]);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0]->class_name, "Device");
+
+  // Member call: receiver type unknown → every method of that name
+  // (deliberate over-approximation).
+  r = index.resolve(*caller, caller->calls[2]);
+  EXPECT_EQ(r.size(), 2u);
+
+  // Plain call from a free function → free functions only.
+  r = index.resolve(*caller, caller->calls[3]);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0]->class_name, "");
+}
+
+TEST(LintIndex, OverloadsCollapseToOneName) {
+  ProjectIndex index;
+  index.add_file("src/a.cpp",
+                 "void helper(int x) {}\n"
+                 "void helper(double x) {}\n"
+                 "void caller() { helper(3); }\n");
+  const FunctionDef* caller = index.find_function("", "caller");
+  ASSERT_NE(caller, nullptr);
+  ASSERT_EQ(caller->calls.size(), 1u);
+  // Both overload bodies are linked — the graph cannot pick one, and for
+  // reachability rules exploring both is the safe direction.
+  EXPECT_EQ(index.resolve(*caller, caller->calls[0]).size(), 2u);
+}
+
+TEST(LintIndex, RecordsLockSequencesWithHeldSets) {
+  ProjectIndex index;
+  index.add_file("src/serve/a.cpp",
+                 "void JobManager::submit() {\n"
+                 "  std::lock_guard<std::mutex> lk(mutex_);\n"
+                 "  journal_mutex_.lock();\n"
+                 "}\n");
+  const FunctionDef* fn = index.find_function("JobManager", "submit");
+  ASSERT_NE(fn, nullptr);
+  ASSERT_EQ(fn->locks.size(), 2u);
+  EXPECT_EQ(fn->locks[0].mutex, "JobManager::mutex_");
+  EXPECT_TRUE(fn->locks[0].held.empty());
+  EXPECT_EQ(fn->locks[1].mutex, "JobManager::journal_mutex_");
+  ASSERT_EQ(fn->locks[1].held.size(), 1u);
+  EXPECT_EQ(fn->locks[1].held[0], "JobManager::mutex_");
+}
+
+TEST(LintIndex, ScopeEndReleasesGuardsAndScopedLockIsSimultaneous) {
+  ProjectIndex index;
+  index.add_file("src/serve/a.cpp",
+                 "void Shard::work() {\n"
+                 "  {\n"
+                 "    std::lock_guard<std::mutex> lk(mutex_);\n"
+                 "  }\n"
+                 "  std::lock_guard<std::mutex> lk2(other_mutex_);\n"
+                 "}\n"
+                 "void Shard::both() {\n"
+                 "  std::scoped_lock lk(mutex_, other_mutex_);\n"
+                 "}\n");
+  const FunctionDef* work = index.find_function("Shard", "work");
+  ASSERT_NE(work, nullptr);
+  ASSERT_EQ(work->locks.size(), 2u);
+  // The first guard died with its block: no held edge into the second.
+  EXPECT_TRUE(work->locks[1].held.empty());
+  const FunctionDef* both = index.find_function("Shard", "both");
+  ASSERT_NE(both, nullptr);
+  ASSERT_EQ(both->locks.size(), 2u);
+  // scoped_lock acquires its arguments atomically — no edge between them.
+  EXPECT_TRUE(both->locks[0].held.empty());
+  EXPECT_TRUE(both->locks[1].held.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Layering manifest + ABSQ006
+// ---------------------------------------------------------------------------
+
+constexpr const char* kTestManifest =
+    "# comment\n"
+    "[modules]\n"
+    "util = []\n"
+    "qubo = [\"util\"]\n"
+    "serve = [\"qubo\", \"util\"]\n"
+    "tools = [\"*\"]\n";
+
+TEST(LintLayers, ManifestParsesAndAnswersPermits) {
+  const LayerManifest manifest = LayerManifest::parse(kTestManifest);
+  EXPECT_TRUE(manifest.known("qubo"));
+  EXPECT_FALSE(manifest.known("obs"));
+  EXPECT_TRUE(manifest.permits("qubo", "util"));
+  EXPECT_TRUE(manifest.permits("qubo", "qubo"));  // self always fine
+  EXPECT_FALSE(manifest.permits("qubo", "serve"));
+  EXPECT_TRUE(manifest.permits("tools", "serve"));  // wildcard
+}
+
+TEST(LintLayers, ManifestRejectsMalformedInput) {
+  EXPECT_THROW(LayerManifest::parse("qubo = [\"util\"]\n"), ManifestError);
+  EXPECT_THROW(LayerManifest::parse("[modules]\nqubo\n"), ManifestError);
+  EXPECT_THROW(LayerManifest::parse("[modules]\nqubo = [util]\n"),
+               ManifestError);
+  EXPECT_THROW(
+      LayerManifest::parse("[modules]\na = []\na = []\n"), ManifestError);
+  EXPECT_THROW(LayerManifest::parse("[layers]\n"), ManifestError);
+}
+
+TEST(LintLayering, CatchesForbiddenIncludeEdge) {
+  // The deliberate violation fixture: qubo reaching up into serve.
+  const LayerManifest manifest = LayerManifest::parse(kTestManifest);
+  ProjectIndex index;
+  index.add_file("src/qubo/energy.cpp",
+                 "#include \"serve/json.hpp\"\n#include \"util/check.hpp\"\n");
+  const auto diagnostics = check_layering(index, manifest);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].code, "ABSQ006");
+  EXPECT_EQ(diagnostics[0].line, 1u);
+  // The message names the offending edge.
+  EXPECT_NE(diagnostics[0].message.find("serve/json.hpp"), std::string::npos);
+  EXPECT_NE(diagnostics[0].message.find("qubo -> serve"), std::string::npos);
+}
+
+TEST(LintLayering, PermittedEdgesAndWildcardStayQuiet) {
+  const LayerManifest manifest = LayerManifest::parse(kTestManifest);
+  ProjectIndex index;
+  index.add_file("src/qubo/energy.cpp", "#include \"util/check.hpp\"\n");
+  index.add_file("tools/absq_x.cpp", "#include \"serve/json.hpp\"\n");
+  EXPECT_TRUE(check_layering(index, manifest).empty());
+}
+
+TEST(LintLayering, FlagsModulesMissingFromManifest) {
+  const LayerManifest manifest = LayerManifest::parse(kTestManifest);
+  ProjectIndex index;
+  index.add_file("src/obs/metrics.cpp", "int x;\n");
+  const auto diagnostics = check_layering(index, manifest);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_NE(diagnostics[0].message.find("not declared"), std::string::npos);
+}
+
+TEST(LintLayering, CatchesQualifiedCallIntoForbiddenModule) {
+  // No include edge (sneaks through a transitive include) — the call edge
+  // still trips the rule.
+  const LayerManifest manifest = LayerManifest::parse(kTestManifest);
+  ProjectIndex index;
+  index.add_file("src/serve/json.cpp", "void Json::parse() {}\n");
+  index.add_file("src/qubo/energy.cpp",
+                 "void load() { Json::parse(); }\n");
+  const auto diagnostics = check_layering(index, manifest);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_NE(diagnostics[0].message.find("Json::parse"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ABSQ007 — transitive blocking calls
+// ---------------------------------------------------------------------------
+
+// Real hot-root identity: file + class + function from hot_path_roots().
+constexpr const char* kHotRootFile = "src/abs/device.cpp";
+
+TEST(LintTransitive, FindsBlockingCallTwoFramesDeep) {
+  ProjectIndex index;
+  index.add_file(kHotRootFile,
+                 "void Device::iterate_block(std::size_t i) {\n"
+                 "  helper_log();\n"
+                 "}\n");
+  index.add_file("src/util/helpers.cpp",
+                 "void helper_log() { deep_work(); }\n");
+  index.add_file("src/util/deep.cpp",
+                 "void deep_work() {\n"
+                 "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+                 "}\n");
+  const auto diagnostics = check_transitive_blocking(index);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].code, "ABSQ007");
+  // Reported at the root's call site, naming the chain and the real site.
+  EXPECT_EQ(diagnostics[0].file, kHotRootFile);
+  EXPECT_EQ(diagnostics[0].line, 2u);
+  EXPECT_NE(diagnostics[0].message.find("src/util/deep.cpp:2"),
+            std::string::npos);
+  EXPECT_NE(
+      diagnostics[0].message.find(
+          "Device::iterate_block -> helper_log -> deep_work"),
+      std::string::npos);
+}
+
+TEST(LintTransitive, RootBodyItselfIsLeftToAbsq003) {
+  ProjectIndex index;
+  index.add_file(kHotRootFile,
+                 "void Device::iterate_block(std::size_t i) {\n"
+                 "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+                 "}\n");
+  EXPECT_TRUE(check_transitive_blocking(index).empty());  // ABSQ003's job
+}
+
+TEST(LintTransitive, SuppressionAtNonRootFrameIsHonoured) {
+  ProjectIndex index;
+  index.add_file(kHotRootFile,
+                 "void Device::iterate_block(std::size_t i) {\n"
+                 "  helper_log();\n"
+                 "}\n");
+  index.add_file("src/util/helpers.cpp",
+                 "void helper_log() {\n"
+                 "  // absq-lint: allow(transitive-blocking) cold slow path\n"
+                 "  deep_work();\n"
+                 "}\n");
+  index.add_file("src/util/deep.cpp",
+                 "void deep_work() {\n"
+                 "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+                 "}\n");
+  EXPECT_TRUE(check_transitive_blocking(index).empty());
+}
+
+TEST(LintTransitive, SuppressionAtTheBlockingSiteIsHonoured) {
+  ProjectIndex index;
+  index.add_file(kHotRootFile,
+                 "void Device::iterate_block(std::size_t i) {\n"
+                 "  helper_log();\n"
+                 "}\n");
+  index.add_file("src/util/helpers.cpp",
+                 "void helper_log() {\n"
+                 "  // absq-lint: allow(hot-path-blocking) fault injection\n"
+                 "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+                 "}\n");
+  EXPECT_TRUE(check_transitive_blocking(index).empty());
+}
+
+// ---------------------------------------------------------------------------
+// ABSQ008 — lock-order consistency
+// ---------------------------------------------------------------------------
+
+TEST(LintLockOrder, CatchesTwoMutexCycle) {
+  // The deliberate cycle fixture: A→B in one function, B→A in another.
+  ProjectIndex index;
+  index.add_file("src/serve/jobs.cpp",
+                 "void JobManager::submit() {\n"
+                 "  std::lock_guard<std::mutex> l1(mutex_);\n"
+                 "  std::lock_guard<std::mutex> l2(journal_mutex_);\n"
+                 "}\n"
+                 "void JobManager::reap() {\n"
+                 "  std::lock_guard<std::mutex> l1(journal_mutex_);\n"
+                 "  std::lock_guard<std::mutex> l2(mutex_);\n"
+                 "}\n");
+  const auto diagnostics = check_lock_order(index);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].code, "ABSQ008");
+  EXPECT_NE(diagnostics[0].message.find("JobManager::mutex_"),
+            std::string::npos);
+  EXPECT_NE(diagnostics[0].message.find("JobManager::journal_mutex_"),
+            std::string::npos);
+  // Both witness edges appear with file:line.
+  EXPECT_NE(diagnostics[0].message.find("src/serve/jobs.cpp:3"),
+            std::string::npos);
+  EXPECT_NE(diagnostics[0].message.find("src/serve/jobs.cpp:7"),
+            std::string::npos);
+}
+
+TEST(LintLockOrder, ConsistentOrderIsQuiet) {
+  ProjectIndex index;
+  index.add_file("src/serve/jobs.cpp",
+                 "void JobManager::submit() {\n"
+                 "  std::lock_guard<std::mutex> l1(mutex_);\n"
+                 "  std::lock_guard<std::mutex> l2(journal_mutex_);\n"
+                 "}\n"
+                 "void JobManager::reap() {\n"
+                 "  std::lock_guard<std::mutex> l1(mutex_);\n"
+                 "  std::lock_guard<std::mutex> l2(journal_mutex_);\n"
+                 "}\n");
+  EXPECT_TRUE(check_lock_order(index).empty());
+}
+
+TEST(LintLockOrder, ScopedLockAcquiresSimultaneously) {
+  // Opposite argument orders in scoped_lock are fine — std::scoped_lock
+  // deadlock-avoids internally.
+  ProjectIndex index;
+  index.add_file("src/serve/jobs.cpp",
+                 "void JobManager::submit() {\n"
+                 "  std::scoped_lock lk(mutex_, journal_mutex_);\n"
+                 "}\n"
+                 "void JobManager::reap() {\n"
+                 "  std::scoped_lock lk(journal_mutex_, mutex_);\n"
+                 "}\n");
+  EXPECT_TRUE(check_lock_order(index).empty());
+}
+
+TEST(LintLockOrder, SeesCycleThroughCallEdge) {
+  // One leg of the cycle hides inside a callee: submit holds A and calls
+  // into a helper that takes B; reap orders them B then A directly.
+  ProjectIndex index;
+  index.add_file("src/serve/jobs.cpp",
+                 "void JobManager::submit() {\n"
+                 "  std::lock_guard<std::mutex> l1(mutex_);\n"
+                 "  flush_journal();\n"
+                 "}\n"
+                 "void JobManager::flush_journal() {\n"
+                 "  std::lock_guard<std::mutex> l(journal_mutex_);\n"
+                 "}\n"
+                 "void JobManager::reap() {\n"
+                 "  std::lock_guard<std::mutex> l1(journal_mutex_);\n"
+                 "  std::lock_guard<std::mutex> l2(mutex_);\n"
+                 "}\n");
+  const auto diagnostics = check_lock_order(index);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].code, "ABSQ008");
+}
+
+TEST(LintLockOrder, AllowOnWitnessEdgeSuppressesTheCycle) {
+  ProjectIndex index;
+  index.add_file("src/serve/jobs.cpp",
+                 "void JobManager::submit() {\n"
+                 "  std::lock_guard<std::mutex> l1(mutex_);\n"
+                 "  // absq-lint: allow(lock-order) reap can never run here\n"
+                 "  std::lock_guard<std::mutex> l2(journal_mutex_);\n"
+                 "}\n"
+                 "void JobManager::reap() {\n"
+                 "  std::lock_guard<std::mutex> l1(journal_mutex_);\n"
+                 "  std::lock_guard<std::mutex> l2(mutex_);\n"
+                 "}\n");
+  EXPECT_TRUE(check_lock_order(index).empty());
+}
+
+// ---------------------------------------------------------------------------
+// ABSQ009 — atomic-ordering audit
+// ---------------------------------------------------------------------------
+
+TEST(LintAtomicAudit, HotReachableRelaxedPassesColdIsFlagged) {
+  ProjectIndex index;
+  index.add_file(kHotRootFile,
+                 "void Device::iterate_block(std::size_t i) {\n"
+                 "  bump_counter();\n"
+                 "}\n");
+  index.add_file("src/obs/counters.hpp",
+                 "#pragma once\n"
+                 "void bump_counter() {\n"
+                 "  c.fetch_add(1, std::memory_order_relaxed);\n"
+                 "}\n"
+                 "void cold_export() {\n"
+                 "  c.load(std::memory_order_relaxed);\n"
+                 "}\n");
+  const auto diagnostics = check_atomic_audit(index);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].code, "ABSQ009");
+  EXPECT_EQ(diagnostics[0].line, 6u);  // the cold_export site only
+  EXPECT_NE(diagnostics[0].message.find("cold_export"), std::string::npos);
+}
+
+TEST(LintAtomicAudit, AnnotatedColdSitePasses) {
+  ProjectIndex index;
+  index.add_file("src/obs/counters.hpp",
+                 "#pragma once\n"
+                 "void cold_export() {\n"
+                 "  // absq-lint: allow(atomic-audit) scrape-side read\n"
+                 "  c.load(std::memory_order_relaxed);\n"
+                 "}\n");
+  EXPECT_TRUE(check_atomic_audit(index).empty());
+}
+
+TEST(LintAtomicAudit, ConsumeIsAlwaysFlagged) {
+  ProjectIndex index;
+  index.add_file(kHotRootFile,
+                 "void Device::iterate_block(std::size_t i) {\n"
+                 "  p.load(std::memory_order_consume);\n"
+                 "}\n");
+  const auto diagnostics = check_atomic_audit(index);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_NE(diagnostics[0].message.find("memory_order_consume"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// lint_project + SARIF + dot
+// ---------------------------------------------------------------------------
+
+TEST(LintProject, CombinesFileAndGraphRulesSorted) {
+  const LayerManifest manifest = LayerManifest::parse(kTestManifest);
+  const std::vector<ProjectFile> files = {
+      {"src/qubo/energy.cpp",
+       "#include \"serve/json.hpp\"\n"       // ABSQ006
+       "int* p = new int;\n"},               // ABSQ001
+  };
+  const auto diagnostics = lint_project(files, &manifest);
+  ASSERT_EQ(diagnostics.size(), 2u);
+  EXPECT_EQ(diagnostics[0].code, "ABSQ006");  // line 1 before line 2
+  EXPECT_EQ(diagnostics[1].code, "ABSQ001");
+}
+
+TEST(LintProject, NullManifestSkipsLayering) {
+  const std::vector<ProjectFile> files = {
+      {"src/qubo/energy.cpp", "#include \"serve/json.hpp\"\n"},
+  };
+  EXPECT_TRUE(lint_project(files, nullptr).empty());
+}
+
+TEST(LintSarif, GoldenDocumentParsesBackWithServeJson) {
+  const std::vector<Diagnostic> diagnostics = {
+      {"ABSQ006", "src/qubo/energy.cpp", 3, "layering \"violation\""},
+      {"ABSQ008", "src/serve/jobs.cpp", 7, "lock-order cycle"},
+  };
+  const serve::Json doc = serve::Json::parse(to_sarif(diagnostics));
+  EXPECT_EQ(doc.get_string("version", ""), "2.1.0");
+  const serve::Json& run = doc.at("runs").at(std::size_t{0});
+  const serve::Json& driver = run.at("tool").at("driver");
+  EXPECT_EQ(driver.get_string("name", ""), "absq_lint");
+  // Every registered rule is described, in order.
+  ASSERT_EQ(driver.at("rules").size(), rules().size());
+  EXPECT_EQ(driver.at("rules").at(std::size_t{0}).get_string("id", ""),
+            "ABSQ001");
+  // One result per diagnostic with the physical location intact.
+  ASSERT_EQ(run.at("results").size(), 2u);
+  const serve::Json& first = run.at("results").at(std::size_t{0});
+  EXPECT_EQ(first.get_string("ruleId", ""), "ABSQ006");
+  EXPECT_EQ(first.get_string("level", ""), "error");
+  EXPECT_EQ(first.at("message").get_string("text", ""),
+            "layering \"violation\"");
+  const serve::Json& location =
+      first.at("locations").at(std::size_t{0}).at("physicalLocation");
+  EXPECT_EQ(location.at("artifactLocation").get_string("uri", ""),
+            "src/qubo/energy.cpp");
+  EXPECT_EQ(location.at("region").get_int("startLine", 0), 3);
+}
+
+TEST(LintSarif, EmptyFindingsIsStillAValidRun) {
+  const serve::Json doc = serve::Json::parse(to_sarif({}));
+  EXPECT_EQ(doc.at("runs").at(std::size_t{0}).at("results").size(), 0u);
+}
+
+TEST(LintDot, DumpContainsModuleAndLockEdges) {
+  ProjectIndex index;
+  index.add_file("src/search/foo.cpp", "#include \"qubo/energy.hpp\"\n");
+  index.add_file("src/serve/jobs.cpp",
+                 "void JobManager::submit() {\n"
+                 "  std::lock_guard<std::mutex> l1(mutex_);\n"
+                 "  std::lock_guard<std::mutex> l2(journal_mutex_);\n"
+                 "}\n");
+  const std::string dot = dump_dot(index);
+  EXPECT_NE(dot.find("\"search\" -> \"qubo\""), std::string::npos);
+  EXPECT_NE(dot.find(
+                "\"JobManager::mutex_\" -> \"JobManager::journal_mutex_\""),
+            std::string::npos);
 }
 
 }  // namespace

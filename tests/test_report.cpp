@@ -1,4 +1,4 @@
-// Tests for the JSONL run-report sink (obs/report.hpp): escaping, the
+// Tests for the JSONL run-report sink (abs/report.hpp): escaping, the
 // null conventions (NaN, kUnevaluated), and line-by-line content of a
 // full report including metric lines.
 #include <gtest/gtest.h>
@@ -9,7 +9,8 @@
 #include <string>
 #include <vector>
 
-#include "obs/report.hpp"
+#include "abs/report.hpp"
+#include "obs/json_text.hpp"
 
 namespace absq::obs {
 namespace {

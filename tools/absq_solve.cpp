@@ -41,7 +41,7 @@
 #include "portfolio/block_algorithm.hpp"
 #include "obs/http_exporter.hpp"
 #include "obs/log.hpp"
-#include "obs/report.hpp"
+#include "abs/report.hpp"
 #include "problems/graph.hpp"
 #include "problems/maxcut.hpp"
 #include "problems/sat.hpp"
@@ -394,7 +394,7 @@ int run(int argc, char** argv) {
                 trace_path.c_str(), tracer->recorded(), tracer->dropped());
   }
   if (!report_path.empty()) {
-    absq::obs::RunReportMeta meta;
+    absq::RunReportMeta meta;
     meta.tool = "absq_solve";
     meta.instance = path;
     meta.seed = config.seed;
@@ -402,7 +402,7 @@ int run(int argc, char** argv) {
                   {"devices", std::to_string(config.num_devices)},
                   {"blocks", std::to_string(config.device.block_limit)},
                   {"pool", std::to_string(config.pool_capacity)}};
-    absq::obs::write_run_report_file(report_path, meta, result,
+    absq::write_run_report_file(report_path, meta, result,
                                      registry.get());
     std::printf("report written to %s\n", report_path.c_str());
   }
